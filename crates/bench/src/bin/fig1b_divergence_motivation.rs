@@ -1,0 +1,56 @@
+//! Fig. 1(b) motivation — naive `if (kept)` skipping inside the GEMM does not
+//! speed anything up because the SIMT front-end serialises divergent warps,
+//! while the regular patterns do.
+
+use bench::{distribution_for, Report};
+use gpu_sim::{kernels, DropoutTiming, GpuConfig, MlpSpec, NetworkTimingModel};
+
+fn main() {
+    let gpu = GpuConfig::gtx_1080ti();
+    let (m, k, n) = (128usize, 2048usize, 2048usize);
+
+    let mut kernel_report = Report::new(
+        "Fig. 1(b) — single GEMM (128 x 2048 x 2048), dropout rate 0.5",
+        &["kernel", "time (us)", "vs dense"],
+    );
+    let dense = kernels::dense_gemm(&gpu, m, k, n);
+    let divergent = kernels::divergent_gemm(&gpu, m, k, n, 0.5);
+    let row = kernels::row_compact_gemm(&gpu, m, k, n, n / 2);
+    let grid = (k / 32) * (n / 32);
+    let tile = kernels::tile_compact_gemm(&gpu, m, k, n, grid / 2, grid);
+    for (name, stats) in [
+        ("dense GEMM", &dense),
+        ("divergent if-else skip", &divergent),
+        ("row-compact GEMM", &row),
+        ("tile-compact GEMM", &tile),
+    ] {
+        kernel_report.add_row(&[
+            name.to_string(),
+            format!("{:.1}", stats.time_us()),
+            format!("{:.2}x", dense.time_us() / stats.time_us()),
+        ]);
+    }
+    kernel_report.print();
+
+    let model = NetworkTimingModel::mlp(gpu, MlpSpec::paper_mlp());
+    let mut net_report = Report::new(
+        "End-to-end MLP iteration (2048x2048, batch 128, dropout 0.5)",
+        &["method", "iteration time (ms)", "speedup vs conventional"],
+    );
+    let modes = [
+        ("conventional dropout", DropoutTiming::Conventional(0.5)),
+        ("divergent if-else skip", DropoutTiming::Divergent(0.5)),
+        ("row pattern", DropoutTiming::Row(distribution_for(0.5))),
+        ("tile pattern", DropoutTiming::tile(distribution_for(0.5))),
+    ];
+    let baseline = model.iteration_time(&DropoutTiming::Conventional(0.5)).total_us();
+    for (name, mode) in &modes {
+        let t = model.iteration_time(mode).total_us();
+        net_report.add_row(&[
+            name.to_string(),
+            format!("{:.3}", t / 1e3),
+            format!("{:.2}x", baseline / t),
+        ]);
+    }
+    net_report.print();
+}

@@ -1,0 +1,45 @@
+//! Fig. 4 — accuracy and speedup of RDP and TDP vs conventional dropout on
+//! the 4-layer MLP (hidden 2048, 2048), sweeping per-layer dropout-rate
+//! pairs from (0.3, 0.3) to (0.7, 0.7).
+//!
+//! Speedups are computed with the GPU timing model at the paper's full
+//! network size; accuracies come from training a down-scaled MLP on the
+//! synthetic MNIST task (see DESIGN.md for the substitution rationale).
+
+use bench::{default_train_iterations, mlp_speedup, mlp_timing_model, train_scaled_mlp, Method, Report};
+
+fn main() {
+    let rate_pairs = [
+        (0.3, 0.3),
+        (0.5, 0.3),
+        (0.7, 0.3),
+        (0.3, 0.5),
+        (0.5, 0.5),
+        (0.7, 0.5),
+        (0.3, 0.7),
+        (0.5, 0.7),
+        (0.7, 0.7),
+    ];
+    let iterations = default_train_iterations();
+    let model = mlp_timing_model(2048, 2048);
+
+    for method in [Method::Row, Method::Tile] {
+        let mut report = Report::new(
+            format!("Fig. 4 — {} Dropout Pattern (MLP 2048x2048, batch 128)", method.label()),
+            &["rates (p1,p2)", "speedup", "new accuracy", "old accuracy", "acc. delta"],
+        );
+        for &(r1, r2) in &rate_pairs {
+            let speedup = mlp_speedup(&model, method, r1, r2);
+            let new_acc = train_scaled_mlp(method, r1, r2, 128, iterations);
+            let old_acc = train_scaled_mlp(Method::Baseline, r1, r2, 128, iterations);
+            report.add_row(&[
+                format!("({r1:.1}, {r2:.1})"),
+                format!("{speedup:.2}x"),
+                format!("{:.2}%", new_acc.accuracy * 100.0),
+                format!("{:.2}%", old_acc.accuracy * 100.0),
+                format!("{:+.2}%", (new_acc.accuracy - old_acc.accuracy) * 100.0),
+            ]);
+        }
+        report.print();
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig. 5 — accuracy-vs-time training curves of the row pattern vs
+//! conventional dropout at rate 0.5 on the LSTM.
+//!
+//! Both runs train the same down-scaled language model; the time axis charges
+//! each iteration the per-iteration time of the corresponding method on the
+//! GPU timing model at the paper's LSTM size, so the row-pattern curve is
+//! compressed horizontally exactly as in the paper's figure.
+
+use bench::{lstm_timing_model, Method};
+use data::{CorpusConfig, SyntheticCorpus};
+use gpu_sim::DropoutTiming;
+use nn::lstm::{LstmLm, LstmLmConfig};
+use nn::trainer::{first_reaching_accuracy, Trainer, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(method: Method, iterations: usize, time_per_iteration_us: f64) -> Vec<nn::trainer::TrainRecord> {
+    let corpus = SyntheticCorpus::new(CorpusConfig {
+        vocab: 120,
+        ..CorpusConfig::small()
+    });
+    let mut rng = StdRng::seed_from_u64(42);
+    let config = LstmLmConfig {
+        vocab: 120,
+        embed_dim: 32,
+        hidden: 32,
+        layers: 2,
+        dropout: method.dropout_config(0.5),
+        learning_rate: 0.5,
+        momentum: 0.0,
+        grad_clip: 5.0,
+    };
+    let mut lm = LstmLm::new(&config, &mut rng);
+    let trainer = Trainer::new(TrainerConfig::new(iterations, 10, time_per_iteration_us));
+    trainer.run(|it| {
+        let batch = corpus.batch(10, 12, it as u64);
+        let stats = lm.train_batch(&batch, &mut rng);
+        (stats.loss as f64, stats.accuracy)
+    })
+}
+
+fn main() {
+    let iterations = if std::env::var("ARD_FAST").map(|v| v == "1").unwrap_or(false) {
+        60
+    } else {
+        300
+    };
+    let model = lstm_timing_model();
+    let baseline_time = model
+        .iteration_time(&DropoutTiming::Conventional(0.5))
+        .total_us();
+    let row_time = model.iteration_time(&Method::Row.timing(0.5)).total_us();
+
+    println!("# Fig. 5 — training accuracy vs simulated time (dropout 0.5)");
+    println!("# per-iteration time: baseline {:.1} us, row pattern {:.1} us", baseline_time, row_time);
+    println!("{:<12} {:>16} {:>12} {:>18} {:>14}", "iteration", "baseline_time_ms", "baseline_acc", "row_pattern_time_ms", "row_pattern_acc");
+
+    let baseline = run(Method::Baseline, iterations, baseline_time);
+    let row = run(Method::Row, iterations, row_time);
+    for (b, r) in baseline.iter().zip(&row) {
+        println!(
+            "{:<12} {:>16.2} {:>12.3} {:>18.2} {:>14.3}",
+            b.iteration,
+            b.elapsed_us / 1e3,
+            b.accuracy,
+            r.elapsed_us / 1e3,
+            r.accuracy
+        );
+    }
+
+    let target = 0.5;
+    match (
+        first_reaching_accuracy(&baseline, target),
+        first_reaching_accuracy(&row, target),
+    ) {
+        (Some(b), Some(r)) => println!(
+            "\ntime to reach {:.0}% accuracy: baseline {:.1} ms, row pattern {:.1} ms ({:.2}x earlier)",
+            target * 100.0,
+            b.elapsed_us / 1e3,
+            r.elapsed_us / 1e3,
+            b.elapsed_us / r.elapsed_us
+        ),
+        _ => println!("\ntarget accuracy {:.0}% not reached within {iterations} iterations", target * 100.0),
+    }
+}

@@ -1,0 +1,30 @@
+//! Fig. 6(a) — 3-layer LSTM on the PTB-scale corpus: test perplexity and
+//! speedup of the Row-based Dropout Pattern as the dropout rate sweeps from
+//! 0.3 to 0.7.
+
+use bench::{default_train_iterations, ptb_timing_model, train_scaled_lstm, Method, Report};
+use gpu_sim::DropoutTiming;
+
+fn main() {
+    let rates = [0.3, 0.4, 0.5, 0.6, 0.7];
+    let iterations = default_train_iterations().min(120);
+    let model = ptb_timing_model(20);
+
+    let mut report = Report::new(
+        "Fig. 6(a) — PTB-scale corpus, 3-layer LSTM, Row pattern",
+        &["dropout rate", "speedup", "perplexity (ROW)", "perplexity (baseline)", "delta"],
+    );
+    for &rate in &rates {
+        let speedup = model.speedup(&DropoutTiming::Conventional(rate), &Method::Row.timing(rate));
+        let row = train_scaled_lstm(Method::Row, rate, 150, 32, 3, 10, iterations);
+        let baseline = train_scaled_lstm(Method::Baseline, rate, 150, 32, 3, 10, iterations);
+        report.add_row(&[
+            format!("{rate:.1}"),
+            format!("{speedup:.2}x"),
+            format!("{:.2}", row.perplexity),
+            format!("{:.2}", baseline.perplexity),
+            format!("{:+.2}", row.perplexity - baseline.perplexity),
+        ]);
+    }
+    report.print();
+}

@@ -1,0 +1,38 @@
+//! Fig. 6(b) — speedup and perplexity as the batch size grows from 20 to 40
+//! (Row pattern, fixed dropout rate).
+//!
+//! The paper observes that the speedup rises with the batch size (the GEMMs
+//! grow while the one-time pattern-search cost stays fixed) while perplexity
+//! creeps up because a single pattern is shared by the whole, larger batch —
+//! fewer distinct sub-models per epoch.
+
+use bench::{default_train_iterations, ptb_timing_model, train_scaled_lstm, Method, Report};
+use gpu_sim::DropoutTiming;
+
+fn main() {
+    let batch_sizes = [20usize, 25, 30, 35, 40];
+    let rate = 0.5;
+    let iterations = default_train_iterations().min(120);
+
+    let mut report = Report::new(
+        "Fig. 6(b) — batch-size sweep at dropout rate 0.5 (Row pattern)",
+        &["batch size", "speedup", "perplexity (ROW)", "perplexity (baseline)"],
+    );
+    for &batch in &batch_sizes {
+        let model = ptb_timing_model(batch);
+        let speedup = model.speedup(&DropoutTiming::Conventional(rate), &Method::Row.timing(rate));
+        // The scaled CPU run keeps the same number of *iterations*, so a
+        // larger batch means fewer distinct patterns per token processed —
+        // the effect responsible for the perplexity increase in the paper.
+        let scaled_batch = (batch / 2).max(4);
+        let row = train_scaled_lstm(Method::Row, rate, 150, 32, 3, scaled_batch, iterations);
+        let baseline = train_scaled_lstm(Method::Baseline, rate, 150, 32, 3, scaled_batch, iterations);
+        report.add_row(&[
+            format!("{batch}"),
+            format!("{speedup:.2}x"),
+            format!("{:.2}", row.perplexity),
+            format!("{:.2}", baseline.perplexity),
+        ]);
+    }
+    report.print();
+}

@@ -1,0 +1,38 @@
+//! Table I — speedup and accuracy of ROW and TILE patterns at dropout
+//! (0.7, 0.7) across network sizes 1024×64, 1024×1024, 2048×2048, 4096×4096.
+//!
+//! The headline trend the paper reports — the speedup grows with the network
+//! size, reaching ≈2× at 4096×4096 — comes from the GPU timing model at the
+//! real layer widths; accuracies come from proportionally scaled CPU runs.
+
+use bench::{default_train_iterations, mlp_speedup, mlp_timing_model, train_scaled_mlp, Method, Report};
+
+fn main() {
+    let sizes = [(1024usize, 64usize), (1024, 1024), (2048, 2048), (4096, 4096)];
+    let rate = 0.7;
+    let iterations = default_train_iterations();
+
+    let mut report = Report::new(
+        "Table I — network-size sweep at dropout rate 0.7",
+        &["network", "pattern", "accuracy", "accuracy loss", "speedup"],
+    );
+    for &(h1, h2) in &sizes {
+        let model = mlp_timing_model(h1, h2);
+        // Scale the CPU run roughly with the network (capped so the largest
+        // case still finishes quickly on one core).
+        let scaled_hidden = (h1.min(h2) / 16).clamp(32, 128);
+        let baseline = train_scaled_mlp(Method::Baseline, rate, rate, scaled_hidden, iterations);
+        for method in [Method::Row, Method::Tile] {
+            let speedup = mlp_speedup(&model, method, rate, rate);
+            let acc = train_scaled_mlp(method, rate, rate, scaled_hidden, iterations);
+            report.add_row(&[
+                format!("{h1}*{h2}"),
+                method.label().to_string(),
+                format!("{:.2}%", acc.accuracy * 100.0),
+                format!("{:+.2}%", (acc.accuracy - baseline.accuracy) * 100.0),
+                format!("{speedup:.2}"),
+            ]);
+        }
+    }
+    report.print();
+}

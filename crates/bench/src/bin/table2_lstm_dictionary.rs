@@ -1,0 +1,41 @@
+//! Table II — 2-layer LSTM (1500 hidden) on the 8800-word dictionary corpus:
+//! next-word accuracy and speedup for ROW and TILE patterns at dropout rates
+//! (0.3, 0.3), (0.5, 0.5) and (0.7, 0.7).
+//!
+//! Speedups use the GPU timing model at the paper's LSTM size; accuracies
+//! come from a down-scaled LSTM on the synthetic Zipf/Markov corpus.
+
+use bench::{default_train_iterations, lstm_timing_model, train_scaled_lstm, Method, Report};
+use gpu_sim::DropoutTiming;
+
+fn main() {
+    let rates = [0.3, 0.5, 0.7];
+    let iterations = default_train_iterations().min(150);
+    let model = lstm_timing_model();
+
+    let mut report = Report::new(
+        "Table II — dictionary corpus (8800 words) on 2-layer LSTM",
+        &["dropout rate", "method", "accuracy", "speedup"],
+    );
+    for &rate in &rates {
+        let baseline_cfg = DropoutTiming::Conventional(rate);
+        let baseline = train_scaled_lstm(Method::Baseline, rate, 120, 32, 2, 10, iterations);
+        report.add_row(&[
+            format!("({rate:.1},{rate:.1})"),
+            "original".to_string(),
+            format!("{:.1}%", baseline.accuracy * 100.0),
+            "1.00".to_string(),
+        ]);
+        for method in [Method::Row, Method::Tile] {
+            let speedup = model.speedup(&baseline_cfg, &method.timing(rate));
+            let result = train_scaled_lstm(method, rate, 120, 32, 2, 10, iterations);
+            report.add_row(&[
+                format!("({rate:.1},{rate:.1})"),
+                method.label().to_string(),
+                format!("{:.1}%", result.accuracy * 100.0),
+                format!("{speedup:.2}"),
+            ]);
+        }
+    }
+    report.print();
+}

@@ -1,0 +1,334 @@
+//! Shared experiment plumbing for the per-table / per-figure binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper.
+//! They share three ingredients, provided here:
+//!
+//! * [`speedup_setup`] — builds the pattern distributions and the GPU timing
+//!   model at the *paper's* network sizes, so the reported speedups use the
+//!   same architecture the paper measured (the GTX 1080Ti stand-in).
+//! * [`train_scaled_mlp`] / [`train_scaled_lstm`] — train down-scaled
+//!   networks on the synthetic datasets to obtain accuracy/perplexity
+//!   numbers on a single CPU core within seconds. The scale factor does not
+//!   change the *qualitative* accuracy comparison (pattern dropout vs
+//!   conventional dropout), which is what EXPERIMENTS.md records.
+//! * [`Report`] — a plain-text table printer so each binary emits rows in
+//!   the same format as the corresponding table of the paper.
+
+use approx_dropout::{search::sgd_search, DropoutRate, PatternDistribution, PatternKind, SearchConfig};
+use data::{CorpusConfig, MnistConfig, SyntheticCorpus, SyntheticMnist};
+use gpu_sim::{DropoutTiming, GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel};
+use nn::dropout::DropoutConfig;
+use nn::lstm::{LstmLm, LstmLmConfig};
+use nn::mlp::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of training iterations the scaled accuracy runs use by default.
+/// Set the `ARD_FAST=1` environment variable to cut this down for smoke runs.
+pub fn default_train_iterations() -> usize {
+    if std::env::var("ARD_FAST").map(|v| v == "1").unwrap_or(false) {
+        40
+    } else {
+        250
+    }
+}
+
+/// Builds the pattern distribution for a target dropout rate (Algorithm 1
+/// with the default hyper-parameters and `max_dp = 16`).
+///
+/// # Panics
+///
+/// Panics if the rate is outside `[0, 1)` — experiment configurations are
+/// static, so this is a programming error rather than a runtime condition.
+pub fn distribution_for(rate: f64) -> PatternDistribution {
+    let rate = DropoutRate::new(rate).expect("experiment dropout rates are valid");
+    sgd_search(rate, 16, &SearchConfig::default()).expect("default search configuration is valid")
+}
+
+/// The three dropout execution modes compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Conventional random dropout (the baseline).
+    Baseline,
+    /// Row-based Dropout Pattern.
+    Row,
+    /// Tile-based Dropout Pattern.
+    Tile,
+}
+
+impl Method {
+    /// Label used in the printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Baseline => "original",
+            Method::Row => "ROW",
+            Method::Tile => "TILE",
+        }
+    }
+
+    /// The GPU-timing mode for this method at the given dropout rate.
+    pub fn timing(&self, rate: f64) -> DropoutTiming {
+        match self {
+            Method::Baseline => DropoutTiming::Conventional(rate),
+            Method::Row => DropoutTiming::Row(distribution_for(rate)),
+            Method::Tile => DropoutTiming::tile(distribution_for(rate)),
+        }
+    }
+
+    /// The CPU-training dropout configuration for this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the statically chosen rate is invalid.
+    pub fn dropout_config(&self, rate: f64) -> DropoutConfig {
+        let rate = DropoutRate::new(rate).expect("experiment dropout rates are valid");
+        match self {
+            Method::Baseline => DropoutConfig::Bernoulli(rate),
+            Method::Row => DropoutConfig::pattern_with(rate, PatternKind::Row, 8, 32)
+                .expect("row pattern configuration is valid"),
+            Method::Tile => DropoutConfig::pattern_with(rate, PatternKind::Tile, 8, 16)
+                .expect("tile pattern configuration is valid"),
+        }
+    }
+}
+
+/// GPU timing model for the paper's MLP with the given hidden sizes.
+pub fn mlp_timing_model(h1: usize, h2: usize) -> NetworkTimingModel {
+    NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::with_hidden(h1, h2))
+}
+
+/// GPU timing model for the paper's dictionary LSTM (2 × 1500, vocab 8800).
+pub fn lstm_timing_model() -> NetworkTimingModel {
+    NetworkTimingModel::lstm(GpuConfig::gtx_1080ti(), LstmSpec::paper_dictionary_lstm())
+}
+
+/// GPU timing model for the PTB LSTM (3 × 1500, vocab 10 000) with an
+/// adjustable batch size (Fig. 6(b) sweeps it from 20 to 40).
+pub fn ptb_timing_model(batch: usize) -> NetworkTimingModel {
+    let mut spec = LstmSpec::paper_ptb_lstm();
+    spec.batch = batch;
+    NetworkTimingModel::lstm(GpuConfig::gtx_1080ti(), spec)
+}
+
+/// Simulated speedup of `method` over the conventional-dropout baseline for
+/// an MLP with per-layer rates `(r1, r2)`.
+pub fn mlp_speedup(model: &NetworkTimingModel, method: Method, r1: f64, r2: f64) -> f64 {
+    let baseline = vec![
+        DropoutTiming::Conventional(r1),
+        DropoutTiming::Conventional(r2),
+    ];
+    let new = vec![method.timing(r1), method.timing(r2)];
+    model.speedup_per_layer(&baseline, &new)
+}
+
+/// Result of a scaled accuracy-training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyResult {
+    /// Held-out accuracy (fraction in `[0, 1]`).
+    pub accuracy: f64,
+    /// Final training loss.
+    pub loss: f64,
+}
+
+/// Trains the down-scaled MLP on the synthetic MNIST task with per-layer
+/// dropout rates `(r1, r2)` and the given method; returns held-out accuracy.
+pub fn train_scaled_mlp(method: Method, r1: f64, r2: f64, hidden: usize, iterations: usize) -> AccuracyResult {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let data = SyntheticMnist::new(MnistConfig::small());
+    let config = MlpConfig {
+        input_dim: data.dim(),
+        hidden: vec![hidden, hidden],
+        output_dim: data.classes(),
+        dropout: DropoutConfig::None,
+        learning_rate: 0.05,
+        momentum: 0.5,
+    };
+    let mut mlp = Mlp::new(&config, &mut rng);
+    mlp.set_layer_dropout(0, method.dropout_config(r1));
+    mlp.set_layer_dropout(1, method.dropout_config(r2));
+    let mut loss = f64::INFINITY;
+    for it in 0..iterations {
+        let (x, y) = data.batch(64, it as u64);
+        loss = mlp.train_batch(&x, &y, &mut rng).loss as f64;
+    }
+    let (ex, ey) = data.eval_set(256);
+    let (_, accuracy) = mlp.evaluate(&ex, &ey);
+    AccuracyResult { accuracy, loss }
+}
+
+/// Trains the down-scaled LSTM language model on the synthetic corpus and
+/// returns held-out next-token accuracy and perplexity.
+pub fn train_scaled_lstm(
+    method: Method,
+    rate: f64,
+    vocab: usize,
+    hidden: usize,
+    layers: usize,
+    batch: usize,
+    iterations: usize,
+) -> LmResult {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let corpus = SyntheticCorpus::new(CorpusConfig {
+        vocab,
+        ..CorpusConfig::small()
+    });
+    let config = LstmLmConfig {
+        vocab,
+        embed_dim: hidden,
+        hidden,
+        layers,
+        dropout: method.dropout_config(rate),
+        learning_rate: 0.5,
+        momentum: 0.0,
+        grad_clip: 5.0,
+    };
+    let mut lm = LstmLm::new(&config, &mut rng);
+    for it in 0..iterations {
+        let tokens = corpus.batch(batch, 12, it as u64);
+        let _ = lm.train_batch(&tokens, &mut rng);
+    }
+    let eval = lm.evaluate(&corpus.batch(batch, 12, u64::MAX / 5));
+    LmResult {
+        accuracy: eval.accuracy,
+        perplexity: eval.perplexity,
+    }
+}
+
+/// Result of a scaled language-model run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmResult {
+    /// Held-out next-token accuracy.
+    pub accuracy: f64,
+    /// Held-out perplexity.
+    pub perplexity: f64,
+}
+
+/// Fixed-width plain-text table printer used by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row.
+    pub fn add_row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows added so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the report as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:<w$}"))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered report to standard output.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_for_hits_target() {
+        for &p in &[0.3, 0.5, 0.7] {
+            assert!((distribution_for(p).expected_global_rate() - p).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn method_labels_and_configs() {
+        assert_eq!(Method::Baseline.label(), "original");
+        assert_eq!(Method::Row.label(), "ROW");
+        assert_eq!(Method::Tile.label(), "TILE");
+        assert!(Method::Row.dropout_config(0.5).is_pattern());
+        assert!(!Method::Baseline.dropout_config(0.5).is_pattern());
+    }
+
+    #[test]
+    fn mlp_speedup_reproduces_paper_ordering() {
+        let model = mlp_timing_model(2048, 2048);
+        let row = mlp_speedup(&model, Method::Row, 0.5, 0.5);
+        let tile = mlp_speedup(&model, Method::Tile, 0.5, 0.5);
+        let baseline = mlp_speedup(&model, Method::Baseline, 0.5, 0.5);
+        assert!((baseline - 1.0).abs() < 1e-9);
+        assert!(row > tile && tile > 1.0, "row {row}, tile {tile}");
+    }
+
+    #[test]
+    fn scaled_mlp_training_reaches_reasonable_accuracy() {
+        let result = train_scaled_mlp(Method::Baseline, 0.3, 0.3, 64, 60);
+        assert!(result.accuracy > 0.6, "accuracy {}", result.accuracy);
+        assert!(result.loss.is_finite());
+    }
+
+    #[test]
+    fn scaled_lstm_training_beats_chance() {
+        let result = train_scaled_lstm(Method::Row, 0.3, 60, 24, 2, 8, 40);
+        assert!(result.accuracy > 1.0 / 60.0, "accuracy {}", result.accuracy);
+        assert!(result.perplexity < 60.0, "perplexity {}", result.perplexity);
+    }
+
+    #[test]
+    fn report_renders_aligned_rows() {
+        let mut report = Report::new("Demo", &["a", "bbbb"]);
+        assert!(report.is_empty());
+        report.add_row(&["x".to_string(), "y".to_string()]);
+        assert_eq!(report.len(), 1);
+        let rendered = report.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("a  bbbb"));
+        assert!(rendered.contains("x  y"));
+    }
+}

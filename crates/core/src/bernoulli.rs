@@ -1,0 +1,146 @@
+//! Conventional (baseline) random dropout.
+//!
+//! This is the method of Srivastava et al. that the paper accelerates: every
+//! neuron (or synapse) is dropped independently with probability `p`, the
+//! resulting 0/1 mask is multiplied elementwise into the layer output, and —
+//! crucially — none of the dropped computation is skipped, because the GEMM
+//! has already run by the time the mask is applied.
+
+use crate::rate::DropoutRate;
+use rand::Rng;
+use tensor::Matrix;
+
+/// Conventional Bernoulli dropout mask generator.
+///
+/// # Example
+///
+/// ```
+/// use approx_dropout::{BernoulliDropout, DropoutRate};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), approx_dropout::DropoutError> {
+/// let dropout = BernoulliDropout::new(DropoutRate::new(0.5)?);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mask = dropout.mask(&mut rng, 4, 8);
+/// assert_eq!(mask.shape(), (4, 8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliDropout {
+    rate: DropoutRate,
+}
+
+impl BernoulliDropout {
+    /// Creates a conventional dropout generator with the given drop rate.
+    pub fn new(rate: DropoutRate) -> Self {
+        Self { rate }
+    }
+
+    /// The configured dropout rate.
+    pub fn rate(&self) -> DropoutRate {
+        self.rate
+    }
+
+    /// Draws a fresh `(rows, cols)` 0/1 mask, 1 meaning "kept".
+    pub fn mask<R: Rng + ?Sized>(&self, rng: &mut R, rows: usize, cols: usize) -> Matrix {
+        let p = self.rate.value();
+        Matrix::from_fn(rows, cols, |_, _| if rng.gen::<f64>() < p { 0.0 } else { 1.0 })
+    }
+
+    /// Draws a per-neuron 0/1 mask of length `n` (every sample in a batch
+    /// shares it), matching how neuron-level dropout is applied to a fully
+    /// connected layer.
+    pub fn neuron_mask<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f32> {
+        let p = self.rate.value();
+        (0..n)
+            .map(|_| if rng.gen::<f64>() < p { 0.0 } else { 1.0 })
+            .collect()
+    }
+
+    /// Applies conventional dropout to `activations` with inverted-dropout
+    /// rescaling: kept entries are multiplied by `1/(1−p)`, dropped entries
+    /// become zero. Returns the new activations and the mask used.
+    pub fn apply<R: Rng + ?Sized>(&self, rng: &mut R, activations: &Matrix) -> (Matrix, Matrix) {
+        let mask = self.mask(rng, activations.rows(), activations.cols());
+        let scale = self.rate.inverted_scale() as f32;
+        let dropped = activations
+            .hadamard(&mask)
+            .expect("mask is constructed with the activations' shape")
+            .scale(scale);
+        (dropped, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mask_is_binary() {
+        let d = BernoulliDropout::new(DropoutRate::new(0.5).unwrap());
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = d.mask(&mut rng, 10, 10);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn empirical_rate_tracks_target() {
+        let d = BernoulliDropout::new(DropoutRate::new(0.7).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = d.mask(&mut rng, 200, 200);
+        let dropped = m.zero_fraction() as f64;
+        assert!((dropped - 0.7).abs() < 0.02, "dropped fraction {dropped}");
+    }
+
+    #[test]
+    fn zero_rate_keeps_everything() {
+        let d = BernoulliDropout::new(DropoutRate::disabled());
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = d.mask(&mut rng, 16, 16);
+        assert_eq!(m.zero_fraction(), 0.0);
+    }
+
+    #[test]
+    fn apply_rescales_kept_entries() {
+        let d = BernoulliDropout::new(DropoutRate::new(0.5).unwrap());
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Matrix::ones(8, 8);
+        let (y, mask) = d.apply(&mut rng, &x);
+        for i in 0..8 {
+            for j in 0..8 {
+                if mask[(i, j)] == 1.0 {
+                    assert!((y[(i, j)] - 2.0).abs() < 1e-6);
+                } else {
+                    assert_eq!(y[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neuron_mask_has_requested_length() {
+        let d = BernoulliDropout::new(DropoutRate::new(0.3).unwrap());
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(d.neuron_mask(&mut rng, 128).len(), 128);
+    }
+
+    #[test]
+    fn expectation_is_preserved_by_inverted_scaling() {
+        // E[dropout(x)] ≈ x thanks to the 1/(1-p) rescale.
+        let d = BernoulliDropout::new(DropoutRate::new(0.5).unwrap());
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Matrix::filled(1, 1, 3.0);
+        let mut acc = 0.0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let (y, _) = d.apply(&mut rng, &x);
+            acc += y[(0, 0)] as f64;
+        }
+        let mean = acc / trials as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean was {mean}");
+    }
+}

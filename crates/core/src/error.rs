@@ -1,0 +1,56 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+/// Errors produced while configuring or running approximate random dropout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DropoutError {
+    /// A dropout rate outside `[0, 1)` was supplied.
+    InvalidRate(f64),
+    /// A pattern parameter was invalid (e.g. `dp == 0`, bias ≥ dp, zero tile).
+    InvalidPattern(String),
+    /// The SGD-based search was mis-configured or failed to converge.
+    Search(String),
+    /// A distribution over patterns was malformed (empty, negative, NaN…).
+    InvalidDistribution(String),
+}
+
+impl fmt::Display for DropoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DropoutError::InvalidRate(p) => {
+                write!(f, "dropout rate {p} is outside the valid range [0, 1)")
+            }
+            DropoutError::InvalidPattern(msg) => write!(f, "invalid dropout pattern: {msg}"),
+            DropoutError::Search(msg) => write!(f, "pattern-distribution search failed: {msg}"),
+            DropoutError::InvalidDistribution(msg) => {
+                write!(f, "invalid pattern distribution: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DropoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DropoutError::InvalidRate(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = DropoutError::InvalidPattern("dp must be positive".into());
+        assert!(e.to_string().contains("dp must be positive"));
+        let e = DropoutError::Search("diverged".into());
+        assert!(e.to_string().contains("diverged"));
+        let e = DropoutError::InvalidDistribution("empty".into());
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DropoutError>();
+    }
+}

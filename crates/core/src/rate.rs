@@ -1,0 +1,127 @@
+//! Validated dropout-rate newtype.
+
+use crate::error::DropoutError;
+use std::fmt;
+
+/// A dropout rate `p ∈ [0, 1)`.
+///
+/// The paper distinguishes the *conventional* dropout rate (probability that
+/// a single neuron/synapse is dropped) from the *global* dropout rate (the
+/// fraction of neurons/synapses zeroed in one iteration) and shows the two
+/// are statistically equivalent under the pattern distribution produced by
+/// Algorithm 1. Both are represented by this type.
+///
+/// # Example
+///
+/// ```
+/// use approx_dropout::DropoutRate;
+///
+/// # fn main() -> Result<(), approx_dropout::DropoutError> {
+/// let p = DropoutRate::new(0.5)?;
+/// assert_eq!(p.keep_probability(), 0.5);
+/// assert!(DropoutRate::new(1.0).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct DropoutRate(f64);
+
+impl DropoutRate {
+    /// Creates a dropout rate, validating `0 <= p < 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DropoutError::InvalidRate`] when `p` is NaN or outside
+    /// `[0, 1)`. A rate of exactly 1 is rejected because it would drop every
+    /// unit and the inverted-dropout rescaling `1/(1-p)` would diverge.
+    pub fn new(p: f64) -> Result<Self, DropoutError> {
+        if p.is_nan() || !(0.0..1.0).contains(&p) {
+            return Err(DropoutError::InvalidRate(p));
+        }
+        Ok(Self(p))
+    }
+
+    /// The probability of dropping a unit.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The probability of keeping a unit, `1 - p`.
+    pub fn keep_probability(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Inverted-dropout rescaling factor `1 / (1 - p)` applied to kept units
+    /// so that activation expectations match between training and inference.
+    pub fn inverted_scale(self) -> f64 {
+        1.0 / self.keep_probability()
+    }
+
+    /// A rate of zero (no dropout); useful as a baseline configuration.
+    pub fn disabled() -> Self {
+        Self(0.0)
+    }
+}
+
+impl Default for DropoutRate {
+    fn default() -> Self {
+        Self(0.5)
+    }
+}
+
+impl fmt::Display for DropoutRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl TryFrom<f64> for DropoutRate {
+    type Error = DropoutError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_rates() {
+        for p in [0.0, 0.3, 0.5, 0.7, 0.99] {
+            assert!(DropoutRate::new(p).is_ok(), "rate {p} should be valid");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_rates() {
+        for p in [-0.1, 1.0, 1.5, f64::NAN] {
+            assert!(DropoutRate::new(p).is_err(), "rate {p} should be invalid");
+        }
+    }
+
+    #[test]
+    fn keep_probability_and_scale_are_consistent() {
+        let p = DropoutRate::new(0.7).unwrap();
+        assert!((p.keep_probability() - 0.3).abs() < 1e-12);
+        assert!((p.inverted_scale() - 1.0 / 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_matches_common_setting() {
+        assert_eq!(DropoutRate::default().value(), 0.5);
+    }
+
+    #[test]
+    fn try_from_round_trips() {
+        let p: DropoutRate = 0.3f64.try_into().unwrap();
+        assert_eq!(p.value(), 0.3);
+        assert!(DropoutRate::try_from(2.0).is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(DropoutRate::new(0.5).unwrap().to_string(), "0.500");
+    }
+}

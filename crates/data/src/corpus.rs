@@ -1,0 +1,287 @@
+//! Synthetic language-model corpus standing in for the 8800-word dictionary
+//! data set and Penn Treebank.
+//!
+//! Tokens are drawn from a Zipf-like unigram distribution modulated by a
+//! sparse first-order Markov chain: each word has a small set of likely
+//! successors, so an LSTM can reduce perplexity well below the unigram
+//! baseline, while the heavy-tailed vocabulary keeps the task from becoming
+//! trivial — the same qualitative properties the paper's corpora have.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic corpus generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Vocabulary size (8800 for the dictionary set, 10 000 for PTB; tests
+    /// use much smaller values).
+    pub vocab: usize,
+    /// Zipf exponent of the unigram distribution.
+    pub zipf_exponent: f64,
+    /// Number of preferred successors per word in the Markov chain.
+    pub successors_per_word: usize,
+    /// Probability of following the Markov chain rather than sampling from
+    /// the unigram distribution (higher = more predictable text).
+    pub coherence: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            vocab: 8800,
+            zipf_exponent: 1.05,
+            successors_per_word: 4,
+            coherence: 0.8,
+            seed: 11,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small configuration for unit tests and quick examples.
+    pub fn small() -> Self {
+        Self {
+            vocab: 200,
+            ..Self::default()
+        }
+    }
+
+    /// A PTB-scale configuration (10 000 words).
+    pub fn ptb_like() -> Self {
+        Self {
+            vocab: 10_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic synthetic corpus generator.
+///
+/// # Example
+///
+/// ```
+/// use data::{CorpusConfig, SyntheticCorpus};
+///
+/// let corpus = SyntheticCorpus::new(CorpusConfig::small());
+/// let batch = corpus.batch(20, 35, 0);
+/// assert_eq!(batch.len(), 20);
+/// assert_eq!(batch[0].len(), 36); // seq_len inputs + 1 trailing target
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    config: CorpusConfig,
+    unigram_cdf: Vec<f64>,
+    successors: Vec<Vec<usize>>,
+}
+
+impl SyntheticCorpus {
+    /// Builds the generator (unigram distribution and Markov chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary is empty, `successors_per_word` is zero or
+    /// `coherence` is outside `[0, 1]`.
+    pub fn new(config: CorpusConfig) -> Self {
+        assert!(config.vocab > 0, "vocabulary must not be empty");
+        assert!(config.successors_per_word > 0, "successors_per_word must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.coherence),
+            "coherence must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Zipf unigram distribution: p(rank r) ∝ 1 / r^s.
+        let weights: Vec<f64> = (1..=config.vocab)
+            .map(|r| 1.0 / (r as f64).powf(config.zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let unigram_cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        // Sparse successor lists, biased towards frequent words by sampling
+        // them from the Zipf unigram distribution (real text's frequent words
+        // are frequent both marginally and as successors).
+        let cdf: &Vec<f64> = &unigram_cdf;
+        let mut sample_zipf = |rng: &mut StdRng| -> usize {
+            let u: f64 = rng.gen();
+            match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite")) {
+                Ok(i) | Err(i) => i.min(config.vocab - 1),
+            }
+        };
+        let successors = (0..config.vocab)
+            .map(|_| {
+                (0..config.successors_per_word)
+                    .map(|_| sample_zipf(&mut rng))
+                    .collect()
+            })
+            .collect();
+        Self {
+            config,
+            unigram_cdf,
+            successors,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.config.vocab
+    }
+
+    fn sample_unigram(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .unigram_cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.config.vocab - 1),
+        }
+    }
+
+    fn next_token(&self, prev: usize, rng: &mut StdRng) -> usize {
+        if rng.gen::<f64>() < self.config.coherence {
+            let options = &self.successors[prev];
+            options[rng.gen_range(0..options.len())]
+        } else {
+            self.sample_unigram(rng)
+        }
+    }
+
+    /// Generates one token stream of the requested length.
+    pub fn stream(&self, length: usize, seed_offset: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (seed_offset.wrapping_mul(0xA24B_AED4_963E_E407)).wrapping_add(1));
+        let mut tokens = Vec::with_capacity(length);
+        let mut prev = self.sample_unigram(&mut rng);
+        tokens.push(prev);
+        while tokens.len() < length {
+            prev = self.next_token(prev, &mut rng);
+            tokens.push(prev);
+        }
+        tokens
+    }
+
+    /// Generates a PTB-style training batch: `batch_size` independent
+    /// sequences of `seq_len + 1` tokens (inputs plus the final prediction
+    /// target). Batch `index` is deterministic.
+    pub fn batch(&self, batch_size: usize, seq_len: usize, index: u64) -> Vec<Vec<usize>> {
+        (0..batch_size)
+            .map(|b| self.stream(seq_len + 1, index.wrapping_mul(65_537) + b as u64))
+            .collect()
+    }
+
+    /// Empirical unigram entropy (in nats) of a generated stream — useful as
+    /// the "no model" perplexity reference in experiments.
+    pub fn unigram_entropy_estimate(&self, sample_tokens: usize) -> f64 {
+        let stream = self.stream(sample_tokens.max(1), u64::MAX / 3);
+        let mut counts = vec![0usize; self.config.vocab];
+        for &t in &stream {
+            counts[t] += 1;
+        }
+        let n = stream.len() as f64;
+        -counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.ln()
+            })
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_requested_shape() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::small());
+        let batch = corpus.batch(20, 35, 0);
+        assert_eq!(batch.len(), 20);
+        assert!(batch.iter().all(|s| s.len() == 36));
+        assert!(batch.iter().flatten().all(|&t| t < corpus.vocab()));
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_index() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::small());
+        assert_eq!(corpus.batch(4, 10, 1), corpus.batch(4, 10, 1));
+        assert_ne!(corpus.batch(4, 10, 1), corpus.batch(4, 10, 2));
+    }
+
+    #[test]
+    fn frequent_words_dominate_the_stream() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::small());
+        let stream = corpus.stream(20_000, 0);
+        let head = stream.iter().filter(|&&t| t < 20).count() as f64 / stream.len() as f64;
+        // With a Zipf exponent near 1, the 10% most frequent words should
+        // cover well over a third of the tokens.
+        assert!(head > 0.35, "head coverage {head}");
+    }
+
+    #[test]
+    fn markov_structure_makes_text_more_predictable_than_unigrams() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::small());
+        let stream = corpus.stream(20_000, 0);
+        // Estimate the conditional entropy H(next | prev) from bigram counts
+        // and compare against the unigram entropy.
+        let v = corpus.vocab();
+        let mut bigram = vec![0usize; v * v];
+        let mut prev_counts = vec![0usize; v];
+        for w in stream.windows(2) {
+            bigram[w[0] * v + w[1]] += 1;
+            prev_counts[w[0]] += 1;
+        }
+        let n = (stream.len() - 1) as f64;
+        let mut conditional = 0.0;
+        for p in 0..v {
+            for q in 0..v {
+                let c = bigram[p * v + q];
+                if c > 0 {
+                    let joint = c as f64 / n;
+                    let cond = c as f64 / prev_counts[p] as f64;
+                    conditional -= joint * cond.ln();
+                }
+            }
+        }
+        let unigram = corpus.unigram_entropy_estimate(20_000);
+        assert!(
+            conditional < unigram * 0.8,
+            "conditional {conditional} vs unigram {unigram}"
+        );
+    }
+
+    #[test]
+    fn ptb_like_config_has_ptb_vocab() {
+        assert_eq!(CorpusConfig::ptb_like().vocab, 10_000);
+        assert_eq!(CorpusConfig::default().vocab, 8800);
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary must not be empty")]
+    fn rejects_empty_vocab() {
+        let _ = SyntheticCorpus::new(CorpusConfig {
+            vocab: 0,
+            ..CorpusConfig::small()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence must be in [0, 1]")]
+    fn rejects_bad_coherence() {
+        let _ = SyntheticCorpus::new(CorpusConfig {
+            coherence: 1.5,
+            ..CorpusConfig::small()
+        });
+    }
+}

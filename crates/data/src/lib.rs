@@ -1,0 +1,23 @@
+//! Synthetic datasets standing in for MNIST and the language-model corpora.
+//!
+//! The paper evaluates on MNIST (MLP), an 8800-word dictionary corpus and
+//! Penn Treebank (LSTM). Those datasets are not shipped with this
+//! reproduction; instead this crate generates synthetic equivalents with the
+//! same shape and the properties the experiments rely on:
+//!
+//! * [`SyntheticMnist`] — a 10-class, 784-dimensional classification task
+//!   built from Gaussian class prototypes with controllable noise, on which
+//!   an MLP without regularisation overfits and a dropout-regularised MLP
+//!   generalises.
+//! * [`SyntheticCorpus`] — a Zipf-distributed vocabulary driven by a sparse
+//!   Markov chain, emitted as PTB-style `(batch, seq_len + 1)` token
+//!   sequences for next-word prediction.
+//!
+//! Both generators are deterministic given a seed, so every experiment in
+//! the bench crate is reproducible.
+
+pub mod corpus;
+pub mod mnist;
+
+pub use corpus::{CorpusConfig, SyntheticCorpus};
+pub use mnist::{MnistConfig, SyntheticMnist};

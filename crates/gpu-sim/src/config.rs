@@ -1,0 +1,186 @@
+//! GPU device description used by the timing model.
+
+use std::fmt;
+
+/// First-order description of a SIMT GPU.
+///
+/// Only quantities the timing model actually uses are included. The default
+/// preset, [`GpuConfig::gtx_1080ti`], mirrors the card the paper evaluates
+/// on; the generic constructor lets benches explore other device shapes
+/// (e.g. a bandwidth-starved part where the compacted kernels win even more).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Threads per warp (32 for every NVIDIA part).
+    pub warp_size: usize,
+    /// Shared memory available to one thread block, in bytes (48 KB on the
+    /// GTX 1080Ti).
+    pub shared_mem_per_block: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Single-precision fused-multiply-add lanes per SM per cycle (each FMA
+    /// counts as two FLOPs).
+    pub fma_lanes_per_sm: usize,
+    /// Global-memory bandwidth in GB/s.
+    pub global_bandwidth_gbps: f64,
+    /// Latency of a global-memory access in cycles (~100× shared memory, per
+    /// the paper's §II-B).
+    pub global_latency_cycles: f64,
+    /// Latency of a shared-memory access in cycles.
+    pub shared_latency_cycles: f64,
+    /// Fixed kernel-launch overhead in microseconds.
+    pub kernel_launch_overhead_us: f64,
+    /// Extra cycles a warp pays when a conditional branch diverges and both
+    /// sides must be serialised.
+    pub divergence_penalty_cycles: f64,
+}
+
+impl GpuConfig {
+    /// The GTX 1080Ti preset used throughout the paper's evaluation:
+    /// 28 SMs, 1.58 GHz, 484 GB/s GDDR5X, 48 KB shared memory per block.
+    pub fn gtx_1080ti() -> Self {
+        Self {
+            name: "NVIDIA GTX 1080Ti".to_string(),
+            num_sms: 28,
+            warp_size: 32,
+            shared_mem_per_block: 48 * 1024,
+            clock_ghz: 1.58,
+            fma_lanes_per_sm: 128,
+            global_bandwidth_gbps: 484.0,
+            global_latency_cycles: 400.0,
+            shared_latency_cycles: 4.0,
+            kernel_launch_overhead_us: 5.0,
+            divergence_penalty_cycles: 8.0,
+        }
+    }
+
+    /// A deliberately small "embedded" preset used by tests and ablations to
+    /// check that relative conclusions are not an artefact of one device
+    /// shape.
+    pub fn small_embedded() -> Self {
+        Self {
+            name: "Small embedded GPU".to_string(),
+            num_sms: 4,
+            warp_size: 32,
+            shared_mem_per_block: 32 * 1024,
+            clock_ghz: 1.0,
+            fma_lanes_per_sm: 64,
+            global_bandwidth_gbps: 60.0,
+            global_latency_cycles: 500.0,
+            shared_latency_cycles: 4.0,
+            kernel_launch_overhead_us: 8.0,
+            divergence_penalty_cycles: 8.0,
+        }
+    }
+
+    /// Peak single-precision throughput in FLOP per cycle across the device.
+    pub fn flops_per_cycle(&self) -> f64 {
+        // Each FMA lane retires one multiply-add (2 FLOPs) per cycle.
+        (self.num_sms * self.fma_lanes_per_sm) as f64 * 2.0
+    }
+
+    /// Peak single-precision throughput in GFLOP/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.flops_per_cycle() * self.clock_ghz
+    }
+
+    /// Global-memory bytes transferable per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.global_bandwidth_gbps / self.clock_ghz
+    }
+
+    /// Converts a cycle count into microseconds at the core clock.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e3)
+    }
+
+    /// Validates that the configuration is physically meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity, clock, or bandwidth is zero — a configuration
+    /// like that would make every kernel take zero or infinite time and is
+    /// always a programming error.
+    pub fn assert_valid(&self) {
+        assert!(self.num_sms > 0, "GPU must have at least one SM");
+        assert!(self.warp_size > 0, "warp size must be positive");
+        assert!(self.shared_mem_per_block > 0, "shared memory must be positive");
+        assert!(self.clock_ghz > 0.0, "clock must be positive");
+        assert!(self.fma_lanes_per_sm > 0, "FMA lanes must be positive");
+        assert!(self.global_bandwidth_gbps > 0.0, "bandwidth must be positive");
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::gtx_1080ti()
+    }
+}
+
+impl fmt::Display for GpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} SMs, {:.2} GHz, {:.0} GB/s, {:.1} TFLOP/s peak)",
+            self.name,
+            self.num_sms,
+            self.clock_ghz,
+            self.global_bandwidth_gbps,
+            self.peak_gflops() / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx_1080ti_preset_matches_paper_facts() {
+        let gpu = GpuConfig::gtx_1080ti();
+        gpu.assert_valid();
+        assert_eq!(gpu.warp_size, 32);
+        assert_eq!(gpu.shared_mem_per_block, 48 * 1024);
+        // Peak should be in the ~11 TFLOP/s ballpark of the real card.
+        let tflops = gpu.peak_gflops() / 1e3;
+        assert!((10.0..13.0).contains(&tflops), "peak {tflops} TFLOP/s");
+        // Global memory is ~100x slower than shared memory (paper §II-B).
+        assert!(gpu.global_latency_cycles / gpu.shared_latency_cycles >= 50.0);
+    }
+
+    #[test]
+    fn derived_quantities_are_consistent() {
+        let gpu = GpuConfig::gtx_1080ti();
+        assert!((gpu.peak_gflops() - gpu.flops_per_cycle() * gpu.clock_ghz).abs() < 1e-9);
+        assert!(gpu.bytes_per_cycle() > 0.0);
+        assert!((gpu.cycles_to_us(gpu.clock_ghz * 1e3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_the_paper_gpu() {
+        assert_eq!(GpuConfig::default().name, GpuConfig::gtx_1080ti().name);
+    }
+
+    #[test]
+    fn embedded_preset_is_slower() {
+        assert!(GpuConfig::small_embedded().peak_gflops() < GpuConfig::gtx_1080ti().peak_gflops());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn assert_valid_rejects_zero_sms() {
+        let mut gpu = GpuConfig::gtx_1080ti();
+        gpu.num_sms = 0;
+        gpu.assert_valid();
+    }
+
+    #[test]
+    fn display_mentions_name_and_sms() {
+        let s = GpuConfig::gtx_1080ti().to_string();
+        assert!(s.contains("1080Ti"));
+        assert!(s.contains("28 SMs"));
+    }
+}

@@ -1,0 +1,460 @@
+//! Kernel-level cost models.
+//!
+//! Every model returns a [`KernelStats`] describing how much work the kernel
+//! does (FLOPs, global-memory traffic, thread blocks) and how long the
+//! roofline assumption says it takes: `time = max(compute, memory) +
+//! overheads`. The models follow the execution pictures of the paper's
+//! Fig. 3:
+//!
+//! * [`dense_gemm`] — the tiled GEMM every baseline layer runs.
+//! * [`conventional_dropout_layer`] — the mask-generation + elementwise
+//!   multiply kernels the baseline additionally pays (Fig. 1(a)).
+//! * [`row_compact_gemm`] — RDP: GEMM over the compacted weight matrix
+//!   (1/dp of the output neurons) plus an output zero-fill.
+//! * [`tile_compact_gemm`] — TDP: GEMM over the kept tiles plus the
+//!   nonzero-position bookkeeping the paper cites as TDP's small overhead.
+//! * [`divergent_gemm`] — the naive `if (kept)` skipping of Fig. 1(b), which
+//!   serialises both branch sides inside a warp and therefore does not get
+//!   faster at all.
+
+use crate::config::GpuConfig;
+use std::fmt;
+
+/// Tile edge used by the modelled GEMM kernels (matches the paper's 32×32).
+pub const GEMM_TILE: usize = 32;
+
+/// Bytes per single-precision element.
+const F32: f64 = 4.0;
+
+/// Which kernel a [`KernelStats`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Dense tiled GEMM.
+    DenseGemm,
+    /// Row-compacted GEMM (Row-based Dropout Pattern).
+    RowCompactGemm,
+    /// Tile-compacted GEMM (Tile-based Dropout Pattern).
+    TileCompactGemm,
+    /// Dense GEMM with naive per-thread branch skipping (divergent).
+    DivergentGemm,
+    /// Conventional dropout: mask generation + elementwise multiply.
+    DropoutMask,
+    /// Generic elementwise kernel (activations, bias add, …).
+    Elementwise,
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KernelKind::DenseGemm => "dense-gemm",
+            KernelKind::RowCompactGemm => "row-compact-gemm",
+            KernelKind::TileCompactGemm => "tile-compact-gemm",
+            KernelKind::DivergentGemm => "divergent-gemm",
+            KernelKind::DropoutMask => "dropout-mask",
+            KernelKind::Elementwise => "elementwise",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Work and time accounting for one modelled kernel invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Which kernel this is.
+    pub kind: KernelKind,
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes read from global memory.
+    pub global_read_bytes: f64,
+    /// Bytes written to global memory.
+    pub global_write_bytes: f64,
+    /// Thread blocks launched.
+    pub thread_blocks: usize,
+    /// Cycles spent in the compute phase (roofline numerator).
+    pub compute_cycles: f64,
+    /// Cycles spent in the memory phase (roofline numerator).
+    pub memory_cycles: f64,
+    /// Extra cycles: scheduling waves, divergence penalties, bookkeeping.
+    pub overhead_cycles: f64,
+    /// Number of kernel launches charged with launch overhead.
+    pub launches: usize,
+    /// Total modelled execution time in microseconds.
+    pub(crate) time_us: f64,
+}
+
+impl KernelStats {
+    fn finalize(gpu: &GpuConfig, mut stats: KernelStats) -> KernelStats {
+        let roofline = stats.compute_cycles.max(stats.memory_cycles) + stats.overhead_cycles;
+        stats.time_us =
+            gpu.cycles_to_us(roofline) + stats.launches as f64 * gpu.kernel_launch_overhead_us;
+        stats
+    }
+
+    /// Total modelled execution time in microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.time_us
+    }
+
+    /// Total global-memory traffic (read + write) in bytes.
+    pub fn global_bytes(&self) -> f64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+
+    /// `true` when the memory phase dominates the compute phase.
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_cycles > self.compute_cycles
+    }
+
+    /// Merges another kernel's stats into this one, summing every component
+    /// (used by the layer models to accumulate per-iteration totals).
+    pub fn merged_with(&self, other: &KernelStats) -> KernelStats {
+        KernelStats {
+            kind: self.kind,
+            flops: self.flops + other.flops,
+            global_read_bytes: self.global_read_bytes + other.global_read_bytes,
+            global_write_bytes: self.global_write_bytes + other.global_write_bytes,
+            thread_blocks: self.thread_blocks + other.thread_blocks,
+            compute_cycles: self.compute_cycles + other.compute_cycles,
+            memory_cycles: self.memory_cycles + other.memory_cycles,
+            overhead_cycles: self.overhead_cycles + other.overhead_cycles,
+            launches: self.launches + other.launches,
+            time_us: self.time_us + other.time_us,
+        }
+    }
+
+    /// A zero-cost placeholder (useful as a fold seed).
+    pub fn empty(kind: KernelKind) -> KernelStats {
+        KernelStats {
+            kind,
+            flops: 0.0,
+            global_read_bytes: 0.0,
+            global_write_bytes: 0.0,
+            thread_blocks: 0,
+            compute_cycles: 0.0,
+            memory_cycles: 0.0,
+            overhead_cycles: 0.0,
+            launches: 0,
+            time_us: 0.0,
+        }
+    }
+}
+
+fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// Core tiled-GEMM accounting shared by the dense and compacted variants.
+///
+/// `m, k, n` are the effective GEMM dimensions actually executed.
+fn gemm_core(gpu: &GpuConfig, kind: KernelKind, m: usize, k: usize, n: usize) -> KernelStats {
+    let blocks_m = ceil_div(m.max(1), GEMM_TILE);
+    let blocks_n = ceil_div(n.max(1), GEMM_TILE);
+    let k_steps = ceil_div(k.max(1), GEMM_TILE);
+    let blocks = blocks_m * blocks_n;
+
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    // Each block streams `k_steps` pairs of 32x32 operand tiles through
+    // shared memory and writes one 32x32 output tile.
+    let tile_bytes = (GEMM_TILE * GEMM_TILE) as f64 * F32;
+    let global_read = blocks as f64 * k_steps as f64 * 2.0 * tile_bytes;
+    let global_write = m as f64 * n as f64 * F32;
+
+    let compute_cycles = flops / gpu.flops_per_cycle();
+    let memory_cycles = (global_read + global_write) / gpu.bytes_per_cycle();
+    // One pipeline-fill latency per wave of blocks across the SMs.
+    let waves = ceil_div(blocks, gpu.num_sms.max(1));
+    let overhead_cycles = waves as f64 * gpu.global_latency_cycles;
+
+    KernelStats::finalize(
+        gpu,
+        KernelStats {
+            kind,
+            flops,
+            global_read_bytes: global_read,
+            global_write_bytes: global_write,
+            thread_blocks: blocks,
+            compute_cycles,
+            memory_cycles,
+            overhead_cycles,
+            launches: 1,
+            time_us: 0.0,
+        },
+    )
+}
+
+/// Dense tiled GEMM `C[M×N] = A[M×K] · B[K×N]`.
+pub fn dense_gemm(gpu: &GpuConfig, m: usize, k: usize, n: usize) -> KernelStats {
+    gemm_core(gpu, KernelKind::DenseGemm, m, k, n)
+}
+
+/// Generic elementwise kernel over an `M×N` matrix.
+///
+/// `reads`/`writes` count how many matrices of that shape are read/written,
+/// `flops_per_element` how many FLOPs each element costs.
+pub fn elementwise(
+    gpu: &GpuConfig,
+    m: usize,
+    n: usize,
+    reads: usize,
+    writes: usize,
+    flops_per_element: f64,
+) -> KernelStats {
+    let elems = m as f64 * n as f64;
+    let flops = elems * flops_per_element;
+    let global_read = elems * reads as f64 * F32;
+    let global_write = elems * writes as f64 * F32;
+    let compute_cycles = flops / gpu.flops_per_cycle();
+    let memory_cycles = (global_read + global_write) / gpu.bytes_per_cycle();
+    let blocks = ceil_div((m * n).max(1), 1024);
+    KernelStats::finalize(
+        gpu,
+        KernelStats {
+            kind: KernelKind::Elementwise,
+            flops,
+            global_read_bytes: global_read,
+            global_write_bytes: global_write,
+            thread_blocks: blocks,
+            compute_cycles,
+            memory_cycles,
+            overhead_cycles: gpu.global_latency_cycles,
+            launches: 1,
+            time_us: 0.0,
+        },
+    )
+}
+
+/// Conventional dropout layer applied to an `M×N` activation matrix:
+/// a mask-generation kernel (counter-based RNG, one write per element) plus
+/// the elementwise mask multiply of Fig. 1(a) (two reads, one write).
+pub fn conventional_dropout_layer(gpu: &GpuConfig, m: usize, n: usize) -> KernelStats {
+    let mask_gen = elementwise(gpu, m, n, 0, 1, 12.0);
+    let mask_apply = elementwise(gpu, m, n, 2, 1, 1.0);
+    let mut merged = mask_gen.merged_with(&mask_apply);
+    merged.kind = KernelKind::DropoutMask;
+    merged
+}
+
+/// Row-compacted GEMM (Row-based Dropout Pattern).
+///
+/// Of the `n` output neurons only `kept_n` survive; the kernel builds compact
+/// operands, runs an `M × K × kept_n` GEMM and zero-fills the dropped part of
+/// the output (the paper's Fig. 3(a), step 3). The zero-fill and the kept-row
+/// index computation are charged as overhead so the speedup is sub-linear in
+/// `dp`, as observed in the paper.
+pub fn row_compact_gemm(
+    gpu: &GpuConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    kept_n: usize,
+) -> KernelStats {
+    let kept_n = kept_n.min(n);
+    let mut stats = gemm_core(gpu, KernelKind::RowCompactGemm, m, k, kept_n);
+    // Zero-fill of the dropped output columns (memset-like traffic).
+    let dropped_bytes = m as f64 * (n - kept_n) as f64 * F32;
+    stats.global_write_bytes += dropped_bytes;
+    stats.memory_cycles += dropped_bytes / gpu.bytes_per_cycle();
+    // Kept-index computation: one pass over the n output-neuron indices.
+    stats.overhead_cycles += n as f64 / gpu.warp_size as f64;
+    KernelStats::finalize(gpu, stats)
+}
+
+/// Relative memory inefficiency of the tile-compacted kernel: gathering
+/// scattered tiles coalesces slightly worse than streaming contiguous rows.
+pub const TILE_GATHER_INEFFICIENCY: f64 = 1.15;
+
+/// Cycles charged per tile of the grid for computing the nonzero output
+/// positions before the multiplication (the "little slowdown" of §IV-A).
+pub const TILE_POSITION_CYCLES: f64 = 16.0;
+
+/// Tile-compacted GEMM (Tile-based Dropout Pattern).
+///
+/// `kept_tiles` of the `total_tiles` in the weight-matrix grid survive; the
+/// executed work is the kept fraction of the dense GEMM, with a small
+/// position-computation overhead and slightly less efficient memory
+/// gathering than the row variant — which is why the paper measures TDP a
+/// little slower than RDP at equal dropout rate.
+pub fn tile_compact_gemm(
+    gpu: &GpuConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    kept_tiles: usize,
+    total_tiles: usize,
+) -> KernelStats {
+    let total = total_tiles.max(1);
+    let kept = kept_tiles.min(total);
+    let fraction = kept as f64 / total as f64;
+
+    let dense = gemm_core(gpu, KernelKind::TileCompactGemm, m, k, n);
+    let flops = dense.flops * fraction;
+    let global_read = dense.global_read_bytes * fraction * TILE_GATHER_INEFFICIENCY;
+    // The full output is written: kept positions with results, the rest with
+    // zeros (Fig. 3(b) keeps the output dense).
+    let global_write = m as f64 * n as f64 * F32;
+    let compute_cycles = flops / gpu.flops_per_cycle();
+    let memory_cycles = (global_read + global_write) / gpu.bytes_per_cycle();
+    let blocks = ((dense.thread_blocks as f64) * fraction).ceil() as usize;
+    let waves = ceil_div(blocks.max(1), gpu.num_sms.max(1));
+    let overhead_cycles = waves as f64 * gpu.global_latency_cycles + total as f64 * TILE_POSITION_CYCLES;
+
+    KernelStats::finalize(
+        gpu,
+        KernelStats {
+            kind: KernelKind::TileCompactGemm,
+            flops,
+            global_read_bytes: global_read,
+            global_write_bytes: global_write,
+            thread_blocks: blocks,
+            compute_cycles,
+            memory_cycles,
+            overhead_cycles,
+            launches: 1,
+            time_us: 0.0,
+        },
+    )
+}
+
+/// Dense GEMM where each thread naively checks `if (kept)` around its work
+/// (Fig. 1(b)).
+///
+/// Because threads of one warp take both branch directions, the SIMT
+/// front-end serialises the two sides: no compute is saved and a divergence
+/// penalty is added per warp and K-step, so this kernel is *slower* than the
+/// dense GEMM — the paper's motivation for regular patterns.
+pub fn divergent_gemm(
+    gpu: &GpuConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    dropout_rate: f64,
+) -> KernelStats {
+    let mut stats = gemm_core(gpu, KernelKind::DivergentGemm, m, k, n);
+    stats.kind = KernelKind::DivergentGemm;
+    // Warps per block for a 32x32 output tile handled by 1024 threads.
+    let warps_per_block = (GEMM_TILE * GEMM_TILE) / gpu.warp_size;
+    let k_steps = ceil_div(k.max(1), GEMM_TILE);
+    // A warp diverges whenever it contains both kept and dropped lanes, which
+    // at rate p happens with probability 1 - p^32 - (1-p)^32 ≈ 1 for the
+    // rates of interest.
+    let p = dropout_rate.clamp(0.0, 1.0);
+    let diverge_prob = 1.0 - p.powi(gpu.warp_size as i32) - (1.0 - p).powi(gpu.warp_size as i32);
+    let diverging_warps = stats.thread_blocks as f64 * warps_per_block as f64 * diverge_prob;
+    stats.overhead_cycles += diverging_warps * k_steps as f64 * gpu.divergence_penalty_cycles
+        / gpu.num_sms as f64;
+    KernelStats::finalize(gpu, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::gtx_1080ti()
+    }
+
+    #[test]
+    fn dense_gemm_flops_are_2mkn() {
+        let s = dense_gemm(&gpu(), 128, 256, 512);
+        assert!((s.flops - 2.0 * 128.0 * 256.0 * 512.0).abs() < 1.0);
+        assert_eq!(s.thread_blocks, 4 * 16);
+        assert!(s.time_us() > 0.0);
+    }
+
+    #[test]
+    fn bigger_gemm_takes_longer() {
+        let small = dense_gemm(&gpu(), 128, 1024, 1024);
+        let large = dense_gemm(&gpu(), 128, 4096, 4096);
+        assert!(large.time_us() > small.time_us());
+    }
+
+    #[test]
+    fn row_compact_is_faster_than_dense_and_slower_than_ideal() {
+        let g = gpu();
+        let dense = dense_gemm(&g, 128, 2048, 2048);
+        let half = row_compact_gemm(&g, 128, 2048, 2048, 1024);
+        let ideal = dense_gemm(&g, 128, 2048, 1024);
+        assert!(half.time_us() < dense.time_us());
+        assert!(half.time_us() >= ideal.time_us());
+    }
+
+    #[test]
+    fn row_compact_with_all_kept_is_no_faster_than_dense() {
+        let g = gpu();
+        let dense = dense_gemm(&g, 64, 512, 512);
+        let all = row_compact_gemm(&g, 64, 512, 512, 512);
+        assert!(all.time_us() >= dense.time_us() * 0.999);
+    }
+
+    #[test]
+    fn tile_compact_speedup_scales_with_kept_fraction() {
+        let g = gpu();
+        let dense = dense_gemm(&g, 128, 2048, 2048);
+        let grid = (2048 / 32) * (2048 / 32);
+        let quarter = tile_compact_gemm(&g, 128, 2048, 2048, grid / 4, grid);
+        let half = tile_compact_gemm(&g, 128, 2048, 2048, grid / 2, grid);
+        assert!(quarter.time_us() < half.time_us());
+        assert!(half.time_us() < dense.time_us());
+    }
+
+    #[test]
+    fn tile_compact_is_slower_than_row_compact_at_equal_rate() {
+        // Paper §IV-A: TDP's speedup is a bit smaller than RDP's because of
+        // the nonzero-position bookkeeping.
+        let g = gpu();
+        let grid = (2048 / 32) * (2048 / 32);
+        let row = row_compact_gemm(&g, 128, 2048, 2048, 2048 / 2);
+        let tile = tile_compact_gemm(&g, 128, 2048, 2048, grid / 2, grid);
+        assert!(tile.time_us() > row.time_us());
+    }
+
+    #[test]
+    fn divergent_gemm_is_never_faster_than_dense() {
+        let g = gpu();
+        for &p in &[0.3, 0.5, 0.7] {
+            let dense = dense_gemm(&g, 128, 2048, 2048);
+            let divergent = divergent_gemm(&g, 128, 2048, 2048, p);
+            assert!(
+                divergent.time_us() >= dense.time_us(),
+                "divergent {p} should not beat dense"
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_mask_kernel_is_memory_bound() {
+        let s = conventional_dropout_layer(&gpu(), 128, 2048);
+        assert!(s.is_memory_bound());
+        assert_eq!(s.launches, 2);
+    }
+
+    #[test]
+    fn elementwise_traffic_counts_reads_and_writes() {
+        let s = elementwise(&gpu(), 10, 10, 2, 1, 1.0);
+        assert!((s.global_read_bytes - 800.0).abs() < 1e-9);
+        assert!((s.global_write_bytes - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_stats_add_components() {
+        let a = dense_gemm(&gpu(), 32, 32, 32);
+        let b = dense_gemm(&gpu(), 32, 32, 32);
+        let m = a.merged_with(&b);
+        assert!((m.flops - 2.0 * a.flops).abs() < 1.0);
+        assert!((m.time_us() - 2.0 * a.time_us()).abs() < 1e-9);
+        assert_eq!(m.launches, 2);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let e = KernelStats::empty(KernelKind::DenseGemm);
+        assert_eq!(e.time_us(), 0.0);
+        assert_eq!(e.global_bytes(), 0.0);
+    }
+
+    #[test]
+    fn kernel_kind_display_names() {
+        assert_eq!(KernelKind::DenseGemm.to_string(), "dense-gemm");
+        assert_eq!(KernelKind::TileCompactGemm.to_string(), "tile-compact-gemm");
+    }
+}

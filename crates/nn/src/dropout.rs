@@ -1,0 +1,334 @@
+//! Per-layer dropout configuration and per-iteration execution state.
+//!
+//! [`DropoutConfig`] is what a user attaches to a hidden layer; at the start
+//! of every training iteration the layer asks it for a [`DropoutExecution`],
+//! which captures the concrete mask or pattern used for that iteration so
+//! the forward and backward passes agree (paper Fig. 1(a): the same mask
+//! multiplies the activations and the gradients).
+
+use approx_dropout::{
+    ApproxDropoutBuilder, ApproxDropoutLayer, BernoulliDropout, DropoutError, DropoutRate,
+    PatternKind, SampledPattern, TileGrid,
+};
+use rand::Rng;
+use tensor::Matrix;
+
+/// How (and whether) a layer applies dropout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DropoutConfig {
+    /// No dropout.
+    None,
+    /// Conventional Bernoulli dropout at the given rate (the paper's
+    /// baseline): masks the output after a dense GEMM.
+    Bernoulli(DropoutRate),
+    /// Approximate Random Dropout with regular patterns: the layer runs a
+    /// compacted GEMM and skips the dropout-mask kernel entirely.
+    Pattern(ApproxDropoutLayer),
+}
+
+impl DropoutConfig {
+    /// Builds an approximate-random-dropout configuration by running the
+    /// SGD-based search (Algorithm 1) for the target rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DropoutError`] from the search.
+    pub fn pattern(rate: DropoutRate, kind: PatternKind) -> Result<Self, DropoutError> {
+        Ok(DropoutConfig::Pattern(
+            ApproxDropoutBuilder::new(rate, kind).max_dp(16).build()?,
+        ))
+    }
+
+    /// Builds an approximate-random-dropout configuration with an explicit
+    /// maximum pattern period and tile size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DropoutError`] from the search.
+    pub fn pattern_with(
+        rate: DropoutRate,
+        kind: PatternKind,
+        max_dp: usize,
+        tile: usize,
+    ) -> Result<Self, DropoutError> {
+        Ok(DropoutConfig::Pattern(
+            ApproxDropoutBuilder::new(rate, kind)
+                .max_dp(max_dp)
+                .tile_size(tile)
+                .build()?,
+        ))
+    }
+
+    /// The nominal dropout rate of the configuration.
+    pub fn rate(&self) -> f64 {
+        match self {
+            DropoutConfig::None => 0.0,
+            DropoutConfig::Bernoulli(rate) => rate.value(),
+            DropoutConfig::Pattern(layer) => layer.target_rate().value(),
+        }
+    }
+
+    /// `true` when the configuration uses regular patterns.
+    pub fn is_pattern(&self) -> bool {
+        matches!(self, DropoutConfig::Pattern(_))
+    }
+
+    /// Samples the execution state for one training iteration on a layer
+    /// with `out_features` output neurons and an `in_features × out_features`
+    /// weight matrix.
+    pub fn begin_iteration<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        in_features: usize,
+        out_features: usize,
+    ) -> DropoutExecution {
+        match self {
+            DropoutConfig::None => DropoutExecution::None,
+            DropoutConfig::Bernoulli(rate) => {
+                let mask = BernoulliDropout::new(*rate).neuron_mask(rng, out_features);
+                DropoutExecution::Bernoulli {
+                    mask,
+                    scale: rate.inverted_scale() as f32,
+                }
+            }
+            DropoutConfig::Pattern(layer) => {
+                let kind = layer.sampler().kind();
+                match kind {
+                    PatternKind::Row => {
+                        let pattern = layer.next_pattern(rng, out_features);
+                        DropoutExecution::Row(pattern)
+                    }
+                    PatternKind::Tile => {
+                        let tile = layer.sampler().tile_size();
+                        let grid = TileGrid::new(in_features, out_features, tile)
+                            .expect("tile size validated at construction");
+                        let pattern = layer.next_pattern(rng, grid.total_tiles());
+                        DropoutExecution::Tile { pattern, grid }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for DropoutConfig {
+    fn default() -> Self {
+        DropoutConfig::None
+    }
+}
+
+/// The concrete dropout decision for one iteration of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DropoutExecution {
+    /// No dropout this iteration.
+    None,
+    /// Conventional dropout: per-neuron 0/1 mask shared across the batch,
+    /// with the inverted-dropout rescale for kept neurons.
+    Bernoulli {
+        /// 1.0 for kept neurons, 0.0 for dropped ones.
+        mask: Vec<f32>,
+        /// `1 / (1 - p)` applied to kept activations.
+        scale: f32,
+    },
+    /// Row pattern: only the kept output neurons are computed.
+    Row(SampledPattern),
+    /// Tile pattern: only the kept weight tiles participate in the GEMM.
+    Tile {
+        /// The sampled pattern (kept tile indices).
+        pattern: SampledPattern,
+        /// The tile grid of this layer's weight matrix.
+        grid: TileGrid,
+    },
+}
+
+impl DropoutExecution {
+    /// Fraction of this layer's output neurons that remain fully active and
+    /// therefore need to be processed by the next layer. Only the row
+    /// pattern (which drops whole neurons) shrinks this below 1.
+    pub fn active_output_fraction(&self) -> f64 {
+        match self {
+            DropoutExecution::Row(pattern) => 1.0 - pattern.realized_dropout_fraction(),
+            _ => 1.0,
+        }
+    }
+
+    /// Indices of output neurons that are still active (None = all of them).
+    pub fn active_output_neurons(&self, out_features: usize) -> Option<Vec<usize>> {
+        match self {
+            DropoutExecution::Row(pattern) => Some(pattern.kept_indices().to_vec()),
+            DropoutExecution::Bernoulli { mask, .. } => Some(
+                mask.iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m != 0.0)
+                    .map(|(i, _)| i)
+                    .collect(),
+            ),
+            _ => Some((0..out_features).collect()),
+        }
+    }
+
+    /// Per-output-column multiplier implementing this execution on an
+    /// activation matrix with `n_cols` columns: kept columns get the
+    /// inverted-dropout scale, dropped columns get 0.
+    ///
+    /// This is how the LSTM applies inter-layer dropout: one multiplier per
+    /// hidden unit, shared by every timestep of the iteration. For tile
+    /// executions the columns covered by kept tiles are the kept ones.
+    pub fn column_multiplier(&self, n_cols: usize) -> Vec<f32> {
+        match self {
+            DropoutExecution::None => vec![1.0; n_cols],
+            DropoutExecution::Bernoulli { mask, scale } => {
+                (0..n_cols).map(|j| mask.get(j).copied().unwrap_or(1.0) * scale).collect()
+            }
+            DropoutExecution::Row(pattern) => {
+                let scale = pattern.inverted_scale();
+                let mut mult = vec![0.0; n_cols];
+                for &j in pattern.kept_indices() {
+                    if j < n_cols {
+                        mult[j] = scale;
+                    }
+                }
+                mult
+            }
+            DropoutExecution::Tile { pattern, grid } => {
+                let scale = pattern.inverted_scale();
+                let mut mult = vec![0.0; n_cols];
+                for &t in pattern.kept_indices() {
+                    if t < grid.total_tiles() {
+                        let (_, cols) = grid.tile_bounds(t);
+                        for c in cols {
+                            if c < n_cols {
+                                mult[c] = scale;
+                            }
+                        }
+                    }
+                }
+                mult
+            }
+        }
+    }
+
+    /// Applies the conventional mask (if any) to a full activation matrix.
+    /// Pattern executions return the input unchanged because the compacted
+    /// GEMM already produced masked output.
+    pub fn mask_activations(&self, activations: &Matrix) -> Matrix {
+        match self {
+            DropoutExecution::Bernoulli { mask, scale } => {
+                let mut out = activations.clone();
+                for i in 0..out.rows() {
+                    let row = out.row_mut(i);
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v *= mask[j] * scale;
+                    }
+                }
+                out
+            }
+            _ => activations.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_config_produces_none_execution() {
+        let mut cfg = DropoutConfig::None;
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(cfg.begin_iteration(&mut rng, 8, 8), DropoutExecution::None);
+        assert_eq!(cfg.rate(), 0.0);
+        assert!(!cfg.is_pattern());
+    }
+
+    #[test]
+    fn bernoulli_execution_respects_rate() {
+        let mut cfg = DropoutConfig::Bernoulli(DropoutRate::new(0.5).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let exec = cfg.begin_iteration(&mut rng, 64, 1024);
+        match exec {
+            DropoutExecution::Bernoulli { mask, scale } => {
+                let dropped = mask.iter().filter(|&&m| m == 0.0).count() as f64 / 1024.0;
+                assert!((dropped - 0.5).abs() < 0.08, "dropped {dropped}");
+                assert!((scale - 2.0).abs() < 1e-6);
+            }
+            other => panic!("expected Bernoulli execution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_pattern_execution_keeps_regular_subset() {
+        let mut cfg = DropoutConfig::pattern(DropoutRate::new(0.5).unwrap(), PatternKind::Row).unwrap();
+        assert!(cfg.is_pattern());
+        let mut rng = StdRng::seed_from_u64(2);
+        let exec = cfg.begin_iteration(&mut rng, 32, 64);
+        match exec {
+            DropoutExecution::Row(p) => {
+                assert!(!p.kept_indices().is_empty());
+                assert!(p.kept_indices().len() <= 64);
+            }
+            other => panic!("expected Row execution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tile_pattern_execution_carries_grid() {
+        let mut cfg =
+            DropoutConfig::pattern_with(DropoutRate::new(0.5).unwrap(), PatternKind::Tile, 8, 16)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let exec = cfg.begin_iteration(&mut rng, 64, 64);
+        match exec {
+            DropoutExecution::Tile { pattern, grid } => {
+                assert_eq!(grid.total_tiles(), 16);
+                assert!(pattern.unit_count() == 16);
+            }
+            other => panic!("expected Tile execution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn active_output_fraction_only_shrinks_for_row() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut row =
+            DropoutConfig::pattern(DropoutRate::new(0.5).unwrap(), PatternKind::Row).unwrap();
+        let exec = row.begin_iteration(&mut rng, 32, 64);
+        assert!(exec.active_output_fraction() <= 1.0);
+        let mut tile =
+            DropoutConfig::pattern_with(DropoutRate::new(0.5).unwrap(), PatternKind::Tile, 8, 16)
+                .unwrap();
+        let exec = tile.begin_iteration(&mut rng, 64, 64);
+        assert_eq!(exec.active_output_fraction(), 1.0);
+    }
+
+    #[test]
+    fn mask_activations_applies_inverted_scaling() {
+        let exec = DropoutExecution::Bernoulli {
+            mask: vec![1.0, 0.0],
+            scale: 2.0,
+        };
+        let x = Matrix::from_rows(&[&[3.0, 5.0]]);
+        let y = exec.mask_activations(&x);
+        assert_eq!(y.row(0), &[6.0, 0.0]);
+    }
+
+    #[test]
+    fn active_output_neurons_lists_kept_indices() {
+        let exec = DropoutExecution::Bernoulli {
+            mask: vec![1.0, 0.0, 1.0],
+            scale: 2.0,
+        };
+        assert_eq!(exec.active_output_neurons(3), Some(vec![0, 2]));
+        assert_eq!(
+            DropoutExecution::None.active_output_neurons(3),
+            Some(vec![0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn default_is_no_dropout() {
+        assert_eq!(DropoutConfig::default(), DropoutConfig::None);
+    }
+}

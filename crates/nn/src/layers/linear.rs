@@ -1,0 +1,500 @@
+//! Dropout-aware fully connected layer.
+//!
+//! The layer computes `Z = X·W + b` and understands the three dropout
+//! execution modes of [`DropoutExecution`]:
+//!
+//! * `None` / `Bernoulli` — a dense GEMM; the Bernoulli mode afterwards
+//!   multiplies the output by the per-neuron mask with inverted-dropout
+//!   scaling (the baseline of the paper, Fig. 1(a)).
+//! * `Row` — the compacted GEMM of the Row-based Dropout Pattern: only the
+//!   kept output neurons are computed ([`tensor::row_compact_gemm`]), the
+//!   rest of the output stays zero, and kept outputs are scaled by `dp`.
+//! * `Tile` — the compacted GEMM of the Tile-based Dropout Pattern: only the
+//!   kept 32×32 weight tiles participate ([`tensor::tile_compact_gemm`]),
+//!   and the product is scaled by `dp`.
+//!
+//! Because dropped outputs are exactly zero and ReLU is positively
+//! homogeneous, applying the pattern to the pre-activation `Z` is
+//! mathematically identical to the conventional "mask the post-activation
+//! output" formulation the paper starts from.
+
+use crate::dropout::DropoutExecution;
+use crate::optimizer::Sgd;
+use rand::Rng;
+use tensor::{gemm, init, Matrix};
+
+/// A fully connected layer with weights `(in_features × out_features)` and a
+/// row-vector bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Matrix,
+    weight_velocity: Matrix,
+    bias_velocity: Matrix,
+    weight_grad: Matrix,
+    bias_grad: Matrix,
+    cache: Option<ForwardCache>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ForwardCache {
+    input: Matrix,
+    execution: DropoutExecution,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialised weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Self {
+            weight: init::xavier_uniform(rng, in_features, out_features),
+            bias: Matrix::zeros(1, out_features),
+            weight_velocity: Matrix::zeros(in_features, out_features),
+            bias_velocity: Matrix::zeros(1, out_features),
+            weight_grad: Matrix::zeros(in_features, out_features),
+            bias_grad: Matrix::zeros(1, out_features),
+            cache: None,
+        }
+    }
+
+    /// Creates a layer with explicit parameters (used by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not a `1 × out_features` row vector.
+    pub fn from_parameters(weight: Matrix, bias: Matrix) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weight.cols(), "bias width must match weight columns");
+        let (in_features, out_features) = weight.shape();
+        Self {
+            weight,
+            bias,
+            weight_velocity: Matrix::zeros(in_features, out_features),
+            bias_velocity: Matrix::zeros(1, out_features),
+            weight_grad: Matrix::zeros(in_features, out_features),
+            bias_grad: Matrix::zeros(1, out_features),
+            cache: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Borrows the weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Borrows the bias row vector.
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    /// Borrows the most recent weight gradient (for tests and diagnostics).
+    pub fn weight_grad(&self) -> &Matrix {
+        &self.weight_grad
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Forward pass under the given dropout execution; caches what the
+    /// backward pass needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != in_features()`.
+    pub fn forward(&mut self, input: &Matrix, execution: &DropoutExecution) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.in_features(),
+            "input width must match in_features"
+        );
+        let output = match execution {
+            DropoutExecution::None => self.dense_forward(input),
+            DropoutExecution::Bernoulli { .. } => {
+                let z = self.dense_forward(input);
+                execution.mask_activations(&z)
+            }
+            DropoutExecution::Row(pattern) => {
+                let kept = pattern.kept_indices();
+                let z = gemm::row_compact_gemm(input, &self.weight, kept)
+                    .expect("kept indices come from the pattern and are in bounds");
+                let scale = pattern.inverted_scale();
+                let mut z = z;
+                for i in 0..z.rows() {
+                    let row = z.row_mut(i);
+                    for &j in kept {
+                        row[j] = (row[j] + self.bias[(0, j)]) * scale;
+                    }
+                }
+                z
+            }
+            DropoutExecution::Tile { pattern, grid } => {
+                let kept = pattern.kept_indices();
+                let z = gemm::tile_compact_gemm(input, &self.weight, kept, grid.tile())
+                    .expect("kept tiles come from the pattern and are in bounds");
+                let scale = pattern.inverted_scale();
+                z.scale(scale)
+                    .add_row_broadcast(&self.bias)
+                    .expect("bias width matches output")
+            }
+        };
+        self.cache = Some(ForwardCache {
+            input: input.clone(),
+            execution: execution.clone(),
+        });
+        output
+    }
+
+    fn dense_forward(&self, input: &Matrix) -> Matrix {
+        input
+            .matmul(&self.weight)
+            .add_row_broadcast(&self.bias)
+            .expect("bias width matches output")
+    }
+
+    /// Inference-time forward pass: a dense `X·W + b` with no dropout and no
+    /// caching, usable through a shared reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != in_features()`.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.in_features(),
+            "input width must match in_features"
+        );
+        self.dense_forward(input)
+    }
+
+    /// Backward pass: consumes the gradient w.r.t. this layer's output and
+    /// returns the gradient w.r.t. its input, storing parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Linear::forward`] or with a gradient whose
+    /// shape does not match the cached forward pass.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self
+            .cache
+            .take()
+            .expect("backward called without a preceding forward");
+        let input = &cache.input;
+        assert_eq!(grad_output.rows(), input.rows(), "batch size mismatch");
+        assert_eq!(grad_output.cols(), self.out_features(), "output width mismatch");
+
+        match &cache.execution {
+            DropoutExecution::None => self.dense_backward(input, grad_output),
+            DropoutExecution::Bernoulli { mask, scale } => {
+                // Gradient flows only through kept neurons, scaled like the
+                // forward pass.
+                let mut g = grad_output.clone();
+                for i in 0..g.rows() {
+                    let row = g.row_mut(i);
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v *= mask[j] * scale;
+                    }
+                }
+                self.dense_backward(input, &g)
+            }
+            DropoutExecution::Row(pattern) => {
+                let kept = pattern.kept_indices().to_vec();
+                let scale = pattern.inverted_scale();
+                // Zero the gradient at dropped outputs and apply the forward
+                // scale to the kept ones.
+                let mut g = Matrix::zeros(grad_output.rows(), grad_output.cols());
+                for i in 0..g.rows() {
+                    for &j in &kept {
+                        g[(i, j)] = grad_output[(i, j)] * scale;
+                    }
+                }
+                // dW: only kept columns receive gradient.
+                let g_kept = g.select_cols(&kept);
+                let dw_kept = input.transpose().matmul(&g_kept);
+                let mut dw = Matrix::zeros(self.in_features(), self.out_features());
+                for r in 0..dw.rows() {
+                    for (c_idx, &j) in kept.iter().enumerate() {
+                        dw[(r, j)] = dw_kept[(r, c_idx)];
+                    }
+                }
+                self.weight_grad = dw;
+                self.bias_grad = g.sum_rows();
+                // dX = g · Wᵀ, and only the kept rows of Wᵀ contribute.
+                let w_kept = self.weight.select_cols(&kept);
+                g_kept.matmul(&w_kept.transpose())
+            }
+            DropoutExecution::Tile { pattern, grid } => {
+                let scale = pattern.inverted_scale();
+                let mask = tile_mask(pattern.kept_indices(), grid);
+                let g = grad_output.scale(scale);
+                // dW = (Xᵀ · g) ⊙ M : dropped tiles receive zero gradient.
+                let dw = input
+                    .transpose()
+                    .matmul(&g)
+                    .hadamard(&mask)
+                    .expect("mask matches weight shape");
+                self.weight_grad = dw;
+                self.bias_grad = grad_output.sum_rows();
+                // dX = g · (W ⊙ M)ᵀ
+                let masked_w = self.weight.hadamard(&mask).expect("mask matches weight shape");
+                g.matmul(&masked_w.transpose())
+            }
+        }
+    }
+
+    fn dense_backward(&mut self, input: &Matrix, grad: &Matrix) -> Matrix {
+        self.weight_grad = input.transpose().matmul(grad);
+        self.bias_grad = grad.sum_rows();
+        grad.matmul(&self.weight.transpose())
+    }
+
+    /// Applies one SGD step using the stored gradients.
+    pub fn step(&mut self, sgd: &Sgd) {
+        sgd.update(&mut self.weight, &self.weight_grad, &mut self.weight_velocity);
+        sgd.update(&mut self.bias, &self.bias_grad, &mut self.bias_velocity);
+    }
+}
+
+fn tile_mask(kept: &[usize], grid: &approx_dropout::TileGrid) -> Matrix {
+    let (rows, cols) = grid.weight_shape();
+    let mut mask = Matrix::zeros(rows, cols);
+    for &t in kept {
+        let (rr, cc) = grid.tile_bounds(t);
+        for r in rr.clone() {
+            for c in cc.clone() {
+                mask[(r, c)] = 1.0;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_dropout::{RowPattern, SampledPattern, TileGrid, TilePattern};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_layer() -> Linear {
+        let weight = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let bias = Matrix::from_rows(&[&[0.5, -0.5, 0.0]]);
+        Linear::from_parameters(weight, bias)
+    }
+
+    #[test]
+    fn dense_forward_matches_manual_computation() {
+        let mut layer = small_layer();
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let y = layer.forward(&x, &DropoutExecution::None);
+        assert_eq!(y.row(0), &[5.5, 6.5, 9.0]);
+    }
+
+    #[test]
+    fn dense_backward_gradients_are_correct() {
+        let mut layer = small_layer();
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let _ = layer.forward(&x, &DropoutExecution::None);
+        let dy = Matrix::from_rows(&[&[1.0, 0.0, -1.0]]);
+        let dx = layer.backward(&dy);
+        // dX = dy * W^T = [1*1 + 0*2 + (-1)*3, 1*4 + 0*5 + (-1)*6] = [-2, -2]
+        assert_eq!(dx.row(0), &[-2.0, -2.0]);
+        // dW = x^T * dy
+        assert_eq!(layer.weight_grad().row(0), &[1.0, 0.0, -1.0]);
+        assert_eq!(layer.weight_grad().row(1), &[2.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn numerical_gradient_check_dense() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(&mut rng, 4, 3);
+        let x = init::uniform(&mut rng, 2, 4, -1.0, 1.0);
+        // Loss = sum of outputs; analytic dL/dW = x^T * ones.
+        let _ = layer.forward(&x, &DropoutExecution::None);
+        let ones = Matrix::ones(2, 3);
+        let _ = layer.backward(&ones);
+        let analytic = layer.weight_grad().clone();
+
+        let eps = 1e-2f32;
+        let mut numeric = Matrix::zeros(4, 3);
+        for r in 0..4 {
+            for c in 0..3 {
+                let mut plus = layer.clone();
+                let mut w = plus.weight.clone();
+                w[(r, c)] += eps;
+                plus.weight = w;
+                let mut minus = layer.clone();
+                let mut w = minus.weight.clone();
+                w[(r, c)] -= eps;
+                minus.weight = w;
+                let f_plus = plus.forward(&x, &DropoutExecution::None).sum();
+                let f_minus = minus.forward(&x, &DropoutExecution::None).sum();
+                numeric[(r, c)] = (f_plus - f_minus) / (2.0 * eps);
+            }
+        }
+        for r in 0..4 {
+            for c in 0..3 {
+                assert!(
+                    (analytic[(r, c)] - numeric[(r, c)]).abs() < 1e-2,
+                    "grad mismatch at ({r},{c}): {} vs {}",
+                    analytic[(r, c)],
+                    numeric[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_pattern_forward_zeroes_dropped_neurons_and_scales_kept() {
+        let mut layer = small_layer();
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let pattern = SampledPattern::from_row(RowPattern::new(3, 1).unwrap(), 3);
+        let y = layer.forward(&x, &DropoutExecution::Row(pattern));
+        // Only neuron 1 is kept: (1*2 + 1*5 + bias -0.5) * 3 = 19.5.
+        assert_eq!(y.row(0), &[0.0, 19.5, 0.0]);
+    }
+
+    #[test]
+    fn row_pattern_matches_explicit_mask_formulation() {
+        // Computing the dense output, masking dropped neurons and scaling by
+        // dp must equal the compacted path.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(&mut rng, 6, 8);
+        let x = init::uniform(&mut rng, 3, 6, -1.0, 1.0);
+        let pattern = SampledPattern::from_row(RowPattern::new(2, 0).unwrap(), 8);
+        let compact = layer.clone().forward(&x, &DropoutExecution::Row(pattern.clone()));
+        let dense = layer.forward(&x, &DropoutExecution::None);
+        for i in 0..3 {
+            for j in 0..8 {
+                let expected = if pattern.kept_indices().contains(&j) {
+                    dense[(i, j)] * 2.0
+                } else {
+                    0.0
+                };
+                assert!(
+                    (compact[(i, j)] - expected).abs() < 1e-4,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_pattern_backward_zeroes_dropped_weight_columns() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Linear::new(&mut rng, 4, 6);
+        let x = init::uniform(&mut rng, 2, 4, -1.0, 1.0);
+        let pattern = SampledPattern::from_row(RowPattern::new(2, 1).unwrap(), 6);
+        let kept = pattern.kept_indices().to_vec();
+        let _ = layer.forward(&x, &DropoutExecution::Row(pattern));
+        let dy = Matrix::ones(2, 6);
+        let dx = layer.backward(&dy);
+        assert_eq!(dx.shape(), (2, 4));
+        for c in 0..6 {
+            let col_norm: f32 = (0..4).map(|r| layer.weight_grad()[(r, c)].abs()).sum();
+            if kept.contains(&c) {
+                assert!(col_norm > 0.0, "kept column {c} should receive gradient");
+            } else {
+                assert_eq!(col_norm, 0.0, "dropped column {c} must have zero gradient");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_pattern_forward_matches_masked_weight_formulation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(&mut rng, 8, 8);
+        let x = init::uniform(&mut rng, 2, 8, -1.0, 1.0);
+        let grid = TileGrid::new(8, 8, 4).unwrap(); // 2x2 tiles
+        let pattern = SampledPattern::from_tile(TilePattern::new(2, 0, 4).unwrap(), &grid);
+        let mut compact_layer = layer.clone();
+        let compact = compact_layer.forward(
+            &x,
+            &DropoutExecution::Tile {
+                pattern: pattern.clone(),
+                grid,
+            },
+        );
+        // Reference: mask the weights, dense multiply, scale by dp, add bias.
+        let mask = tile_mask(pattern.kept_indices(), &grid);
+        let masked_w = layer.weight().hadamard(&mask).unwrap();
+        let reference = x
+            .matmul(&masked_w)
+            .scale(2.0)
+            .add_row_broadcast(layer.bias())
+            .unwrap();
+        assert!(tensor::approx_eq_slice(
+            compact.as_slice(),
+            reference.as_slice(),
+            1e-3
+        ));
+    }
+
+    #[test]
+    fn tile_pattern_backward_zeroes_dropped_tiles() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = Linear::new(&mut rng, 8, 8);
+        let x = init::uniform(&mut rng, 2, 8, -1.0, 1.0);
+        let grid = TileGrid::new(8, 8, 4).unwrap();
+        let pattern = SampledPattern::from_tile(TilePattern::new(4, 3, 4).unwrap(), &grid);
+        let kept = pattern.kept_indices().to_vec(); // only tile 3
+        let _ = layer.forward(&x, &DropoutExecution::Tile { pattern, grid });
+        let _ = layer.backward(&Matrix::ones(2, 8));
+        for t in 0..grid.total_tiles() {
+            let (rr, cc) = grid.tile_bounds(t);
+            let norm: f32 = rr
+                .clone()
+                .flat_map(|r| cc.clone().map(move |c| (r, c)))
+                .map(|(r, c)| layer.weight_grad()[(r, c)].abs())
+                .sum();
+            if kept.contains(&t) {
+                assert!(norm > 0.0, "kept tile {t} should receive gradient");
+            } else {
+                assert_eq!(norm, 0.0, "dropped tile {t} must have zero gradient");
+            }
+        }
+    }
+
+    #[test]
+    fn step_moves_parameters_against_gradient() {
+        let mut layer = small_layer();
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let before = layer.weight()[(0, 0)];
+        let _ = layer.forward(&x, &DropoutExecution::None);
+        let _ = layer.backward(&Matrix::ones(1, 3));
+        layer.step(&Sgd::new(0.1, 0.0));
+        assert!(layer.weight()[(0, 0)] < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called without a preceding forward")]
+    fn backward_requires_forward() {
+        let mut layer = small_layer();
+        let _ = layer.backward(&Matrix::ones(1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width must match")]
+    fn forward_rejects_wrong_input_width() {
+        let mut layer = small_layer();
+        let _ = layer.forward(&Matrix::ones(1, 5), &DropoutExecution::None);
+    }
+
+    #[test]
+    fn parameter_count_includes_bias() {
+        let layer = small_layer();
+        assert_eq!(layer.parameter_count(), 2 * 3 + 3);
+        assert_eq!(layer.in_features(), 2);
+        assert_eq!(layer.out_features(), 3);
+    }
+}

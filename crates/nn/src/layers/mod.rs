@@ -1,0 +1,5 @@
+//! Trainable layers.
+
+pub mod linear;
+
+pub use linear::Linear;

@@ -1,0 +1,67 @@
+//! Neural-network training substrate for the Approximate Random Dropout
+//! reproduction — the stand-in for the Caffe framework the paper modifies.
+//!
+//! The crate provides exactly the pieces the paper's experiments need:
+//!
+//! * [`layers::Linear`] — a fully connected layer whose forward/backward
+//!   passes understand all three dropout execution modes: conventional
+//!   Bernoulli masking, Row-based Dropout Patterns (compacted GEMM over kept
+//!   neurons) and Tile-based Dropout Patterns (compacted GEMM over kept
+//!   weight tiles).
+//! * [`mlp::Mlp`] — the 4-layer MLP of §IV-A/B with per-layer dropout
+//!   configuration, softmax cross-entropy loss and SGD-with-momentum updates.
+//! * [`lstm`] — an LSTM language model (stacked cells, inter-layer dropout,
+//!   tied softmax projection) used for the §IV-C experiments.
+//! * [`optimizer::Sgd`] — plain SGD with momentum (lr 0.01, momentum 0.9 for
+//!   the MLP experiments).
+//! * [`loss`] / [`metrics`] — softmax cross-entropy, classification accuracy
+//!   and perplexity.
+//! * [`trainer`] — a small training loop that records per-iteration loss,
+//!   accuracy and (model-provided) time so the convergence curves of Fig. 5
+//!   can be reproduced.
+//!
+//! # Example: train a tiny MLP with row-pattern dropout
+//!
+//! ```
+//! use nn::dropout::DropoutConfig;
+//! use nn::mlp::{Mlp, MlpConfig};
+//! use approx_dropout::{DropoutRate, PatternKind};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use tensor::Matrix;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let config = MlpConfig {
+//!     input_dim: 8,
+//!     hidden: vec![16, 16],
+//!     output_dim: 3,
+//!     dropout: DropoutConfig::pattern(DropoutRate::new(0.5)?, PatternKind::Row)?,
+//!     learning_rate: 0.05,
+//!     momentum: 0.9,
+//! };
+//! let mut mlp = Mlp::new(&config, &mut rng);
+//! let x = Matrix::ones(4, 8);
+//! let labels = vec![0, 1, 2, 0];
+//! let stats = mlp.train_batch(&x, &labels, &mut rng);
+//! assert!(stats.loss.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dropout;
+pub mod layers;
+pub mod loss;
+pub mod lstm;
+pub mod metrics;
+pub mod mlp;
+pub mod optimizer;
+pub mod trainer;
+
+pub use dropout::{DropoutConfig, DropoutExecution};
+pub use layers::Linear;
+pub use loss::{softmax_cross_entropy, CrossEntropyOutput};
+pub use metrics::{accuracy, perplexity_from_nll};
+pub use mlp::{Mlp, MlpConfig, TrainBatchStats};
+pub use optimizer::Sgd;
+pub use trainer::{TrainRecord, Trainer, TrainerConfig};

@@ -1,0 +1,122 @@
+//! Softmax cross-entropy loss.
+
+use tensor::{ops, Matrix};
+
+/// Output of [`softmax_cross_entropy`]: the mean loss, the probability
+/// matrix, and the gradient with respect to the logits (already divided by
+/// the batch size so it can be fed straight into the backward pass).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossEntropyOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Row-wise softmax probabilities.
+    pub probabilities: Matrix,
+    /// Gradient of the mean loss w.r.t. the logits.
+    pub grad_logits: Matrix,
+}
+
+/// Computes mean softmax cross-entropy between `logits` (one row per sample)
+/// and integer class `labels`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> CrossEntropyOutput {
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "one label per logits row is required"
+    );
+    let batch = logits.rows().max(1);
+    let probs = ops::softmax_rows(logits);
+    let log_probs = ops::log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        loss -= log_probs[(i, label)];
+        grad[(i, label)] -= 1.0;
+    }
+    loss /= batch as f32;
+    let grad_logits = grad.scale(1.0 / batch as f32);
+    CrossEntropyOutput {
+        loss,
+        probabilities: probs,
+        grad_logits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Matrix::zeros(4, 10);
+        let labels = vec![0, 1, 2, 3];
+        let out = softmax_cross_entropy(&logits, &labels);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits[(0, 2)] = 10.0;
+        let out = softmax_cross_entropy(&logits, &[2]);
+        assert!(out.loss < 1e-3);
+        // Gradient pushes the correct logit up (negative gradient) and the
+        // others down.
+        assert!(out.grad_logits[(0, 2)] < 0.0);
+        assert!(out.grad_logits[(0, 0)] >= 0.0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.2], &[2.0, 0.1, -1.0]]);
+        let out = softmax_cross_entropy(&logits, &[1, 0]);
+        for i in 0..2 {
+            let s: f32 = out.grad_logits.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let logits = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
+        let labels = vec![1];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut plus = logits.clone();
+            plus[(0, j)] += eps;
+            let mut minus = logits.clone();
+            minus[(0, j)] -= eps;
+            let numeric = (softmax_cross_entropy(&plus, &labels).loss
+                - softmax_cross_entropy(&minus, &labels).loss)
+                / (2.0 * eps);
+            assert!(
+                (numeric - out.grad_logits[(0, j)]).abs() < 1e-3,
+                "logit {j}: numeric {numeric} vs analytic {}",
+                out.grad_logits[(0, j)]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per logits row")]
+    fn rejects_mismatched_label_count() {
+        let _ = softmax_cross_entropy(&Matrix::zeros(2, 3), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_label() {
+        let _ = softmax_cross_entropy(&Matrix::zeros(1, 3), &[3]);
+    }
+
+    #[test]
+    fn probabilities_are_exposed() {
+        let out = softmax_cross_entropy(&Matrix::zeros(1, 4), &[0]);
+        assert!((out.probabilities[(0, 0)] - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,103 @@
+//! Evaluation metrics: classification accuracy and language-model perplexity.
+
+use tensor::Matrix;
+
+/// Fraction of rows of `logits` whose argmax equals the corresponding label.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()`.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), logits.rows(), "one label per row is required");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|(i, &label)| logits.argmax_row(*i) == label)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Converts a mean negative log-likelihood (in nats per token) into
+/// perplexity, the metric the paper reports for the PTB experiment.
+pub fn perplexity_from_nll(mean_nll: f64) -> f64 {
+    mean_nll.exp()
+}
+
+/// Running average utility used by the training loops.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty running mean.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Current mean (0 if nothing was added).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_of_empty_batch_is_zero() {
+        let logits = Matrix::zeros(0, 3);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn accuracy_rejects_mismatched_labels() {
+        let _ = accuracy(&Matrix::zeros(2, 2), &[0]);
+    }
+
+    #[test]
+    fn perplexity_of_uniform_model() {
+        // Uniform over V words: NLL = ln V, perplexity = V.
+        let v = 8800f64;
+        assert!((perplexity_from_nll(v.ln()) - v).abs() / v < 1e-9);
+        assert!((perplexity_from_nll(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_mean_tracks_average() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.add(1.0);
+        m.add(3.0);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.count(), 2);
+    }
+}

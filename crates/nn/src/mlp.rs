@@ -1,0 +1,395 @@
+//! The multilayer perceptron used by the §IV-A/B experiments.
+//!
+//! A network of fully connected + ReLU blocks with per-hidden-layer dropout
+//! and a linear output layer trained with softmax cross-entropy and SGD with
+//! momentum. Each hidden layer can run conventional Bernoulli dropout (the
+//! baseline), a Row-based Dropout Pattern or a Tile-based Dropout Pattern —
+//! the pattern modes execute the compacted GEMMs of [`crate::layers::Linear`].
+
+use crate::dropout::{DropoutConfig, DropoutExecution};
+use crate::layers::Linear;
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::accuracy;
+use crate::optimizer::Sgd;
+use rand::Rng;
+use tensor::{ops, Matrix};
+
+/// Configuration of an MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Input dimensionality (784 for the MNIST-like task).
+    pub input_dim: usize,
+    /// Hidden-layer widths, e.g. `[2048, 2048]`.
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub output_dim: usize,
+    /// Dropout configuration applied to every hidden layer (can be
+    /// overridden per layer with [`Mlp::set_layer_dropout`]).
+    pub dropout: DropoutConfig,
+    /// SGD learning rate (0.01 in the paper).
+    pub learning_rate: f32,
+    /// SGD momentum (0.9 in the paper).
+    pub momentum: f32,
+}
+
+impl MlpConfig {
+    /// A down-scaled stand-in for the paper's 4-layer MLP that trains in
+    /// seconds on one CPU core: 64 → `hidden` → `hidden` → 10.
+    pub fn scaled_paper_mlp(hidden: usize, dropout: DropoutConfig) -> Self {
+        Self {
+            input_dim: 64,
+            hidden: vec![hidden, hidden],
+            output_dim: 10,
+            dropout,
+            learning_rate: 0.01,
+            momentum: 0.9,
+        }
+    }
+}
+
+/// Statistics of one training batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainBatchStats {
+    /// Mean cross-entropy loss of the batch (measured with dropout active).
+    pub loss: f32,
+    /// Training accuracy on the batch.
+    pub accuracy: f64,
+}
+
+/// A fully connected classifier with per-layer dropout.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    hidden: Vec<HiddenBlock>,
+    output: Linear,
+    sgd: Sgd,
+}
+
+#[derive(Debug, Clone)]
+struct HiddenBlock {
+    linear: Linear,
+    dropout: DropoutConfig,
+    /// Pre-activation cache (after dropout scaling) for the ReLU gradient.
+    pre_activation: Option<Matrix>,
+}
+
+impl Mlp {
+    /// Builds the network with Xavier-initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no hidden layers or a zero dimension.
+    pub fn new<R: Rng + ?Sized>(config: &MlpConfig, rng: &mut R) -> Self {
+        assert!(!config.hidden.is_empty(), "at least one hidden layer is required");
+        assert!(config.input_dim > 0 && config.output_dim > 0, "dimensions must be positive");
+        let mut hidden = Vec::new();
+        let mut in_dim = config.input_dim;
+        for &width in &config.hidden {
+            assert!(width > 0, "hidden width must be positive");
+            hidden.push(HiddenBlock {
+                linear: Linear::new(rng, in_dim, width),
+                dropout: config.dropout.clone(),
+                pre_activation: None,
+            });
+            in_dim = width;
+        }
+        let output = Linear::new(rng, in_dim, config.output_dim);
+        Self {
+            hidden,
+            output,
+            sgd: Sgd::new(config.learning_rate, config.momentum),
+        }
+    }
+
+    /// Number of hidden layers.
+    pub fn hidden_layers(&self) -> usize {
+        self.hidden.len()
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.hidden
+            .iter()
+            .map(|b| b.linear.parameter_count())
+            .sum::<usize>()
+            + self.output.parameter_count()
+    }
+
+    /// Overrides the dropout configuration of one hidden layer (0-based), as
+    /// the `(p1, p2)` rate pairs of Fig. 4 require.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn set_layer_dropout(&mut self, layer: usize, dropout: DropoutConfig) {
+        assert!(layer < self.hidden.len(), "layer index out of range");
+        self.hidden[layer].dropout = dropout;
+    }
+
+    /// One training step on a batch: forward with freshly sampled dropout,
+    /// softmax cross-entropy, backward, SGD update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch shape does not match the network input or the
+    /// number of labels.
+    pub fn train_batch<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &Matrix,
+        labels: &[usize],
+        rng: &mut R,
+    ) -> TrainBatchStats {
+        let logits = self.forward_train(inputs, rng);
+        let loss_out = softmax_cross_entropy(&logits, labels);
+        let acc = accuracy(&logits, labels);
+        self.backward(&loss_out.grad_logits);
+        self.step();
+        TrainBatchStats {
+            loss: loss_out.loss,
+            accuracy: acc,
+        }
+    }
+
+    /// Forward pass with dropout sampled for this iteration (training mode).
+    pub fn forward_train<R: Rng + ?Sized>(&mut self, inputs: &Matrix, rng: &mut R) -> Matrix {
+        let mut x = inputs.clone();
+        for block in &mut self.hidden {
+            let execution: DropoutExecution = block.dropout.begin_iteration(
+                rng,
+                block.linear.in_features(),
+                block.linear.out_features(),
+            );
+            let z = block.linear.forward(&x, &execution);
+            block.pre_activation = Some(z.clone());
+            x = ops::relu(&z);
+        }
+        self.output.forward(&x, &DropoutExecution::None)
+    }
+
+    /// Inference forward pass: dense GEMMs, no dropout, no caching.
+    pub fn forward_eval(&self, inputs: &Matrix) -> Matrix {
+        let mut x = inputs.clone();
+        for block in &self.hidden {
+            x = ops::relu(&block.linear.infer(&x));
+        }
+        self.output.infer(&x)
+    }
+
+    /// Backward pass given the gradient of the loss w.r.t. the logits.
+    fn backward(&mut self, grad_logits: &Matrix) {
+        let mut grad = self.output.backward(grad_logits);
+        for block in self.hidden.iter_mut().rev() {
+            let pre = block
+                .pre_activation
+                .take()
+                .expect("forward_train must run before backward");
+            let relu_grad = ops::relu_grad(&pre);
+            let grad_z = grad
+                .hadamard(&relu_grad)
+                .expect("gradient and activation shapes match");
+            grad = block.linear.backward(&grad_z);
+        }
+    }
+
+    /// Applies the SGD update to every layer.
+    fn step(&mut self) {
+        let sgd = self.sgd;
+        for block in &mut self.hidden {
+            block.linear.step(&sgd);
+        }
+        self.output.step(&sgd);
+    }
+
+    /// Evaluates mean loss and accuracy on a labelled set (no dropout).
+    pub fn evaluate(&self, inputs: &Matrix, labels: &[usize]) -> (f32, f64) {
+        let logits = self.forward_eval(inputs);
+        let loss = softmax_cross_entropy(&logits, labels).loss;
+        (loss, accuracy(&logits, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_dropout::{DropoutRate, PatternKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    /// A tiny two-cluster classification task that a small MLP must solve.
+    fn toy_problem(rng: &mut StdRng, n: usize) -> (Matrix, Vec<usize>) {
+        let mut data = Matrix::zeros(n, 8);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            labels.push(class);
+            for j in 0..8 {
+                let center = if class == 0 { 1.0 } else { -1.0 };
+                data[(i, j)] = center + 0.3 * init::standard_normal(rng);
+            }
+        }
+        (data, labels)
+    }
+
+    fn config(dropout: DropoutConfig) -> MlpConfig {
+        MlpConfig {
+            input_dim: 8,
+            hidden: vec![32, 32],
+            output_dim: 2,
+            dropout,
+            learning_rate: 0.05,
+            momentum: 0.9,
+        }
+    }
+
+    /// Pattern dropout on very small layers has high gradient variance (a
+    /// period-dp pattern keeps only 32/dp neurons and scales them by dp), so
+    /// the pattern tests use a gentler optimiser setting — the full-scale
+    /// experiments in the bench crate use the paper's hyper-parameters on
+    /// realistically wide layers.
+    fn pattern_config(dropout: DropoutConfig) -> MlpConfig {
+        MlpConfig {
+            input_dim: 8,
+            hidden: vec![64, 64],
+            output_dim: 2,
+            dropout,
+            learning_rate: 0.01,
+            momentum: 0.5,
+        }
+    }
+
+    #[test]
+    fn mlp_learns_toy_problem_without_dropout() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (x, y) = toy_problem(&mut rng, 64);
+        let mut mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
+        for _ in 0..60 {
+            let _ = mlp.train_batch(&x, &y, &mut rng);
+        }
+        let (_, acc) = mlp.evaluate(&x, &y);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mlp_learns_with_bernoulli_dropout() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = toy_problem(&mut rng, 64);
+        let dropout = DropoutConfig::Bernoulli(DropoutRate::new(0.5).unwrap());
+        let mut mlp = Mlp::new(&config(dropout), &mut rng);
+        for _ in 0..120 {
+            let _ = mlp.train_batch(&x, &y, &mut rng);
+        }
+        let (_, acc) = mlp.evaluate(&x, &y);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mlp_learns_with_row_pattern_dropout() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = toy_problem(&mut rng, 64);
+        let dropout =
+            DropoutConfig::pattern_with(DropoutRate::new(0.5).unwrap(), PatternKind::Row, 4, 32)
+                .unwrap();
+        let mut mlp = Mlp::new(&pattern_config(dropout), &mut rng);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..400 {
+            last_loss = mlp.train_batch(&x, &y, &mut rng).loss;
+        }
+        assert!(last_loss.is_finite(), "training diverged");
+        let (_, acc) = mlp.evaluate(&x, &y);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mlp_learns_with_tile_pattern_dropout() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, y) = toy_problem(&mut rng, 64);
+        let dropout =
+            DropoutConfig::pattern_with(DropoutRate::new(0.5).unwrap(), PatternKind::Tile, 4, 8)
+                .unwrap();
+        let mut mlp = Mlp::new(&pattern_config(dropout), &mut rng);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..400 {
+            last_loss = mlp.train_batch(&x, &y, &mut rng).loss;
+        }
+        assert!(last_loss.is_finite(), "training diverged");
+        let (_, acc) = mlp.evaluate(&x, &y);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (x, y) = toy_problem(&mut rng, 32);
+        let mut mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
+        let first = mlp.train_batch(&x, &y, &mut rng).loss;
+        for _ in 0..40 {
+            let _ = mlp.train_batch(&x, &y, &mut rng);
+        }
+        let last = mlp.train_batch(&x, &y, &mut rng).loss;
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn per_layer_dropout_can_differ() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
+        mlp.set_layer_dropout(
+            0,
+            DropoutConfig::Bernoulli(DropoutRate::new(0.7).unwrap()),
+        );
+        mlp.set_layer_dropout(
+            1,
+            DropoutConfig::Bernoulli(DropoutRate::new(0.3).unwrap()),
+        );
+        let (x, y) = toy_problem(&mut rng, 16);
+        let stats = mlp.train_batch(&x, &y, &mut rng);
+        assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "layer index out of range")]
+    fn set_layer_dropout_checks_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
+        mlp.set_layer_dropout(5, DropoutConfig::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hidden layer")]
+    fn new_rejects_empty_hidden_list() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = MlpConfig {
+            hidden: vec![],
+            ..config(DropoutConfig::None)
+        };
+        let _ = Mlp::new(&cfg, &mut rng);
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
+        // 8*32+32 + 32*32+32 + 32*2+2
+        assert_eq!(mlp.parameter_count(), 8 * 32 + 32 + 32 * 32 + 32 + 32 * 2 + 2);
+        assert_eq!(mlp.hidden_layers(), 2);
+    }
+
+    #[test]
+    fn eval_is_deterministic_even_with_dropout_configured() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dropout = DropoutConfig::Bernoulli(DropoutRate::new(0.5).unwrap());
+        let mlp = Mlp::new(&config(dropout), &mut rng);
+        let x = Matrix::ones(4, 8);
+        let a = mlp.forward_eval(&x);
+        let b = mlp.forward_eval(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_paper_mlp_has_expected_shape() {
+        let cfg = MlpConfig::scaled_paper_mlp(128, DropoutConfig::None);
+        assert_eq!(cfg.input_dim, 64);
+        assert_eq!(cfg.hidden, vec![128, 128]);
+        assert_eq!(cfg.output_dim, 10);
+    }
+}

@@ -1,0 +1,140 @@
+//! SGD with momentum — the optimiser used by every experiment in the paper
+//! (learning rate 0.01, momentum 0.9 for the MLPs; learning rate 1.0 with
+//! decay for the LSTMs).
+
+use tensor::Matrix;
+
+/// Plain SGD with classical momentum.
+///
+/// The update is `v ← µ·v − lr·g`, `w ← w + v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient `µ` (0 disables momentum).
+    pub momentum: f32,
+}
+
+impl Sgd {
+    /// Creates an optimiser with the given learning rate and momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learning rate is not positive or the momentum is
+    /// outside `[0, 1)`.
+    pub fn new(learning_rate: f32, momentum: f32) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self {
+            learning_rate,
+            momentum,
+        }
+    }
+
+    /// The paper's MLP setting: lr 0.01, momentum 0.9.
+    pub fn paper_mlp() -> Self {
+        Self::new(0.01, 0.9)
+    }
+
+    /// Returns a copy with a different learning rate (used for LSTM decay).
+    pub fn with_learning_rate(mut self, learning_rate: f32) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        self.learning_rate = learning_rate;
+        self
+    }
+
+    /// Applies one momentum-SGD update in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter, gradient and velocity shapes disagree.
+    pub fn update(&self, param: &mut Matrix, grad: &Matrix, velocity: &mut Matrix) {
+        assert_eq!(param.shape(), grad.shape(), "parameter/gradient shape mismatch");
+        assert_eq!(param.shape(), velocity.shape(), "parameter/velocity shape mismatch");
+        let lr = self.learning_rate;
+        let mu = self.momentum;
+        let p = param.as_mut_slice();
+        let g = grad.as_slice();
+        let v = velocity.as_mut_slice();
+        for i in 0..p.len() {
+            v[i] = mu * v[i] - lr * g[i];
+            p[i] += v[i];
+        }
+    }
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Self::paper_mlp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_without_momentum_is_plain_sgd() {
+        let sgd = Sgd::new(0.1, 0.0);
+        let mut w = Matrix::filled(1, 2, 1.0);
+        let g = Matrix::filled(1, 2, 2.0);
+        let mut v = Matrix::zeros(1, 2);
+        sgd.update(&mut w, &g, &mut v);
+        assert!((w[(0, 0)] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let sgd = Sgd::new(0.1, 0.9);
+        let mut w = Matrix::zeros(1, 1);
+        let g = Matrix::filled(1, 1, 1.0);
+        let mut v = Matrix::zeros(1, 1);
+        sgd.update(&mut w, &g, &mut v); // v = -0.1, w = -0.1
+        sgd.update(&mut w, &g, &mut v); // v = -0.19, w = -0.29
+        assert!((w[(0, 0)] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_updates_descend_a_quadratic() {
+        // Minimise f(w) = (w - 3)^2 by gradient descent.
+        let sgd = Sgd::new(0.1, 0.9);
+        let mut w = Matrix::zeros(1, 1);
+        let mut v = Matrix::zeros(1, 1);
+        for _ in 0..200 {
+            let grad = Matrix::filled(1, 1, 2.0 * (w[(0, 0)] - 3.0));
+            sgd.update(&mut w, &grad, &mut v);
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 1e-2, "w = {}", w[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_zero_learning_rate() {
+        let _ = Sgd::new(0.0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in [0, 1)")]
+    fn rejects_momentum_of_one() {
+        let _ = Sgd::new(0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_shape_mismatch() {
+        let sgd = Sgd::default();
+        let mut w = Matrix::zeros(1, 2);
+        let g = Matrix::zeros(2, 1);
+        let mut v = Matrix::zeros(1, 2);
+        sgd.update(&mut w, &g, &mut v);
+    }
+
+    #[test]
+    fn default_matches_paper_mlp_setting() {
+        let sgd = Sgd::default();
+        assert!((sgd.learning_rate - 0.01).abs() < 1e-9);
+        assert!((sgd.momentum - 0.9).abs() < 1e-9);
+        let faster = sgd.with_learning_rate(1.0);
+        assert!((faster.learning_rate - 1.0).abs() < 1e-9);
+    }
+}

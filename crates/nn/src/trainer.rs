@@ -1,0 +1,147 @@
+//! Minimal training-loop driver with per-iteration telemetry.
+//!
+//! The paper's Fig. 5 plots accuracy against *time* for the baseline and the
+//! row-pattern run. The trainer decouples the training step (a closure the
+//! caller provides, typically wrapping [`crate::mlp::Mlp::train_batch`] or
+//! [`crate::lstm::LstmLm::train_batch`]) from the time axis: each iteration
+//! is charged `time_per_iteration_us`, which the experiments obtain from the
+//! `gpu-sim` timing model, so convergence curves can be compared on the same
+//! simulated wall-clock.
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Number of training iterations to run.
+    pub iterations: usize,
+    /// Record a [`TrainRecord`] every this many iterations (and on the last).
+    pub record_every: usize,
+    /// Simulated (or measured) time charged per iteration, in microseconds.
+    pub time_per_iteration_us: f64,
+}
+
+impl TrainerConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`, `record_every == 0` or the per-iteration
+    /// time is negative.
+    pub fn new(iterations: usize, record_every: usize, time_per_iteration_us: f64) -> Self {
+        assert!(iterations > 0, "iterations must be positive");
+        assert!(record_every > 0, "record_every must be positive");
+        assert!(time_per_iteration_us >= 0.0, "time per iteration must be non-negative");
+        Self {
+            iterations,
+            record_every,
+            time_per_iteration_us,
+        }
+    }
+}
+
+/// One telemetry sample of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainRecord {
+    /// 1-based iteration index.
+    pub iteration: usize,
+    /// Cumulative simulated time since the start of training, in µs.
+    pub elapsed_us: f64,
+    /// Training loss reported by the step closure.
+    pub loss: f64,
+    /// Training (or validation) accuracy reported by the step closure.
+    pub accuracy: f64,
+}
+
+/// Drives a training loop and collects telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this trainer runs with.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Runs the loop. The closure receives the 0-based iteration index and
+    /// returns `(loss, accuracy)` for that iteration.
+    pub fn run(&self, mut step: impl FnMut(usize) -> (f64, f64)) -> Vec<TrainRecord> {
+        let mut records = Vec::new();
+        for it in 0..self.config.iterations {
+            let (loss, accuracy) = step(it);
+            let iteration = it + 1;
+            if iteration % self.config.record_every == 0 || iteration == self.config.iterations {
+                records.push(TrainRecord {
+                    iteration,
+                    elapsed_us: iteration as f64 * self.config.time_per_iteration_us,
+                    loss,
+                    accuracy,
+                });
+            }
+        }
+        records
+    }
+}
+
+/// Returns the first record whose accuracy reaches `target`, if any —
+/// convenient for "time to reach X% accuracy" comparisons (Fig. 5).
+pub fn first_reaching_accuracy(records: &[TrainRecord], target: f64) -> Option<&TrainRecord> {
+    records.iter().find(|r| r.accuracy >= target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_sampled_at_the_requested_cadence() {
+        let trainer = Trainer::new(TrainerConfig::new(10, 3, 100.0));
+        let records = trainer.run(|it| (1.0 / (it + 1) as f64, it as f64 / 10.0));
+        // Iterations 3, 6, 9 and the final 10.
+        let iters: Vec<usize> = records.iter().map(|r| r.iteration).collect();
+        assert_eq!(iters, vec![3, 6, 9, 10]);
+        assert!((records[0].elapsed_us - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elapsed_time_scales_with_per_iteration_cost() {
+        let fast = Trainer::new(TrainerConfig::new(5, 1, 10.0));
+        let slow = Trainer::new(TrainerConfig::new(5, 1, 30.0));
+        let f = fast.run(|_| (0.0, 0.0));
+        let s = slow.run(|_| (0.0, 0.0));
+        assert!((s.last().unwrap().elapsed_us / f.last().unwrap().elapsed_us - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_reaching_accuracy_finds_crossing() {
+        let trainer = Trainer::new(TrainerConfig::new(10, 1, 1.0));
+        let records = trainer.run(|it| (0.0, it as f64 * 0.1));
+        let hit = first_reaching_accuracy(&records, 0.45).unwrap();
+        assert_eq!(hit.iteration, 6); // accuracy 0.5 at iteration 6 (it = 5)
+        assert!(first_reaching_accuracy(&records, 2.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations must be positive")]
+    fn config_rejects_zero_iterations() {
+        let _ = TrainerConfig::new(0, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "record_every must be positive")]
+    fn config_rejects_zero_cadence() {
+        let _ = TrainerConfig::new(1, 0, 1.0);
+    }
+
+    #[test]
+    fn config_accessor_round_trips() {
+        let cfg = TrainerConfig::new(3, 1, 5.0);
+        let trainer = Trainer::new(cfg);
+        assert_eq!(trainer.config(), &cfg);
+    }
+}

@@ -1,0 +1,417 @@
+//! GEMM kernels: dense references and the compacted variants that actually
+//! skip dropped rows / tiles.
+//!
+//! The paper's central observation is that conventional dropout cannot shrink
+//! the GEMM because the dropped positions are irregular; the Row-based and
+//! Tile-based patterns make the dropped positions *predictable*, so the kernel
+//! can build compact operand matrices and multiply those instead. The CPU
+//! equivalents here are [`row_compact_gemm`] and [`tile_compact_gemm`]; they
+//! are validated against the dense kernels by unit and property tests.
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Error returned when GEMM operands have incompatible shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GemmError {
+    message: String,
+}
+
+impl GemmError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gemm error: {}", self.message)
+    }
+}
+
+impl std::error::Error for GemmError {}
+
+fn check_inner(a: &Matrix, b: &Matrix) -> Result<(), GemmError> {
+    if a.cols() != b.rows() {
+        return Err(GemmError::new(format!(
+            "inner dimensions disagree: {:?} * {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    Ok(())
+}
+
+/// Textbook triple-loop GEMM, `C = A * B`.
+///
+/// Used as the ground-truth reference for the blocked and compacted kernels.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `a.cols() != b.rows()`.
+pub fn naive_gemm(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
+    check_inner(a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[(i, p)];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Cache-blocked GEMM, `C = A * B`, with a fixed block size of 32.
+///
+/// The block size mirrors the 32×32 tiles the paper uses on the GPU (one tile
+/// per warp, 32 shared-memory banks). The result is numerically identical to
+/// [`naive_gemm`] up to floating-point associativity.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `a.cols() != b.rows()`.
+pub fn blocked_gemm(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
+    check_inner(a, b)?;
+    const BLOCK: usize = 32;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for ii in (0..m).step_by(BLOCK) {
+        let i_end = (ii + BLOCK).min(m);
+        for pp in (0..k).step_by(BLOCK) {
+            let p_end = (pp + BLOCK).min(k);
+            for jj in (0..n).step_by(BLOCK) {
+                let j_end = (jj + BLOCK).min(n);
+                for i in ii..i_end {
+                    for p in pp..p_end {
+                        let aip = a[(i, p)];
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let brow = b.row(p);
+                        let crow = c.row_mut(i);
+                        for j in jj..j_end {
+                            crow[j] += aip * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Row-compacted GEMM used by the Row-based Dropout Pattern.
+///
+/// Computes `C = A * W` where only the rows of the *output* listed in
+/// `kept_output_rows` are needed — equivalently only the corresponding
+/// columns of `W` (the synapses feeding the kept neurons) participate.
+///
+/// Layout convention used across the workspace: activations are
+/// `(batch, in_features)` and weights are `(in_features, out_features)`, so
+/// dropping output *neurons* means dropping *columns* of `W` and columns of
+/// the output. The paper describes the transposed layout (dropping rows of
+/// `Wᵀ`); both are the same compaction. The returned matrix has the full
+/// `(batch, out_features)` shape with dropped columns left at zero, exactly
+/// like step 3 of the paper's Fig. 3(a).
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree or any kept index
+/// is out of bounds.
+pub fn row_compact_gemm(
+    a: &Matrix,
+    w: &Matrix,
+    kept_output_rows: &[usize],
+) -> Result<Matrix, GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    if let Some(&bad) = kept_output_rows.iter().find(|&&j| j >= n) {
+        return Err(GemmError::new(format!(
+            "kept output index {bad} out of bounds for {n} output features"
+        )));
+    }
+    // Build the compact weight matrix containing only the kept columns, run a
+    // small GEMM, then scatter back into the full-size zero output.
+    let w_compact = w.select_cols(kept_output_rows);
+    let c_compact = blocked_gemm(a, &w_compact)?;
+    let mut c = Matrix::zeros(a.rows(), n);
+    for i in 0..a.rows() {
+        for (dst_pos, &j) in kept_output_rows.iter().enumerate() {
+            c[(i, j)] = c_compact[(i, dst_pos)];
+        }
+    }
+    Ok(c)
+}
+
+/// Tile-compacted GEMM used by the Tile-based Dropout Pattern.
+///
+/// `kept_tiles` lists the linear indices (row-major over the tile grid of the
+/// weight matrix `W`, tile size `tile × tile`) that are *kept*; every other
+/// tile of `W` is treated as zero. Only the kept tiles contribute to the
+/// product, which is what the GPU kernel achieves by fetching only those
+/// tiles into shared memory.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `tile == 0`, or a
+/// tile index is outside the tile grid.
+pub fn tile_compact_gemm(
+    a: &Matrix,
+    w: &Matrix,
+    kept_tiles: &[usize],
+    tile: usize,
+) -> Result<Matrix, GemmError> {
+    check_inner(a, w)?;
+    if tile == 0 {
+        return Err(GemmError::new("tile size must be positive"));
+    }
+    let tiles_per_row = w.cols().div_ceil(tile);
+    let tiles_per_col = w.rows().div_ceil(tile);
+    let total_tiles = tiles_per_row * tiles_per_col;
+    if let Some(&bad) = kept_tiles.iter().find(|&&t| t >= total_tiles) {
+        return Err(GemmError::new(format!(
+            "tile index {bad} out of bounds for a {tiles_per_col}x{tiles_per_row} tile grid"
+        )));
+    }
+    let m = a.rows();
+    let n = w.cols();
+    let mut c = Matrix::zeros(m, n);
+    for &t in kept_tiles {
+        let tile_row = t / tiles_per_row; // which block of W rows (input features)
+        let tile_col = t % tiles_per_row; // which block of W cols (output features)
+        let k_start = tile_row * tile;
+        let k_end = (k_start + tile).min(w.rows());
+        let j_start = tile_col * tile;
+        let j_end = (j_start + tile).min(w.cols());
+        for i in 0..m {
+            for p in k_start..k_end {
+                let aip = a[(i, p)];
+                if aip == 0.0 {
+                    continue;
+                }
+                for j in j_start..j_end {
+                    c[(i, j)] += aip * w[(p, j)];
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Reference implementation of tile dropout through explicit masking.
+///
+/// Builds the full masked weight matrix (kept tiles preserved, dropped tiles
+/// zeroed) and multiplies densely — the slow path that conventional dropout
+/// is stuck with. Used to validate [`tile_compact_gemm`].
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree or `tile == 0`.
+pub fn tile_masked_gemm_reference(
+    a: &Matrix,
+    w: &Matrix,
+    kept_tiles: &[usize],
+    tile: usize,
+) -> Result<Matrix, GemmError> {
+    if tile == 0 {
+        return Err(GemmError::new("tile size must be positive"));
+    }
+    let tiles_per_row = w.cols().div_ceil(tile);
+    let mut masked = Matrix::zeros(w.rows(), w.cols());
+    for &t in kept_tiles {
+        let tile_row = t / tiles_per_row;
+        let tile_col = t % tiles_per_row;
+        for p in (tile_row * tile)..((tile_row + 1) * tile).min(w.rows()) {
+            for j in (tile_col * tile)..((tile_col + 1) * tile).min(w.cols()) {
+                masked[(p, j)] = w[(p, j)];
+            }
+        }
+    }
+    naive_gemm(a, &masked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+        init::uniform(rng, r, c, -1.0, 1.0)
+    }
+
+    #[test]
+    fn naive_gemm_small_known_result() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = naive_gemm(&a, &b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gemm_rejects_mismatched_inner_dims() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(naive_gemm(&a, &b).is_err());
+        assert!(blocked_gemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_odd_sizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random_matrix(&mut rng, 37, 53);
+        let b = random_matrix(&mut rng, 53, 41);
+        let c1 = naive_gemm(&a, &b).unwrap();
+        let c2 = blocked_gemm(&a, &b).unwrap();
+        assert!(crate::approx_eq_slice(c1.as_slice(), c2.as_slice(), 1e-3));
+    }
+
+    #[test]
+    fn identity_is_neutral_for_all_kernels() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_matrix(&mut rng, 16, 16);
+        let i = Matrix::identity(16);
+        assert!(crate::approx_eq_slice(
+            naive_gemm(&a, &i).unwrap().as_slice(),
+            a.as_slice(),
+            1e-5
+        ));
+        assert!(crate::approx_eq_slice(
+            blocked_gemm(&a, &i).unwrap().as_slice(),
+            a.as_slice(),
+            1e-5
+        ));
+    }
+
+    #[test]
+    fn row_compact_matches_column_masked_dense() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random_matrix(&mut rng, 8, 12);
+        let w = random_matrix(&mut rng, 12, 10);
+        let kept = vec![0, 3, 6, 9];
+        let compact = row_compact_gemm(&a, &w, &kept).unwrap();
+
+        // Dense reference: zero the dropped columns of W, then multiply.
+        let mut masked = w.clone();
+        for j in 0..w.cols() {
+            if !kept.contains(&j) {
+                for p in 0..w.rows() {
+                    masked[(p, j)] = 0.0;
+                }
+            }
+        }
+        let reference = naive_gemm(&a, &masked).unwrap();
+        assert!(crate::approx_eq_slice(
+            compact.as_slice(),
+            reference.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn row_compact_rejects_out_of_bounds_index() {
+        let a = Matrix::zeros(2, 3);
+        let w = Matrix::zeros(3, 4);
+        assert!(row_compact_gemm(&a, &w, &[4]).is_err());
+    }
+
+    #[test]
+    fn row_compact_with_all_rows_equals_dense() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = random_matrix(&mut rng, 6, 7);
+        let w = random_matrix(&mut rng, 7, 5);
+        let all: Vec<usize> = (0..5).collect();
+        let compact = row_compact_gemm(&a, &w, &all).unwrap();
+        let dense = naive_gemm(&a, &w).unwrap();
+        assert!(crate::approx_eq_slice(
+            compact.as_slice(),
+            dense.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn row_compact_with_no_rows_is_zero() {
+        let a = Matrix::ones(3, 4);
+        let w = Matrix::ones(4, 5);
+        let c = row_compact_gemm(&a, &w, &[]).unwrap();
+        assert_eq!(c.sum(), 0.0);
+        assert_eq!(c.shape(), (3, 5));
+    }
+
+    #[test]
+    fn tile_compact_matches_masked_reference() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = random_matrix(&mut rng, 9, 12);
+        let w = random_matrix(&mut rng, 12, 10);
+        let tile = 4;
+        let kept = vec![0, 2, 5, 7];
+        let compact = tile_compact_gemm(&a, &w, &kept, tile).unwrap();
+        let reference = tile_masked_gemm_reference(&a, &w, &kept, tile).unwrap();
+        assert!(crate::approx_eq_slice(
+            compact.as_slice(),
+            reference.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn tile_compact_with_all_tiles_equals_dense() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let a = random_matrix(&mut rng, 8, 8);
+        let w = random_matrix(&mut rng, 8, 8);
+        let tile = 4;
+        let all: Vec<usize> = (0..4).collect();
+        let compact = tile_compact_gemm(&a, &w, &all, tile).unwrap();
+        let dense = naive_gemm(&a, &w).unwrap();
+        assert!(crate::approx_eq_slice(
+            compact.as_slice(),
+            dense.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn tile_compact_rejects_zero_tile_size() {
+        let a = Matrix::zeros(4, 4);
+        let w = Matrix::zeros(4, 4);
+        assert!(tile_compact_gemm(&a, &w, &[0], 0).is_err());
+    }
+
+    #[test]
+    fn tile_compact_rejects_out_of_range_tile() {
+        let a = Matrix::zeros(4, 4);
+        let w = Matrix::zeros(4, 4);
+        // 4x4 weight with tile 4 has exactly one tile (index 0).
+        assert!(tile_compact_gemm(&a, &w, &[1], 4).is_err());
+    }
+
+    #[test]
+    fn tile_compact_handles_non_divisible_edges() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_matrix(&mut rng, 5, 7);
+        let w = random_matrix(&mut rng, 7, 9);
+        let tile = 4; // 2x3 tile grid with ragged edges
+        let kept = vec![0, 3, 5];
+        let compact = tile_compact_gemm(&a, &w, &kept, tile).unwrap();
+        let reference = tile_masked_gemm_reference(&a, &w, &kept, tile).unwrap();
+        assert!(crate::approx_eq_slice(
+            compact.as_slice(),
+            reference.as_slice(),
+            1e-4
+        ));
+    }
+}

@@ -1,0 +1,71 @@
+//! Dense matrix substrate for the Approximate Random Dropout reproduction.
+//!
+//! The paper accelerates DNN training by shrinking the matrices that the GEMM
+//! kernels operate on. This crate provides the CPU-side equivalent of that
+//! substrate:
+//!
+//! * [`Matrix`] — a row-major, `f32` dense matrix with the elementwise and
+//!   reduction operations a small training framework needs.
+//! * [`gemm`] — naive and cache-blocked matrix multiplication, plus the
+//!   *compacted* GEMM variants that actually skip dropped rows / tiles, which
+//!   is what Row-based and Tile-based Dropout Patterns do on the GPU.
+//! * [`init`] — weight initialisation helpers (uniform, Xavier/Glorot,
+//!   Gaussian via Box–Muller) so the crate has no dependency beyond `rand`.
+//!
+//! # Example
+//!
+//! ```
+//! use tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod gemm;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use gemm::{blocked_gemm, naive_gemm, row_compact_gemm, tile_compact_gemm, GemmError};
+pub use init::{gaussian, uniform, xavier_uniform};
+pub use matrix::{Matrix, ShapeError};
+
+/// Absolute tolerance used by the crate's approximate float comparisons.
+pub const DEFAULT_TOLERANCE: f32 = 1e-4;
+
+/// Returns `true` when two slices agree elementwise within `tol`.
+///
+/// This is a test/diagnostic helper used throughout the workspace to compare
+/// compacted kernels against their dense references.
+///
+/// # Example
+///
+/// ```
+/// assert!(tensor::approx_eq_slice(&[1.0, 2.0], &[1.0, 2.0 + 1e-6], 1e-4));
+/// assert!(!tensor::approx_eq_slice(&[1.0], &[1.5], 1e-4));
+/// ```
+pub fn approx_eq_slice(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_slice_accepts_small_differences() {
+        assert!(approx_eq_slice(&[0.0, 1.0], &[0.0, 1.0 + 1e-5], 1e-4));
+    }
+
+    #[test]
+    fn approx_eq_slice_rejects_length_mismatch() {
+        assert!(!approx_eq_slice(&[0.0], &[0.0, 1.0], 1e-4));
+    }
+
+    #[test]
+    fn approx_eq_slice_rejects_large_differences() {
+        assert!(!approx_eq_slice(&[0.0, 1.0], &[0.0, 1.2], 1e-4));
+    }
+}

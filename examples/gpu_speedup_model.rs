@@ -1,0 +1,56 @@
+//! Query the GPU timing model directly: per-kernel and per-iteration times
+//! for the paper's MLP and LSTM configurations, across dropout rates and
+//! network sizes.
+//!
+//! Run with `cargo run --example gpu_speedup_model`.
+
+use approx_dropout::{search, DropoutRate, SearchConfig};
+use gpu_sim::{kernels, DropoutTiming, GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuConfig::gtx_1080ti();
+    println!("device: {gpu}");
+
+    println!("\nsingle GEMM (batch 128, 2048 -> 2048):");
+    let dense = kernels::dense_gemm(&gpu, 128, 2048, 2048);
+    println!("  dense GEMM            {:>8.1} us", dense.time_us());
+    for dp in [2usize, 3, 5] {
+        let row = kernels::row_compact_gemm(&gpu, 128, 2048, 2048, 2048 / dp);
+        println!(
+            "  row-compact (dp = {dp})   {:>8.1} us  ({:.2}x)",
+            row.time_us(),
+            dense.time_us() / row.time_us()
+        );
+    }
+
+    println!("\nend-to-end iteration speedups vs conventional dropout:");
+    println!("{:<28} {:>8} {:>8} {:>8}", "network", "p=0.3", "p=0.5", "p=0.7");
+    let networks: Vec<(String, NetworkTimingModel)> = vec![
+        (
+            "MLP 2048x2048".to_string(),
+            NetworkTimingModel::mlp(gpu.clone(), MlpSpec::paper_mlp()),
+        ),
+        (
+            "MLP 4096x4096".to_string(),
+            NetworkTimingModel::mlp(gpu.clone(), MlpSpec::with_hidden(4096, 4096)),
+        ),
+        (
+            "LSTM 2x1500 (dictionary)".to_string(),
+            NetworkTimingModel::lstm(gpu.clone(), LstmSpec::paper_dictionary_lstm()),
+        ),
+        (
+            "LSTM 3x1500 (PTB)".to_string(),
+            NetworkTimingModel::lstm(gpu, LstmSpec::paper_ptb_lstm()),
+        ),
+    ];
+    for (name, model) in &networks {
+        let mut row = format!("{name:<28}");
+        for &p in &[0.3, 0.5, 0.7] {
+            let dist = search::sgd_search(DropoutRate::new(p)?, 16, &SearchConfig::default())?;
+            let speedup = model.speedup(&DropoutTiming::Conventional(p), &DropoutTiming::Row(dist));
+            row.push_str(&format!(" {speedup:>7.2}x"));
+        }
+        println!("{row}");
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! MLP comparison: conventional dropout vs Row-based vs Tile-based patterns
+//! on the synthetic MNIST task, reporting held-out accuracy and the
+//! simulated GPU speedup at the paper's full network size (2048×2048).
+//!
+//! Run with `cargo run --release --example mlp_mnist`.
+
+use approx_dropout::{DropoutRate, PatternKind};
+use data::{MnistConfig, SyntheticMnist};
+use gpu_sim::{DropoutTiming, GpuConfig, MlpSpec, NetworkTimingModel};
+use nn::dropout::DropoutConfig;
+use nn::mlp::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn train(dropout: DropoutConfig, data: &SyntheticMnist) -> f64 {
+    let mut rng = StdRng::seed_from_u64(7);
+    let config = MlpConfig {
+        input_dim: data.dim(),
+        hidden: vec![128, 128],
+        output_dim: data.classes(),
+        dropout,
+        learning_rate: 0.05,
+        momentum: 0.5,
+    };
+    let mut mlp = Mlp::new(&config, &mut rng);
+    for it in 0..200 {
+        let (x, y) = data.batch(64, it);
+        let _ = mlp.train_batch(&x, &y, &mut rng);
+    }
+    let (ex, ey) = data.eval_set(256);
+    mlp.evaluate(&ex, &ey).1
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rate = DropoutRate::new(0.5)?;
+    let data = SyntheticMnist::new(MnistConfig::small());
+    let timing = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
+    let baseline_time = timing.iteration_time(&DropoutTiming::Conventional(0.5)).total_us();
+
+    println!("{:<22} {:>10} {:>22}", "method", "accuracy", "simulated GPU speedup");
+    let cases: Vec<(&str, DropoutConfig, DropoutTiming)> = vec![
+        (
+            "conventional dropout",
+            DropoutConfig::Bernoulli(rate),
+            DropoutTiming::Conventional(0.5),
+        ),
+        (
+            "row pattern (RDP)",
+            DropoutConfig::pattern(rate, PatternKind::Row)?,
+            DropoutTiming::Row(approx_dropout::search::sgd_search(
+                rate,
+                16,
+                &approx_dropout::SearchConfig::default(),
+            )?),
+        ),
+        (
+            "tile pattern (TDP)",
+            DropoutConfig::pattern_with(rate, PatternKind::Tile, 8, 16)?,
+            DropoutTiming::tile(approx_dropout::search::sgd_search(
+                rate,
+                16,
+                &approx_dropout::SearchConfig::default(),
+            )?),
+        ),
+    ];
+    for (name, dropout, timing_mode) in cases {
+        let accuracy = train(dropout, &data);
+        let speedup = baseline_time / timing.iteration_time(&timing_mode).total_us();
+        println!("{:<22} {:>9.1}% {:>21.2}x", name, accuracy * 100.0, speedup);
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: search a dropout-pattern distribution, check its statistical
+//! equivalence to conventional dropout, and train a small MLP with it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use approx_dropout::equivalence::measure_equivalence;
+use approx_dropout::{search, DropoutRate, PatternKind, PatternSampler, SearchConfig};
+use data::{MnistConfig, SyntheticMnist};
+use nn::dropout::DropoutConfig;
+use nn::mlp::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Run Algorithm 1: find a distribution over pattern periods whose
+    //    expected global dropout rate is 0.5.
+    let rate = DropoutRate::new(0.5)?;
+    let distribution = search::sgd_search(rate, 16, &SearchConfig::default())?;
+    println!("searched distribution: {distribution}");
+
+    // 2. Verify the statistical-equivalence claim (Eq. 2 / Eq. 3): over many
+    //    iterations, each neuron is dropped with probability ≈ 0.5.
+    let sampler = PatternSampler::new(distribution, PatternKind::Row);
+    let mut rng = StdRng::seed_from_u64(0);
+    let report = measure_equivalence(&sampler, &mut rng, 128, 2_000);
+    println!(
+        "per-neuron drop rate: analytic {:.3}, empirical {:.3} (max unit deviation {:.3})",
+        report.analytic_rate, report.empirical_mean, report.max_unit_deviation
+    );
+
+    // 3. Train a small MLP on the synthetic MNIST task with row-pattern
+    //    dropout and compare against its own no-dropout evaluation accuracy.
+    let data = SyntheticMnist::new(MnistConfig::small());
+    let config = MlpConfig {
+        input_dim: data.dim(),
+        hidden: vec![128, 128],
+        output_dim: data.classes(),
+        dropout: DropoutConfig::pattern(rate, PatternKind::Row)?,
+        learning_rate: 0.05,
+        momentum: 0.5,
+    };
+    let mut mlp = Mlp::new(&config, &mut rng);
+    for it in 0..150 {
+        let (x, y) = data.batch(64, it);
+        let stats = mlp.train_batch(&x, &y, &mut rng);
+        if (it + 1) % 50 == 0 {
+            println!("iteration {:>3}: loss {:.3}", it + 1, stats.loss);
+        }
+    }
+    let (ex, ey) = data.eval_set(256);
+    let (loss, accuracy) = mlp.evaluate(&ex, &ey);
+    println!("held-out: loss {loss:.3}, accuracy {:.1}%", accuracy * 100.0);
+    Ok(())
+}

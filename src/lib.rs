@@ -1,0 +1,18 @@
+//! Workspace facade for the Approximate Random Dropout (DATE 2019)
+//! reproduction.
+//!
+//! Re-exports the member crates so that the examples and integration tests
+//! can use one coherent namespace:
+//!
+//! * [`tensor`] — dense matrix substrate (GEMM, compacted GEMM).
+//! * [`approx_dropout`] — the paper's contribution: row/tile dropout patterns
+//!   and the SGD-based pattern-distribution search.
+//! * [`nn`] — MLP/LSTM training substrate (the stand-in for Caffe).
+//! * [`gpu_sim`] — SIMT GPU timing model (the stand-in for the GTX 1080Ti).
+//! * [`data`] — synthetic MNIST-like and PTB-like datasets.
+
+pub use approx_dropout;
+pub use data;
+pub use gpu_sim;
+pub use nn;
+pub use tensor;

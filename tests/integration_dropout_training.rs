@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: pattern search (core) → training (nn) on
+//! synthetic data (data) → timing model (gpu-sim), exercised through the
+//! workspace facade exactly the way the experiment binaries use it.
+
+use approx_random_dropout::approx_dropout::{
+    search, DropoutRate, PatternKind, SearchConfig,
+};
+use approx_random_dropout::data::{CorpusConfig, MnistConfig, SyntheticCorpus, SyntheticMnist};
+use approx_random_dropout::gpu_sim::{DropoutTiming, GpuConfig, MlpSpec, NetworkTimingModel};
+use approx_random_dropout::nn::dropout::DropoutConfig;
+use approx_random_dropout::nn::lstm::{LstmLm, LstmLmConfig};
+use approx_random_dropout::nn::mlp::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pattern_config(rate: f64, kind: PatternKind) -> DropoutConfig {
+    DropoutConfig::pattern_with(DropoutRate::new(rate).unwrap(), kind, 8, 16).unwrap()
+}
+
+fn train_mlp_accuracy(dropout: DropoutConfig, iterations: usize) -> f64 {
+    let data = SyntheticMnist::new(MnistConfig::small());
+    let mut rng = StdRng::seed_from_u64(123);
+    let config = MlpConfig {
+        input_dim: data.dim(),
+        hidden: vec![96, 96],
+        output_dim: data.classes(),
+        dropout,
+        learning_rate: 0.05,
+        momentum: 0.5,
+    };
+    let mut mlp = Mlp::new(&config, &mut rng);
+    for it in 0..iterations {
+        let (x, y) = data.batch(64, it as u64);
+        let _ = mlp.train_batch(&x, &y, &mut rng);
+    }
+    let (ex, ey) = data.eval_set(200);
+    mlp.evaluate(&ex, &ey).1
+}
+
+#[test]
+fn row_pattern_training_matches_baseline_accuracy_on_synthetic_mnist() {
+    let iterations = 120;
+    let baseline = train_mlp_accuracy(
+        DropoutConfig::Bernoulli(DropoutRate::new(0.5).unwrap()),
+        iterations,
+    );
+    let row = train_mlp_accuracy(pattern_config(0.5, PatternKind::Row), iterations);
+    assert!(baseline > 0.8, "baseline accuracy {baseline}");
+    assert!(row > 0.8, "row-pattern accuracy {row}");
+    // The paper reports < 0.5% accuracy loss at full scale; on the small
+    // synthetic task we allow a few points of noise but no collapse.
+    assert!(
+        (baseline - row).abs() < 0.10,
+        "accuracy gap too large: baseline {baseline}, row {row}"
+    );
+}
+
+#[test]
+fn tile_pattern_training_matches_baseline_accuracy_on_synthetic_mnist() {
+    let iterations = 120;
+    let baseline = train_mlp_accuracy(
+        DropoutConfig::Bernoulli(DropoutRate::new(0.5).unwrap()),
+        iterations,
+    );
+    let tile = train_mlp_accuracy(pattern_config(0.5, PatternKind::Tile), iterations);
+    assert!(tile > 0.8, "tile-pattern accuracy {tile}");
+    assert!(
+        (baseline - tile).abs() < 0.10,
+        "accuracy gap too large: baseline {baseline}, tile {tile}"
+    );
+}
+
+#[test]
+fn searched_distribution_drives_both_training_and_timing() {
+    // One distribution: used to (a) train and (b) estimate the speedup, the
+    // way the fig4 binary composes the crates.
+    let rate = DropoutRate::new(0.7).unwrap();
+    let dist = search::sgd_search(rate, 16, &SearchConfig::default()).unwrap();
+    assert!((dist.expected_global_rate() - 0.7).abs() < 0.02);
+
+    let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::with_hidden(4096, 4096));
+    let speedup = model.speedup(
+        &DropoutTiming::Conventional(0.7),
+        &DropoutTiming::Row(dist.clone()),
+    );
+    // Paper Table I: ~2.16x for the 4096x4096 network at rate 0.7.
+    assert!(speedup > 1.5, "speedup {speedup}");
+    assert!(speedup < 3.5, "speedup {speedup}");
+
+    let small = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::with_hidden(1024, 64));
+    let small_speedup = small.speedup(
+        &DropoutTiming::Conventional(0.7),
+        &DropoutTiming::Row(dist),
+    );
+    assert!(small_speedup < speedup, "speedup should grow with network size");
+}
+
+#[test]
+fn lstm_language_model_trains_with_pattern_dropout_end_to_end() {
+    let corpus = SyntheticCorpus::new(CorpusConfig {
+        vocab: 80,
+        ..CorpusConfig::small()
+    });
+    let mut rng = StdRng::seed_from_u64(5);
+    let config = LstmLmConfig {
+        vocab: corpus.vocab(),
+        embed_dim: 24,
+        hidden: 24,
+        layers: 2,
+        dropout: pattern_config(0.3, PatternKind::Row),
+        learning_rate: 0.5,
+        momentum: 0.0,
+        grad_clip: 5.0,
+    };
+    let mut lm = LstmLm::new(&config, &mut rng);
+    let first = lm.train_batch(&corpus.batch(8, 10, 0), &mut rng);
+    for it in 1..80 {
+        let _ = lm.train_batch(&corpus.batch(8, 10, it), &mut rng);
+    }
+    let eval = lm.evaluate(&corpus.batch(8, 10, 9999));
+    assert!(eval.loss.is_finite());
+    assert!(
+        eval.perplexity < first.perplexity,
+        "perplexity did not improve: {} -> {}",
+        first.perplexity,
+        eval.perplexity
+    );
+    assert!(eval.accuracy > 1.0 / 80.0, "accuracy {}", eval.accuracy);
+}
+
+#[test]
+fn facade_reexports_every_member_crate() {
+    // Compile-time check that the workspace facade exposes the crates the
+    // examples rely on.
+    let _gpu = approx_random_dropout::gpu_sim::GpuConfig::gtx_1080ti();
+    let _rate = approx_random_dropout::approx_dropout::DropoutRate::new(0.3).unwrap();
+    let _mnist = approx_random_dropout::data::MnistConfig::small();
+    let _matrix = approx_random_dropout::tensor::Matrix::zeros(1, 1);
+    let _sgd = approx_random_dropout::nn::Sgd::default();
+}
