@@ -43,7 +43,9 @@ fn bench_divergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("divergence_motivation");
     group.sample_size(10);
     group.bench_function("dense_gemm", |b| {
-        b.iter(|| black_box(gemm::blocked_gemm(black_box(&x), black_box(&w)).expect("shapes agree")))
+        b.iter(|| {
+            black_box(gemm::blocked_gemm(black_box(&x), black_box(&w)).expect("shapes agree"))
+        })
     });
     group.bench_function("branchy_skip_gemm", |b| {
         b.iter(|| black_box(branchy_gemm(black_box(&x), black_box(&w), &kept_mask)))

@@ -1,0 +1,68 @@
+//! Plan–execute micro-benchmark: per-iteration cost of sampling a
+//! `DropoutPlan` from each scheme, and of executing the planned GEMM
+//! (dense + mask for the Bernoulli baseline, compacted for the patterns).
+//!
+//! This is the CPU-side counterpart of the paper's claim that planning the
+//! pattern *before* launch is cheap relative to the GEMM work it saves: plan
+//! creation is O(layer width) bookkeeping, while the compacted GEMM removes
+//! an `(1 - 1/dp)` share of the O(M·K·N) multiply.
+
+use approx_dropout::{scheme, DropoutRate, DropoutScheme, LayerShape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn::Linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tensor::init;
+
+const BATCH: usize = 32;
+const DIM: usize = 256;
+
+fn schemes() -> Vec<(&'static str, Box<dyn DropoutScheme>)> {
+    let rate = DropoutRate::new(0.5).expect("static rate is valid");
+    vec![
+        ("bernoulli", scheme::bernoulli(rate)),
+        ("row", scheme::row(rate, 16).expect("valid")),
+        ("tile", scheme::tile(rate, 16, 32).expect("valid")),
+    ]
+}
+
+/// Cost of `DropoutScheme::plan` alone — the pre-launch planning step.
+fn bench_plan_creation(c: &mut Criterion) {
+    let shape = LayerShape::new(DIM, DIM);
+    let mut group = c.benchmark_group("plan_creation");
+    group.sample_size(20);
+    for (name, mut s) in schemes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("plan", name), &(), |b, ()| {
+            b.iter(|| black_box(s.plan(&mut rng, black_box(shape))))
+        });
+    }
+    group.finish();
+}
+
+/// Cost of plan sampling *plus* executing the planned forward GEMM — what
+/// one training iteration of a single layer pays end to end.
+fn bench_planned_forward(c: &mut Criterion) {
+    let shape = LayerShape::new(DIM, DIM);
+    let mut init_rng = StdRng::seed_from_u64(2);
+    let layer = Linear::new(&mut init_rng, DIM, DIM);
+    let x = init::uniform(&mut init_rng, BATCH, DIM, -1.0, 1.0);
+
+    let mut group = c.benchmark_group("plan_plus_forward");
+    group.sample_size(10);
+    for (name, mut s) in schemes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut work_layer = layer.clone();
+        group.bench_with_input(BenchmarkId::new("forward", name), &(), |b, ()| {
+            b.iter(|| {
+                let plan = s.plan(&mut rng, shape);
+                black_box(work_layer.forward(black_box(&x), &plan))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_creation, bench_planned_forward);
+criterion_main!(benches);

@@ -18,7 +18,14 @@ fn main() {
     let max_dp = 16;
     let mut report = Report::new(
         "Algorithm 1 — statistical equivalence of the searched distribution",
-        &["target p", "E[global rate]", "empirical p_n", "max unit dev", "entropy", "distinct sub-models"],
+        &[
+            "target p",
+            "E[global rate]",
+            "empirical p_n",
+            "max unit dev",
+            "entropy",
+            "distinct sub-models",
+        ],
     );
     for &p in &[0.3, 0.5, 0.7] {
         let dist = search::sgd_search(

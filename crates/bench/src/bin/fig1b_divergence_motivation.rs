@@ -2,8 +2,9 @@
 //! speed anything up because the SIMT front-end serialises divergent warps,
 //! while the regular patterns do.
 
-use bench::{distribution_for, Report};
-use gpu_sim::{kernels, DropoutTiming, GpuConfig, MlpSpec, NetworkTimingModel};
+use approx_dropout::{scheme, DropoutRate, DropoutScheme};
+use bench::Report;
+use gpu_sim::{kernels, GpuConfig, MlpSpec, NetworkTimingModel, DEFAULT_TIMING_SAMPLES};
 
 fn main() {
     let gpu = GpuConfig::gtx_1080ti();
@@ -37,15 +38,21 @@ fn main() {
         "End-to-end MLP iteration (2048x2048, batch 128, dropout 0.5)",
         &["method", "iteration time (ms)", "speedup vs conventional"],
     );
-    let modes = [
-        ("conventional dropout", DropoutTiming::Conventional(0.5)),
-        ("divergent if-else skip", DropoutTiming::Divergent(0.5)),
-        ("row pattern", DropoutTiming::Row(distribution_for(0.5))),
-        ("tile pattern", DropoutTiming::tile(distribution_for(0.5))),
+    let rate = DropoutRate::new(0.5).expect("static rate is valid");
+    let schemes: Vec<(&str, Box<dyn DropoutScheme>)> = vec![
+        ("conventional dropout", scheme::bernoulli(rate)),
+        ("divergent if-else skip", scheme::divergent_bernoulli(rate)),
+        ("row pattern", scheme::row(rate, 16).expect("valid")),
+        ("tile pattern", scheme::tile(rate, 16, 32).expect("valid")),
     ];
-    let baseline = model.iteration_time(&DropoutTiming::Conventional(0.5)).total_us();
-    for (name, mode) in &modes {
-        let t = model.iteration_time(mode).total_us();
+    let time_of = |s: &dyn DropoutScheme| {
+        model
+            .expected_iteration_time(s, DEFAULT_TIMING_SAMPLES, 7)
+            .total_us()
+    };
+    let baseline = time_of(&*scheme::bernoulli(rate));
+    for (name, dropout_scheme) in &schemes {
+        let t = time_of(&**dropout_scheme);
         net_report.add_row(&[
             name.to_string(),
             format!("{:.3}", t / 1e3),

@@ -6,7 +6,9 @@
 //! network size; accuracies come from training a down-scaled MLP on the
 //! synthetic MNIST task (see DESIGN.md for the substitution rationale).
 
-use bench::{default_train_iterations, mlp_speedup, mlp_timing_model, train_scaled_mlp, Method, Report};
+use bench::{
+    default_train_iterations, mlp_speedup, mlp_timing_model, train_scaled_mlp, Method, Report,
+};
 
 fn main() {
     let rate_pairs = [
@@ -25,8 +27,17 @@ fn main() {
 
     for method in [Method::Row, Method::Tile] {
         let mut report = Report::new(
-            format!("Fig. 4 — {} Dropout Pattern (MLP 2048x2048, batch 128)", method.label()),
-            &["rates (p1,p2)", "speedup", "new accuracy", "old accuracy", "acc. delta"],
+            format!(
+                "Fig. 4 — {} Dropout Pattern (MLP 2048x2048, batch 128)",
+                method.label()
+            ),
+            &[
+                "rates (p1,p2)",
+                "speedup",
+                "new accuracy",
+                "old accuracy",
+                "acc. delta",
+            ],
         );
         for &(r1, r2) in &rate_pairs {
             let speedup = mlp_speedup(&model, method, r1, r2);

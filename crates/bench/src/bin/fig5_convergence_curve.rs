@@ -6,15 +6,18 @@
 //! GPU timing model at the paper's LSTM size, so the row-pattern curve is
 //! compressed horizontally exactly as in the paper's figure.
 
-use bench::{lstm_timing_model, Method};
+use bench::{iteration_time_us, lstm_timing_model, Method};
 use data::{CorpusConfig, SyntheticCorpus};
-use gpu_sim::DropoutTiming;
 use nn::lstm::{LstmLm, LstmLmConfig};
 use nn::trainer::{first_reaching_accuracy, Trainer, TrainerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn run(method: Method, iterations: usize, time_per_iteration_us: f64) -> Vec<nn::trainer::TrainRecord> {
+fn run(
+    method: Method,
+    iterations: usize,
+    time_per_iteration_us: f64,
+) -> Vec<nn::trainer::TrainRecord> {
     let corpus = SyntheticCorpus::new(CorpusConfig {
         vocab: 120,
         ..CorpusConfig::small()
@@ -25,7 +28,7 @@ fn run(method: Method, iterations: usize, time_per_iteration_us: f64) -> Vec<nn:
         embed_dim: 32,
         hidden: 32,
         layers: 2,
-        dropout: method.dropout_config(0.5),
+        dropout: method.scaled_scheme(0.5),
         learning_rate: 0.5,
         momentum: 0.0,
         grad_clip: 5.0,
@@ -46,14 +49,18 @@ fn main() {
         300
     };
     let model = lstm_timing_model();
-    let baseline_time = model
-        .iteration_time(&DropoutTiming::Conventional(0.5))
-        .total_us();
-    let row_time = model.iteration_time(&Method::Row.timing(0.5)).total_us();
+    let baseline_time = iteration_time_us(&model, Method::Baseline, 0.5);
+    let row_time = iteration_time_us(&model, Method::Row, 0.5);
 
     println!("# Fig. 5 — training accuracy vs simulated time (dropout 0.5)");
-    println!("# per-iteration time: baseline {:.1} us, row pattern {:.1} us", baseline_time, row_time);
-    println!("{:<12} {:>16} {:>12} {:>18} {:>14}", "iteration", "baseline_time_ms", "baseline_acc", "row_pattern_time_ms", "row_pattern_acc");
+    println!(
+        "# per-iteration time: baseline {:.1} us, row pattern {:.1} us",
+        baseline_time, row_time
+    );
+    println!(
+        "{:<12} {:>16} {:>12} {:>18} {:>14}",
+        "iteration", "baseline_time_ms", "baseline_acc", "row_pattern_time_ms", "row_pattern_acc"
+    );
 
     let baseline = run(Method::Baseline, iterations, baseline_time);
     let row = run(Method::Row, iterations, row_time);

@@ -2,8 +2,10 @@
 //! speedup of the Row-based Dropout Pattern as the dropout rate sweeps from
 //! 0.3 to 0.7.
 
-use bench::{default_train_iterations, ptb_timing_model, train_scaled_lstm, Method, Report};
-use gpu_sim::DropoutTiming;
+use bench::{
+    default_train_iterations, ptb_timing_model, speedup_vs_baseline, train_scaled_lstm, Method,
+    Report,
+};
 
 fn main() {
     let rates = [0.3, 0.4, 0.5, 0.6, 0.7];
@@ -12,10 +14,16 @@ fn main() {
 
     let mut report = Report::new(
         "Fig. 6(a) — PTB-scale corpus, 3-layer LSTM, Row pattern",
-        &["dropout rate", "speedup", "perplexity (ROW)", "perplexity (baseline)", "delta"],
+        &[
+            "dropout rate",
+            "speedup",
+            "perplexity (ROW)",
+            "perplexity (baseline)",
+            "delta",
+        ],
     );
     for &rate in &rates {
-        let speedup = model.speedup(&DropoutTiming::Conventional(rate), &Method::Row.timing(rate));
+        let speedup = speedup_vs_baseline(&model, Method::Row, rate);
         let row = train_scaled_lstm(Method::Row, rate, 150, 32, 3, 10, iterations);
         let baseline = train_scaled_lstm(Method::Baseline, rate, 150, 32, 3, 10, iterations);
         report.add_row(&[

@@ -6,8 +6,10 @@
 //! creeps up because a single pattern is shared by the whole, larger batch —
 //! fewer distinct sub-models per epoch.
 
-use bench::{default_train_iterations, ptb_timing_model, train_scaled_lstm, Method, Report};
-use gpu_sim::DropoutTiming;
+use bench::{
+    default_train_iterations, ptb_timing_model, speedup_vs_baseline, train_scaled_lstm, Method,
+    Report,
+};
 
 fn main() {
     let batch_sizes = [20usize, 25, 30, 35, 40];
@@ -16,17 +18,23 @@ fn main() {
 
     let mut report = Report::new(
         "Fig. 6(b) — batch-size sweep at dropout rate 0.5 (Row pattern)",
-        &["batch size", "speedup", "perplexity (ROW)", "perplexity (baseline)"],
+        &[
+            "batch size",
+            "speedup",
+            "perplexity (ROW)",
+            "perplexity (baseline)",
+        ],
     );
     for &batch in &batch_sizes {
         let model = ptb_timing_model(batch);
-        let speedup = model.speedup(&DropoutTiming::Conventional(rate), &Method::Row.timing(rate));
+        let speedup = speedup_vs_baseline(&model, Method::Row, rate);
         // The scaled CPU run keeps the same number of *iterations*, so a
         // larger batch means fewer distinct patterns per token processed —
         // the effect responsible for the perplexity increase in the paper.
         let scaled_batch = (batch / 2).max(4);
         let row = train_scaled_lstm(Method::Row, rate, 150, 32, 3, scaled_batch, iterations);
-        let baseline = train_scaled_lstm(Method::Baseline, rate, 150, 32, 3, scaled_batch, iterations);
+        let baseline =
+            train_scaled_lstm(Method::Baseline, rate, 150, 32, 3, scaled_batch, iterations);
         report.add_row(&[
             format!("{batch}"),
             format!("{speedup:.2}x"),

@@ -5,10 +5,17 @@
 //! size, reaching ≈2× at 4096×4096 — comes from the GPU timing model at the
 //! real layer widths; accuracies come from proportionally scaled CPU runs.
 
-use bench::{default_train_iterations, mlp_speedup, mlp_timing_model, train_scaled_mlp, Method, Report};
+use bench::{
+    default_train_iterations, mlp_speedup, mlp_timing_model, train_scaled_mlp, Method, Report,
+};
 
 fn main() {
-    let sizes = [(1024usize, 64usize), (1024, 1024), (2048, 2048), (4096, 4096)];
+    let sizes = [
+        (1024usize, 64usize),
+        (1024, 1024),
+        (2048, 2048),
+        (4096, 4096),
+    ];
     let rate = 0.7;
     let iterations = default_train_iterations();
 

@@ -5,8 +5,10 @@
 //! Speedups use the GPU timing model at the paper's LSTM size; accuracies
 //! come from a down-scaled LSTM on the synthetic Zipf/Markov corpus.
 
-use bench::{default_train_iterations, lstm_timing_model, train_scaled_lstm, Method, Report};
-use gpu_sim::DropoutTiming;
+use bench::{
+    default_train_iterations, lstm_timing_model, speedup_vs_baseline, train_scaled_lstm, Method,
+    Report,
+};
 
 fn main() {
     let rates = [0.3, 0.5, 0.7];
@@ -18,7 +20,6 @@ fn main() {
         &["dropout rate", "method", "accuracy", "speedup"],
     );
     for &rate in &rates {
-        let baseline_cfg = DropoutTiming::Conventional(rate);
         let baseline = train_scaled_lstm(Method::Baseline, rate, 120, 32, 2, 10, iterations);
         report.add_row(&[
             format!("({rate:.1},{rate:.1})"),
@@ -27,7 +28,7 @@ fn main() {
             "1.00".to_string(),
         ]);
         for method in [Method::Row, Method::Tile] {
-            let speedup = model.speedup(&baseline_cfg, &method.timing(rate));
+            let speedup = speedup_vs_baseline(&model, method, rate);
             let result = train_scaled_lstm(method, rate, 120, 32, 2, 10, iterations);
             report.add_row(&[
                 format!("({rate:.1},{rate:.1})"),

@@ -3,9 +3,10 @@
 //! Every binary in `src/bin/` reproduces one table or figure of the paper.
 //! They share three ingredients, provided here:
 //!
-//! * [`speedup_setup`] — builds the pattern distributions and the GPU timing
-//!   model at the *paper's* network sizes, so the reported speedups use the
-//!   same architecture the paper measured (the GTX 1080Ti stand-in).
+//! * [`Method::scheme`] — one `DropoutScheme` constructor per evaluated
+//!   method. The **same** scheme type drives both the GPU timing model (at
+//!   the paper's network sizes) and the scaled CPU training runs, so the
+//!   reported speedups and accuracies come from a single dropout path.
 //! * [`train_scaled_mlp`] / [`train_scaled_lstm`] — train down-scaled
 //!   networks on the synthetic datasets to obtain accuracy/perplexity
 //!   numbers on a single CPU core within seconds. The scale factor does not
@@ -14,14 +15,16 @@
 //! * [`Report`] — a plain-text table printer so each binary emits rows in
 //!   the same format as the corresponding table of the paper.
 
-use approx_dropout::{search::sgd_search, DropoutRate, PatternDistribution, PatternKind, SearchConfig};
+use approx_dropout::{scheme, DropoutRate, DropoutScheme};
 use data::{CorpusConfig, MnistConfig, SyntheticCorpus, SyntheticMnist};
-use gpu_sim::{DropoutTiming, GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel};
-use nn::dropout::DropoutConfig;
-use nn::lstm::{LstmLm, LstmLmConfig};
-use nn::mlp::{Mlp, MlpConfig};
+use gpu_sim::{GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel, DEFAULT_TIMING_SAMPLES};
+use nn::builder::{LstmBuilder, NetworkBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Fixed RNG seed shared by every timing expectation so tables are
+/// reproducible run to run.
+pub const TIMING_SEED: u64 = 0x5EED;
 
 /// Number of training iterations the scaled accuracy runs use by default.
 /// Set the `ARD_FAST=1` environment variable to cut this down for smoke runs.
@@ -31,18 +34,6 @@ pub fn default_train_iterations() -> usize {
     } else {
         250
     }
-}
-
-/// Builds the pattern distribution for a target dropout rate (Algorithm 1
-/// with the default hyper-parameters and `max_dp = 16`).
-///
-/// # Panics
-///
-/// Panics if the rate is outside `[0, 1)` — experiment configurations are
-/// static, so this is a programming error rather than a runtime condition.
-pub fn distribution_for(rate: f64) -> PatternDistribution {
-    let rate = DropoutRate::new(rate).expect("experiment dropout rates are valid");
-    sgd_search(rate, 16, &SearchConfig::default()).expect("default search configuration is valid")
 }
 
 /// The three dropout execution modes compared throughout the evaluation.
@@ -66,28 +57,34 @@ impl Method {
         }
     }
 
-    /// The GPU-timing mode for this method at the given dropout rate.
-    pub fn timing(&self, rate: f64) -> DropoutTiming {
-        match self {
-            Method::Baseline => DropoutTiming::Conventional(rate),
-            Method::Row => DropoutTiming::Row(distribution_for(rate)),
-            Method::Tile => DropoutTiming::tile(distribution_for(rate)),
-        }
-    }
-
-    /// The CPU-training dropout configuration for this method.
+    /// The dropout scheme for this method at the paper's full network scale
+    /// (`max_dp = 16`, 32×32 tiles). Drives the GPU timing model.
     ///
     /// # Panics
     ///
     /// Panics only if the statically chosen rate is invalid.
-    pub fn dropout_config(&self, rate: f64) -> DropoutConfig {
+    pub fn scheme(&self, rate: f64) -> Box<dyn DropoutScheme> {
         let rate = DropoutRate::new(rate).expect("experiment dropout rates are valid");
         match self {
-            Method::Baseline => DropoutConfig::Bernoulli(rate),
-            Method::Row => DropoutConfig::pattern_with(rate, PatternKind::Row, 8, 32)
-                .expect("row pattern configuration is valid"),
-            Method::Tile => DropoutConfig::pattern_with(rate, PatternKind::Tile, 8, 16)
-                .expect("tile pattern configuration is valid"),
+            Method::Baseline => scheme::bernoulli(rate),
+            Method::Row => scheme::row(rate, 16).expect("row scheme configuration is valid"),
+            Method::Tile => scheme::tile(rate, 16, 32).expect("tile scheme configuration is valid"),
+        }
+    }
+
+    /// The dropout scheme for the down-scaled CPU training runs: same
+    /// families, smaller period cap and tile so the narrow layers still see
+    /// several tiles per grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the statically chosen rate is invalid.
+    pub fn scaled_scheme(&self, rate: f64) -> Box<dyn DropoutScheme> {
+        let rate = DropoutRate::new(rate).expect("experiment dropout rates are valid");
+        match self {
+            Method::Baseline => scheme::bernoulli(rate),
+            Method::Row => scheme::row(rate, 8).expect("row scheme configuration is valid"),
+            Method::Tile => scheme::tile(rate, 8, 16).expect("tile scheme configuration is valid"),
         }
     }
 }
@@ -110,15 +107,31 @@ pub fn ptb_timing_model(batch: usize) -> NetworkTimingModel {
     NetworkTimingModel::lstm(GpuConfig::gtx_1080ti(), spec)
 }
 
+/// Expected per-iteration time (µs) of `method` at `rate` on `model`,
+/// averaged over the default number of sampled plans.
+pub fn iteration_time_us(model: &NetworkTimingModel, method: Method, rate: f64) -> f64 {
+    model
+        .expected_iteration_time(&*method.scheme(rate), DEFAULT_TIMING_SAMPLES, TIMING_SEED)
+        .total_us()
+}
+
+/// Simulated speedup of `method` over the conventional-dropout baseline at a
+/// uniform per-layer `rate`.
+pub fn speedup_vs_baseline(model: &NetworkTimingModel, method: Method, rate: f64) -> f64 {
+    model.speedup(
+        &*Method::Baseline.scheme(rate),
+        &*method.scheme(rate),
+        DEFAULT_TIMING_SAMPLES,
+        TIMING_SEED,
+    )
+}
+
 /// Simulated speedup of `method` over the conventional-dropout baseline for
 /// an MLP with per-layer rates `(r1, r2)`.
 pub fn mlp_speedup(model: &NetworkTimingModel, method: Method, r1: f64, r2: f64) -> f64 {
-    let baseline = vec![
-        DropoutTiming::Conventional(r1),
-        DropoutTiming::Conventional(r2),
-    ];
-    let new = vec![method.timing(r1), method.timing(r2)];
-    model.speedup_per_layer(&baseline, &new)
+    let mut baseline = vec![Method::Baseline.scheme(r1), Method::Baseline.scheme(r2)];
+    let mut new = vec![method.scheme(r1), method.scheme(r2)];
+    model.speedup_per_layer(&mut baseline, &mut new, DEFAULT_TIMING_SAMPLES, TIMING_SEED)
 }
 
 /// Result of a scaled accuracy-training run.
@@ -132,20 +145,22 @@ pub struct AccuracyResult {
 
 /// Trains the down-scaled MLP on the synthetic MNIST task with per-layer
 /// dropout rates `(r1, r2)` and the given method; returns held-out accuracy.
-pub fn train_scaled_mlp(method: Method, r1: f64, r2: f64, hidden: usize, iterations: usize) -> AccuracyResult {
+pub fn train_scaled_mlp(
+    method: Method,
+    r1: f64,
+    r2: f64,
+    hidden: usize,
+    iterations: usize,
+) -> AccuracyResult {
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let data = SyntheticMnist::new(MnistConfig::small());
-    let config = MlpConfig {
-        input_dim: data.dim(),
-        hidden: vec![hidden, hidden],
-        output_dim: data.classes(),
-        dropout: DropoutConfig::None,
-        learning_rate: 0.05,
-        momentum: 0.5,
-    };
-    let mut mlp = Mlp::new(&config, &mut rng);
-    mlp.set_layer_dropout(0, method.dropout_config(r1));
-    mlp.set_layer_dropout(1, method.dropout_config(r2));
+    let mut mlp = NetworkBuilder::new(data.dim(), data.classes())
+        .hidden_layers(&[hidden, hidden])
+        .layer_dropout(0, method.scaled_scheme(r1))
+        .layer_dropout(1, method.scaled_scheme(r2))
+        .learning_rate(0.05)
+        .momentum(0.5)
+        .build(&mut rng);
     let mut loss = f64::INFINITY;
     for it in 0..iterations {
         let (x, y) = data.batch(64, it as u64);
@@ -172,17 +187,13 @@ pub fn train_scaled_lstm(
         vocab,
         ..CorpusConfig::small()
     });
-    let config = LstmLmConfig {
-        vocab,
-        embed_dim: hidden,
-        hidden,
-        layers,
-        dropout: method.dropout_config(rate),
-        learning_rate: 0.5,
-        momentum: 0.0,
-        grad_clip: 5.0,
-    };
-    let mut lm = LstmLm::new(&config, &mut rng);
+    let mut lm = LstmBuilder::new(vocab, hidden)
+        .layers(layers)
+        .dropout(method.scaled_scheme(rate))
+        .learning_rate(0.5)
+        .momentum(0.0)
+        .grad_clip(5.0)
+        .build(&mut rng);
     for it in 0..iterations {
         let tokens = corpus.batch(batch, 12, it as u64);
         let _ = lm.train_batch(&tokens, &mut rng);
@@ -281,19 +292,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn distribution_for_hits_target() {
-        for &p in &[0.3, 0.5, 0.7] {
-            assert!((distribution_for(p).expected_global_rate() - p).abs() < 0.02);
-        }
-    }
-
-    #[test]
-    fn method_labels_and_configs() {
+    fn method_labels_and_schemes() {
         assert_eq!(Method::Baseline.label(), "original");
         assert_eq!(Method::Row.label(), "ROW");
         assert_eq!(Method::Tile.label(), "TILE");
-        assert!(Method::Row.dropout_config(0.5).is_pattern());
-        assert!(!Method::Baseline.dropout_config(0.5).is_pattern());
+        assert_eq!(Method::Row.scheme(0.5).label(), "row");
+        assert_eq!(Method::Tile.scheme(0.5).label(), "tile");
+        assert_eq!(Method::Baseline.scheme(0.5).label(), "bernoulli");
+        assert!((Method::Row.scaled_scheme(0.5).nominal_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl BernoulliDropout {
     /// Draws a fresh `(rows, cols)` 0/1 mask, 1 meaning "kept".
     pub fn mask<R: Rng + ?Sized>(&self, rng: &mut R, rows: usize, cols: usize) -> Matrix {
         let p = self.rate.value();
-        Matrix::from_fn(rows, cols, |_, _| if rng.gen::<f64>() < p { 0.0 } else { 1.0 })
+        Matrix::from_fn(
+            rows,
+            cols,
+            |_, _| if rng.gen::<f64>() < p { 0.0 } else { 1.0 },
+        )
     }
 
     /// Draws a per-neuron 0/1 mask of length `n` (every sample in a batch

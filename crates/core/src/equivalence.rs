@@ -168,12 +168,8 @@ mod tests {
     #[test]
     fn searched_distribution_is_statistically_equivalent() {
         for &p in &[0.3, 0.5, 0.7] {
-            let dist = sgd_search(
-                DropoutRate::new(p).unwrap(),
-                16,
-                &SearchConfig::default(),
-            )
-            .unwrap();
+            let dist =
+                sgd_search(DropoutRate::new(p).unwrap(), 16, &SearchConfig::default()).unwrap();
             let report = quick_row_equivalence(dist, 128, 8_000, 42);
             assert!(
                 (report.empirical_mean - p).abs() < 0.03,
@@ -192,7 +188,11 @@ mod tests {
     fn per_unit_rates_are_uniform_across_units() {
         let dist = PatternDistribution::new(vec![0.2, 0.3, 0.5]).unwrap();
         let report = quick_row_equivalence(dist, 96, 20_000, 7);
-        assert!(report.empirical_std < 0.02, "std {:.4}", report.empirical_std);
+        assert!(
+            report.empirical_std < 0.02,
+            "std {:.4}",
+            report.empirical_std
+        );
     }
 
     #[test]

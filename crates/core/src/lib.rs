@@ -19,6 +19,10 @@
 //!   distribution stays dense (many distinct sub-models).
 //! * [`PatternSampler`] — per-iteration sampling of `(dp, bias)` from `K`, as
 //!   described in §III-D of the paper.
+//! * [`scheme`] / [`plan`] — the plan–execute API: a [`DropoutScheme`] samples
+//!   a [`DropoutPlan`] per iteration *before* any GEMM runs, and the same plan
+//!   drives both the training passes (`nn`) and the GPU timing model
+//!   (`gpu_sim`) — mirroring the paper's pre-launch pattern selection.
 //! * [`equivalence`] — empirical checks of the statistical-equivalence claim
 //!   `p_n ≈ p_g ≈ p` (Eq. 2 and Eq. 3).
 //!
@@ -48,15 +52,19 @@ pub mod bernoulli;
 pub mod equivalence;
 pub mod error;
 pub mod pattern;
+pub mod plan;
 pub mod rate;
 pub mod sampler;
+pub mod scheme;
 pub mod search;
 
 pub use bernoulli::BernoulliDropout;
 pub use error::DropoutError;
 pub use pattern::{DropoutPattern, PatternKind, RowPattern, SampledPattern, TileGrid, TilePattern};
+pub use plan::{DropoutPlan, KernelSchedule, LayerShape};
 pub use rate::DropoutRate;
 pub use sampler::{ApproxDropoutBuilder, ApproxDropoutLayer, PatternSampler};
+pub use scheme::{Bernoulli, DivergentBernoulli, DropoutScheme, NoDropout};
 pub use search::{PatternDistribution, SearchConfig, SearchOutcome};
 
 /// Default tile edge length used by the Tile-based Dropout Pattern.

@@ -120,7 +120,9 @@ impl RowPattern {
 
     /// 0/1 mask over `n` output neurons (1 = kept).
     pub fn neuron_mask(&self, n: usize) -> Vec<f32> {
-        (0..n).map(|i| if self.is_kept(i) { 1.0 } else { 0.0 }).collect()
+        (0..n)
+            .map(|i| if self.is_kept(i) { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Mask matrix of shape `(batch, n)` replicating [`Self::neuron_mask`] on
@@ -291,7 +293,11 @@ impl TilePattern {
 
     /// The identity pattern (`dp = 1`): nothing is dropped.
     pub fn identity(tile: usize) -> Self {
-        Self { dp: 1, bias: 0, tile }
+        Self {
+            dp: 1,
+            bias: 0,
+            tile,
+        }
     }
 
     /// Tile edge length.
@@ -311,7 +317,9 @@ impl TilePattern {
 
     /// Indices of dropped tiles within `grid`, in ascending order.
     pub fn dropped_tiles(&self, grid: &TileGrid) -> Vec<usize> {
-        (0..grid.total_tiles()).filter(|&t| !self.is_kept(t)).collect()
+        (0..grid.total_tiles())
+            .filter(|&t| !self.is_kept(t))
+            .collect()
     }
 
     /// 0/1 mask of the full weight matrix (1 = synapse kept).
@@ -572,8 +580,10 @@ mod tests {
         assert_eq!(TilePattern::max_dp(&grid), 64 * 64);
         // TDP offers far more sub-models than RDP for the same layer, which
         // is the paper's argument for its better accuracy.
-        assert!(TilePattern::sub_model_count(TilePattern::max_dp(&grid))
-            > RowPattern::sub_model_count(RowPattern::max_dp(2048)));
+        assert!(
+            TilePattern::sub_model_count(TilePattern::max_dp(&grid))
+                > RowPattern::sub_model_count(RowPattern::max_dp(2048))
+        );
     }
 
     #[test]

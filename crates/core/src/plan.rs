@@ -1,0 +1,492 @@
+//! The *plan* half of the plan–execute dropout API.
+//!
+//! The paper's central observation is that a regular dropout pattern is known
+//! **before** the GEMM is launched, so the kernel can be planned around it:
+//! compact operands, `1/dp` of the work, no mask kernel. [`DropoutPlan`]
+//! captures exactly that pre-launch decision for one training iteration of
+//! one layer. Every consumer — the CPU forward/backward passes in `nn` and
+//! the GPU timing model in `gpu_sim` — reads the *same* plan object, so
+//! training numerics and speedup figures can never drift apart.
+//!
+//! A plan is produced by [`crate::DropoutScheme::plan`] and exposes:
+//!
+//! * [`DropoutPlan::compact_rows`] — kept output neurons for a row-compacted
+//!   GEMM (`None` when the GEMM is dense),
+//! * [`DropoutPlan::kept_tiles`] — kept weight tiles for a tile-compacted
+//!   GEMM,
+//! * [`DropoutPlan::mask_activations`] / [`DropoutPlan::apply_mask`] — the
+//!   post-GEMM Bernoulli mask of the conventional baseline,
+//! * [`DropoutPlan::column_multiplier`] — the per-output-unit multiplier the
+//!   LSTM applies between stacked layers,
+//! * [`DropoutPlan::active_output_fraction`] — how much of the layer output
+//!   the *next* layer still has to process,
+//! * [`DropoutPlan::kernel_schedule`] — the kernel launches this plan implies
+//!   on a GPU, consumed by the `gpu_sim` timing model.
+
+use crate::pattern::{SampledPattern, TileGrid};
+use tensor::Matrix;
+
+/// Shape of the layer a plan is resolved against: the weight matrix is
+/// `in_features × out_features` and dropout acts on the output units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Input width of the layer (rows of the weight matrix).
+    pub in_features: usize,
+    /// Output width of the layer (columns of the weight matrix; the units
+    /// dropout acts on).
+    pub out_features: usize,
+}
+
+impl LayerShape {
+    /// Creates a shape for an `in_features × out_features` layer.
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        Self {
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Shape of a per-unit dropout site with no meaningful input width, as
+    /// used for the inter-layer dropout of the LSTM (`1 × width`).
+    pub fn vector(width: usize) -> Self {
+        Self::new(1, width)
+    }
+}
+
+/// Device-independent description of the kernel launches a [`DropoutPlan`]
+/// implies for one layer's GEMMs — the contract between a sampled plan and
+/// the `gpu_sim` timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelSchedule {
+    /// Dense GEMM, no dropout kernels at all.
+    Dense,
+    /// Dense GEMM plus the mask-generation and mask-multiply kernels of the
+    /// conventional baseline (paper Fig. 1(a)).
+    DenseWithMask,
+    /// Dense GEMM with naive `if (kept)` skipping inside the kernel (paper
+    /// Fig. 1(b)): pays the SIMT divergence penalty and skips nothing.
+    DenseDivergent {
+        /// Dropout rate determining how many warps diverge.
+        rate: f64,
+    },
+    /// Row-compacted GEMM over `kept` of `total` output neurons (RDP).
+    RowCompact {
+        /// Output neurons actually computed.
+        kept: usize,
+        /// Output neurons of the full layer.
+        total: usize,
+    },
+    /// Tile-compacted GEMM over `kept` of `total` weight tiles (TDP).
+    TileCompact {
+        /// Weight tiles participating in the GEMM.
+        kept: usize,
+        /// Tiles in the full weight grid.
+        total: usize,
+    },
+}
+
+impl KernelSchedule {
+    /// Fraction of the dense GEMM work the scheduled kernel actually
+    /// executes (1.0 for every dense variant).
+    pub fn kept_fraction(&self) -> f64 {
+        match *self {
+            KernelSchedule::RowCompact { kept, total }
+            | KernelSchedule::TileCompact { kept, total } => {
+                if total == 0 {
+                    1.0
+                } else {
+                    kept as f64 / total as f64
+                }
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// `true` when the plan pays for separate dropout-mask kernels.
+    pub fn needs_mask_kernel(&self) -> bool {
+        matches!(self, KernelSchedule::DenseWithMask)
+    }
+
+    /// `true` when the GEMM operands are compacted before launch.
+    pub fn is_compacted(&self) -> bool {
+        matches!(
+            self,
+            KernelSchedule::RowCompact { .. } | KernelSchedule::TileCompact { .. }
+        )
+    }
+}
+
+/// The concrete dropout decision for one iteration of one layer, produced by
+/// [`crate::DropoutScheme::plan`] before any GEMM runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropoutPlan {
+    shape: LayerShape,
+    /// Inverted-dropout multiplier for kept units (1.0 when nothing is
+    /// dropped).
+    scale: f32,
+    /// Sampled row pattern (kept output neurons), if this is a row plan.
+    rows: Option<SampledPattern>,
+    /// Sampled tile pattern and the weight grid it was resolved against, if
+    /// this is a tile plan.
+    tiles: Option<(SampledPattern, TileGrid)>,
+    /// Per-output-neuron 0/1 Bernoulli mask (1 = kept), if this is a
+    /// conventional plan.
+    mask: Option<Vec<f32>>,
+    schedule: KernelSchedule,
+    nominal_rate: f64,
+}
+
+impl DropoutPlan {
+    /// A plan that drops nothing and schedules a plain dense GEMM.
+    pub fn none(shape: LayerShape) -> Self {
+        Self {
+            shape,
+            scale: 1.0,
+            rows: None,
+            tiles: None,
+            mask: None,
+            schedule: KernelSchedule::Dense,
+            nominal_rate: 0.0,
+        }
+    }
+
+    /// A conventional-dropout plan: dense GEMM followed by the given
+    /// per-output-neuron 0/1 mask with inverted-dropout `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length does not match `shape.out_features`.
+    pub fn bernoulli(shape: LayerShape, mask: Vec<f32>, scale: f32, nominal_rate: f64) -> Self {
+        assert_eq!(
+            mask.len(),
+            shape.out_features,
+            "mask length must match out_features"
+        );
+        Self {
+            shape,
+            scale,
+            rows: None,
+            tiles: None,
+            mask: Some(mask),
+            schedule: KernelSchedule::DenseWithMask,
+            nominal_rate,
+        }
+    }
+
+    /// Like [`DropoutPlan::bernoulli`] but scheduling the naive in-kernel
+    /// `if (kept)` skip of Fig. 1(b) instead of mask kernels — numerically
+    /// identical, slower on a SIMT device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length does not match `shape.out_features`.
+    pub fn divergent(shape: LayerShape, mask: Vec<f32>, scale: f32, nominal_rate: f64) -> Self {
+        let mut plan = Self::bernoulli(shape, mask, scale, nominal_rate);
+        plan.schedule = KernelSchedule::DenseDivergent { rate: nominal_rate };
+        plan
+    }
+
+    /// A row-pattern plan: compacted GEMM over the pattern's kept output
+    /// neurons, kept outputs scaled by `dp`.
+    pub fn row(shape: LayerShape, pattern: SampledPattern) -> Self {
+        let schedule = KernelSchedule::RowCompact {
+            kept: pattern.kept_indices().len(),
+            total: pattern.unit_count(),
+        };
+        Self {
+            shape,
+            scale: pattern.inverted_scale(),
+            nominal_rate: pattern.nominal_rate().value(),
+            rows: Some(pattern),
+            tiles: None,
+            mask: None,
+            schedule,
+        }
+    }
+
+    /// A tile-pattern plan: compacted GEMM over the pattern's kept weight
+    /// tiles, the product scaled by `dp`.
+    pub fn tile(shape: LayerShape, pattern: SampledPattern, grid: TileGrid) -> Self {
+        let schedule = KernelSchedule::TileCompact {
+            kept: pattern.kept_indices().len(),
+            total: grid.total_tiles(),
+        };
+        Self {
+            shape,
+            scale: pattern.inverted_scale(),
+            nominal_rate: pattern.nominal_rate().value(),
+            rows: None,
+            tiles: Some((pattern, grid)),
+            mask: None,
+            schedule,
+        }
+    }
+
+    /// The layer shape this plan was resolved against.
+    pub fn shape(&self) -> LayerShape {
+        self.shape
+    }
+
+    /// Inverted-dropout multiplier applied to kept units.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Nominal dropout rate of the decision this plan encodes.
+    pub fn nominal_rate(&self) -> f64 {
+        self.nominal_rate
+    }
+
+    /// The kernel launches this plan implies on a GPU.
+    pub fn kernel_schedule(&self) -> &KernelSchedule {
+        &self.schedule
+    }
+
+    /// Kept output neurons for a row-compacted GEMM; `None` when the GEMM is
+    /// dense or tile-compacted.
+    pub fn compact_rows(&self) -> Option<&[usize]> {
+        self.rows.as_ref().map(|p| p.kept_indices())
+    }
+
+    /// Kept weight tiles and the grid they index into, for a tile-compacted
+    /// GEMM; `None` otherwise.
+    pub fn kept_tiles(&self) -> Option<(&[usize], &TileGrid)> {
+        self.tiles
+            .as_ref()
+            .map(|(p, grid)| (p.kept_indices(), grid))
+    }
+
+    /// The per-output-neuron Bernoulli mask (1 = kept), if this plan applies
+    /// one after a dense GEMM.
+    pub fn bernoulli_mask(&self) -> Option<&[f32]> {
+        self.mask.as_deref()
+    }
+
+    /// `true` when the plan performs no dropout at all.
+    pub fn is_identity(&self) -> bool {
+        self.rows.is_none() && self.tiles.is_none() && self.mask.is_none()
+    }
+
+    /// Per-output-column multiplier implementing this plan on an activation
+    /// matrix with `n_cols` columns: kept columns carry the inverted-dropout
+    /// scale, dropped columns 0, and columns beyond the plan's resolved
+    /// width stay at exactly 1.0 (they are outside the dropout site and must
+    /// pass through untouched).
+    pub fn column_multiplier(&self, n_cols: usize) -> Vec<f32> {
+        if let Some(mask) = &self.mask {
+            // Columns the mask does not cover are untouched (multiplier 1.0),
+            // *not* rescaled: the inverted-dropout scale compensates for
+            // masked columns only.
+            return (0..n_cols)
+                .map(|j| mask.get(j).map_or(1.0, |&m| m * self.scale))
+                .collect();
+        }
+        if let Some(pattern) = &self.rows {
+            let mut mult = vec![0.0; n_cols];
+            for &j in pattern.kept_indices() {
+                if j < n_cols {
+                    mult[j] = self.scale;
+                }
+            }
+            for m in mult.iter_mut().skip(pattern.unit_count()) {
+                *m = 1.0;
+            }
+            return mult;
+        }
+        if let Some((pattern, grid)) = &self.tiles {
+            let mut mult = vec![0.0; n_cols];
+            for &t in pattern.kept_indices() {
+                if t < grid.total_tiles() {
+                    let (_, cols) = grid.tile_bounds(t);
+                    for c in cols {
+                        if c < n_cols {
+                            mult[c] = self.scale;
+                        }
+                    }
+                }
+            }
+            let (_, covered_cols) = grid.weight_shape();
+            for m in mult.iter_mut().skip(covered_cols) {
+                *m = 1.0;
+            }
+            return mult;
+        }
+        vec![1.0; n_cols]
+    }
+
+    /// Applies the conventional mask (if any) to a full activation matrix in
+    /// place. Pattern plans leave the input unchanged because the compacted
+    /// GEMM already produced masked output.
+    pub fn apply_mask(&self, activations: &mut Matrix) {
+        if let Some(mask) = &self.mask {
+            let scale = self.scale;
+            for i in 0..activations.rows() {
+                let row = activations.row_mut(i);
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v *= mask[j] * scale;
+                }
+            }
+        }
+    }
+
+    /// Like [`DropoutPlan::apply_mask`] but returning a new matrix.
+    pub fn mask_activations(&self, activations: &Matrix) -> Matrix {
+        let mut out = activations.clone();
+        self.apply_mask(&mut out);
+        out
+    }
+
+    /// Fraction of this layer's output neurons that remain fully active and
+    /// therefore still have to be processed by the next layer. Only row
+    /// plans (which drop whole neurons) shrink this below 1.
+    pub fn active_output_fraction(&self) -> f64 {
+        match &self.rows {
+            Some(pattern) => 1.0 - pattern.realized_dropout_fraction(),
+            None => 1.0,
+        }
+    }
+
+    /// Indices of the output neurons that still carry signal after this
+    /// plan (all of them for dense and tile plans).
+    pub fn active_output_neurons(&self) -> Vec<usize> {
+        if let Some(pattern) = &self.rows {
+            return pattern.kept_indices().to_vec();
+        }
+        if let Some(mask) = &self.mask {
+            return mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m != 0.0)
+                .map(|(i, _)| i)
+                .collect();
+        }
+        (0..self.shape.out_features).collect()
+    }
+
+    /// Fraction of droppable units this plan actually zeroes.
+    pub fn realized_drop_fraction(&self) -> f64 {
+        if let Some(pattern) = &self.rows {
+            return pattern.realized_dropout_fraction();
+        }
+        if let Some((pattern, _)) = &self.tiles {
+            return pattern.realized_dropout_fraction();
+        }
+        if let Some(mask) = &self.mask {
+            if mask.is_empty() {
+                return 0.0;
+            }
+            return mask.iter().filter(|&&m| m == 0.0).count() as f64 / mask.len() as f64;
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{RowPattern, TilePattern};
+
+    fn row_plan(dp: usize, bias: usize, n: usize) -> DropoutPlan {
+        let pattern = SampledPattern::from_row(RowPattern::new(dp, bias).unwrap(), n);
+        DropoutPlan::row(LayerShape::vector(n), pattern)
+    }
+
+    #[test]
+    fn none_plan_is_identity() {
+        let plan = DropoutPlan::none(LayerShape::new(4, 6));
+        assert!(plan.is_identity());
+        assert_eq!(plan.scale(), 1.0);
+        assert_eq!(plan.column_multiplier(6), vec![1.0; 6]);
+        assert_eq!(plan.active_output_fraction(), 1.0);
+        assert_eq!(plan.active_output_neurons(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(plan.realized_drop_fraction(), 0.0);
+        assert_eq!(*plan.kernel_schedule(), KernelSchedule::Dense);
+    }
+
+    #[test]
+    fn bernoulli_plan_masks_and_scales() {
+        let plan = DropoutPlan::bernoulli(LayerShape::vector(3), vec![1.0, 0.0, 1.0], 2.0, 0.5);
+        assert_eq!(plan.column_multiplier(3), vec![2.0, 0.0, 2.0]);
+        assert_eq!(plan.active_output_neurons(), vec![0, 2]);
+        assert!((plan.realized_drop_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(plan.kernel_schedule().needs_mask_kernel());
+        let x = Matrix::from_rows(&[&[3.0, 5.0, 7.0]]);
+        assert_eq!(plan.mask_activations(&x).row(0), &[6.0, 0.0, 14.0]);
+    }
+
+    #[test]
+    fn column_multiplier_beyond_mask_length_stays_one() {
+        // Regression test: the seed implementation multiplied out-of-range
+        // columns by the inverted scale (`unwrap_or(1.0) * scale`), silently
+        // amplifying activations the mask never covered.
+        let plan = DropoutPlan::bernoulli(LayerShape::vector(2), vec![1.0, 0.0], 2.0, 0.5);
+        assert_eq!(plan.column_multiplier(4), vec![2.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_plan_exposes_compact_rows_and_fraction() {
+        let plan = row_plan(2, 0, 10);
+        assert_eq!(plan.compact_rows().unwrap(), &[0, 2, 4, 6, 8]);
+        assert!(plan.kept_tiles().is_none());
+        assert_eq!(plan.scale(), 2.0);
+        assert!((plan.active_output_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            *plan.kernel_schedule(),
+            KernelSchedule::RowCompact { kept: 5, total: 10 }
+        );
+        assert_eq!(
+            plan.column_multiplier(10),
+            vec![2.0, 0.0, 2.0, 0.0, 2.0, 0.0, 2.0, 0.0, 2.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn row_multiplier_beyond_resolved_units_stays_one() {
+        let plan = row_plan(2, 0, 4);
+        assert_eq!(
+            plan.column_multiplier(6),
+            vec![2.0, 0.0, 2.0, 0.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn tile_plan_exposes_tiles_and_covers_columns() {
+        let grid = TileGrid::new(4, 4, 2).unwrap(); // 2x2 tiles
+        let pattern = SampledPattern::from_tile(TilePattern::new(2, 1, 2).unwrap(), &grid);
+        let plan = DropoutPlan::tile(LayerShape::new(4, 4), pattern, grid);
+        let (kept, g) = plan.kept_tiles().unwrap();
+        assert_eq!(kept, &[1, 3]);
+        assert_eq!(g.total_tiles(), 4);
+        // Tiles 1 and 3 cover columns 2..4.
+        assert_eq!(plan.column_multiplier(4), vec![0.0, 0.0, 2.0, 2.0]);
+        assert_eq!(plan.active_output_fraction(), 1.0);
+        assert!(plan.kernel_schedule().is_compacted());
+        assert!((plan.kernel_schedule().kept_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_application_is_identity_for_pattern_plans() {
+        let plan = row_plan(3, 1, 6);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]);
+        assert_eq!(plan.mask_activations(&x), x);
+    }
+
+    #[test]
+    fn schedule_kept_fraction_handles_degenerate_totals() {
+        assert_eq!(KernelSchedule::Dense.kept_fraction(), 1.0);
+        assert_eq!(
+            KernelSchedule::RowCompact { kept: 0, total: 0 }.kept_fraction(),
+            1.0
+        );
+        assert_eq!(
+            KernelSchedule::DenseDivergent { rate: 0.5 }.kept_fraction(),
+            1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length must match")]
+    fn bernoulli_plan_rejects_wrong_mask_length() {
+        let _ = DropoutPlan::bernoulli(LayerShape::vector(4), vec![1.0], 2.0, 0.5);
+    }
+}

@@ -108,7 +108,8 @@ impl PatternSampler {
         let bias = self.sample_bias(rng, dp);
         match self.kind {
             PatternKind::Row => {
-                let pattern = RowPattern::new(dp, bias).expect("dp >= 1 and bias < dp by construction");
+                let pattern =
+                    RowPattern::new(dp, bias).expect("dp >= 1 and bias < dp by construction");
                 SampledPattern::from_row(pattern, unit_count)
             }
             PatternKind::Tile => {
@@ -205,7 +206,9 @@ impl ApproxDropoutBuilder {
     /// `max_dp == 0`) or from tile validation.
     pub fn build(self) -> Result<ApproxDropoutLayer, DropoutError> {
         if self.tile == 0 {
-            return Err(DropoutError::InvalidPattern("tile size must be positive".into()));
+            return Err(DropoutError::InvalidPattern(
+                "tile size must be positive".into(),
+            ));
         }
         let distribution = sgd_search(self.rate, self.max_dp, &self.search)?;
         let sampler = PatternSampler::new(distribution, self.kind).with_tile_size(self.tile);
@@ -255,7 +258,11 @@ impl ApproxDropoutLayer {
 
     /// Samples the pattern for the next training iteration and updates the
     /// running statistics.
-    pub fn next_pattern<R: Rng + ?Sized>(&mut self, rng: &mut R, unit_count: usize) -> SampledPattern {
+    pub fn next_pattern<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        unit_count: usize,
+    ) -> SampledPattern {
         let pattern = self.sampler.sample(rng, unit_count);
         self.iterations += 1;
         self.dropped_unit_sum += pattern.realized_dropout_fraction();
@@ -315,7 +322,10 @@ mod tests {
 
     #[test]
     fn sample_clamps_dp_to_unit_count() {
-        let s = sampler_for(vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0], PatternKind::Row);
+        let s = sampler_for(
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+            PatternKind::Row,
+        );
         let mut rng = StdRng::seed_from_u64(3);
         let p = s.sample(&mut rng, 3);
         assert!(p.dp() <= 3);

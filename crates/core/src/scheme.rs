@@ -1,0 +1,412 @@
+//! The *scheme* half of the plan–execute dropout API.
+//!
+//! A [`DropoutScheme`] is a per-layer dropout policy: at the start of every
+//! training iteration it samples a concrete [`DropoutPlan`] for the layer's
+//! [`LayerShape`]. The scheme owns whatever per-layer state the policy needs
+//! (a target rate, a searched pattern distribution, running statistics) and
+//! the plan is the immutable, fully resolved decision both the training
+//! passes and the GPU timing model execute against.
+//!
+//! Implementations provided here:
+//!
+//! * [`NoDropout`] — the identity scheme.
+//! * [`Bernoulli`] — the conventional baseline: an independent per-neuron
+//!   mask after a dense GEMM (paper Fig. 1(a)).
+//! * [`DivergentBernoulli`] — the same numerics but scheduled as the naive
+//!   in-kernel `if (kept)` skip (paper Fig. 1(b)); exists so the timing
+//!   model can price the paper's motivating anti-pattern.
+//! * [`RowPattern`] / [`TilePattern`] — a *fixed* regular pattern as a
+//!   degenerate scheme (the "fixed pattern" ablation baseline).
+//! * [`ApproxDropoutLayer`] — the paper's contribution: per-iteration
+//!   `(dp, bias)` sampling from the distribution found by Algorithm 1.
+//!
+//! Adding a new pattern family (e.g. the structured-sparsity variants of
+//! related work) is a single trait implementation: no consumer in `nn` or
+//! `gpu_sim` needs to change.
+
+use crate::bernoulli::BernoulliDropout;
+use crate::error::DropoutError;
+use crate::pattern::{PatternKind, RowPattern, SampledPattern, TileGrid, TilePattern};
+use crate::plan::{DropoutPlan, LayerShape};
+use crate::rate::DropoutRate;
+use crate::sampler::{ApproxDropoutBuilder, ApproxDropoutLayer};
+use rand::RngCore;
+
+/// A per-layer dropout policy that plans each iteration's execution before
+/// any kernel runs.
+pub trait DropoutScheme: std::fmt::Debug + Send {
+    /// Samples the concrete plan for one training iteration of a layer.
+    fn plan(&mut self, rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan;
+
+    /// Nominal (target) dropout rate of the scheme.
+    fn nominal_rate(&self) -> f64;
+
+    /// Short human-readable label used in reports.
+    fn label(&self) -> &'static str;
+
+    /// Clones the scheme behind a box (schemes are held as trait objects by
+    /// the network types, which must stay `Clone`).
+    fn clone_box(&self) -> Box<dyn DropoutScheme>;
+}
+
+impl Clone for Box<dyn DropoutScheme> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The identity scheme: every plan is a plain dense GEMM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoDropout;
+
+impl DropoutScheme for NoDropout {
+    fn plan(&mut self, _rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan {
+        DropoutPlan::none(shape)
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        0.0
+    }
+
+    fn label(&self) -> &'static str {
+        "none"
+    }
+
+    fn clone_box(&self) -> Box<dyn DropoutScheme> {
+        Box::new(*self)
+    }
+}
+
+/// Conventional Bernoulli dropout (the paper's baseline): one independent
+/// draw per output neuron, applied as a mask after a dense GEMM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    rate: DropoutRate,
+}
+
+impl Bernoulli {
+    /// Creates the baseline scheme at the given drop rate.
+    pub fn new(rate: DropoutRate) -> Self {
+        Self { rate }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> DropoutRate {
+        self.rate
+    }
+}
+
+impl DropoutScheme for Bernoulli {
+    fn plan(&mut self, rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan {
+        let mask = BernoulliDropout::new(self.rate).neuron_mask(rng, shape.out_features);
+        DropoutPlan::bernoulli(
+            shape,
+            mask,
+            self.rate.inverted_scale() as f32,
+            self.rate.value(),
+        )
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        self.rate.value()
+    }
+
+    fn label(&self) -> &'static str {
+        "bernoulli"
+    }
+
+    fn clone_box(&self) -> Box<dyn DropoutScheme> {
+        Box::new(*self)
+    }
+}
+
+/// Bernoulli dropout executed as the naive in-kernel `if (kept)` skip of
+/// Fig. 1(b). Numerically identical to [`Bernoulli`]; only the
+/// [`crate::KernelSchedule`] differs — which is exactly the point of the
+/// plan–execute split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergentBernoulli {
+    rate: DropoutRate,
+}
+
+impl DivergentBernoulli {
+    /// Creates the divergent-execution baseline at the given drop rate.
+    pub fn new(rate: DropoutRate) -> Self {
+        Self { rate }
+    }
+}
+
+impl DropoutScheme for DivergentBernoulli {
+    fn plan(&mut self, rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan {
+        let mask = BernoulliDropout::new(self.rate).neuron_mask(rng, shape.out_features);
+        DropoutPlan::divergent(
+            shape,
+            mask,
+            self.rate.inverted_scale() as f32,
+            self.rate.value(),
+        )
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        self.rate.value()
+    }
+
+    fn label(&self) -> &'static str {
+        "divergent"
+    }
+
+    fn clone_box(&self) -> Box<dyn DropoutScheme> {
+        Box::new(*self)
+    }
+}
+
+impl DropoutScheme for RowPattern {
+    /// A fixed row pattern used as a scheme: the same `(dp, bias)` every
+    /// iteration (the "fixed pattern" ablation baseline).
+    fn plan(&mut self, _rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan {
+        DropoutPlan::row(shape, SampledPattern::from_row(*self, shape.out_features))
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        use crate::pattern::DropoutPattern;
+        self.global_dropout_rate()
+    }
+
+    fn label(&self) -> &'static str {
+        "row-fixed"
+    }
+
+    fn clone_box(&self) -> Box<dyn DropoutScheme> {
+        Box::new(*self)
+    }
+}
+
+impl DropoutScheme for TilePattern {
+    /// A fixed tile pattern used as a scheme: the same `(dp, bias)` every
+    /// iteration, resolved against the layer's weight grid.
+    fn plan(&mut self, _rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan {
+        let grid = TileGrid::new(shape.in_features, shape.out_features, self.tile())
+            .expect("tile size validated at pattern construction");
+        DropoutPlan::tile(shape, SampledPattern::from_tile(*self, &grid), grid)
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        use crate::pattern::DropoutPattern;
+        self.global_dropout_rate()
+    }
+
+    fn label(&self) -> &'static str {
+        "tile-fixed"
+    }
+
+    fn clone_box(&self) -> Box<dyn DropoutScheme> {
+        Box::new(*self)
+    }
+}
+
+impl DropoutScheme for ApproxDropoutLayer {
+    /// The paper's approximate random dropout: sample `(dp, bias)` from the
+    /// distribution found by Algorithm 1, resolved against the layer.
+    fn plan(&mut self, rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan {
+        match self.sampler().kind() {
+            PatternKind::Row => {
+                let pattern = self.next_pattern(rng, shape.out_features);
+                DropoutPlan::row(shape, pattern)
+            }
+            PatternKind::Tile => {
+                let tile = self.sampler().tile_size();
+                let grid = TileGrid::new(shape.in_features, shape.out_features, tile)
+                    .expect("tile size validated at construction");
+                let pattern = self.next_pattern(rng, grid.total_tiles());
+                DropoutPlan::tile(shape, pattern, grid)
+            }
+        }
+    }
+
+    fn nominal_rate(&self) -> f64 {
+        self.target_rate().value()
+    }
+
+    fn label(&self) -> &'static str {
+        match self.sampler().kind() {
+            PatternKind::Row => "row",
+            PatternKind::Tile => "tile",
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn DropoutScheme> {
+        Box::new(self.clone())
+    }
+}
+
+/// Boxed identity scheme.
+pub fn none() -> Box<dyn DropoutScheme> {
+    Box::new(NoDropout)
+}
+
+/// Boxed conventional-dropout scheme.
+pub fn bernoulli(rate: DropoutRate) -> Box<dyn DropoutScheme> {
+    Box::new(Bernoulli::new(rate))
+}
+
+/// Boxed divergent-execution Bernoulli scheme (Fig. 1(b) baseline).
+pub fn divergent_bernoulli(rate: DropoutRate) -> Box<dyn DropoutScheme> {
+    Box::new(DivergentBernoulli::new(rate))
+}
+
+/// Default maximum pattern period explored by Algorithm 1 when none is
+/// given.
+pub const DEFAULT_MAX_DP: usize = 16;
+
+/// Boxed row-pattern scheme: runs Algorithm 1 for `rate` with periods up to
+/// `max_dp` and samples a fresh `(dp, bias)` each iteration.
+///
+/// # Errors
+///
+/// Propagates [`DropoutError`] from the search.
+pub fn row(rate: DropoutRate, max_dp: usize) -> Result<Box<dyn DropoutScheme>, DropoutError> {
+    Ok(Box::new(
+        ApproxDropoutBuilder::new(rate, PatternKind::Row)
+            .max_dp(max_dp)
+            .build()?,
+    ))
+}
+
+/// Boxed tile-pattern scheme with an explicit tile edge length.
+///
+/// # Errors
+///
+/// Propagates [`DropoutError`] from the search or tile validation.
+pub fn tile(
+    rate: DropoutRate,
+    max_dp: usize,
+    tile_size: usize,
+) -> Result<Box<dyn DropoutScheme>, DropoutError> {
+    Ok(Box::new(
+        ApproxDropoutBuilder::new(rate, PatternKind::Tile)
+            .max_dp(max_dp)
+            .tile_size(tile_size)
+            .build()?,
+    ))
+}
+
+/// Boxed pattern scheme of either family with the paper's defaults
+/// (`max_dp = 16`, 32×32 tiles).
+///
+/// # Errors
+///
+/// Propagates [`DropoutError`] from the search.
+pub fn pattern(
+    rate: DropoutRate,
+    kind: PatternKind,
+) -> Result<Box<dyn DropoutScheme>, DropoutError> {
+    Ok(Box::new(
+        ApproxDropoutBuilder::new(rate, kind)
+            .max_dp(DEFAULT_MAX_DP)
+            .build()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_dropout_plans_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scheme = NoDropout;
+        let plan = scheme.plan(&mut rng, LayerShape::new(8, 8));
+        assert!(plan.is_identity());
+        assert_eq!(scheme.nominal_rate(), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_scheme_masks_at_the_target_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scheme = Bernoulli::new(DropoutRate::new(0.5).unwrap());
+        let plan = scheme.plan(&mut rng, LayerShape::new(64, 1024));
+        let dropped = plan.realized_drop_fraction();
+        assert!((dropped - 0.5).abs() < 0.08, "dropped {dropped}");
+        assert!((plan.scale() - 2.0).abs() < 1e-6);
+        assert!(plan.kernel_schedule().needs_mask_kernel());
+    }
+
+    #[test]
+    fn divergent_scheme_matches_bernoulli_numerics() {
+        let mut a = Bernoulli::new(DropoutRate::new(0.3).unwrap());
+        let mut b = DivergentBernoulli::new(DropoutRate::new(0.3).unwrap());
+        let shape = LayerShape::new(16, 128);
+        let plan_a = a.plan(&mut StdRng::seed_from_u64(9), shape);
+        let plan_b = b.plan(&mut StdRng::seed_from_u64(9), shape);
+        // Same RNG seed, same draws, same mask — only the schedule differs.
+        assert_eq!(plan_a.bernoulli_mask(), plan_b.bernoulli_mask());
+        assert_ne!(plan_a.kernel_schedule(), plan_b.kernel_schedule());
+        assert!(!plan_b.kernel_schedule().needs_mask_kernel());
+    }
+
+    #[test]
+    fn fixed_row_pattern_is_a_scheme() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut scheme = RowPattern::new(3, 1).unwrap();
+        let plan = scheme.plan(&mut rng, LayerShape::vector(9));
+        assert_eq!(plan.compact_rows().unwrap(), &[1, 4, 7]);
+        assert!((scheme.nominal_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // Fixed pattern: identical plan every iteration.
+        let again = scheme.plan(&mut rng, LayerShape::vector(9));
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn fixed_tile_pattern_resolves_against_layer_grid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut scheme = TilePattern::new(2, 0, 4).unwrap();
+        let plan = scheme.plan(&mut rng, LayerShape::new(8, 8));
+        let (kept, grid) = plan.kept_tiles().unwrap();
+        assert_eq!(grid.total_tiles(), 4);
+        assert_eq!(kept, &[0, 2]);
+    }
+
+    #[test]
+    fn searched_row_scheme_tracks_target_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut scheme = row(DropoutRate::new(0.5).unwrap(), 16).unwrap();
+        assert_eq!(scheme.label(), "row");
+        let mut acc = 0.0;
+        let iters = 2_000;
+        for _ in 0..iters {
+            let plan = scheme.plan(&mut rng, LayerShape::vector(256));
+            acc += plan.realized_drop_fraction();
+        }
+        let mean = acc / iters as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean realized rate {mean}");
+    }
+
+    #[test]
+    fn searched_tile_scheme_produces_tile_plans() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scheme = tile(DropoutRate::new(0.5).unwrap(), 8, 16).unwrap();
+        assert_eq!(scheme.label(), "tile");
+        let plan = scheme.plan(&mut rng, LayerShape::new(64, 64));
+        let (_, grid) = plan.kept_tiles().unwrap();
+        assert_eq!(grid.total_tiles(), 16);
+    }
+
+    #[test]
+    fn boxed_schemes_clone_independently() {
+        let mut original = row(DropoutRate::new(0.5).unwrap(), 8).unwrap();
+        let mut copy = original.clone();
+        let mut rng_a = StdRng::seed_from_u64(6);
+        let mut rng_b = StdRng::seed_from_u64(6);
+        let plan_a = original.plan(&mut rng_a, LayerShape::vector(64));
+        let plan_b = copy.plan(&mut rng_b, LayerShape::vector(64));
+        assert_eq!(plan_a, plan_b);
+    }
+
+    #[test]
+    fn pattern_helper_uses_paper_defaults() {
+        let scheme = pattern(DropoutRate::new(0.3).unwrap(), PatternKind::Row).unwrap();
+        assert!((scheme.nominal_rate() - 0.3).abs() < 1e-12);
+    }
+}

@@ -57,7 +57,9 @@ impl SearchConfig {
     /// iteration cap is zero.
     pub fn validate(&self) -> Result<(), DropoutError> {
         if self.lambda1 < 0.0 || self.lambda2 < 0.0 {
-            return Err(DropoutError::Search("lambda weights must be non-negative".into()));
+            return Err(DropoutError::Search(
+                "lambda weights must be non-negative".into(),
+            ));
         }
         if (self.lambda1 + self.lambda2 - 1.0).abs() > 1e-6 {
             return Err(DropoutError::Search(format!(
@@ -66,10 +68,14 @@ impl SearchConfig {
             )));
         }
         if self.learning_rate <= 0.0 {
-            return Err(DropoutError::Search("learning rate must be positive".into()));
+            return Err(DropoutError::Search(
+                "learning rate must be positive".into(),
+            ));
         }
         if self.max_iterations == 0 {
-            return Err(DropoutError::Search("max_iterations must be positive".into()));
+            return Err(DropoutError::Search(
+                "max_iterations must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -94,7 +100,9 @@ impl PatternDistribution {
     /// contains negative or non-finite entries, or sums to zero.
     pub fn new(probs: Vec<f64>) -> Result<Self, DropoutError> {
         if probs.is_empty() {
-            return Err(DropoutError::InvalidDistribution("empty distribution".into()));
+            return Err(DropoutError::InvalidDistribution(
+                "empty distribution".into(),
+            ));
         }
         if probs.iter().any(|&p| !p.is_finite() || p < 0.0) {
             return Err(DropoutError::InvalidDistribution(
@@ -190,8 +198,13 @@ impl PatternDistribution {
 
 impl fmt::Display for PatternDistribution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PatternDistribution(N={}, E[p]={:.4}, H={:.3})",
-            self.max_dp(), self.expected_global_rate(), self.entropy())
+        write!(
+            f,
+            "PatternDistribution(N={}, E[p]={:.4}, H={:.3})",
+            self.max_dp(),
+            self.expected_global_rate(),
+            self.entropy()
+        )
     }
 }
 
@@ -427,12 +440,8 @@ mod tests {
     #[test]
     fn search_matches_target_rate_for_common_settings() {
         for &p in &[0.3, 0.5, 0.7] {
-            let dist = sgd_search(
-                DropoutRate::new(p).unwrap(),
-                16,
-                &SearchConfig::default(),
-            )
-            .unwrap();
+            let dist =
+                sgd_search(DropoutRate::new(p).unwrap(), 16, &SearchConfig::default()).unwrap();
             let achieved = dist.expected_global_rate();
             assert!(
                 (achieved - p).abs() < 0.02,
@@ -443,12 +452,9 @@ mod tests {
 
     #[test]
     fn search_keeps_distribution_dense() {
-        let outcome = sgd_search_with_trace(
-            DropoutRate::new(0.5).unwrap(),
-            16,
-            &SearchConfig::default(),
-        )
-        .unwrap();
+        let outcome =
+            sgd_search_with_trace(DropoutRate::new(0.5).unwrap(), 16, &SearchConfig::default())
+                .unwrap();
         // The entropy term should leave probability on several periods, not
         // collapse onto a single dp.
         assert!(outcome.distribution.effective_support() > 2.0);

@@ -85,7 +85,10 @@ impl SyntheticCorpus {
     /// `coherence` is outside `[0, 1]`.
     pub fn new(config: CorpusConfig) -> Self {
         assert!(config.vocab > 0, "vocabulary must not be empty");
-        assert!(config.successors_per_word > 0, "successors_per_word must be positive");
+        assert!(
+            config.successors_per_word > 0,
+            "successors_per_word must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&config.coherence),
             "coherence must be in [0, 1]"
@@ -108,7 +111,7 @@ impl SyntheticCorpus {
         // them from the Zipf unigram distribution (real text's frequent words
         // are frequent both marginally and as successors).
         let cdf: &Vec<f64> = &unigram_cdf;
-        let mut sample_zipf = |rng: &mut StdRng| -> usize {
+        let sample_zipf = |rng: &mut StdRng| -> usize {
             let u: f64 = rng.gen();
             match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite")) {
                 Ok(i) | Err(i) => i.min(config.vocab - 1),
@@ -159,7 +162,9 @@ impl SyntheticCorpus {
 
     /// Generates one token stream of the requested length.
     pub fn stream(&self, length: usize, seed_offset: u64) -> Vec<usize> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (seed_offset.wrapping_mul(0xA24B_AED4_963E_E407)).wrapping_add(1));
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed ^ (seed_offset.wrapping_mul(0xA24B_AED4_963E_E407)).wrapping_add(1),
+        );
         let mut tokens = Vec::with_capacity(length);
         let mut prev = self.sample_unigram(&mut rng);
         tokens.push(prev);

@@ -111,7 +111,9 @@ impl SyntheticMnist {
     /// same samples, and labels cycle through the classes so every batch is
     /// balanced.
     pub fn batch(&self, batch_size: usize, index: u64) -> (Matrix, Vec<usize>) {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index + 1)));
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index + 1)),
+        );
         let mut images = Matrix::zeros(batch_size, self.config.dim);
         let mut labels = Vec::with_capacity(batch_size);
         for b in 0..batch_size {

@@ -107,10 +107,16 @@ impl GpuConfig {
     pub fn assert_valid(&self) {
         assert!(self.num_sms > 0, "GPU must have at least one SM");
         assert!(self.warp_size > 0, "warp size must be positive");
-        assert!(self.shared_mem_per_block > 0, "shared memory must be positive");
+        assert!(
+            self.shared_mem_per_block > 0,
+            "shared memory must be positive"
+        );
         assert!(self.clock_ghz > 0.0, "clock must be positive");
         assert!(self.fma_lanes_per_sm > 0, "FMA lanes must be positive");
-        assert!(self.global_bandwidth_gbps > 0.0, "bandwidth must be positive");
+        assert!(
+            self.global_bandwidth_gbps > 0.0,
+            "bandwidth must be positive"
+        );
     }
 }
 

@@ -296,7 +296,8 @@ pub fn tile_compact_gemm(
     let memory_cycles = (global_read + global_write) / gpu.bytes_per_cycle();
     let blocks = ((dense.thread_blocks as f64) * fraction).ceil() as usize;
     let waves = ceil_div(blocks.max(1), gpu.num_sms.max(1));
-    let overhead_cycles = waves as f64 * gpu.global_latency_cycles + total as f64 * TILE_POSITION_CYCLES;
+    let overhead_cycles =
+        waves as f64 * gpu.global_latency_cycles + total as f64 * TILE_POSITION_CYCLES;
 
     KernelStats::finalize(
         gpu,
@@ -340,8 +341,8 @@ pub fn divergent_gemm(
     let p = dropout_rate.clamp(0.0, 1.0);
     let diverge_prob = 1.0 - p.powi(gpu.warp_size as i32) - (1.0 - p).powi(gpu.warp_size as i32);
     let diverging_warps = stats.thread_blocks as f64 * warps_per_block as f64 * diverge_prob;
-    stats.overhead_cycles += diverging_warps * k_steps as f64 * gpu.divergence_penalty_cycles
-        / gpu.num_sms as f64;
+    stats.overhead_cycles +=
+        diverging_warps * k_steps as f64 * gpu.divergence_penalty_cycles / gpu.num_sms as f64;
     KernelStats::finalize(gpu, stats)
 }
 

@@ -20,6 +20,12 @@
 //! helpers in [`training`] compose kernel times into per-iteration training
 //! time so that every speedup figure of the paper can be regenerated.
 //!
+//! Timing is **plan-driven**: [`training::NetworkTimingModel`] asks each
+//! layer's `approx_dropout::DropoutScheme` for the same per-iteration
+//! `DropoutPlan` the training passes execute, and prices the plan's
+//! `KernelSchedule` — so speedup figures are derived from exactly the
+//! dropout decisions the numerics ran with.
+//!
 //! Absolute times are *not* calibrated against real silicon; only relative
 //! comparisons (speedup ratios, crossover trends) are meaningful, which is
 //! what the reproduction reports.
@@ -42,7 +48,8 @@ pub mod training;
 pub use config::GpuConfig;
 pub use kernels::{KernelKind, KernelStats};
 pub use training::{
-    DropoutTiming, LayerTiming, LstmSpec, MlpSpec, NetworkTimingModel, TrainingTimeBreakdown,
+    LayerTiming, LstmSpec, MlpSpec, NetworkTimingModel, TrainingTimeBreakdown,
+    DEFAULT_TIMING_SAMPLES,
 };
 
 #[cfg(test)]

@@ -1,79 +1,34 @@
-//! Layer- and network-level training-time models.
+//! Layer- and network-level training-time models driven by sampled dropout
+//! plans.
 //!
 //! These compose the kernel models of [`crate::kernels`] into the
 //! per-iteration training time of the networks evaluated in the paper: a
 //! 4-layer MLP (Fig. 4, Table I) and multi-layer LSTMs (Table II, Fig. 5,
-//! Fig. 6). The speedup the paper reports is the ratio of the conventional
-//! dropout iteration time to the approximate-random-dropout iteration time;
+//! Fig. 6).
+//!
+//! The timing model consumes the **same** [`DropoutPlan`] objects the
+//! training passes in `nn` execute: a [`NetworkTimingModel`] asks each
+//! layer's [`DropoutScheme`] for a plan (exactly like `nn::Mlp` /
+//! `nn::LstmLm` do at the start of an iteration) and prices the
+//! [`KernelSchedule`] the plan carries. There is no parallel timing-only
+//! dropout representation left to drift from the training numerics; the
+//! per-iteration time *is* a function of the sampled plan, and expected
+//! iteration times are Monte-Carlo averages over sampled iterations.
+//!
+//! The speedup the paper reports is the ratio of the conventional-dropout
+//! iteration time to the approximate-random-dropout iteration time;
 //! [`NetworkTimingModel::speedup`] reproduces exactly that ratio.
 
 use crate::config::GpuConfig;
-use crate::kernels::{self, KernelStats};
-use approx_dropout::{PatternDistribution, DEFAULT_TILE_SIZE};
+use crate::kernels;
+use approx_dropout::{DropoutPlan, DropoutScheme, KernelSchedule, LayerShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-/// How a layer's dropout is executed on the modelled GPU.
-#[derive(Debug, Clone, PartialEq)]
-pub enum DropoutTiming {
-    /// No dropout at all.
-    None,
-    /// Conventional random dropout at the given rate: dense GEMMs plus the
-    /// mask-generation and mask-multiply kernels (the paper's baseline).
-    Conventional(f64),
-    /// Naive `if (kept)` skipping inside the dense GEMM (Fig. 1(b)): pays the
-    /// divergence penalty and skips nothing.
-    Divergent(f64),
-    /// Row-based Dropout Pattern with a period distribution from Algorithm 1.
-    Row(PatternDistribution),
-    /// Tile-based Dropout Pattern with a period distribution and tile size.
-    Tile {
-        /// Distribution over pattern periods.
-        distribution: PatternDistribution,
-        /// Tile edge length (the paper uses 32).
-        tile: usize,
-    },
-}
-
-impl DropoutTiming {
-    /// Convenience constructor for a tile timing with the default 32×32 tile.
-    pub fn tile(distribution: PatternDistribution) -> Self {
-        DropoutTiming::Tile {
-            distribution,
-            tile: DEFAULT_TILE_SIZE,
-        }
-    }
-
-    /// Expected fraction of this layer's *output neurons* that remain active
-    /// and therefore still have to be processed by the next layer's GEMM.
-    ///
-    /// Only the row pattern drops whole neurons; conventional dropout zeroes
-    /// outputs but cannot shrink the next GEMM, and the tile pattern drops
-    /// synapses rather than neurons.
-    pub fn downstream_keep_fraction(&self) -> f64 {
-        match self {
-            DropoutTiming::Row(dist) => expected_keep_fraction(dist),
-            _ => 1.0,
-        }
-    }
-
-    /// Nominal dropout rate of this mode (used for reporting).
-    pub fn nominal_rate(&self) -> f64 {
-        match self {
-            DropoutTiming::None => 0.0,
-            DropoutTiming::Conventional(p) | DropoutTiming::Divergent(p) => *p,
-            DropoutTiming::Row(dist) => dist.expected_global_rate(),
-            DropoutTiming::Tile { distribution, .. } => distribution.expected_global_rate(),
-        }
-    }
-}
-
-/// Expected keep fraction `E[1/dp]` under a pattern distribution.
-pub fn expected_keep_fraction(dist: &PatternDistribution) -> f64 {
-    dist.probabilities()
-        .iter()
-        .enumerate()
-        .map(|(i, &k)| k / (i as f64 + 1.0))
-        .sum()
-}
+/// Number of sampled iterations the expectation helpers average over by
+/// default. Pattern-period distributions have at most 16 support points, so
+/// a few hundred samples pin the mean to well under a percent.
+pub const DEFAULT_TIMING_SAMPLES: usize = 256;
 
 /// Timing of one layer's forward + backward work within a training iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -247,7 +202,8 @@ impl NetworkTimingModel {
         &self.gpu
     }
 
-    /// Number of per-layer dropout modes [`Self::iteration_time`] expects.
+    /// Number of per-layer dropout plans [`Self::iteration_time_from_plans`]
+    /// expects.
     pub fn dropout_layers(&self) -> usize {
         match &self.kind {
             NetworkKind::Mlp(spec) => spec.dropout_layers(),
@@ -255,48 +211,170 @@ impl NetworkTimingModel {
         }
     }
 
-    /// Per-iteration time with the same dropout mode on every droppable layer.
-    pub fn iteration_time(&self, mode: &DropoutTiming) -> TrainingTimeBreakdown {
-        let modes = vec![mode.clone(); self.dropout_layers()];
-        self.iteration_time_per_layer(&modes)
-    }
-
-    /// Per-iteration time with one dropout mode per droppable layer (e.g. the
-    /// `(0.7, 0.3)` rate pairs of Fig. 4).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `modes.len()` does not match [`Self::dropout_layers`].
-    pub fn iteration_time_per_layer(&self, modes: &[DropoutTiming]) -> TrainingTimeBreakdown {
-        assert_eq!(
-            modes.len(),
-            self.dropout_layers(),
-            "expected one dropout mode per droppable layer"
-        );
+    /// The [`LayerShape`] each droppable layer presents to its scheme —
+    /// identical to the shapes `nn::Mlp` / `nn::LstmLm` plan against, so a
+    /// plan sampled here is distributed exactly like one sampled in
+    /// training.
+    pub fn layer_shapes(&self) -> Vec<LayerShape> {
         match &self.kind {
-            NetworkKind::Mlp(spec) => self.mlp_iteration(spec, modes),
-            NetworkKind::Lstm(spec) => self.lstm_iteration(spec, modes),
+            NetworkKind::Mlp(spec) => {
+                let mut shapes = Vec::with_capacity(spec.hidden.len());
+                let mut in_dim = spec.input_dim;
+                for &width in &spec.hidden {
+                    shapes.push(LayerShape::new(in_dim, width));
+                    in_dim = width;
+                }
+                shapes
+            }
+            NetworkKind::Lstm(spec) => {
+                vec![LayerShape::vector(spec.hidden); spec.layers]
+            }
         }
     }
 
-    /// Speedup of `new` over `baseline`: `time(baseline) / time(new)`,
-    /// applied uniformly to every droppable layer.
-    pub fn speedup(&self, baseline: &DropoutTiming, new: &DropoutTiming) -> f64 {
-        self.iteration_time(baseline).total_us() / self.iteration_time(new).total_us()
+    /// Samples one plan per droppable layer from `schemes` — the same
+    /// plan-before-launch step the training loop performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schemes.len()` does not match [`Self::dropout_layers`].
+    pub fn plan_iteration(
+        &self,
+        schemes: &mut [Box<dyn DropoutScheme>],
+        rng: &mut StdRng,
+    ) -> Vec<DropoutPlan> {
+        assert_eq!(
+            schemes.len(),
+            self.dropout_layers(),
+            "expected one dropout scheme per droppable layer"
+        );
+        self.layer_shapes()
+            .into_iter()
+            .zip(schemes.iter_mut())
+            .map(|(shape, scheme)| scheme.plan(rng, shape))
+            .collect()
     }
 
-    /// Speedup with per-layer modes.
+    /// Per-iteration time implied by concrete sampled plans (one per
+    /// droppable layer) — the quantity a real training run would observe for
+    /// that iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans.len()` does not match [`Self::dropout_layers`].
+    pub fn iteration_time_from_plans(&self, plans: &[DropoutPlan]) -> TrainingTimeBreakdown {
+        assert_eq!(
+            plans.len(),
+            self.dropout_layers(),
+            "expected one dropout plan per droppable layer"
+        );
+        match &self.kind {
+            NetworkKind::Mlp(spec) => self.mlp_iteration(spec, plans),
+            NetworkKind::Lstm(spec) => self.lstm_iteration(spec, plans),
+        }
+    }
+
+    /// Mean per-iteration time over `samples` iterations with one scheme per
+    /// droppable layer, planned from a deterministic RNG seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0` or the scheme count does not match
+    /// [`Self::dropout_layers`].
+    pub fn expected_iteration_time_per_layer(
+        &self,
+        schemes: &mut [Box<dyn DropoutScheme>],
+        samples: usize,
+        seed: u64,
+    ) -> TrainingTimeBreakdown {
+        assert!(samples > 0, "at least one sample is required");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // The kernel model only sees a plan through its schedule and its
+        // downstream keep fraction, so identical signatures price
+        // identically: memoising on the signature keeps the Monte-Carlo
+        // weighting exact while collapsing the (at most ~max_dp distinct)
+        // kernel-model evaluations — plan-invariant schemes like the
+        // Bernoulli baseline evaluate the model exactly once.
+        type TimingKey = Vec<(KernelSchedule, f64)>;
+        let mut memo: Vec<(TimingKey, TrainingTimeBreakdown)> = Vec::new();
+        let mut acc: Option<TrainingTimeBreakdown> = None;
+        for _ in 0..samples {
+            let plans = self.plan_iteration(schemes, &mut rng);
+            let key: TimingKey = plans
+                .iter()
+                .map(|p| (*p.kernel_schedule(), p.active_output_fraction()))
+                .collect();
+            let breakdown = match memo.iter().find(|(k, _)| *k == key) {
+                Some((_, cached)) => cached.clone(),
+                None => {
+                    let fresh = self.iteration_time_from_plans(&plans);
+                    memo.push((key, fresh.clone()));
+                    fresh
+                }
+            };
+            acc = Some(match acc {
+                None => breakdown,
+                Some(total) => accumulate(total, breakdown),
+            });
+        }
+        scale_breakdown(acc.expect("samples > 0"), 1.0 / samples as f64)
+    }
+
+    /// Mean per-iteration time with the same scheme on every droppable layer
+    /// (cloned per layer so each layer keeps independent statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn expected_iteration_time(
+        &self,
+        scheme: &dyn DropoutScheme,
+        samples: usize,
+        seed: u64,
+    ) -> TrainingTimeBreakdown {
+        let mut schemes: Vec<Box<dyn DropoutScheme>> = (0..self.dropout_layers())
+            .map(|_| scheme.clone_box())
+            .collect();
+        self.expected_iteration_time_per_layer(&mut schemes, samples, seed)
+    }
+
+    /// Speedup of `new` over `baseline` applied uniformly to every droppable
+    /// layer: `E[time(baseline)] / E[time(new)]`, both expectations over
+    /// `samples` planned iterations.
+    pub fn speedup(
+        &self,
+        baseline: &dyn DropoutScheme,
+        new: &dyn DropoutScheme,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        self.expected_iteration_time(baseline, samples, seed)
+            .total_us()
+            / self.expected_iteration_time(new, samples, seed).total_us()
+    }
+
+    /// Speedup with per-layer schemes (e.g. the `(p1, p2)` rate pairs of
+    /// Fig. 4).
     ///
     /// # Panics
     ///
     /// Panics if either slice length does not match [`Self::dropout_layers`].
-    pub fn speedup_per_layer(&self, baseline: &[DropoutTiming], new: &[DropoutTiming]) -> f64 {
-        self.iteration_time_per_layer(baseline).total_us()
-            / self.iteration_time_per_layer(new).total_us()
+    pub fn speedup_per_layer(
+        &self,
+        baseline: &mut [Box<dyn DropoutScheme>],
+        new: &mut [Box<dyn DropoutScheme>],
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        self.expected_iteration_time_per_layer(baseline, samples, seed)
+            .total_us()
+            / self
+                .expected_iteration_time_per_layer(new, samples, seed)
+                .total_us()
     }
 
     /// Time of one fully connected layer (forward GEMM + bias/activation,
-    /// backward data and weight GEMMs) under a dropout mode, given the
+    /// backward data and weight GEMMs) under a kernel schedule, given the
     /// fraction of its *input* features that are still active.
     fn fc_layer(
         &self,
@@ -305,20 +383,20 @@ impl NetworkTimingModel {
         in_features: usize,
         out_features: usize,
         input_keep: f64,
-        mode: &DropoutTiming,
+        schedule: &KernelSchedule,
     ) -> LayerTiming {
         let gpu = &self.gpu;
         let k_eff = scaled_dim(in_features, input_keep);
 
-        let (forward, backward, dropout) = match mode {
-            DropoutTiming::None => {
+        let (forward, backward, dropout) = match *schedule {
+            KernelSchedule::Dense => {
                 let fwd = kernels::dense_gemm(gpu, batch, k_eff, out_features)
                     .merged_with(&kernels::elementwise(gpu, batch, out_features, 1, 1, 2.0));
                 let bwd = kernels::dense_gemm(gpu, batch, out_features, k_eff)
                     .merged_with(&kernels::dense_gemm(gpu, k_eff, batch, out_features));
                 (fwd, bwd, 0.0)
             }
-            DropoutTiming::Conventional(_p) => {
+            KernelSchedule::DenseWithMask => {
                 let fwd = kernels::dense_gemm(gpu, batch, k_eff, out_features)
                     .merged_with(&kernels::elementwise(gpu, batch, out_features, 1, 1, 2.0));
                 let bwd = kernels::dense_gemm(gpu, batch, out_features, k_eff)
@@ -329,45 +407,36 @@ impl NetworkTimingModel {
                     .merged_with(&kernels::elementwise(gpu, batch, out_features, 2, 1, 1.0));
                 (fwd, bwd, drop.time_us())
             }
-            DropoutTiming::Divergent(p) => {
-                let fwd = kernels::divergent_gemm(gpu, batch, k_eff, out_features, *p)
+            KernelSchedule::DenseDivergent { rate } => {
+                let fwd = kernels::divergent_gemm(gpu, batch, k_eff, out_features, rate)
                     .merged_with(&kernels::elementwise(gpu, batch, out_features, 1, 1, 2.0));
-                let bwd = kernels::divergent_gemm(gpu, batch, out_features, k_eff, *p)
-                    .merged_with(&kernels::divergent_gemm(gpu, k_eff, batch, out_features, *p));
+                let bwd =
+                    kernels::divergent_gemm(gpu, batch, out_features, k_eff, rate).merged_with(
+                        &kernels::divergent_gemm(gpu, k_eff, batch, out_features, rate),
+                    );
                 (fwd, bwd, 0.0)
             }
-            DropoutTiming::Row(dist) => {
-                let fwd = expect_over(dist, |dp| {
-                    let kept = kept_units(out_features, dp);
-                    kernels::row_compact_gemm(gpu, batch, k_eff, out_features, kept)
-                        .merged_with(&kernels::elementwise(gpu, batch, kept, 1, 1, 2.0))
-                });
-                let bwd = expect_over(dist, |dp| {
-                    let kept = kept_units(out_features, dp);
-                    kernels::dense_gemm(gpu, batch, kept, k_eff)
-                        .merged_with(&kernels::row_compact_gemm(gpu, k_eff, batch, out_features, kept))
-                });
+            KernelSchedule::RowCompact { kept, total } => {
+                let kept = scaled_units(out_features, kept, total);
+                let fwd = kernels::row_compact_gemm(gpu, batch, k_eff, out_features, kept)
+                    .merged_with(&kernels::elementwise(gpu, batch, kept, 1, 1, 2.0));
+                let bwd = kernels::dense_gemm(gpu, batch, kept, k_eff).merged_with(
+                    &kernels::row_compact_gemm(gpu, k_eff, batch, out_features, kept),
+                );
                 (fwd, bwd, 0.0)
             }
-            DropoutTiming::Tile { distribution, tile } => {
-                let grid = tiles_in(k_eff, out_features, *tile);
-                let fwd = expect_over(distribution, |dp| {
-                    let kept = kept_units(grid, dp);
-                    kernels::tile_compact_gemm(gpu, batch, k_eff, out_features, kept, grid)
-                        .merged_with(&kernels::elementwise(gpu, batch, out_features, 1, 1, 2.0))
-                });
-                let bwd = expect_over(distribution, |dp| {
-                    let kept = kept_units(grid, dp);
-                    kernels::tile_compact_gemm(gpu, batch, out_features, k_eff, kept, grid)
-                        .merged_with(&kernels::tile_compact_gemm(
-                            gpu,
-                            k_eff,
-                            batch,
-                            out_features,
-                            kept,
-                            grid,
-                        ))
-                });
+            KernelSchedule::TileCompact { kept, total } => {
+                let fwd = kernels::tile_compact_gemm(gpu, batch, k_eff, out_features, kept, total)
+                    .merged_with(&kernels::elementwise(gpu, batch, out_features, 1, 1, 2.0));
+                let bwd = kernels::tile_compact_gemm(gpu, batch, out_features, k_eff, kept, total)
+                    .merged_with(&kernels::tile_compact_gemm(
+                        gpu,
+                        k_eff,
+                        batch,
+                        out_features,
+                        kept,
+                        total,
+                    ));
                 (fwd, bwd, 0.0)
             }
         };
@@ -380,7 +449,7 @@ impl NetworkTimingModel {
         }
     }
 
-    fn mlp_iteration(&self, spec: &MlpSpec, modes: &[DropoutTiming]) -> TrainingTimeBreakdown {
+    fn mlp_iteration(&self, spec: &MlpSpec, plans: &[DropoutPlan]) -> TrainingTimeBreakdown {
         // Each hidden layer's dropout shrinks the GEMMs that produce its own
         // output (forward, dX and dW). The further saving that the *next*
         // layer could obtain by also skipping the dropped inputs is not
@@ -396,7 +465,7 @@ impl NetworkTimingModel {
                 in_dim,
                 width,
                 1.0,
-                &modes[i],
+                plans[i].kernel_schedule(),
             );
             layers.push(layer);
             in_dim = width;
@@ -408,7 +477,7 @@ impl NetworkTimingModel {
             in_dim,
             spec.output_dim,
             1.0,
-            &DropoutTiming::None,
+            &KernelSchedule::Dense,
         );
         layers.push(output);
         summarize(layers)
@@ -419,16 +488,16 @@ impl NetworkTimingModel {
     /// Per timestep the layer runs an input GEMM `(batch × in) · (in × 4h)`,
     /// a recurrent GEMM `(batch × h) · (h × 4h)` and elementwise gate math;
     /// the backward pass costs roughly twice the forward GEMM work. Dropout
-    /// between layers shrinks the *input* GEMM of the next layer when the
-    /// row pattern is used, and the dropout-mask kernels of the baseline run
-    /// once per timestep on the layer output.
+    /// between layers shrinks the *input* GEMM of the next layer when a row
+    /// plan drops whole units, and the dropout-mask kernels of the baseline
+    /// run once per timestep on the layer output.
     fn lstm_layer(
         &self,
         name: &str,
         spec: &LstmSpec,
         in_dim: usize,
         input_keep: f64,
-        mode: &DropoutTiming,
+        schedule: &KernelSchedule,
     ) -> LayerTiming {
         let gpu = &self.gpu;
         let h4 = 4 * spec.hidden;
@@ -438,22 +507,21 @@ impl NetworkTimingModel {
         let input_gemm = kernels::dense_gemm(gpu, spec.batch, k_eff, h4);
         let recurrent_gemm = kernels::dense_gemm(gpu, spec.batch, spec.hidden, h4);
         let gates = kernels::elementwise(gpu, spec.batch, h4, 2, 1, 6.0);
-        let forward_step = input_gemm
-            .merged_with(&recurrent_gemm)
-            .merged_with(&gates);
+        let forward_step = input_gemm.merged_with(&recurrent_gemm).merged_with(&gates);
         let forward_us = forward_step.time_us() * steps;
         // Backward through time: gradients w.r.t. inputs, recurrent state and
         // weights — about twice the forward GEMM volume.
         let backward_us = 2.0 * (input_gemm.time_us() + recurrent_gemm.time_us()) * steps
             + gates.time_us() * steps;
 
-        let dropout_us = match mode {
-            DropoutTiming::Conventional(_) => {
-                let per_step = kernels::conventional_dropout_layer(gpu, spec.batch, spec.hidden)
-                    .merged_with(&kernels::elementwise(gpu, spec.batch, spec.hidden, 2, 1, 1.0));
-                per_step.time_us() * steps
-            }
-            _ => 0.0,
+        let dropout_us = if schedule.needs_mask_kernel() {
+            let per_step =
+                kernels::conventional_dropout_layer(gpu, spec.batch, spec.hidden).merged_with(
+                    &kernels::elementwise(gpu, spec.batch, spec.hidden, 2, 1, 1.0),
+                );
+            per_step.time_us() * steps
+        } else {
+            0.0
         };
 
         LayerTiming {
@@ -464,20 +532,20 @@ impl NetworkTimingModel {
         }
     }
 
-    fn lstm_iteration(&self, spec: &LstmSpec, modes: &[DropoutTiming]) -> TrainingTimeBreakdown {
+    fn lstm_iteration(&self, spec: &LstmSpec, plans: &[DropoutPlan]) -> TrainingTimeBreakdown {
         let mut layers = Vec::new();
         let mut input_keep = 1.0;
         let mut in_dim = spec.input_dim;
-        for (i, mode) in modes.iter().enumerate().take(spec.layers) {
+        for (i, plan) in plans.iter().enumerate().take(spec.layers) {
             let layer = self.lstm_layer(
                 &format!("lstm{} (h={})", i + 1, spec.hidden),
                 spec,
                 in_dim,
                 input_keep,
-                mode,
+                plan.kernel_schedule(),
             );
             layers.push(layer);
-            input_keep = mode.downstream_keep_fraction();
+            input_keep = plan.active_output_fraction();
             in_dim = spec.hidden;
         }
         // Output softmax projection over the whole unrolled sequence:
@@ -490,7 +558,7 @@ impl NetworkTimingModel {
             spec.hidden,
             spec.vocab,
             input_keep,
-            &DropoutTiming::None,
+            &KernelSchedule::Dense,
         );
         layers.push(proj);
         summarize(layers)
@@ -509,12 +577,46 @@ fn summarize(layers: Vec<LayerTiming>) -> TrainingTimeBreakdown {
     }
 }
 
-/// Number of kept units out of `total` for a pattern period `dp`.
-fn kept_units(total: usize, dp: usize) -> usize {
-    if dp == 0 {
-        return total;
+fn accumulate(
+    mut total: TrainingTimeBreakdown,
+    sample: TrainingTimeBreakdown,
+) -> TrainingTimeBreakdown {
+    assert_eq!(
+        total.layers.len(),
+        sample.layers.len(),
+        "layer counts agree"
+    );
+    for (acc, layer) in total.layers.iter_mut().zip(sample.layers) {
+        acc.forward_us += layer.forward_us;
+        acc.backward_us += layer.backward_us;
+        acc.dropout_us += layer.dropout_us;
     }
-    total.div_ceil(dp).max(1).min(total)
+    total.forward_us += sample.forward_us;
+    total.backward_us += sample.backward_us;
+    total.dropout_us += sample.dropout_us;
+    total
+}
+
+fn scale_breakdown(mut breakdown: TrainingTimeBreakdown, factor: f64) -> TrainingTimeBreakdown {
+    for layer in &mut breakdown.layers {
+        layer.forward_us *= factor;
+        layer.backward_us *= factor;
+        layer.dropout_us *= factor;
+    }
+    breakdown.forward_us *= factor;
+    breakdown.backward_us *= factor;
+    breakdown.dropout_us *= factor;
+    breakdown
+}
+
+/// Maps the kept fraction of a plan (sampled at the plan's own resolution)
+/// onto this model's layer width, clamped so at least one unit survives.
+fn scaled_units(out_features: usize, kept: usize, total: usize) -> usize {
+    if total == 0 {
+        return out_features;
+    }
+    let fraction = kept as f64 / total as f64;
+    ((out_features as f64 * fraction).round() as usize).clamp(1, out_features)
 }
 
 /// Effective dimension after keeping a fraction of the features (at least 1).
@@ -522,61 +624,30 @@ fn scaled_dim(dim: usize, keep: f64) -> usize {
     ((dim as f64 * keep).round() as usize).clamp(1, dim)
 }
 
-/// Number of `tile × tile` tiles covering a `rows × cols` weight matrix.
-fn tiles_in(rows: usize, cols: usize, tile: usize) -> usize {
-    rows.div_ceil(tile.max(1)) * cols.div_ceil(tile.max(1))
-}
-
-/// Expectation of a kernel-stats-valued function over a pattern distribution:
-/// `Σ_dp k_dp · f(dp)` applied componentwise (times add linearly).
-fn expect_over(dist: &PatternDistribution, f: impl Fn(usize) -> KernelStats) -> KernelStats {
-    let mut acc: Option<KernelStats> = None;
-    for (i, &prob) in dist.probabilities().iter().enumerate() {
-        if prob <= 0.0 {
-            continue;
-        }
-        let dp = i + 1;
-        let stats = f(dp);
-        let weighted = scale_stats(&stats, prob);
-        acc = Some(match acc {
-            None => weighted,
-            Some(a) => a.merged_with(&weighted),
-        });
-    }
-    acc.unwrap_or_else(|| KernelStats::empty(crate::kernels::KernelKind::DenseGemm))
-}
-
-fn scale_stats(stats: &KernelStats, w: f64) -> KernelStats {
-    // Scaling every extensive component (including the already-finalized
-    // per-dp time) by the probability weight makes the merged sum an
-    // expectation over the pattern distribution.
-    let mut scaled = stats.clone();
-    scaled.flops *= w;
-    scaled.global_read_bytes *= w;
-    scaled.global_write_bytes *= w;
-    scaled.thread_blocks = (stats.thread_blocks as f64 * w).round() as usize;
-    scaled.compute_cycles *= w;
-    scaled.memory_cycles *= w;
-    scaled.overhead_cycles *= w;
-    scaled.time_us *= w;
-    scaled
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use approx_dropout::{search::sgd_search, DropoutRate, SearchConfig};
+    use approx_dropout::scheme;
+    use approx_dropout::DropoutRate;
 
-    fn distribution(p: f64) -> PatternDistribution {
-        sgd_search(DropoutRate::new(p).unwrap(), 16, &SearchConfig::default()).unwrap()
+    const SAMPLES: usize = DEFAULT_TIMING_SAMPLES;
+
+    fn rate(p: f64) -> DropoutRate {
+        DropoutRate::new(p).unwrap()
+    }
+
+    fn row(p: f64) -> Box<dyn DropoutScheme> {
+        scheme::row(rate(p), 16).unwrap()
+    }
+
+    fn tile(p: f64) -> Box<dyn DropoutScheme> {
+        scheme::tile(rate(p), 16, 32).unwrap()
     }
 
     #[test]
     fn mlp_row_dropout_is_faster_than_conventional() {
         let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
-        let baseline = DropoutTiming::Conventional(0.5);
-        let row = DropoutTiming::Row(distribution(0.5));
-        let speedup = model.speedup(&baseline, &row);
+        let speedup = model.speedup(&*scheme::bernoulli(rate(0.5)), &*row(0.5), SAMPLES, 0);
         assert!(speedup > 1.0, "speedup {speedup}");
         assert!(speedup < 3.0, "speedup {speedup} unreasonably high");
     }
@@ -584,15 +655,12 @@ mod tests {
     #[test]
     fn speedup_grows_with_dropout_rate() {
         let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
-        let s03 = model.speedup(
-            &DropoutTiming::Conventional(0.3),
-            &DropoutTiming::Row(distribution(0.3)),
+        let s03 = model.speedup(&*scheme::bernoulli(rate(0.3)), &*row(0.3), SAMPLES, 1);
+        let s07 = model.speedup(&*scheme::bernoulli(rate(0.7)), &*row(0.7), SAMPLES, 1);
+        assert!(
+            s07 > s03,
+            "0.7 speedup {s07} should exceed 0.3 speedup {s03}"
         );
-        let s07 = model.speedup(
-            &DropoutTiming::Conventional(0.7),
-            &DropoutTiming::Row(distribution(0.7)),
-        );
-        assert!(s07 > s03, "0.7 speedup {s07} should exceed 0.3 speedup {s03}");
     }
 
     #[test]
@@ -600,47 +668,57 @@ mod tests {
         let gpu = GpuConfig::gtx_1080ti();
         let small = NetworkTimingModel::mlp(gpu.clone(), MlpSpec::with_hidden(1024, 64));
         let large = NetworkTimingModel::mlp(gpu, MlpSpec::with_hidden(4096, 4096));
-        let baseline = DropoutTiming::Conventional(0.7);
-        let row = DropoutTiming::Row(distribution(0.7));
-        assert!(large.speedup(&baseline, &row) > small.speedup(&baseline, &row));
+        let baseline = scheme::bernoulli(rate(0.7));
+        assert!(
+            large.speedup(&*baseline, &*row(0.7), SAMPLES, 2)
+                > small.speedup(&*baseline, &*row(0.7), SAMPLES, 2)
+        );
     }
 
     #[test]
     fn tile_speedup_is_positive_but_below_row() {
         let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
-        let baseline = DropoutTiming::Conventional(0.7);
-        let row = model.speedup(&baseline, &DropoutTiming::Row(distribution(0.7)));
-        let tile = model.speedup(&baseline, &DropoutTiming::tile(distribution(0.7)));
-        assert!(tile > 1.0, "tile speedup {tile}");
-        assert!(row > tile, "row {row} should exceed tile {tile}");
+        let baseline = scheme::bernoulli(rate(0.7));
+        let row_speedup = model.speedup(&*baseline, &*row(0.7), SAMPLES, 3);
+        let tile_speedup = model.speedup(&*baseline, &*tile(0.7), SAMPLES, 3);
+        assert!(tile_speedup > 1.0, "tile speedup {tile_speedup}");
+        assert!(
+            row_speedup > tile_speedup,
+            "row {row_speedup} should exceed tile {tile_speedup}"
+        );
     }
 
     #[test]
     fn divergent_skipping_gives_no_speedup() {
         let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
-        let baseline = DropoutTiming::Conventional(0.5);
-        let divergent = DropoutTiming::Divergent(0.5);
-        let speedup = model.speedup(&baseline, &divergent);
-        assert!(speedup <= 1.05, "divergent speedup {speedup} should be ~<= 1");
+        let speedup = model.speedup(
+            &*scheme::bernoulli(rate(0.5)),
+            &*scheme::divergent_bernoulli(rate(0.5)),
+            SAMPLES,
+            4,
+        );
+        assert!(
+            speedup <= 1.05,
+            "divergent speedup {speedup} should be ~<= 1"
+        );
     }
 
     #[test]
-    fn per_layer_modes_allow_asymmetric_rates() {
+    fn per_layer_schemes_allow_asymmetric_rates() {
         let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
-        let baseline = vec![DropoutTiming::Conventional(0.7), DropoutTiming::Conventional(0.3)];
-        let new = vec![
-            DropoutTiming::Row(distribution(0.7)),
-            DropoutTiming::Row(distribution(0.3)),
-        ];
-        let speedup = model.speedup_per_layer(&baseline, &new);
+        let mut baseline: Vec<Box<dyn DropoutScheme>> =
+            vec![scheme::bernoulli(rate(0.7)), scheme::bernoulli(rate(0.3))];
+        let mut new = vec![row(0.7), row(0.3)];
+        let speedup = model.speedup_per_layer(&mut baseline, &mut new, SAMPLES, 5);
         assert!(speedup > 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "one dropout mode per droppable layer")]
-    fn per_layer_modes_must_match_layer_count() {
+    #[should_panic(expected = "one dropout plan per droppable layer")]
+    fn plans_must_match_layer_count() {
         let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
-        let _ = model.iteration_time_per_layer(&[DropoutTiming::None]);
+        let plan = DropoutPlan::none(LayerShape::new(784, 2048));
+        let _ = model.iteration_time_from_plans(&[plan]);
     }
 
     #[test]
@@ -648,10 +726,9 @@ mod tests {
         // Only the inter-layer inputs and the softmax projection shrink, so
         // the LSTM speedup is smaller than the MLP one — as in the paper
         // (Table II vs Fig. 4).
-        let model = NetworkTimingModel::lstm(GpuConfig::gtx_1080ti(), LstmSpec::paper_dictionary_lstm());
-        let baseline = DropoutTiming::Conventional(0.7);
-        let row = DropoutTiming::Row(distribution(0.7));
-        let speedup = model.speedup(&baseline, &row);
+        let model =
+            NetworkTimingModel::lstm(GpuConfig::gtx_1080ti(), LstmSpec::paper_dictionary_lstm());
+        let speedup = model.speedup(&*scheme::bernoulli(rate(0.7)), &*row(0.7), SAMPLES, 6);
         assert!(speedup > 1.0, "lstm speedup {speedup}");
         assert!(speedup < 2.0, "lstm speedup {speedup} should stay modest");
     }
@@ -663,17 +740,25 @@ mod tests {
         spec_small.batch = 20;
         let mut spec_large = spec_small.clone();
         spec_large.batch = 40;
-        let baseline = DropoutTiming::Conventional(0.5);
-        let row = DropoutTiming::Row(distribution(0.5));
-        let s20 = NetworkTimingModel::lstm(gpu.clone(), spec_small).speedup(&baseline, &row);
-        let s40 = NetworkTimingModel::lstm(gpu, spec_large).speedup(&baseline, &row);
-        assert!(s40 >= s20 * 0.98, "batch 40 speedup {s40} vs batch 20 {s20}");
+        let baseline = scheme::bernoulli(rate(0.5));
+        let s20 = NetworkTimingModel::lstm(gpu.clone(), spec_small).speedup(
+            &*baseline,
+            &*row(0.5),
+            SAMPLES,
+            7,
+        );
+        let s40 =
+            NetworkTimingModel::lstm(gpu, spec_large).speedup(&*baseline, &*row(0.5), SAMPLES, 7);
+        assert!(
+            s40 >= s20 * 0.98,
+            "batch 40 speedup {s40} vs batch 20 {s20}"
+        );
     }
 
     #[test]
     fn breakdown_totals_sum_layer_contributions() {
         let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
-        let breakdown = model.iteration_time(&DropoutTiming::Conventional(0.5));
+        let breakdown = model.expected_iteration_time(&*scheme::bernoulli(rate(0.5)), SAMPLES, 8);
         let layer_total: f64 = breakdown.layers.iter().map(|l| l.total_us()).sum();
         assert!((breakdown.total_us() - layer_total).abs() < 1e-6);
         assert!(breakdown.dropout_us > 0.0);
@@ -681,25 +766,49 @@ mod tests {
     }
 
     #[test]
-    fn expected_keep_fraction_of_point_mass() {
-        let d = PatternDistribution::point_mass(4, 8).unwrap();
-        assert!((expected_keep_fraction(&d) - 0.25).abs() < 1e-12);
+    fn expectations_are_deterministic_for_a_seed() {
+        let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
+        let a = model.expected_iteration_time(&*row(0.5), 64, 9);
+        let b = model.expected_iteration_time(&*row(0.5), 64, 9);
+        assert_eq!(a, b);
     }
 
     #[test]
-    fn downstream_keep_fraction_only_shrinks_for_row() {
-        let d = distribution(0.5);
-        assert!(DropoutTiming::Row(d.clone()).downstream_keep_fraction() < 1.0);
-        assert_eq!(DropoutTiming::tile(d.clone()).downstream_keep_fraction(), 1.0);
-        assert_eq!(DropoutTiming::Conventional(0.5).downstream_keep_fraction(), 1.0);
-        assert_eq!(DropoutTiming::None.downstream_keep_fraction(), 1.0);
+    fn timing_consumes_the_exact_sampled_plan() {
+        // A fixed row pattern produces the same plan every iteration, so the
+        // per-iteration time equals the expectation and reflects the plan's
+        // concrete kept count.
+        let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
+        let mut schemes: Vec<Box<dyn DropoutScheme>> = vec![
+            Box::new(approx_dropout::RowPattern::new(2, 0).unwrap()),
+            Box::new(approx_dropout::RowPattern::new(2, 0).unwrap()),
+        ];
+        let mut rng = StdRng::seed_from_u64(10);
+        let plans = model.plan_iteration(&mut schemes, &mut rng);
+        assert_eq!(
+            *plans[0].kernel_schedule(),
+            KernelSchedule::RowCompact {
+                kept: 1024,
+                total: 2048
+            }
+        );
+        let single = model.iteration_time_from_plans(&plans);
+        let expected = model.expected_iteration_time_per_layer(&mut schemes, 16, 11);
+        assert!((single.total_us() - expected.total_us()).abs() < 1e-6);
     }
 
     #[test]
-    fn nominal_rates_reflect_configuration() {
-        assert_eq!(DropoutTiming::None.nominal_rate(), 0.0);
-        assert_eq!(DropoutTiming::Conventional(0.3).nominal_rate(), 0.3);
-        let d = distribution(0.5);
-        assert!((DropoutTiming::Row(d).nominal_rate() - 0.5).abs() < 0.02);
+    fn layer_shapes_match_training_side_shapes() {
+        let mlp = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
+        assert_eq!(
+            mlp.layer_shapes(),
+            vec![LayerShape::new(784, 2048), LayerShape::new(2048, 2048)]
+        );
+        let lstm =
+            NetworkTimingModel::lstm(GpuConfig::gtx_1080ti(), LstmSpec::paper_dictionary_lstm());
+        assert_eq!(
+            lstm.layer_shapes(),
+            vec![LayerShape::vector(1500), LayerShape::vector(1500)]
+        );
     }
 }

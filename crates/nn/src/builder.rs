@@ -1,0 +1,284 @@
+//! Fluent construction of dropout-aware networks.
+//!
+//! The paper's Fig. 4 evaluates per-layer dropout-rate pairs `(p1, p2)`; the
+//! builders here make that configuration a first-class, chainable operation:
+//! a default [`DropoutScheme`] for every droppable layer plus any number of
+//! per-layer overrides.
+//!
+//! ```
+//! use approx_dropout::{scheme, DropoutRate};
+//! use nn::builder::NetworkBuilder;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), approx_dropout::DropoutError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mlp = NetworkBuilder::new(64, 10)
+//!     .hidden_layer(128)
+//!     .hidden_layer(128)
+//!     .dropout(scheme::row(DropoutRate::new(0.7)?, 16)?)   // default: p1 = 0.7
+//!     .layer_dropout(1, scheme::row(DropoutRate::new(0.3)?, 16)?) // p2 = 0.3
+//!     .learning_rate(0.01)
+//!     .momentum(0.9)
+//!     .build(&mut rng);
+//! assert_eq!(mlp.hidden_layers(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::lstm::{LstmLm, LstmLmConfig};
+use crate::mlp::{Mlp, MlpConfig};
+use approx_dropout::{scheme, DropoutScheme};
+use rand::Rng;
+
+/// Fluent builder for [`Mlp`] networks with per-layer dropout schemes.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    input_dim: usize,
+    output_dim: usize,
+    hidden: Vec<usize>,
+    dropout: Box<dyn DropoutScheme>,
+    overrides: Vec<(usize, Box<dyn DropoutScheme>)>,
+    learning_rate: f32,
+    momentum: f32,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for an `input_dim → … → output_dim` classifier with
+    /// no dropout and the paper's MLP optimiser defaults (lr 0.01,
+    /// momentum 0.9).
+    pub fn new(input_dim: usize, output_dim: usize) -> Self {
+        Self {
+            input_dim,
+            output_dim,
+            hidden: Vec::new(),
+            dropout: scheme::none(),
+            overrides: Vec::new(),
+            learning_rate: 0.01,
+            momentum: 0.9,
+        }
+    }
+
+    /// Appends one hidden layer of the given width.
+    pub fn hidden_layer(mut self, width: usize) -> Self {
+        self.hidden.push(width);
+        self
+    }
+
+    /// Appends several hidden layers at once.
+    pub fn hidden_layers(mut self, widths: &[usize]) -> Self {
+        self.hidden.extend_from_slice(widths);
+        self
+    }
+
+    /// Sets the default dropout scheme applied to every hidden layer.
+    pub fn dropout(mut self, scheme: Box<dyn DropoutScheme>) -> Self {
+        self.dropout = scheme;
+        self
+    }
+
+    /// Overrides the scheme of one hidden layer (0-based) — the `(p1, p2)`
+    /// pairs of Fig. 4.
+    pub fn layer_dropout(mut self, layer: usize, scheme: Box<dyn DropoutScheme>) -> Self {
+        self.overrides.push((layer, scheme));
+        self
+    }
+
+    /// Sets the SGD learning rate.
+    pub fn learning_rate(mut self, learning_rate: f32) -> Self {
+        self.learning_rate = learning_rate;
+        self
+    }
+
+    /// Sets the SGD momentum.
+    pub fn momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no hidden layer was added, a dimension is zero, or a
+    /// per-layer override indexes past the hidden layers.
+    pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> Mlp {
+        let config = MlpConfig {
+            input_dim: self.input_dim,
+            hidden: self.hidden,
+            output_dim: self.output_dim,
+            dropout: self.dropout,
+            learning_rate: self.learning_rate,
+            momentum: self.momentum,
+        };
+        let mut mlp = Mlp::new(&config, rng);
+        for (layer, scheme) in self.overrides {
+            mlp.set_layer_dropout(layer, scheme);
+        }
+        mlp
+    }
+}
+
+/// Fluent builder for [`LstmLm`] language models with per-layer dropout
+/// schemes.
+#[derive(Debug, Clone)]
+pub struct LstmBuilder {
+    vocab: usize,
+    embed_dim: usize,
+    hidden: usize,
+    layers: usize,
+    dropout: Box<dyn DropoutScheme>,
+    overrides: Vec<(usize, Box<dyn DropoutScheme>)>,
+    learning_rate: f32,
+    momentum: f32,
+    grad_clip: f32,
+}
+
+impl LstmBuilder {
+    /// Starts a builder for a `vocab`-word model with `hidden`-wide
+    /// embeddings and cells, one LSTM layer, no dropout and the scaled
+    /// experiments' optimiser defaults (lr 0.5, momentum 0, clip 5).
+    pub fn new(vocab: usize, hidden: usize) -> Self {
+        Self {
+            vocab,
+            embed_dim: hidden,
+            hidden,
+            layers: 1,
+            dropout: scheme::none(),
+            overrides: Vec::new(),
+            learning_rate: 0.5,
+            momentum: 0.0,
+            grad_clip: 5.0,
+        }
+    }
+
+    /// Sets the word-embedding width (defaults to the hidden width).
+    pub fn embed_dim(mut self, embed_dim: usize) -> Self {
+        self.embed_dim = embed_dim;
+        self
+    }
+
+    /// Sets the number of stacked LSTM layers.
+    pub fn layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Sets the default dropout scheme applied after every LSTM layer.
+    pub fn dropout(mut self, scheme: Box<dyn DropoutScheme>) -> Self {
+        self.dropout = scheme;
+        self
+    }
+
+    /// Overrides the scheme of one LSTM layer (0-based).
+    pub fn layer_dropout(mut self, layer: usize, scheme: Box<dyn DropoutScheme>) -> Self {
+        self.overrides.push((layer, scheme));
+        self
+    }
+
+    /// Sets the SGD learning rate.
+    pub fn learning_rate(mut self, learning_rate: f32) -> Self {
+        self.learning_rate = learning_rate;
+        self
+    }
+
+    /// Sets the SGD momentum.
+    pub fn momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the max-abs gradient-clipping threshold (0 disables).
+    pub fn grad_clip(mut self, grad_clip: f32) -> Self {
+        self.grad_clip = grad_clip;
+        self
+    }
+
+    /// Builds the language model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or a per-layer override indexes past
+    /// the stacked layers.
+    pub fn build<R: Rng + ?Sized>(self, rng: &mut R) -> LstmLm {
+        let config = LstmLmConfig {
+            vocab: self.vocab,
+            embed_dim: self.embed_dim,
+            hidden: self.hidden,
+            layers: self.layers,
+            dropout: self.dropout,
+            learning_rate: self.learning_rate,
+            momentum: self.momentum,
+            grad_clip: self.grad_clip,
+        };
+        let mut lm = LstmLm::new(&config, rng);
+        for (layer, scheme) in self.overrides {
+            lm.set_layer_dropout(layer, scheme);
+        }
+        lm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approx_dropout::DropoutRate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::Matrix;
+
+    #[test]
+    fn builder_constructs_working_mlp() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = NetworkBuilder::new(8, 2)
+            .hidden_layers(&[16, 16])
+            .dropout(scheme::bernoulli(DropoutRate::new(0.5).unwrap()))
+            .learning_rate(0.05)
+            .momentum(0.5)
+            .build(&mut rng);
+        let x = Matrix::ones(4, 8);
+        let stats = mlp.train_batch(&x, &[0, 1, 0, 1], &mut rng);
+        assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    fn builder_applies_per_layer_overrides() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = NetworkBuilder::new(8, 2)
+            .hidden_layer(16)
+            .hidden_layer(16)
+            .dropout(scheme::bernoulli(DropoutRate::new(0.7).unwrap()))
+            .layer_dropout(1, scheme::bernoulli(DropoutRate::new(0.3).unwrap()))
+            .build(&mut rng);
+        assert!((mlp.layer_dropout(0).nominal_rate() - 0.7).abs() < 1e-12);
+        assert!((mlp.layer_dropout(1).nominal_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer index out of range")]
+    fn builder_rejects_out_of_range_override() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = NetworkBuilder::new(8, 2)
+            .hidden_layer(16)
+            .layer_dropout(3, scheme::none())
+            .build(&mut rng);
+    }
+
+    #[test]
+    fn lstm_builder_constructs_working_model() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lm = LstmBuilder::new(12, 16)
+            .layers(2)
+            .dropout(scheme::row(DropoutRate::new(0.3).unwrap(), 8).unwrap())
+            .layer_dropout(0, scheme::none())
+            .learning_rate(0.5)
+            .grad_clip(5.0)
+            .build(&mut rng);
+        assert_eq!(lm.layers(), 2);
+        let batch: Vec<Vec<usize>> = (0..4)
+            .map(|b| vec![b % 12, (b + 1) % 12, (b + 2) % 12])
+            .collect();
+        let stats = lm.train_batch(&batch, &mut rng);
+        assert!(stats.loss.is_finite());
+    }
+}

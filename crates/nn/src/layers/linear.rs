@@ -1,25 +1,29 @@
 //! Dropout-aware fully connected layer.
 //!
-//! The layer computes `Z = X·W + b` and understands the three dropout
-//! execution modes of [`DropoutExecution`]:
+//! The layer computes `Z = X·W + b` and *executes* whatever
+//! [`DropoutPlan`] the layer's scheme sampled for the iteration:
 //!
-//! * `None` / `Bernoulli` — a dense GEMM; the Bernoulli mode afterwards
-//!   multiplies the output by the per-neuron mask with inverted-dropout
-//!   scaling (the baseline of the paper, Fig. 1(a)).
-//! * `Row` — the compacted GEMM of the Row-based Dropout Pattern: only the
-//!   kept output neurons are computed ([`tensor::row_compact_gemm`]), the
-//!   rest of the output stays zero, and kept outputs are scaled by `dp`.
-//! * `Tile` — the compacted GEMM of the Tile-based Dropout Pattern: only the
-//!   kept 32×32 weight tiles participate ([`tensor::tile_compact_gemm`]),
-//!   and the product is scaled by `dp`.
+//! * a plan with [`DropoutPlan::compact_rows`] runs the compacted GEMM of
+//!   the Row-based Dropout Pattern ([`tensor::row_compact_gemm`]): only the
+//!   kept output neurons are computed, the rest of the output stays zero,
+//!   and kept outputs are scaled by `dp`;
+//! * a plan with [`DropoutPlan::kept_tiles`] runs the compacted GEMM of the
+//!   Tile-based Dropout Pattern ([`tensor::tile_compact_gemm`]) and scales
+//!   the product by `dp`;
+//! * any other plan runs a dense GEMM and lets
+//!   [`DropoutPlan::apply_mask`] apply the conventional Bernoulli mask (a
+//!   no-op for the identity plan) — the baseline of the paper, Fig. 1(a).
+//!
+//! The layer never inspects *which* scheme produced the plan: new pattern
+//! families only need to populate the plan fields they use.
 //!
 //! Because dropped outputs are exactly zero and ReLU is positively
 //! homogeneous, applying the pattern to the pre-activation `Z` is
 //! mathematically identical to the conventional "mask the post-activation
 //! output" formulation the paper starts from.
 
-use crate::dropout::DropoutExecution;
 use crate::optimizer::Sgd;
+use approx_dropout::{DropoutPlan, TileGrid};
 use rand::Rng;
 use tensor::{gemm, init, Matrix};
 
@@ -39,7 +43,7 @@ pub struct Linear {
 #[derive(Debug, Clone, PartialEq)]
 struct ForwardCache {
     input: Matrix,
-    execution: DropoutExecution,
+    plan: DropoutPlan,
 }
 
 impl Linear {
@@ -63,7 +67,11 @@ impl Linear {
     /// Panics if `bias` is not a `1 × out_features` row vector.
     pub fn from_parameters(weight: Matrix, bias: Matrix) -> Self {
         assert_eq!(bias.rows(), 1, "bias must be a row vector");
-        assert_eq!(bias.cols(), weight.cols(), "bias width must match weight columns");
+        assert_eq!(
+            bias.cols(),
+            weight.cols(),
+            "bias width must match weight columns"
+        );
         let (in_features, out_features) = weight.shape();
         Self {
             weight,
@@ -106,51 +114,43 @@ impl Linear {
         self.weight.len() + self.bias.len()
     }
 
-    /// Forward pass under the given dropout execution; caches what the
+    /// Forward pass executing the given dropout plan; caches what the
     /// backward pass needs.
     ///
     /// # Panics
     ///
     /// Panics if `input.cols() != in_features()`.
-    pub fn forward(&mut self, input: &Matrix, execution: &DropoutExecution) -> Matrix {
+    pub fn forward(&mut self, input: &Matrix, plan: &DropoutPlan) -> Matrix {
         assert_eq!(
             input.cols(),
             self.in_features(),
             "input width must match in_features"
         );
-        let output = match execution {
-            DropoutExecution::None => self.dense_forward(input),
-            DropoutExecution::Bernoulli { .. } => {
-                let z = self.dense_forward(input);
-                execution.mask_activations(&z)
-            }
-            DropoutExecution::Row(pattern) => {
-                let kept = pattern.kept_indices();
-                let z = gemm::row_compact_gemm(input, &self.weight, kept)
-                    .expect("kept indices come from the pattern and are in bounds");
-                let scale = pattern.inverted_scale();
-                let mut z = z;
-                for i in 0..z.rows() {
-                    let row = z.row_mut(i);
-                    for &j in kept {
-                        row[j] = (row[j] + self.bias[(0, j)]) * scale;
-                    }
+        let output = if let Some(kept) = plan.compact_rows() {
+            let mut z = gemm::row_compact_gemm(input, &self.weight, kept)
+                .expect("kept indices come from the plan and are in bounds");
+            let scale = plan.scale();
+            for i in 0..z.rows() {
+                let row = z.row_mut(i);
+                for &j in kept {
+                    row[j] = (row[j] + self.bias[(0, j)]) * scale;
                 }
-                z
             }
-            DropoutExecution::Tile { pattern, grid } => {
-                let kept = pattern.kept_indices();
-                let z = gemm::tile_compact_gemm(input, &self.weight, kept, grid.tile())
-                    .expect("kept tiles come from the pattern and are in bounds");
-                let scale = pattern.inverted_scale();
-                z.scale(scale)
-                    .add_row_broadcast(&self.bias)
-                    .expect("bias width matches output")
-            }
+            z
+        } else if let Some((kept, grid)) = plan.kept_tiles() {
+            let z = gemm::tile_compact_gemm(input, &self.weight, kept, grid.tile())
+                .expect("kept tiles come from the plan and are in bounds");
+            z.scale(plan.scale())
+                .add_row_broadcast(&self.bias)
+                .expect("bias width matches output")
+        } else {
+            let mut z = self.dense_forward(input);
+            plan.apply_mask(&mut z);
+            z
         };
         self.cache = Some(ForwardCache {
             input: input.clone(),
-            execution: execution.clone(),
+            plan: plan.clone(),
         });
         output
     }
@@ -179,6 +179,8 @@ impl Linear {
 
     /// Backward pass: consumes the gradient w.r.t. this layer's output and
     /// returns the gradient w.r.t. its input, storing parameter gradients.
+    /// The same cached plan that shaped the forward pass shapes the
+    /// gradients (paper Fig. 1(a): one mask for both directions).
     ///
     /// # Panics
     ///
@@ -190,65 +192,63 @@ impl Linear {
             .take()
             .expect("backward called without a preceding forward");
         let input = &cache.input;
+        let plan = &cache.plan;
         assert_eq!(grad_output.rows(), input.rows(), "batch size mismatch");
-        assert_eq!(grad_output.cols(), self.out_features(), "output width mismatch");
+        assert_eq!(
+            grad_output.cols(),
+            self.out_features(),
+            "output width mismatch"
+        );
 
-        match &cache.execution {
-            DropoutExecution::None => self.dense_backward(input, grad_output),
-            DropoutExecution::Bernoulli { mask, scale } => {
-                // Gradient flows only through kept neurons, scaled like the
-                // forward pass.
-                let mut g = grad_output.clone();
-                for i in 0..g.rows() {
-                    let row = g.row_mut(i);
-                    for (j, v) in row.iter_mut().enumerate() {
-                        *v *= mask[j] * scale;
-                    }
+        if let Some(kept) = plan.compact_rows() {
+            let kept = kept.to_vec();
+            let scale = plan.scale();
+            // Zero the gradient at dropped outputs and apply the forward
+            // scale to the kept ones.
+            let mut g = Matrix::zeros(grad_output.rows(), grad_output.cols());
+            for i in 0..g.rows() {
+                for &j in &kept {
+                    g[(i, j)] = grad_output[(i, j)] * scale;
                 }
-                self.dense_backward(input, &g)
             }
-            DropoutExecution::Row(pattern) => {
-                let kept = pattern.kept_indices().to_vec();
-                let scale = pattern.inverted_scale();
-                // Zero the gradient at dropped outputs and apply the forward
-                // scale to the kept ones.
-                let mut g = Matrix::zeros(grad_output.rows(), grad_output.cols());
-                for i in 0..g.rows() {
-                    for &j in &kept {
-                        g[(i, j)] = grad_output[(i, j)] * scale;
-                    }
+            // dW: only kept columns receive gradient.
+            let g_kept = g.select_cols(&kept);
+            let dw_kept = input.transpose().matmul(&g_kept);
+            let mut dw = Matrix::zeros(self.in_features(), self.out_features());
+            for r in 0..dw.rows() {
+                for (c_idx, &j) in kept.iter().enumerate() {
+                    dw[(r, j)] = dw_kept[(r, c_idx)];
                 }
-                // dW: only kept columns receive gradient.
-                let g_kept = g.select_cols(&kept);
-                let dw_kept = input.transpose().matmul(&g_kept);
-                let mut dw = Matrix::zeros(self.in_features(), self.out_features());
-                for r in 0..dw.rows() {
-                    for (c_idx, &j) in kept.iter().enumerate() {
-                        dw[(r, j)] = dw_kept[(r, c_idx)];
-                    }
-                }
-                self.weight_grad = dw;
-                self.bias_grad = g.sum_rows();
-                // dX = g · Wᵀ, and only the kept rows of Wᵀ contribute.
-                let w_kept = self.weight.select_cols(&kept);
-                g_kept.matmul(&w_kept.transpose())
             }
-            DropoutExecution::Tile { pattern, grid } => {
-                let scale = pattern.inverted_scale();
-                let mask = tile_mask(pattern.kept_indices(), grid);
-                let g = grad_output.scale(scale);
-                // dW = (Xᵀ · g) ⊙ M : dropped tiles receive zero gradient.
-                let dw = input
-                    .transpose()
-                    .matmul(&g)
-                    .hadamard(&mask)
-                    .expect("mask matches weight shape");
-                self.weight_grad = dw;
-                self.bias_grad = grad_output.sum_rows();
-                // dX = g · (W ⊙ M)ᵀ
-                let masked_w = self.weight.hadamard(&mask).expect("mask matches weight shape");
-                g.matmul(&masked_w.transpose())
-            }
+            self.weight_grad = dw;
+            self.bias_grad = g.sum_rows();
+            // dX = g · Wᵀ, and only the kept rows of Wᵀ contribute.
+            let w_kept = self.weight.select_cols(&kept);
+            g_kept.matmul(&w_kept.transpose())
+        } else if let Some((kept, grid)) = plan.kept_tiles() {
+            let scale = plan.scale();
+            let mask = tile_mask(kept, grid);
+            let g = grad_output.scale(scale);
+            // dW = (Xᵀ · g) ⊙ M : dropped tiles receive zero gradient.
+            let dw = input
+                .transpose()
+                .matmul(&g)
+                .hadamard(&mask)
+                .expect("mask matches weight shape");
+            self.weight_grad = dw;
+            self.bias_grad = grad_output.sum_rows();
+            // dX = g · (W ⊙ M)ᵀ
+            let masked_w = self
+                .weight
+                .hadamard(&mask)
+                .expect("mask matches weight shape");
+            g.matmul(&masked_w.transpose())
+        } else {
+            // Dense (identity or Bernoulli-masked) path: the gradient flows
+            // only through kept neurons, scaled like the forward pass — a
+            // no-op when the plan is the identity.
+            let g = plan.mask_activations(grad_output);
+            self.dense_backward(input, &g)
         }
     }
 
@@ -260,12 +260,16 @@ impl Linear {
 
     /// Applies one SGD step using the stored gradients.
     pub fn step(&mut self, sgd: &Sgd) {
-        sgd.update(&mut self.weight, &self.weight_grad, &mut self.weight_velocity);
+        sgd.update(
+            &mut self.weight,
+            &self.weight_grad,
+            &mut self.weight_velocity,
+        );
         sgd.update(&mut self.bias, &self.bias_grad, &mut self.bias_velocity);
     }
 }
 
-fn tile_mask(kept: &[usize], grid: &approx_dropout::TileGrid) -> Matrix {
+fn tile_mask(kept: &[usize], grid: &TileGrid) -> Matrix {
     let (rows, cols) = grid.weight_shape();
     let mut mask = Matrix::zeros(rows, cols);
     for &t in kept {
@@ -282,7 +286,8 @@ fn tile_mask(kept: &[usize], grid: &approx_dropout::TileGrid) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use approx_dropout::{RowPattern, SampledPattern, TileGrid, TilePattern};
+    use approx_dropout::{LayerShape, RowPattern, SampledPattern, TilePattern};
+
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -292,19 +297,43 @@ mod tests {
         Linear::from_parameters(weight, bias)
     }
 
+    fn dense_plan(layer: &Linear) -> DropoutPlan {
+        DropoutPlan::none(LayerShape::new(layer.in_features(), layer.out_features()))
+    }
+
+    fn row_plan(layer: &Linear, dp: usize, bias: usize) -> DropoutPlan {
+        let n = layer.out_features();
+        DropoutPlan::row(
+            LayerShape::new(layer.in_features(), n),
+            SampledPattern::from_row(RowPattern::new(dp, bias).unwrap(), n),
+        )
+    }
+
+    fn tile_plan(layer: &Linear, dp: usize, bias: usize, tile: usize) -> DropoutPlan {
+        let grid = TileGrid::new(layer.in_features(), layer.out_features(), tile).unwrap();
+        let pattern = SampledPattern::from_tile(TilePattern::new(dp, bias, tile).unwrap(), &grid);
+        DropoutPlan::tile(
+            LayerShape::new(layer.in_features(), layer.out_features()),
+            pattern,
+            grid,
+        )
+    }
+
     #[test]
     fn dense_forward_matches_manual_computation() {
         let mut layer = small_layer();
+        let plan = dense_plan(&layer);
         let x = Matrix::from_rows(&[&[1.0, 1.0]]);
-        let y = layer.forward(&x, &DropoutExecution::None);
+        let y = layer.forward(&x, &plan);
         assert_eq!(y.row(0), &[5.5, 6.5, 9.0]);
     }
 
     #[test]
     fn dense_backward_gradients_are_correct() {
         let mut layer = small_layer();
+        let plan = dense_plan(&layer);
         let x = Matrix::from_rows(&[&[1.0, 2.0]]);
-        let _ = layer.forward(&x, &DropoutExecution::None);
+        let _ = layer.forward(&x, &plan);
         let dy = Matrix::from_rows(&[&[1.0, 0.0, -1.0]]);
         let dx = layer.backward(&dy);
         // dX = dy * W^T = [1*1 + 0*2 + (-1)*3, 1*4 + 0*5 + (-1)*6] = [-2, -2]
@@ -318,9 +347,10 @@ mod tests {
     fn numerical_gradient_check_dense() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut layer = Linear::new(&mut rng, 4, 3);
+        let plan = dense_plan(&layer);
         let x = init::uniform(&mut rng, 2, 4, -1.0, 1.0);
         // Loss = sum of outputs; analytic dL/dW = x^T * ones.
-        let _ = layer.forward(&x, &DropoutExecution::None);
+        let _ = layer.forward(&x, &plan);
         let ones = Matrix::ones(2, 3);
         let _ = layer.backward(&ones);
         let analytic = layer.weight_grad().clone();
@@ -337,8 +367,8 @@ mod tests {
                 let mut w = minus.weight.clone();
                 w[(r, c)] -= eps;
                 minus.weight = w;
-                let f_plus = plus.forward(&x, &DropoutExecution::None).sum();
-                let f_minus = minus.forward(&x, &DropoutExecution::None).sum();
+                let f_plus = plus.forward(&x, &plan).sum();
+                let f_minus = minus.forward(&x, &plan).sum();
                 numeric[(r, c)] = (f_plus - f_minus) / (2.0 * eps);
             }
         }
@@ -355,28 +385,30 @@ mod tests {
     }
 
     #[test]
-    fn row_pattern_forward_zeroes_dropped_neurons_and_scales_kept() {
+    fn row_plan_forward_zeroes_dropped_neurons_and_scales_kept() {
         let mut layer = small_layer();
+        let plan = row_plan(&layer, 3, 1);
         let x = Matrix::from_rows(&[&[1.0, 1.0]]);
-        let pattern = SampledPattern::from_row(RowPattern::new(3, 1).unwrap(), 3);
-        let y = layer.forward(&x, &DropoutExecution::Row(pattern));
+        let y = layer.forward(&x, &plan);
         // Only neuron 1 is kept: (1*2 + 1*5 + bias -0.5) * 3 = 19.5.
         assert_eq!(y.row(0), &[0.0, 19.5, 0.0]);
     }
 
     #[test]
-    fn row_pattern_matches_explicit_mask_formulation() {
+    fn row_plan_matches_explicit_mask_formulation() {
         // Computing the dense output, masking dropped neurons and scaling by
         // dp must equal the compacted path.
         let mut rng = StdRng::seed_from_u64(1);
         let mut layer = Linear::new(&mut rng, 6, 8);
+        let plan = row_plan(&layer, 2, 0);
         let x = init::uniform(&mut rng, 3, 6, -1.0, 1.0);
-        let pattern = SampledPattern::from_row(RowPattern::new(2, 0).unwrap(), 8);
-        let compact = layer.clone().forward(&x, &DropoutExecution::Row(pattern.clone()));
-        let dense = layer.forward(&x, &DropoutExecution::None);
+        let kept = plan.compact_rows().unwrap().to_vec();
+        let compact = layer.clone().forward(&x, &plan);
+        let dplan = dense_plan(&layer);
+        let dense = layer.forward(&x, &dplan);
         for i in 0..3 {
             for j in 0..8 {
-                let expected = if pattern.kept_indices().contains(&j) {
+                let expected = if kept.contains(&j) {
                     dense[(i, j)] * 2.0
                 } else {
                     0.0
@@ -390,13 +422,13 @@ mod tests {
     }
 
     #[test]
-    fn row_pattern_backward_zeroes_dropped_weight_columns() {
+    fn row_plan_backward_zeroes_dropped_weight_columns() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut layer = Linear::new(&mut rng, 4, 6);
+        let plan = row_plan(&layer, 2, 1);
+        let kept = plan.compact_rows().unwrap().to_vec();
         let x = init::uniform(&mut rng, 2, 4, -1.0, 1.0);
-        let pattern = SampledPattern::from_row(RowPattern::new(2, 1).unwrap(), 6);
-        let kept = pattern.kept_indices().to_vec();
-        let _ = layer.forward(&x, &DropoutExecution::Row(pattern));
+        let _ = layer.forward(&x, &plan);
         let dy = Matrix::ones(2, 6);
         let dx = layer.backward(&dy);
         assert_eq!(dx.shape(), (2, 4));
@@ -411,22 +443,16 @@ mod tests {
     }
 
     #[test]
-    fn tile_pattern_forward_matches_masked_weight_formulation() {
+    fn tile_plan_forward_matches_masked_weight_formulation() {
         let mut rng = StdRng::seed_from_u64(3);
         let layer = Linear::new(&mut rng, 8, 8);
         let x = init::uniform(&mut rng, 2, 8, -1.0, 1.0);
-        let grid = TileGrid::new(8, 8, 4).unwrap(); // 2x2 tiles
-        let pattern = SampledPattern::from_tile(TilePattern::new(2, 0, 4).unwrap(), &grid);
+        let plan = tile_plan(&layer, 2, 0, 4);
+        let (kept, grid) = plan.kept_tiles().unwrap();
+        let mask = tile_mask(kept, grid);
         let mut compact_layer = layer.clone();
-        let compact = compact_layer.forward(
-            &x,
-            &DropoutExecution::Tile {
-                pattern: pattern.clone(),
-                grid,
-            },
-        );
+        let compact = compact_layer.forward(&x, &plan);
         // Reference: mask the weights, dense multiply, scale by dp, add bias.
-        let mask = tile_mask(pattern.kept_indices(), &grid);
         let masked_w = layer.weight().hadamard(&mask).unwrap();
         let reference = x
             .matmul(&masked_w)
@@ -441,14 +467,15 @@ mod tests {
     }
 
     #[test]
-    fn tile_pattern_backward_zeroes_dropped_tiles() {
+    fn tile_plan_backward_zeroes_dropped_tiles() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut layer = Linear::new(&mut rng, 8, 8);
         let x = init::uniform(&mut rng, 2, 8, -1.0, 1.0);
-        let grid = TileGrid::new(8, 8, 4).unwrap();
-        let pattern = SampledPattern::from_tile(TilePattern::new(4, 3, 4).unwrap(), &grid);
-        let kept = pattern.kept_indices().to_vec(); // only tile 3
-        let _ = layer.forward(&x, &DropoutExecution::Tile { pattern, grid });
+        let plan = tile_plan(&layer, 4, 3, 4);
+        let (kept, grid) = plan.kept_tiles().unwrap();
+        let kept = kept.to_vec(); // only tile 3
+        let grid = *grid;
+        let _ = layer.forward(&x, &plan);
         let _ = layer.backward(&Matrix::ones(2, 8));
         for t in 0..grid.total_tiles() {
             let (rr, cc) = grid.tile_bounds(t);
@@ -466,11 +493,28 @@ mod tests {
     }
 
     #[test]
+    fn bernoulli_plan_masks_forward_and_backward() {
+        let mut layer = small_layer();
+        let plan =
+            DropoutPlan::bernoulli(LayerShape::new(2, 3), vec![1.0, 0.0, 1.0], 2.0, 1.0 / 3.0);
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let y = layer.forward(&x, &plan);
+        // Dense output [5.5, 6.5, 9.0] masked to [11.0, 0.0, 18.0].
+        assert_eq!(y.row(0), &[11.0, 0.0, 18.0]);
+        let _ = layer.backward(&Matrix::ones(1, 3));
+        // Column 1 is dropped, so its weight gradient must be zero.
+        assert_eq!(layer.weight_grad()[(0, 1)], 0.0);
+        assert_eq!(layer.weight_grad()[(1, 1)], 0.0);
+        assert!(layer.weight_grad()[(0, 0)] > 0.0);
+    }
+
+    #[test]
     fn step_moves_parameters_against_gradient() {
         let mut layer = small_layer();
+        let plan = dense_plan(&layer);
         let x = Matrix::from_rows(&[&[1.0, 1.0]]);
         let before = layer.weight()[(0, 0)];
-        let _ = layer.forward(&x, &DropoutExecution::None);
+        let _ = layer.forward(&x, &plan);
         let _ = layer.backward(&Matrix::ones(1, 3));
         layer.step(&Sgd::new(0.1, 0.0));
         assert!(layer.weight()[(0, 0)] < before);
@@ -487,7 +531,8 @@ mod tests {
     #[should_panic(expected = "input width must match")]
     fn forward_rejects_wrong_input_width() {
         let mut layer = small_layer();
-        let _ = layer.forward(&Matrix::ones(1, 5), &DropoutExecution::None);
+        let plan = dense_plan(&layer);
+        let _ = layer.forward(&Matrix::ones(1, 5), &plan);
     }
 
     #[test]

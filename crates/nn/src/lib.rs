@@ -1,17 +1,26 @@
 //! Neural-network training substrate for the Approximate Random Dropout
 //! reproduction — the stand-in for the Caffe framework the paper modifies.
 //!
+//! Dropout flows through the **plan–execute** API of the `approx_dropout`
+//! crate: every droppable layer owns a [`DropoutScheme`] which samples a
+//! [`DropoutPlan`] per iteration *before* any GEMM runs, and the layer code
+//! executes whatever plan it receives — there is no per-mode dispatch in the
+//! network types, so new pattern families plug in as a single trait
+//! implementation. The same sampled plans drive the GPU timing model in
+//! `gpu_sim`, keeping speedup figures consistent with training numerics.
+//!
 //! The crate provides exactly the pieces the paper's experiments need:
 //!
 //! * [`layers::Linear`] — a fully connected layer whose forward/backward
-//!   passes understand all three dropout execution modes: conventional
-//!   Bernoulli masking, Row-based Dropout Patterns (compacted GEMM over kept
-//!   neurons) and Tile-based Dropout Patterns (compacted GEMM over kept
-//!   weight tiles).
+//!   passes execute any [`DropoutPlan`]: conventional Bernoulli masking, a
+//!   row-compacted GEMM over kept neurons, or a tile-compacted GEMM over
+//!   kept weight tiles.
 //! * [`mlp::Mlp`] — the 4-layer MLP of §IV-A/B with per-layer dropout
-//!   configuration, softmax cross-entropy loss and SGD-with-momentum updates.
+//!   schemes, softmax cross-entropy loss and SGD-with-momentum updates.
 //! * [`lstm`] — an LSTM language model (stacked cells, inter-layer dropout,
 //!   tied softmax projection) used for the §IV-C experiments.
+//! * [`builder`] — fluent [`builder::NetworkBuilder`] / [`builder::LstmBuilder`]
+//!   with per-layer scheme overrides (Fig. 4's `(p1, p2)` pairs).
 //! * [`optimizer::Sgd`] — plain SGD with momentum (lr 0.01, momentum 0.9 for
 //!   the MLP experiments).
 //! * [`loss`] / [`metrics`] — softmax cross-entropy, classification accuracy
@@ -23,24 +32,19 @@
 //! # Example: train a tiny MLP with row-pattern dropout
 //!
 //! ```
-//! use nn::dropout::DropoutConfig;
-//! use nn::mlp::{Mlp, MlpConfig};
-//! use approx_dropout::{DropoutRate, PatternKind};
+//! use nn::builder::NetworkBuilder;
+//! use approx_dropout::{scheme, DropoutRate};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //! use tensor::Matrix;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rng = StdRng::seed_from_u64(0);
-//! let config = MlpConfig {
-//!     input_dim: 8,
-//!     hidden: vec![16, 16],
-//!     output_dim: 3,
-//!     dropout: DropoutConfig::pattern(DropoutRate::new(0.5)?, PatternKind::Row)?,
-//!     learning_rate: 0.05,
-//!     momentum: 0.9,
-//! };
-//! let mut mlp = Mlp::new(&config, &mut rng);
+//! let mut mlp = NetworkBuilder::new(8, 3)
+//!     .hidden_layers(&[16, 16])
+//!     .dropout(scheme::row(DropoutRate::new(0.5)?, 16)?)
+//!     .learning_rate(0.05)
+//!     .build(&mut rng);
 //! let x = Matrix::ones(4, 8);
 //! let labels = vec![0, 1, 2, 0];
 //! let stats = mlp.train_batch(&x, &labels, &mut rng);
@@ -49,7 +53,7 @@
 //! # }
 //! ```
 
-pub mod dropout;
+pub mod builder;
 pub mod layers;
 pub mod loss;
 pub mod lstm;
@@ -58,7 +62,12 @@ pub mod mlp;
 pub mod optimizer;
 pub mod trainer;
 
-pub use dropout::{DropoutConfig, DropoutExecution};
+/// Re-export of the dropout scheme constructors (`schemes::row(...)`, …) so
+/// network code can configure dropout without importing `approx_dropout`
+/// directly.
+pub use approx_dropout::scheme as schemes;
+pub use approx_dropout::{DropoutPlan, DropoutScheme, KernelSchedule, LayerShape};
+pub use builder::{LstmBuilder, NetworkBuilder};
 pub use layers::Linear;
 pub use loss::{softmax_cross_entropy, CrossEntropyOutput};
 pub use metrics::{accuracy, perplexity_from_nll};

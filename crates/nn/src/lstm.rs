@@ -6,18 +6,19 @@
 //! pattern per batch), and a softmax projection over the vocabulary.
 //!
 //! Dropout between LSTM layers is applied as a per-hidden-unit multiplier
-//! derived from the sampled execution ([`DropoutExecution::column_multiplier`]):
-//! conventional Bernoulli masks, row patterns (kept units scaled by `dp`) or
-//! tile patterns (kept 32-wide unit groups). On the GPU the row/tile variants
-//! let the next layer's GEMM skip the dropped inputs; the corresponding time
-//! saving is modelled by the `gpu-sim` crate, while this CPU implementation
-//! focuses on numerical fidelity of the training dynamics.
+//! derived from the plan each layer's scheme samples for the iteration
+//! ([`DropoutPlan::column_multiplier`]): conventional Bernoulli masks, row
+//! patterns (kept units scaled by `dp`) or tile patterns (kept 32-wide unit
+//! groups). On the GPU the row/tile variants let the next layer's GEMM skip
+//! the dropped inputs; the corresponding time saving is modelled by the
+//! `gpu-sim` crate from the *same* sampled plans, while this CPU
+//! implementation focuses on numerical fidelity of the training dynamics.
 
-use crate::dropout::{DropoutConfig, DropoutExecution};
 use crate::layers::Linear;
 use crate::loss::softmax_cross_entropy;
 use crate::metrics::perplexity_from_nll;
 use crate::optimizer::Sgd;
+use approx_dropout::{DropoutPlan, DropoutScheme, LayerShape};
 use rand::Rng;
 use tensor::{init, ops, Matrix};
 
@@ -175,7 +176,9 @@ impl LstmCell {
         let mut dc_next = Matrix::zeros(batch, h);
         for t in (0..self.cache.len()).rev() {
             let cache = &self.cache[t];
-            let dh = grad_hidden[t].add(&dh_next).expect("hidden grads share shape");
+            let dh = grad_hidden[t]
+                .add(&dh_next)
+                .expect("hidden grads share shape");
             // h = o ⊙ tanh(c)
             let d_o = dh.hadamard(&cache.tanh_c).expect("shapes agree");
             let dc_from_h = dh
@@ -252,7 +255,7 @@ impl LstmCell {
 }
 
 /// Configuration of the LSTM language model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LstmLmConfig {
     /// Vocabulary size.
     pub vocab: usize,
@@ -262,8 +265,8 @@ pub struct LstmLmConfig {
     pub hidden: usize,
     /// Number of stacked LSTM layers.
     pub layers: usize,
-    /// Dropout applied to the output of every LSTM layer.
-    pub dropout: DropoutConfig,
+    /// Dropout scheme applied to the output of every LSTM layer.
+    pub dropout: Box<dyn DropoutScheme>,
     /// SGD learning rate (the paper uses 1.0 with decay; the scaled-down
     /// experiments use smaller values).
     pub learning_rate: f32,
@@ -276,7 +279,7 @@ pub struct LstmLmConfig {
 impl LstmLmConfig {
     /// A down-scaled stand-in for the paper's 2×1500 LSTM that trains on one
     /// CPU core: `vocab` words, `hidden` units, 2 layers.
-    pub fn scaled_paper_lstm(vocab: usize, hidden: usize, dropout: DropoutConfig) -> Self {
+    pub fn scaled_paper_lstm(vocab: usize, hidden: usize, dropout: Box<dyn DropoutScheme>) -> Self {
         Self {
             vocab,
             embed_dim: hidden,
@@ -308,7 +311,7 @@ pub struct LstmLm {
     embedding_grad: Matrix,
     embedding_vel: Matrix,
     cells: Vec<LstmCell>,
-    dropout: Vec<DropoutConfig>,
+    dropout: Vec<Box<dyn DropoutScheme>>,
     projection: Linear,
     sgd: Sgd,
     grad_clip: f32,
@@ -322,8 +325,10 @@ impl LstmLm {
     ///
     /// Panics if any dimension is zero.
     pub fn new<R: Rng + ?Sized>(config: &LstmLmConfig, rng: &mut R) -> Self {
-        assert!(config.vocab > 0 && config.hidden > 0 && config.layers > 0 && config.embed_dim > 0,
-            "dimensions must be positive");
+        assert!(
+            config.vocab > 0 && config.hidden > 0 && config.layers > 0 && config.embed_dim > 0,
+            "dimensions must be positive"
+        );
         let mut cells = Vec::new();
         let mut in_dim = config.embed_dim;
         for _ in 0..config.layers {
@@ -351,16 +356,20 @@ impl LstmLm {
     /// Total trainable parameters.
     pub fn parameter_count(&self) -> usize {
         self.embedding.len()
-            + self.cells.iter().map(LstmCell::parameter_count).sum::<usize>()
+            + self
+                .cells
+                .iter()
+                .map(LstmCell::parameter_count)
+                .sum::<usize>()
             + self.projection.parameter_count()
     }
 
-    /// Overrides the dropout configuration of one layer.
+    /// Overrides the dropout scheme of one layer.
     ///
     /// # Panics
     ///
     /// Panics if `layer` is out of range.
-    pub fn set_layer_dropout(&mut self, layer: usize, dropout: DropoutConfig) {
+    pub fn set_layer_dropout(&mut self, layer: usize, dropout: Box<dyn DropoutScheme>) {
         assert!(layer < self.dropout.len(), "layer index out of range");
         self.dropout[layer] = dropout;
     }
@@ -379,19 +388,17 @@ impl LstmLm {
     ///
     /// Panics if the batch is empty, sequences have fewer than two tokens or
     /// unequal lengths, or a token id is out of range.
-    pub fn train_batch<R: Rng + ?Sized>(
-        &mut self,
-        tokens: &[Vec<usize>],
-        rng: &mut R,
-    ) -> LmBatchStats {
+    pub fn train_batch<R: Rng>(&mut self, tokens: &[Vec<usize>], rng: &mut R) -> LmBatchStats {
         let (seq_len, batch) = self.validate_batch(tokens);
         let hidden = self.cells[0].hidden();
 
-        // Sample one dropout execution per layer for the whole iteration.
-        let multipliers: Vec<Vec<f32>> = (0..self.cells.len())
-            .map(|l| {
-                let exec: DropoutExecution = self.dropout[l].begin_iteration(rng, 1, hidden);
-                exec.column_multiplier(hidden)
+        // Plan one dropout decision per layer for the whole iteration.
+        let multipliers: Vec<Vec<f32>> = self
+            .dropout
+            .iter_mut()
+            .map(|scheme| {
+                let plan = scheme.plan(rng, LayerShape::vector(hidden));
+                plan.column_multiplier(hidden)
             })
             .collect();
 
@@ -410,7 +417,13 @@ impl LstmLm {
 
         // Stack the (dropped) top-layer states over time and project.
         let stacked = stack_rows(&layer_inputs);
-        let logits = self.projection.forward(&stacked, &DropoutExecution::None);
+        let projection_shape = LayerShape::new(
+            self.projection.in_features(),
+            self.projection.out_features(),
+        );
+        let logits = self
+            .projection
+            .forward(&stacked, &DropoutPlan::none(projection_shape));
         let targets: Vec<usize> = flatten_targets(tokens, seq_len);
         let loss_out = softmax_cross_entropy(&logits, &targets);
         let acc = crate::metrics::accuracy(&logits, &targets);
@@ -471,7 +484,10 @@ impl LstmLm {
     fn validate_batch(&self, tokens: &[Vec<usize>]) -> (usize, usize) {
         assert!(!tokens.is_empty(), "batch must not be empty");
         let len = tokens[0].len();
-        assert!(len >= 2, "sequences need at least two tokens (input + target)");
+        assert!(
+            len >= 2,
+            "sequences need at least two tokens (input + target)"
+        );
         for seq in tokens {
             assert_eq!(seq.len(), len, "all sequences must have the same length");
             for &t in seq {
@@ -565,7 +581,8 @@ fn flatten_targets(tokens: &[Vec<usize>], seq_len: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use approx_dropout::{DropoutRate, PatternKind};
+    use approx_dropout::scheme;
+    use approx_dropout::DropoutRate;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -576,7 +593,7 @@ mod tests {
             .collect()
     }
 
-    fn config(dropout: DropoutConfig) -> LstmLmConfig {
+    fn config(dropout: Box<dyn DropoutScheme>) -> LstmLmConfig {
         LstmLmConfig {
             vocab: 12,
             embed_dim: 16,
@@ -598,7 +615,9 @@ mod tests {
         assert_eq!(outputs.len(), 5);
         assert_eq!(outputs[0].shape(), (3, 16));
         // h = o ⊙ tanh(c) is bounded by (-1, 1).
-        assert!(outputs.iter().all(|h| h.as_slice().iter().all(|v| v.abs() < 1.0)));
+        assert!(outputs
+            .iter()
+            .all(|h| h.as_slice().iter().all(|v| v.abs() < 1.0)));
     }
 
     #[test]
@@ -607,7 +626,10 @@ mod tests {
         let mut cell = LstmCell::new(&mut rng, 8, 16);
         let inputs: Vec<Matrix> = (0..4).map(|_| Matrix::ones(2, 8)).collect();
         let outputs = cell.forward_sequence(&inputs);
-        let grads: Vec<Matrix> = outputs.iter().map(|h| Matrix::ones(h.rows(), h.cols())).collect();
+        let grads: Vec<Matrix> = outputs
+            .iter()
+            .map(|h| Matrix::ones(h.rows(), h.cols()))
+            .collect();
         let dx = cell.backward_sequence(&grads);
         assert_eq!(dx.len(), 4);
         assert_eq!(dx[0].shape(), (2, 8));
@@ -625,7 +647,10 @@ mod tests {
 
         let mut analytic_cell = cell.clone();
         let outputs = analytic_cell.forward_sequence(&inputs);
-        let grads: Vec<Matrix> = outputs.iter().map(|h| Matrix::ones(h.rows(), h.cols())).collect();
+        let grads: Vec<Matrix> = outputs
+            .iter()
+            .map(|h| Matrix::ones(h.rows(), h.cols()))
+            .collect();
         let _ = analytic_cell.backward_sequence(&grads);
 
         let eps = 1e-2f32;
@@ -635,7 +660,11 @@ mod tests {
             let mut minus = cell.clone();
             minus.w_x[(r, c)] -= eps;
             let f_plus: f32 = plus.forward_sequence(&inputs).iter().map(Matrix::sum).sum();
-            let f_minus: f32 = minus.forward_sequence(&inputs).iter().map(Matrix::sum).sum();
+            let f_minus: f32 = minus
+                .forward_sequence(&inputs)
+                .iter()
+                .map(Matrix::sum)
+                .sum();
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             let analytic = analytic_cell.w_x_grad[(r, c)];
             assert!(
@@ -648,14 +677,18 @@ mod tests {
     #[test]
     fn lm_learns_cyclic_language_without_dropout() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut lm = LstmLm::new(&config(DropoutConfig::None), &mut rng);
+        let mut lm = LstmLm::new(&config(scheme::none()), &mut rng);
         let batch = cyclic_batch(12, 6, 8);
         let first = lm.train_batch(&batch, &mut rng).loss;
         for _ in 0..300 {
             let _ = lm.train_batch(&batch, &mut rng);
         }
         let eval = lm.evaluate(&batch);
-        assert!(eval.loss < first, "loss did not improve: {first} -> {}", eval.loss);
+        assert!(
+            eval.loss < first,
+            "loss did not improve: {first} -> {}",
+            eval.loss
+        );
         assert!(eval.accuracy > 0.8, "accuracy {}", eval.accuracy);
         assert!(eval.perplexity < 3.0, "perplexity {}", eval.perplexity);
     }
@@ -663,8 +696,7 @@ mod tests {
     #[test]
     fn lm_learns_with_row_pattern_dropout() {
         let mut rng = StdRng::seed_from_u64(4);
-        let dropout =
-            DropoutConfig::pattern(DropoutRate::new(0.3).unwrap(), PatternKind::Row).unwrap();
+        let dropout = scheme::row(DropoutRate::new(0.3).unwrap(), 16).unwrap();
         let mut lm = LstmLm::new(&config(dropout), &mut rng);
         let batch = cyclic_batch(12, 6, 8);
         for _ in 0..400 {
@@ -677,7 +709,7 @@ mod tests {
     #[test]
     fn lm_learns_with_bernoulli_dropout() {
         let mut rng = StdRng::seed_from_u64(5);
-        let dropout = DropoutConfig::Bernoulli(DropoutRate::new(0.3).unwrap());
+        let dropout = scheme::bernoulli(DropoutRate::new(0.3).unwrap());
         let mut lm = LstmLm::new(&config(dropout), &mut rng);
         let batch = cyclic_batch(12, 6, 8);
         for _ in 0..400 {
@@ -690,7 +722,7 @@ mod tests {
     #[test]
     fn parameter_count_matches_architecture() {
         let mut rng = StdRng::seed_from_u64(6);
-        let cfg = config(DropoutConfig::None);
+        let cfg = config(scheme::none());
         let lm = LstmLm::new(&cfg, &mut rng);
         let cell0 = 16 * 64 + 16 * 64 + 64;
         let cell1 = 16 * 64 + 16 * 64 + 64;
@@ -703,7 +735,7 @@ mod tests {
     #[should_panic(expected = "token id")]
     fn rejects_out_of_range_tokens() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut lm = LstmLm::new(&config(DropoutConfig::None), &mut rng);
+        let mut lm = LstmLm::new(&config(scheme::none()), &mut rng);
         let _ = lm.train_batch(&[vec![0, 99]], &mut rng);
     }
 
@@ -711,15 +743,15 @@ mod tests {
     #[should_panic(expected = "same length")]
     fn rejects_ragged_batches() {
         let mut rng = StdRng::seed_from_u64(8);
-        let mut lm = LstmLm::new(&config(DropoutConfig::None), &mut rng);
+        let mut lm = LstmLm::new(&config(scheme::none()), &mut rng);
         let _ = lm.train_batch(&[vec![0, 1, 2], vec![0, 1]], &mut rng);
     }
 
     #[test]
     fn set_layer_dropout_overrides_one_layer() {
         let mut rng = StdRng::seed_from_u64(9);
-        let mut lm = LstmLm::new(&config(DropoutConfig::None), &mut rng);
-        lm.set_layer_dropout(1, DropoutConfig::Bernoulli(DropoutRate::new(0.5).unwrap()));
+        let mut lm = LstmLm::new(&config(scheme::none()), &mut rng);
+        lm.set_layer_dropout(1, scheme::bernoulli(DropoutRate::new(0.5).unwrap()));
         let batch = cyclic_batch(12, 2, 4);
         let stats = lm.train_batch(&batch, &mut rng);
         assert!(stats.loss.is_finite());

@@ -1,21 +1,25 @@
 //! The multilayer perceptron used by the §IV-A/B experiments.
 //!
-//! A network of fully connected + ReLU blocks with per-hidden-layer dropout
-//! and a linear output layer trained with softmax cross-entropy and SGD with
-//! momentum. Each hidden layer can run conventional Bernoulli dropout (the
-//! baseline), a Row-based Dropout Pattern or a Tile-based Dropout Pattern —
-//! the pattern modes execute the compacted GEMMs of [`crate::layers::Linear`].
+//! A network of fully connected + ReLU blocks with a per-hidden-layer
+//! [`DropoutScheme`] and a linear output layer trained with softmax
+//! cross-entropy and SGD with momentum. At the start of every iteration each
+//! hidden layer asks its scheme for a [`approx_dropout::DropoutPlan`] —
+//! conventional Bernoulli masking (the baseline), a Row-based Dropout
+//! Pattern or a Tile-based Dropout Pattern — and [`crate::layers::Linear`]
+//! executes whatever plan it gets. Prefer building MLPs through
+//! [`crate::builder::NetworkBuilder`], which supports the per-layer
+//! `(p1, p2)` rate pairs of Fig. 4 fluently.
 
-use crate::dropout::{DropoutConfig, DropoutExecution};
 use crate::layers::Linear;
 use crate::loss::softmax_cross_entropy;
 use crate::metrics::accuracy;
 use crate::optimizer::Sgd;
+use approx_dropout::{DropoutPlan, DropoutScheme, LayerShape};
 use rand::Rng;
 use tensor::{ops, Matrix};
 
 /// Configuration of an MLP.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MlpConfig {
     /// Input dimensionality (784 for the MNIST-like task).
     pub input_dim: usize,
@@ -23,9 +27,9 @@ pub struct MlpConfig {
     pub hidden: Vec<usize>,
     /// Number of output classes.
     pub output_dim: usize,
-    /// Dropout configuration applied to every hidden layer (can be
-    /// overridden per layer with [`Mlp::set_layer_dropout`]).
-    pub dropout: DropoutConfig,
+    /// Dropout scheme applied to every hidden layer (can be overridden per
+    /// layer with [`Mlp::set_layer_dropout`]).
+    pub dropout: Box<dyn DropoutScheme>,
     /// SGD learning rate (0.01 in the paper).
     pub learning_rate: f32,
     /// SGD momentum (0.9 in the paper).
@@ -35,7 +39,7 @@ pub struct MlpConfig {
 impl MlpConfig {
     /// A down-scaled stand-in for the paper's 4-layer MLP that trains in
     /// seconds on one CPU core: 64 → `hidden` → `hidden` → 10.
-    pub fn scaled_paper_mlp(hidden: usize, dropout: DropoutConfig) -> Self {
+    pub fn scaled_paper_mlp(hidden: usize, dropout: Box<dyn DropoutScheme>) -> Self {
         Self {
             input_dim: 64,
             hidden: vec![hidden, hidden],
@@ -56,7 +60,7 @@ pub struct TrainBatchStats {
     pub accuracy: f64,
 }
 
-/// A fully connected classifier with per-layer dropout.
+/// A fully connected classifier with per-layer dropout schemes.
 #[derive(Debug, Clone)]
 pub struct Mlp {
     hidden: Vec<HiddenBlock>,
@@ -67,7 +71,7 @@ pub struct Mlp {
 #[derive(Debug, Clone)]
 struct HiddenBlock {
     linear: Linear,
-    dropout: DropoutConfig,
+    dropout: Box<dyn DropoutScheme>,
     /// Pre-activation cache (after dropout scaling) for the ReLU gradient.
     pre_activation: Option<Matrix>,
 }
@@ -79,8 +83,14 @@ impl Mlp {
     ///
     /// Panics if the configuration has no hidden layers or a zero dimension.
     pub fn new<R: Rng + ?Sized>(config: &MlpConfig, rng: &mut R) -> Self {
-        assert!(!config.hidden.is_empty(), "at least one hidden layer is required");
-        assert!(config.input_dim > 0 && config.output_dim > 0, "dimensions must be positive");
+        assert!(
+            !config.hidden.is_empty(),
+            "at least one hidden layer is required"
+        );
+        assert!(
+            config.input_dim > 0 && config.output_dim > 0,
+            "dimensions must be positive"
+        );
         let mut hidden = Vec::new();
         let mut in_dim = config.input_dim;
         for &width in &config.hidden {
@@ -114,25 +124,35 @@ impl Mlp {
             + self.output.parameter_count()
     }
 
-    /// Overrides the dropout configuration of one hidden layer (0-based), as
-    /// the `(p1, p2)` rate pairs of Fig. 4 require.
+    /// Overrides the dropout scheme of one hidden layer (0-based), as the
+    /// `(p1, p2)` rate pairs of Fig. 4 require.
     ///
     /// # Panics
     ///
     /// Panics if `layer` is out of range.
-    pub fn set_layer_dropout(&mut self, layer: usize, dropout: DropoutConfig) {
+    pub fn set_layer_dropout(&mut self, layer: usize, dropout: Box<dyn DropoutScheme>) {
         assert!(layer < self.hidden.len(), "layer index out of range");
         self.hidden[layer].dropout = dropout;
     }
 
-    /// One training step on a batch: forward with freshly sampled dropout,
+    /// Borrows the dropout scheme of one hidden layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_dropout(&self, layer: usize) -> &dyn DropoutScheme {
+        assert!(layer < self.hidden.len(), "layer index out of range");
+        self.hidden[layer].dropout.as_ref()
+    }
+
+    /// One training step on a batch: forward with freshly planned dropout,
     /// softmax cross-entropy, backward, SGD update.
     ///
     /// # Panics
     ///
     /// Panics if the batch shape does not match the network input or the
     /// number of labels.
-    pub fn train_batch<R: Rng + ?Sized>(
+    pub fn train_batch<R: Rng>(
         &mut self,
         inputs: &Matrix,
         labels: &[usize],
@@ -149,20 +169,19 @@ impl Mlp {
         }
     }
 
-    /// Forward pass with dropout sampled for this iteration (training mode).
-    pub fn forward_train<R: Rng + ?Sized>(&mut self, inputs: &Matrix, rng: &mut R) -> Matrix {
+    /// Forward pass with a dropout plan sampled per layer for this iteration
+    /// (training mode).
+    pub fn forward_train<R: Rng>(&mut self, inputs: &Matrix, rng: &mut R) -> Matrix {
         let mut x = inputs.clone();
         for block in &mut self.hidden {
-            let execution: DropoutExecution = block.dropout.begin_iteration(
-                rng,
-                block.linear.in_features(),
-                block.linear.out_features(),
-            );
-            let z = block.linear.forward(&x, &execution);
+            let shape = LayerShape::new(block.linear.in_features(), block.linear.out_features());
+            let plan = block.dropout.plan(rng, shape);
+            let z = block.linear.forward(&x, &plan);
             block.pre_activation = Some(z.clone());
             x = ops::relu(&z);
         }
-        self.output.forward(&x, &DropoutExecution::None)
+        let out_shape = LayerShape::new(self.output.in_features(), self.output.out_features());
+        self.output.forward(&x, &DropoutPlan::none(out_shape))
     }
 
     /// Inference forward pass: dense GEMMs, no dropout, no caching.
@@ -210,6 +229,7 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use approx_dropout::scheme;
     use approx_dropout::{DropoutRate, PatternKind};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -230,7 +250,7 @@ mod tests {
         (data, labels)
     }
 
-    fn config(dropout: DropoutConfig) -> MlpConfig {
+    fn config(dropout: Box<dyn DropoutScheme>) -> MlpConfig {
         MlpConfig {
             input_dim: 8,
             hidden: vec![32, 32],
@@ -246,7 +266,7 @@ mod tests {
     /// the pattern tests use a gentler optimiser setting — the full-scale
     /// experiments in the bench crate use the paper's hyper-parameters on
     /// realistically wide layers.
-    fn pattern_config(dropout: DropoutConfig) -> MlpConfig {
+    fn pattern_config(dropout: Box<dyn DropoutScheme>) -> MlpConfig {
         MlpConfig {
             input_dim: 8,
             hidden: vec![64, 64],
@@ -261,7 +281,7 @@ mod tests {
     fn mlp_learns_toy_problem_without_dropout() {
         let mut rng = StdRng::seed_from_u64(0);
         let (x, y) = toy_problem(&mut rng, 64);
-        let mut mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
+        let mut mlp = Mlp::new(&config(scheme::none()), &mut rng);
         for _ in 0..60 {
             let _ = mlp.train_batch(&x, &y, &mut rng);
         }
@@ -273,7 +293,7 @@ mod tests {
     fn mlp_learns_with_bernoulli_dropout() {
         let mut rng = StdRng::seed_from_u64(1);
         let (x, y) = toy_problem(&mut rng, 64);
-        let dropout = DropoutConfig::Bernoulli(DropoutRate::new(0.5).unwrap());
+        let dropout = scheme::bernoulli(DropoutRate::new(0.5).unwrap());
         let mut mlp = Mlp::new(&config(dropout), &mut rng);
         for _ in 0..120 {
             let _ = mlp.train_batch(&x, &y, &mut rng);
@@ -286,9 +306,7 @@ mod tests {
     fn mlp_learns_with_row_pattern_dropout() {
         let mut rng = StdRng::seed_from_u64(2);
         let (x, y) = toy_problem(&mut rng, 64);
-        let dropout =
-            DropoutConfig::pattern_with(DropoutRate::new(0.5).unwrap(), PatternKind::Row, 4, 32)
-                .unwrap();
+        let dropout = scheme::row(DropoutRate::new(0.5).unwrap(), 4).unwrap();
         let mut mlp = Mlp::new(&pattern_config(dropout), &mut rng);
         let mut last_loss = f32::INFINITY;
         for _ in 0..400 {
@@ -303,9 +321,7 @@ mod tests {
     fn mlp_learns_with_tile_pattern_dropout() {
         let mut rng = StdRng::seed_from_u64(3);
         let (x, y) = toy_problem(&mut rng, 64);
-        let dropout =
-            DropoutConfig::pattern_with(DropoutRate::new(0.5).unwrap(), PatternKind::Tile, 4, 8)
-                .unwrap();
+        let dropout = scheme::tile(DropoutRate::new(0.5).unwrap(), 4, 8).unwrap();
         let mut mlp = Mlp::new(&pattern_config(dropout), &mut rng);
         let mut last_loss = f32::INFINITY;
         for _ in 0..400 {
@@ -320,7 +336,7 @@ mod tests {
     fn training_reduces_loss() {
         let mut rng = StdRng::seed_from_u64(4);
         let (x, y) = toy_problem(&mut rng, 32);
-        let mut mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
+        let mut mlp = Mlp::new(&config(scheme::none()), &mut rng);
         let first = mlp.train_batch(&x, &y, &mut rng).loss;
         for _ in 0..40 {
             let _ = mlp.train_batch(&x, &y, &mut rng);
@@ -332,15 +348,11 @@ mod tests {
     #[test]
     fn per_layer_dropout_can_differ() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
-        mlp.set_layer_dropout(
-            0,
-            DropoutConfig::Bernoulli(DropoutRate::new(0.7).unwrap()),
-        );
-        mlp.set_layer_dropout(
-            1,
-            DropoutConfig::Bernoulli(DropoutRate::new(0.3).unwrap()),
-        );
+        let mut mlp = Mlp::new(&config(scheme::none()), &mut rng);
+        mlp.set_layer_dropout(0, scheme::bernoulli(DropoutRate::new(0.7).unwrap()));
+        mlp.set_layer_dropout(1, scheme::bernoulli(DropoutRate::new(0.3).unwrap()));
+        assert!((mlp.layer_dropout(0).nominal_rate() - 0.7).abs() < 1e-12);
+        assert!((mlp.layer_dropout(1).nominal_rate() - 0.3).abs() < 1e-12);
         let (x, y) = toy_problem(&mut rng, 16);
         let stats = mlp.train_batch(&x, &y, &mut rng);
         assert!(stats.loss.is_finite());
@@ -350,8 +362,8 @@ mod tests {
     #[should_panic(expected = "layer index out of range")]
     fn set_layer_dropout_checks_bounds() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
-        mlp.set_layer_dropout(5, DropoutConfig::None);
+        let mut mlp = Mlp::new(&config(scheme::none()), &mut rng);
+        mlp.set_layer_dropout(5, scheme::none());
     }
 
     #[test]
@@ -360,7 +372,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let cfg = MlpConfig {
             hidden: vec![],
-            ..config(DropoutConfig::None)
+            ..config(scheme::none())
         };
         let _ = Mlp::new(&cfg, &mut rng);
     }
@@ -368,16 +380,19 @@ mod tests {
     #[test]
     fn parameter_count_matches_architecture() {
         let mut rng = StdRng::seed_from_u64(8);
-        let mlp = Mlp::new(&config(DropoutConfig::None), &mut rng);
+        let mlp = Mlp::new(&config(scheme::none()), &mut rng);
         // 8*32+32 + 32*32+32 + 32*2+2
-        assert_eq!(mlp.parameter_count(), 8 * 32 + 32 + 32 * 32 + 32 + 32 * 2 + 2);
+        assert_eq!(
+            mlp.parameter_count(),
+            8 * 32 + 32 + 32 * 32 + 32 + 32 * 2 + 2
+        );
         assert_eq!(mlp.hidden_layers(), 2);
     }
 
     #[test]
     fn eval_is_deterministic_even_with_dropout_configured() {
         let mut rng = StdRng::seed_from_u64(9);
-        let dropout = DropoutConfig::Bernoulli(DropoutRate::new(0.5).unwrap());
+        let dropout = scheme::bernoulli(DropoutRate::new(0.5).unwrap());
         let mlp = Mlp::new(&config(dropout), &mut rng);
         let x = Matrix::ones(4, 8);
         let a = mlp.forward_eval(&x);
@@ -387,9 +402,26 @@ mod tests {
 
     #[test]
     fn scaled_paper_mlp_has_expected_shape() {
-        let cfg = MlpConfig::scaled_paper_mlp(128, DropoutConfig::None);
+        let cfg = MlpConfig::scaled_paper_mlp(128, scheme::none());
         assert_eq!(cfg.input_dim, 64);
         assert_eq!(cfg.hidden, vec![128, 128]);
         assert_eq!(cfg.output_dim, 10);
+    }
+
+    #[test]
+    fn all_three_modes_flow_through_the_same_plan_path() {
+        // One network, three schemes: the layer code has no per-scheme
+        // branches, only plan execution.
+        let mut rng = StdRng::seed_from_u64(10);
+        let (x, y) = toy_problem(&mut rng, 16);
+        for dropout in [
+            scheme::bernoulli(DropoutRate::new(0.5).unwrap()),
+            scheme::pattern(DropoutRate::new(0.5).unwrap(), PatternKind::Row).unwrap(),
+            scheme::pattern(DropoutRate::new(0.5).unwrap(), PatternKind::Tile).unwrap(),
+        ] {
+            let mut mlp = Mlp::new(&pattern_config(dropout), &mut rng);
+            let stats = mlp.train_batch(&x, &y, &mut rng);
+            assert!(stats.loss.is_finite());
+        }
     }
 }

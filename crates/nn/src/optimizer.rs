@@ -49,8 +49,16 @@ impl Sgd {
     ///
     /// Panics if the parameter, gradient and velocity shapes disagree.
     pub fn update(&self, param: &mut Matrix, grad: &Matrix, velocity: &mut Matrix) {
-        assert_eq!(param.shape(), grad.shape(), "parameter/gradient shape mismatch");
-        assert_eq!(param.shape(), velocity.shape(), "parameter/velocity shape mismatch");
+        assert_eq!(
+            param.shape(),
+            grad.shape(),
+            "parameter/gradient shape mismatch"
+        );
+        assert_eq!(
+            param.shape(),
+            velocity.shape(),
+            "parameter/velocity shape mismatch"
+        );
         let lr = self.learning_rate;
         let mu = self.momentum;
         let p = param.as_mut_slice();

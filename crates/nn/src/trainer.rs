@@ -29,7 +29,10 @@ impl TrainerConfig {
     pub fn new(iterations: usize, record_every: usize, time_per_iteration_us: f64) -> Self {
         assert!(iterations > 0, "iterations must be positive");
         assert!(record_every > 0, "record_every must be positive");
-        assert!(time_per_iteration_us >= 0.0, "time per iteration must be non-negative");
+        assert!(
+            time_per_iteration_us >= 0.0,
+            "time per iteration must be non-negative"
+        );
         Self {
             iterations,
             record_every,

@@ -11,7 +11,13 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if `low > high`.
-pub fn uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, low: f32, high: f32) -> Matrix {
+pub fn uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    low: f32,
+    high: f32,
+) -> Matrix {
     assert!(low <= high, "uniform range must satisfy low <= high");
     Matrix::from_fn(rows, cols, |_, _| rng.gen_range(low..=high))
 }
@@ -21,7 +27,13 @@ pub fn uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, low: f32,
 /// # Panics
 ///
 /// Panics if `std < 0`.
-pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+pub fn gaussian<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    mean: f32,
+    std: f32,
+) -> Matrix {
     assert!(std >= 0.0, "standard deviation must be non-negative");
     Matrix::from_fn(rows, cols, |_, _| mean + std * standard_normal(rng))
 }

@@ -178,7 +178,12 @@ impl Matrix {
     ///
     /// Panics if `i >= rows`.
     pub fn row(&self, i: usize) -> &[f32] {
-        assert!(i < self.rows, "row index {} out of bounds ({})", i, self.rows);
+        assert!(
+            i < self.rows,
+            "row index {} out of bounds ({})",
+            i,
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -188,7 +193,12 @@ impl Matrix {
     ///
     /// Panics if `i >= rows`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
-        assert!(i < self.rows, "row index {} out of bounds ({})", i, self.rows);
+        assert!(
+            i < self.rows,
+            "row index {} out of bounds ({})",
+            i,
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -198,7 +208,12 @@ impl Matrix {
     ///
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f32> {
-        assert!(j < self.cols, "col index {} out of bounds ({})", j, self.cols);
+        assert!(
+            j < self.cols,
+            "col index {} out of bounds ({})",
+            j,
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -461,14 +476,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

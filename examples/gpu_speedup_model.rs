@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --example gpu_speedup_model`.
 
-use approx_dropout::{search, DropoutRate, SearchConfig};
-use gpu_sim::{kernels, DropoutTiming, GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel};
+use approx_dropout::{scheme, DropoutRate};
+use gpu_sim::{kernels, GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel, DEFAULT_TIMING_SAMPLES};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gpu = GpuConfig::gtx_1080ti();
@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nend-to-end iteration speedups vs conventional dropout:");
-    println!("{:<28} {:>8} {:>8} {:>8}", "network", "p=0.3", "p=0.5", "p=0.7");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8}",
+        "network", "p=0.3", "p=0.5", "p=0.7"
+    );
     let networks: Vec<(String, NetworkTimingModel)> = vec![
         (
             "MLP 2048x2048".to_string(),
@@ -46,8 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, model) in &networks {
         let mut row = format!("{name:<28}");
         for &p in &[0.3, 0.5, 0.7] {
-            let dist = search::sgd_search(DropoutRate::new(p)?, 16, &SearchConfig::default())?;
-            let speedup = model.speedup(&DropoutTiming::Conventional(p), &DropoutTiming::Row(dist));
+            let rate = DropoutRate::new(p)?;
+            let speedup = model.speedup(
+                &*scheme::bernoulli(rate),
+                &*scheme::row(rate, 16)?,
+                DEFAULT_TIMING_SAMPLES,
+                11,
+            );
             row.push_str(&format!(" {speedup:>7.2}x"));
         }
         println!("{row}");

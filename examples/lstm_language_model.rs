@@ -4,26 +4,21 @@
 //!
 //! Run with `cargo run --release --example lstm_language_model`.
 
-use approx_dropout::{DropoutRate, PatternKind};
+use approx_dropout::{scheme, DropoutRate, DropoutScheme};
 use data::{CorpusConfig, SyntheticCorpus};
-use nn::dropout::DropoutConfig;
-use nn::lstm::{LstmLm, LstmLmConfig};
+use nn::builder::LstmBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn train(dropout: DropoutConfig, corpus: &SyntheticCorpus) -> (f64, f64) {
+fn train(dropout: Box<dyn DropoutScheme>, corpus: &SyntheticCorpus) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(21);
-    let config = LstmLmConfig {
-        vocab: corpus.vocab(),
-        embed_dim: 32,
-        hidden: 32,
-        layers: 2,
-        dropout,
-        learning_rate: 0.5,
-        momentum: 0.0,
-        grad_clip: 5.0,
-    };
-    let mut lm = LstmLm::new(&config, &mut rng);
+    let mut lm = LstmBuilder::new(corpus.vocab(), 32)
+        .layers(2)
+        .dropout(dropout)
+        .learning_rate(0.5)
+        .momentum(0.0)
+        .grad_clip(5.0)
+        .build(&mut rng);
     for it in 0..250 {
         let batch = corpus.batch(10, 12, it);
         let _ = lm.train_batch(&batch, &mut rng);
@@ -45,18 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate = DropoutRate::new(0.5)?;
     println!("{:<24} {:>12} {:>10}", "method", "perplexity", "accuracy");
     for (name, dropout) in [
-        ("conventional dropout", DropoutConfig::Bernoulli(rate)),
-        (
-            "row pattern (RDP)",
-            DropoutConfig::pattern(rate, PatternKind::Row)?,
-        ),
-        (
-            "tile pattern (TDP)",
-            DropoutConfig::pattern_with(rate, PatternKind::Tile, 8, 8)?,
-        ),
+        ("conventional dropout", scheme::bernoulli(rate)),
+        ("row pattern (RDP)", scheme::row(rate, 16)?),
+        ("tile pattern (TDP)", scheme::tile(rate, 8, 8)?),
     ] {
         let (perplexity, accuracy) = train(dropout, &corpus);
-        println!("{:<24} {:>12.2} {:>9.1}%", name, perplexity, accuracy * 100.0);
+        println!(
+            "{:<24} {:>12.2} {:>9.1}%",
+            name,
+            perplexity,
+            accuracy * 100.0
+        );
     }
     Ok(())
 }

@@ -4,25 +4,21 @@
 //!
 //! Run with `cargo run --release --example mlp_mnist`.
 
-use approx_dropout::{DropoutRate, PatternKind};
+use approx_dropout::{scheme, DropoutRate, DropoutScheme};
 use data::{MnistConfig, SyntheticMnist};
-use gpu_sim::{DropoutTiming, GpuConfig, MlpSpec, NetworkTimingModel};
-use nn::dropout::DropoutConfig;
-use nn::mlp::{Mlp, MlpConfig};
+use gpu_sim::{GpuConfig, MlpSpec, NetworkTimingModel, DEFAULT_TIMING_SAMPLES};
+use nn::builder::NetworkBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn train(dropout: DropoutConfig, data: &SyntheticMnist) -> f64 {
+fn train(dropout: Box<dyn DropoutScheme>, data: &SyntheticMnist) -> f64 {
     let mut rng = StdRng::seed_from_u64(7);
-    let config = MlpConfig {
-        input_dim: data.dim(),
-        hidden: vec![128, 128],
-        output_dim: data.classes(),
-        dropout,
-        learning_rate: 0.05,
-        momentum: 0.5,
-    };
-    let mut mlp = Mlp::new(&config, &mut rng);
+    let mut mlp = NetworkBuilder::new(data.dim(), data.classes())
+        .hidden_layers(&[128, 128])
+        .dropout(dropout)
+        .learning_rate(0.05)
+        .momentum(0.5)
+        .build(&mut rng);
     for it in 0..200 {
         let (x, y) = data.batch(64, it);
         let _ = mlp.train_batch(&x, &y, &mut rng);
@@ -35,37 +31,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate = DropoutRate::new(0.5)?;
     let data = SyntheticMnist::new(MnistConfig::small());
     let timing = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
-    let baseline_time = timing.iteration_time(&DropoutTiming::Conventional(0.5)).total_us();
+    let time_of = |s: &dyn DropoutScheme| {
+        timing
+            .expected_iteration_time(s, DEFAULT_TIMING_SAMPLES, 7)
+            .total_us()
+    };
+    let baseline_time = time_of(&*scheme::bernoulli(rate));
 
-    println!("{:<22} {:>10} {:>22}", "method", "accuracy", "simulated GPU speedup");
-    let cases: Vec<(&str, DropoutConfig, DropoutTiming)> = vec![
-        (
-            "conventional dropout",
-            DropoutConfig::Bernoulli(rate),
-            DropoutTiming::Conventional(0.5),
-        ),
-        (
-            "row pattern (RDP)",
-            DropoutConfig::pattern(rate, PatternKind::Row)?,
-            DropoutTiming::Row(approx_dropout::search::sgd_search(
-                rate,
-                16,
-                &approx_dropout::SearchConfig::default(),
-            )?),
-        ),
-        (
-            "tile pattern (TDP)",
-            DropoutConfig::pattern_with(rate, PatternKind::Tile, 8, 16)?,
-            DropoutTiming::tile(approx_dropout::search::sgd_search(
-                rate,
-                16,
-                &approx_dropout::SearchConfig::default(),
-            )?),
-        ),
+    println!(
+        "{:<22} {:>10} {:>22}",
+        "method", "accuracy", "simulated GPU speedup"
+    );
+    // One scheme per method drives BOTH the scaled training run and the
+    // timing model — the plan-execute API guarantees they agree.
+    let cases: Vec<(&str, Box<dyn DropoutScheme>)> = vec![
+        ("conventional dropout", scheme::bernoulli(rate)),
+        ("row pattern (RDP)", scheme::row(rate, 16)?),
+        ("tile pattern (TDP)", scheme::tile(rate, 16, 32)?),
     ];
-    for (name, dropout, timing_mode) in cases {
+    for (name, dropout) in cases {
+        let speedup = baseline_time / time_of(&*dropout);
         let accuracy = train(dropout, &data);
-        let speedup = baseline_time / timing.iteration_time(&timing_mode).total_us();
         println!("{:<22} {:>9.1}% {:>21.2}x", name, accuracy * 100.0, speedup);
     }
     Ok(())

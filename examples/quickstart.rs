@@ -4,10 +4,9 @@
 //! Run with `cargo run --example quickstart`.
 
 use approx_dropout::equivalence::measure_equivalence;
-use approx_dropout::{search, DropoutRate, PatternKind, PatternSampler, SearchConfig};
+use approx_dropout::{scheme, search, DropoutRate, PatternKind, PatternSampler, SearchConfig};
 use data::{MnistConfig, SyntheticMnist};
-use nn::dropout::DropoutConfig;
-use nn::mlp::{Mlp, MlpConfig};
+use nn::builder::NetworkBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,15 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Train a small MLP on the synthetic MNIST task with row-pattern
     //    dropout and compare against its own no-dropout evaluation accuracy.
     let data = SyntheticMnist::new(MnistConfig::small());
-    let config = MlpConfig {
-        input_dim: data.dim(),
-        hidden: vec![128, 128],
-        output_dim: data.classes(),
-        dropout: DropoutConfig::pattern(rate, PatternKind::Row)?,
-        learning_rate: 0.05,
-        momentum: 0.5,
-    };
-    let mut mlp = Mlp::new(&config, &mut rng);
+    let mut mlp = NetworkBuilder::new(data.dim(), data.classes())
+        .hidden_layers(&[128, 128])
+        .dropout(scheme::row(rate, 16)?)
+        .learning_rate(0.05)
+        .momentum(0.5)
+        .build(&mut rng);
     for it in 0..150 {
         let (x, y) = data.batch(64, it);
         let stats = mlp.train_batch(&x, &y, &mut rng);
@@ -49,6 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let (ex, ey) = data.eval_set(256);
     let (loss, accuracy) = mlp.evaluate(&ex, &ey);
-    println!("held-out: loss {loss:.3}, accuracy {:.1}%", accuracy * 100.0);
+    println!(
+        "held-out: loss {loss:.3}, accuracy {:.1}%",
+        accuracy * 100.0
+    );
     Ok(())
 }

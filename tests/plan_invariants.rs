@@ -1,0 +1,192 @@
+//! Property tests of the plan–execute API invariants, across every
+//! [`DropoutScheme`] implementation: realised keep-fractions track the target
+//! rate, `column_multiplier` is consistent with the kept units, and the
+//! compacted-GEMM execution of a plan is numerically equivalent to the
+//! masked-dense formulation the paper starts from.
+
+use approx_random_dropout::approx_dropout::{
+    scheme, DropoutPlan, DropoutRate, DropoutScheme, LayerShape, RowPattern, TilePattern,
+};
+use approx_random_dropout::nn::Linear;
+use approx_random_dropout::tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every scheme implementation under test, with its target dropout rate.
+fn all_schemes() -> Vec<(Box<dyn DropoutScheme>, f64)> {
+    let rate = |p: f64| DropoutRate::new(p).unwrap();
+    vec![
+        (scheme::none(), 0.0),
+        (scheme::bernoulli(rate(0.5)), 0.5),
+        (scheme::divergent_bernoulli(rate(0.3)), 0.3),
+        (scheme::row(rate(0.5), 16).unwrap(), 0.5),
+        (scheme::tile(rate(0.7), 16, 8).unwrap(), 0.7),
+        (Box::new(RowPattern::new(4, 1).unwrap()), 0.75),
+        (Box::new(TilePattern::new(2, 0, 8).unwrap()), 0.5),
+    ]
+}
+
+/// Over many iterations every scheme's realised drop fraction converges to
+/// its nominal rate (the statistical-equivalence claim, Eq. 2/3, extended to
+/// the whole scheme family).
+#[test]
+fn realized_drop_fraction_tracks_nominal_rate() {
+    let shape = LayerShape::new(256, 256);
+    for (mut s, target) in all_schemes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let iters = 2_000;
+        let mut acc = 0.0;
+        for _ in 0..iters {
+            acc += s.plan(&mut rng, shape).realized_drop_fraction();
+        }
+        let mean = acc / iters as f64;
+        assert!(
+            (mean - target).abs() < 0.05,
+            "scheme {} realised {mean}, target {target}",
+            s.label()
+        );
+        assert!(
+            (s.nominal_rate() - target).abs() < 1e-9,
+            "scheme {} nominal rate",
+            s.label()
+        );
+    }
+}
+
+/// `column_multiplier` is consistent with the plan's kept units: kept
+/// columns carry exactly `scale()`, dropped columns exactly 0, and columns
+/// past the dropout site exactly 1.
+#[test]
+fn column_multiplier_is_consistent_with_kept_indices() {
+    let shape = LayerShape::new(64, 64);
+    for (mut s, _) in all_schemes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let plan = s.plan(&mut rng, shape);
+            let mult = plan.column_multiplier(shape.out_features);
+            if let Some(kept) = plan.compact_rows() {
+                for (j, &m) in mult.iter().enumerate() {
+                    let expected = if kept.contains(&j) { plan.scale() } else { 0.0 };
+                    assert_eq!(m, expected, "scheme {} column {j}", s.label());
+                }
+            } else if let Some(mask) = plan.bernoulli_mask() {
+                for (j, &m) in mult.iter().enumerate() {
+                    assert_eq!(m, mask[j] * plan.scale(), "scheme {} column {j}", s.label());
+                }
+            } else if let Some((kept, grid)) = plan.kept_tiles() {
+                let mut covered = vec![false; shape.out_features];
+                for &t in kept {
+                    let (_, cols) = grid.tile_bounds(t);
+                    for c in cols {
+                        if c < covered.len() {
+                            covered[c] = true;
+                        }
+                    }
+                }
+                for (j, &m) in mult.iter().enumerate() {
+                    let expected = if covered[j] { plan.scale() } else { 0.0 };
+                    assert_eq!(m, expected, "scheme {} column {j}", s.label());
+                }
+            } else {
+                assert!(mult.iter().all(|&m| m == 1.0), "identity scheme multiplier");
+            }
+            // Columns beyond the resolved dropout site always pass through
+            // untouched (regression test for the seed's out-of-range
+            // rescaling bug).
+            let wide = plan.column_multiplier(shape.out_features + 5);
+            for &m in &wide[shape.out_features..] {
+                assert_eq!(m, 1.0, "scheme {} out-of-site column", s.label());
+            }
+        }
+    }
+}
+
+/// The plan's `active_output_fraction` matches its kept-row count, and is
+/// exactly 1 for every non-row plan.
+#[test]
+fn active_output_fraction_matches_compact_rows() {
+    let shape = LayerShape::new(48, 48);
+    for (mut s, _) in all_schemes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let plan = s.plan(&mut rng, shape);
+            match plan.compact_rows() {
+                Some(kept) => {
+                    let expected = kept.len() as f64 / shape.out_features as f64;
+                    assert!(
+                        (plan.active_output_fraction() - expected).abs() < 1e-12,
+                        "scheme {}",
+                        s.label()
+                    );
+                }
+                None => assert_eq!(plan.active_output_fraction(), 1.0, "scheme {}", s.label()),
+            }
+        }
+    }
+}
+
+/// Executing a plan through the compacted GEMM paths of `Linear` equals the
+/// masked-dense reference built from the same plan, for every scheme and
+/// many random layers — the numeric core of the paper's "compact the GEMM
+/// instead of masking" claim.
+#[test]
+fn compacted_execution_matches_masked_dense_reference() {
+    let mut case_rng = StdRng::seed_from_u64(0xFACADE);
+    for case in 0..40u64 {
+        let in_features = case_rng.gen_range(4usize..24);
+        let out_features = case_rng.gen_range(4usize..24);
+        let batch = case_rng.gen_range(1usize..5);
+        let shape = LayerShape::new(in_features, out_features);
+        for (mut s, _) in all_schemes() {
+            let mut rng = StdRng::seed_from_u64(1000 + case);
+            let plan = s.plan(&mut rng, shape);
+            let layer = Linear::new(&mut rng, in_features, out_features);
+            let x = init::uniform(&mut rng, batch, in_features, -1.0, 1.0);
+            let executed = layer.clone().forward(&x, &plan);
+            let reference = masked_dense_reference(&layer, &x, &plan);
+            for i in 0..batch {
+                for j in 0..out_features {
+                    assert!(
+                        (executed[(i, j)] - reference[(i, j)]).abs() < 1e-3,
+                        "scheme {} case {case} at ({i},{j}): {} vs {}",
+                        s.label(),
+                        executed[(i, j)],
+                        reference[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Dense formulation of a plan: mask weights for tile plans, mask + scale
+/// the biased dense output for row/Bernoulli plans.
+fn masked_dense_reference(layer: &Linear, x: &Matrix, plan: &DropoutPlan) -> Matrix {
+    if let Some((kept, grid)) = plan.kept_tiles() {
+        // W ⊙ M, dense multiply, scale, add bias (bias is not scaled).
+        let (rows, cols) = grid.weight_shape();
+        let mut mask = Matrix::zeros(rows, cols);
+        for &t in kept {
+            let (rr, cc) = grid.tile_bounds(t);
+            for r in rr.clone() {
+                for c in cc.clone() {
+                    mask[(r, c)] = 1.0;
+                }
+            }
+        }
+        let masked_w = layer.weight().hadamard(&mask).unwrap();
+        return x
+            .matmul(&masked_w)
+            .scale(plan.scale())
+            .add_row_broadcast(layer.bias())
+            .unwrap();
+    }
+    // Row and Bernoulli plans are per-output-column multipliers on the dense
+    // biased output; the identity plan is the all-ones multiplier.
+    let dense = x
+        .matmul(layer.weight())
+        .add_row_broadcast(layer.bias())
+        .unwrap();
+    let mult = plan.column_multiplier(layer.out_features());
+    Matrix::from_fn(dense.rows(), dense.cols(), |i, j| dense[(i, j)] * mult[j])
+}
