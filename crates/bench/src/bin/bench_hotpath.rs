@@ -1,0 +1,265 @@
+//! Hot-path benchmark: packed GEMM kernels and batch-dimension threading.
+//!
+//! Times four things and writes `BENCH_HOTPATH.json` at the repository root,
+//! seeding the perf trajectory the ROADMAP calls for:
+//!
+//! 1. the *seed* cache-blocked GEMM (per-element `Index` ops + zero-skip
+//!    branch, reproduced verbatim below) versus the packed micro-kernel
+//!    pipeline, single-threaded — the kernel-rewrite speedup;
+//! 2. the packed dense GEMM at 1/2/4 threads — batch-dimension scaling;
+//! 3. the row- and tile-compacted kernels at a dp=2 pattern versus the dense
+//!    kernel — the speedup the paper's compaction is supposed to buy once
+//!    constant overhead stops drowning it;
+//! 4. one MLP training epoch (row-pattern dropout) at 1/2/4 threads.
+//!
+//! Run `cargo run --release -p bench --bin bench_hotpath` for the full
+//! shapes, or pass `--smoke` (CI) for tiny shapes that finish in seconds.
+
+use approx_dropout::{scheme, DropoutRate};
+use nn::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tensor::{blocked_gemm, init, pool, row_compact_gemm, tile_compact_gemm, Matrix};
+
+/// The seed repository's cache-blocked GEMM, kept verbatim as the baseline
+/// the kernel rewrite is measured against: per-element `Index` ops (bounds
+/// checks) in the inner loops and a data-dependent `aip == 0.0` branch.
+fn seed_blocked_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    const BLOCK: usize = 32;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for ii in (0..m).step_by(BLOCK) {
+        let i_end = (ii + BLOCK).min(m);
+        for pp in (0..k).step_by(BLOCK) {
+            let p_end = (pp + BLOCK).min(k);
+            for jj in (0..n).step_by(BLOCK) {
+                let j_end = (jj + BLOCK).min(n);
+                for i in ii..i_end {
+                    for p in pp..p_end {
+                        let aip = a[(i, p)];
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let brow = b.row(p);
+                        let crow = c.row_mut(i);
+                        for j in jj..j_end {
+                            crow[j] += aip * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Best-of-`reps` wall-clock seconds for one invocation of `f` (after one
+/// warm-up call), which filters scheduler noise better than a mean.
+fn bench(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Config {
+    mode: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+    mlp_batch: usize,
+    mlp_hidden: usize,
+    mlp_batches: usize,
+    mlp_reps: usize,
+}
+
+const FULL: Config = Config {
+    mode: "full",
+    m: 256,
+    k: 512,
+    n: 512,
+    reps: 7,
+    mlp_batch: 256,
+    mlp_hidden: 512,
+    mlp_batches: 4,
+    mlp_reps: 3,
+};
+
+/// Tiny shapes for CI: still wide enough (`m > PAR_MIN_ROWS`) that the
+/// thread pool actually engages, so a threading regression fails fast.
+const SMOKE: Config = Config {
+    mode: "smoke",
+    m: 48,
+    k: 64,
+    n: 64,
+    reps: 2,
+    mlp_batch: 48,
+    mlp_hidden: 64,
+    mlp_batches: 2,
+    mlp_reps: 1,
+};
+
+fn json_threads_map(entries: &[(usize, f64)]) -> String {
+    let fields: Vec<String> = entries
+        .iter()
+        .map(|(t, secs)| format!("\"{t}\": {secs:.6}"))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let cfg = if smoke { SMOKE } else { FULL };
+    let thread_counts = [1usize, 2, 4];
+
+    let mut rng = StdRng::seed_from_u64(0xB0A7);
+    let a = init::uniform(&mut rng, cfg.m, cfg.k, -1.0, 1.0);
+    let b = init::uniform(&mut rng, cfg.k, cfg.n, -1.0, 1.0);
+
+    // 1. Seed kernel baseline (single-threaded by construction).
+    let seed_secs = bench(cfg.reps, || {
+        std::hint::black_box(seed_blocked_gemm(&a, &b));
+    });
+    eprintln!("seed blocked gemm      {:>10.3} ms", seed_secs * 1e3);
+
+    // 2. Packed kernel at 1/2/4 threads.
+    let mut dense_by_threads = Vec::new();
+    for &t in &thread_counts {
+        pool::set_threads(t);
+        let secs = bench(cfg.reps, || {
+            std::hint::black_box(blocked_gemm(&a, &b).unwrap());
+        });
+        eprintln!("packed gemm {t} thread(s) {:>9.3} ms", secs * 1e3);
+        dense_by_threads.push((t, secs));
+    }
+    let dense_1t = dense_by_threads[0].1;
+    let single_thread_speedup = seed_secs / dense_1t;
+    let scaling_2t = dense_1t / dense_by_threads[1].1;
+    let scaling_4t = dense_1t / dense_by_threads[2].1;
+
+    // 3. Compacted kernels at a dp=2 pattern, single-threaded, against the
+    //    single-threaded dense kernel (pure kernel effect, no pool).
+    pool::set_threads(1);
+    let kept_cols: Vec<usize> = (0..cfg.n).step_by(2).collect();
+    let row_secs = bench(cfg.reps, || {
+        std::hint::black_box(row_compact_gemm(&a, &b, &kept_cols).unwrap());
+    });
+    let tile = 32.min(cfg.k).min(cfg.n);
+    let tiles_per_row = cfg.n.div_ceil(tile);
+    let tiles_per_col = cfg.k.div_ceil(tile);
+    let kept_tiles: Vec<usize> = (0..tiles_per_row * tiles_per_col).step_by(2).collect();
+    let tile_secs = bench(cfg.reps, || {
+        std::hint::black_box(tile_compact_gemm(&a, &b, &kept_tiles, tile).unwrap());
+    });
+    eprintln!(
+        "row-compact dp=2       {:>10.3} ms ({:.2}x dense)",
+        row_secs * 1e3,
+        dense_1t / row_secs
+    );
+    eprintln!(
+        "tile-compact dp=2      {:>10.3} ms ({:.2}x dense)",
+        tile_secs * 1e3,
+        dense_1t / tile_secs
+    );
+
+    // 4. One MLP training epoch (row-pattern dropout) at 1/2/4 threads.
+    let dropout = scheme::row(DropoutRate::new(0.5).unwrap(), 8).unwrap();
+    let config = MlpConfig {
+        input_dim: cfg.k,
+        hidden: vec![cfg.mlp_hidden, cfg.mlp_hidden],
+        output_dim: 10,
+        dropout,
+        learning_rate: 0.01,
+        momentum: 0.9,
+    };
+    let inputs = init::uniform(&mut rng, cfg.mlp_batch, cfg.k, -1.0, 1.0);
+    let labels: Vec<usize> = (0..cfg.mlp_batch).map(|i| i % 10).collect();
+    let mut mlp_by_threads = Vec::new();
+    for &t in &thread_counts {
+        pool::set_threads(t);
+        let mut mlp = Mlp::new(&config, &mut rng);
+        let mut train_rng = StdRng::seed_from_u64(7);
+        let secs = bench(cfg.mlp_reps, || {
+            for _ in 0..cfg.mlp_batches {
+                std::hint::black_box(mlp.train_batch(&inputs, &labels, &mut train_rng));
+            }
+        });
+        eprintln!("mlp epoch {t} thread(s)  {:>10.3} ms", secs * 1e3);
+        mlp_by_threads.push((t, secs));
+    }
+    let mlp_scaling_2t = mlp_by_threads[0].1 / mlp_by_threads[1].1;
+
+    eprintln!(
+        "single-thread speedup vs seed kernel: {single_thread_speedup:.2}x; \
+         dense scaling 2t {scaling_2t:.2}x / 4t {scaling_4t:.2}x; \
+         mlp scaling 2t {mlp_scaling_2t:.2}x"
+    );
+
+    // Thread scaling is bounded by the physical cores of the machine the
+    // bench ran on; record it so a flat scaling curve on a 1-core box is
+    // interpretable (the pool cannot beat the hardware).
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let json = format!(
+        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"dense_gemm\": {{\n    \"shape\": [{m}, {k}, {n}],\n    \"seed_blocked_secs\": {seed:.6},\n    \"packed_secs_by_threads\": {dense_map},\n    \"single_thread_speedup_vs_seed\": {speedup:.3},\n    \"scaling_2_threads\": {s2:.3},\n    \"scaling_4_threads\": {s4:.3}\n  }},\n  \"row_compact\": {{\n    \"dp\": 2,\n    \"secs\": {row:.6},\n    \"speedup_vs_dense_1t\": {row_speedup:.3}\n  }},\n  \"tile_compact\": {{\n    \"dp\": 2,\n    \"tile\": {tile},\n    \"secs\": {tile_secs:.6},\n    \"speedup_vs_dense_1t\": {tile_speedup:.3}\n  }},\n  \"mlp_epoch\": {{\n    \"batch\": {mlp_batch},\n    \"batches\": {mlp_batches},\n    \"hidden\": [{hid}, {hid}],\n    \"secs_by_threads\": {mlp_map},\n    \"scaling_2_threads\": {mlp_s2:.3}\n  }}\n}}\n",
+        mode = cfg.mode,
+        m = cfg.m,
+        k = cfg.k,
+        n = cfg.n,
+        seed = seed_secs,
+        dense_map = json_threads_map(&dense_by_threads),
+        speedup = single_thread_speedup,
+        s2 = scaling_2t,
+        s4 = scaling_4t,
+        row = row_secs,
+        row_speedup = dense_1t / row_secs,
+        tile = tile,
+        tile_secs = tile_secs,
+        tile_speedup = dense_1t / tile_secs,
+        mlp_batch = cfg.mlp_batch,
+        mlp_batches = cfg.mlp_batches,
+        hid = cfg.mlp_hidden,
+        mlp_map = json_threads_map(&mlp_by_threads),
+        mlp_s2 = mlp_scaling_2t,
+    );
+
+    let out_path = std::env::var("BENCH_HOTPATH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_HOTPATH.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("writing BENCH_HOTPATH.json failed");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    // Regression gates, opt-in via BENCH_ASSERT=1 (CI). The kernel speedup
+    // is machine-portable; the scaling gate only arms on hardware that can
+    // actually scale (>= 2 cores), so a 1-core container passes honestly
+    // while a change that serializes the pool fails fast on CI runners.
+    if std::env::var("BENCH_ASSERT").is_ok_and(|v| v != "0") {
+        let mut failures = Vec::new();
+        if !smoke && single_thread_speedup < 3.0 {
+            failures.push(format!(
+                "single-thread kernel speedup {single_thread_speedup:.2}x < 3.0x vs seed kernel"
+            ));
+        }
+        if !smoke && cores >= 2 && scaling_2t < 1.25 {
+            failures.push(format!(
+                "dense 2-thread scaling {scaling_2t:.2}x < 1.25x on a {cores}-core machine"
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("BENCH_ASSERT failures:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("BENCH_ASSERT passed");
+    }
+}

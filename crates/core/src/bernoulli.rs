@@ -57,10 +57,21 @@ impl BernoulliDropout {
     /// shares it), matching how neuron-level dropout is applied to a fully
     /// connected layer.
     pub fn neuron_mask<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f32> {
+        let mut mask = Vec::new();
+        self.fill_neuron_mask(rng, n, &mut mask);
+        mask
+    }
+
+    /// Like [`BernoulliDropout::neuron_mask`] but pushing into a caller-owned
+    /// vector (appended to whatever it already holds), so per-iteration masks
+    /// can be recycled instead of reallocated. Draws are identical to
+    /// [`BernoulliDropout::neuron_mask`] for the same RNG state.
+    pub fn fill_neuron_mask<R: Rng + ?Sized>(&self, rng: &mut R, n: usize, out: &mut Vec<f32>) {
         let p = self.rate.value();
-        (0..n)
-            .map(|_| if rng.gen::<f64>() < p { 0.0 } else { 1.0 })
-            .collect()
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(if rng.gen::<f64>() < p { 0.0 } else { 1.0 });
+        }
     }
 
     /// Applies conventional dropout to `activations` with inverted-dropout

@@ -369,7 +369,7 @@ impl DropoutPattern for TilePattern {
 /// Produced by [`crate::PatternSampler::sample`]. `unit_count` is the number
 /// of output neurons for a row pattern, or the total number of tiles for a
 /// tile pattern.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct SampledPattern {
     kind: PatternKind,
     dp: usize,
@@ -379,17 +379,49 @@ pub struct SampledPattern {
     kept: Vec<usize>,
 }
 
+impl Clone for SampledPattern {
+    fn clone(&self) -> Self {
+        Self {
+            kind: self.kind,
+            dp: self.dp,
+            bias: self.bias,
+            tile: self.tile,
+            unit_count: self.unit_count,
+            kept: self.kept.clone(),
+        }
+    }
+
+    /// Reuses the existing kept-index buffer whenever its capacity suffices,
+    /// so caching a plan across iterations does not reallocate.
+    fn clone_from(&mut self, source: &Self) {
+        self.kind = source.kind;
+        self.dp = source.dp;
+        self.bias = source.bias;
+        self.tile = source.tile;
+        self.unit_count = source.unit_count;
+        self.kept.clone_from(&source.kept);
+    }
+}
+
 impl SampledPattern {
-    /// Builds a sampled row pattern resolved against `n` output neurons.
-    pub fn from_row(pattern: RowPattern, n: usize) -> Self {
+    /// An empty placeholder pattern (nothing resolved, nothing kept); a
+    /// recyclable buffer for the `resolve_*` methods.
+    pub fn empty() -> Self {
         Self {
             kind: PatternKind::Row,
-            dp: pattern.dp,
-            bias: pattern.bias,
+            dp: 1,
+            bias: 0,
             tile: 1,
-            unit_count: n,
-            kept: pattern.kept_rows(n),
+            unit_count: 0,
+            kept: Vec::new(),
         }
+    }
+
+    /// Builds a sampled row pattern resolved against `n` output neurons.
+    pub fn from_row(pattern: RowPattern, n: usize) -> Self {
+        let mut sampled = Self::empty();
+        sampled.resolve_row(pattern, n);
+        sampled
     }
 
     /// Builds a sampled tile pattern resolved against a tile grid.
@@ -400,14 +432,34 @@ impl SampledPattern {
     /// Builds a sampled tile pattern resolved against a known number of tiles
     /// (useful when the caller tracks the tile grid separately).
     pub fn from_tile_units(pattern: TilePattern, total_tiles: usize) -> Self {
-        Self {
-            kind: PatternKind::Tile,
-            dp: pattern.dp,
-            bias: pattern.bias,
-            tile: pattern.tile,
-            unit_count: total_tiles,
-            kept: (pattern.bias..total_tiles).step_by(pattern.dp).collect(),
-        }
+        let mut sampled = Self::empty();
+        sampled.resolve_tile_units(pattern, total_tiles);
+        sampled
+    }
+
+    /// Re-resolves this buffer as a row pattern against `n` output neurons,
+    /// recycling the kept-index vector instead of allocating a fresh one.
+    pub fn resolve_row(&mut self, pattern: RowPattern, n: usize) {
+        self.kind = PatternKind::Row;
+        self.dp = pattern.dp;
+        self.bias = pattern.bias;
+        self.tile = 1;
+        self.unit_count = n;
+        self.kept.clear();
+        self.kept.extend((pattern.bias..n).step_by(pattern.dp));
+    }
+
+    /// Re-resolves this buffer as a tile pattern against `total_tiles` tiles,
+    /// recycling the kept-index vector instead of allocating a fresh one.
+    pub fn resolve_tile_units(&mut self, pattern: TilePattern, total_tiles: usize) {
+        self.kind = PatternKind::Tile;
+        self.dp = pattern.dp;
+        self.bias = pattern.bias;
+        self.tile = pattern.tile;
+        self.unit_count = total_tiles;
+        self.kept.clear();
+        self.kept
+            .extend((pattern.bias..total_tiles).step_by(pattern.dp));
     }
 
     /// The family of the sampled pattern.

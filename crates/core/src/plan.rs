@@ -118,7 +118,12 @@ impl KernelSchedule {
 
 /// The concrete dropout decision for one iteration of one layer, produced by
 /// [`crate::DropoutScheme::plan`] before any GEMM runs.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A plan is also a *reusable buffer*: [`crate::DropoutScheme::plan_into`]
+/// re-resolves an existing plan in place through the `reset_*` methods, so
+/// the kept-index / mask vectors are recycled across training iterations
+/// instead of being reallocated every step.
+#[derive(Debug, PartialEq)]
 pub struct DropoutPlan {
     shape: LayerShape,
     /// Inverted-dropout multiplier for kept units (1.0 when nothing is
@@ -134,6 +139,53 @@ pub struct DropoutPlan {
     mask: Option<Vec<f32>>,
     schedule: KernelSchedule,
     nominal_rate: f64,
+}
+
+impl Clone for DropoutPlan {
+    fn clone(&self) -> Self {
+        Self {
+            shape: self.shape,
+            scale: self.scale,
+            rows: self.rows.clone(),
+            tiles: self.tiles.clone(),
+            mask: self.mask.clone(),
+            schedule: self.schedule,
+            nominal_rate: self.nominal_rate,
+        }
+    }
+
+    /// Copies `source` into `self`, reusing the kept-index / mask buffers
+    /// whenever both sides hold the same plan family. This is what lets a
+    /// layer cache the iteration's plan without a per-step allocation.
+    fn clone_from(&mut self, source: &Self) {
+        self.shape = source.shape;
+        self.scale = source.scale;
+        self.schedule = source.schedule;
+        self.nominal_rate = source.nominal_rate;
+        match (&mut self.rows, &source.rows) {
+            (Some(dst), Some(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+        match (&mut self.tiles, &source.tiles) {
+            (Some((dst, dst_grid)), Some((src, src_grid))) => {
+                dst.clone_from(src);
+                *dst_grid = *src_grid;
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+        match (&mut self.mask, &source.mask) {
+            (Some(dst), Some(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
+
+impl Default for DropoutPlan {
+    /// An identity plan for a degenerate `0 × 0` layer — the natural initial
+    /// state of a reusable plan buffer.
+    fn default() -> Self {
+        Self::none(LayerShape::new(0, 0))
+    }
 }
 
 impl DropoutPlan {
@@ -222,6 +274,119 @@ impl DropoutPlan {
         }
     }
 
+    /// Extracts whichever sampled-pattern buffer the plan currently holds so
+    /// a `reset_*` call can recycle its kept-index vector.
+    fn take_pattern_buffer(&mut self) -> SampledPattern {
+        if let Some(pattern) = self.rows.take() {
+            pattern
+        } else if let Some((pattern, _)) = self.tiles.take() {
+            pattern
+        } else {
+            SampledPattern::empty()
+        }
+    }
+
+    /// Re-resolves this plan in place as the identity (dense GEMM, nothing
+    /// dropped).
+    pub fn reset_none(&mut self, shape: LayerShape) {
+        self.shape = shape;
+        self.scale = 1.0;
+        self.rows = None;
+        self.tiles = None;
+        self.mask = None;
+        self.schedule = KernelSchedule::Dense;
+        self.nominal_rate = 0.0;
+    }
+
+    /// Re-resolves this plan in place as a conventional-dropout plan,
+    /// recycling the mask buffer: `fill` receives the cleared vector and must
+    /// push exactly `shape.out_features` 0/1 entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` leaves the mask with the wrong length.
+    pub fn reset_bernoulli_with(
+        &mut self,
+        shape: LayerShape,
+        scale: f32,
+        nominal_rate: f64,
+        fill: impl FnOnce(&mut Vec<f32>),
+    ) {
+        let mut mask = self.mask.take().unwrap_or_default();
+        mask.clear();
+        fill(&mut mask);
+        assert_eq!(
+            mask.len(),
+            shape.out_features,
+            "mask length must match out_features"
+        );
+        self.shape = shape;
+        self.scale = scale;
+        self.rows = None;
+        self.tiles = None;
+        self.mask = Some(mask);
+        self.schedule = KernelSchedule::DenseWithMask;
+        self.nominal_rate = nominal_rate;
+    }
+
+    /// Like [`DropoutPlan::reset_bernoulli_with`] but scheduling the naive
+    /// in-kernel `if (kept)` skip of Fig. 1(b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` leaves the mask with the wrong length.
+    pub fn reset_divergent_with(
+        &mut self,
+        shape: LayerShape,
+        scale: f32,
+        nominal_rate: f64,
+        fill: impl FnOnce(&mut Vec<f32>),
+    ) {
+        self.reset_bernoulli_with(shape, scale, nominal_rate, fill);
+        self.schedule = KernelSchedule::DenseDivergent { rate: nominal_rate };
+    }
+
+    /// Re-resolves this plan in place as a row plan for `pattern`, recycling
+    /// the kept-index buffer. Equivalent to (but allocation-free compared
+    /// with) rebuilding through [`DropoutPlan::row`].
+    pub fn reset_row(&mut self, shape: LayerShape, pattern: crate::pattern::RowPattern) {
+        let mut sampled = self.take_pattern_buffer();
+        sampled.resolve_row(pattern, shape.out_features);
+        self.schedule = KernelSchedule::RowCompact {
+            kept: sampled.kept_indices().len(),
+            total: sampled.unit_count(),
+        };
+        self.scale = sampled.inverted_scale();
+        self.nominal_rate = sampled.nominal_rate().value();
+        self.shape = shape;
+        self.rows = Some(sampled);
+        self.tiles = None;
+        self.mask = None;
+    }
+
+    /// Re-resolves this plan in place as a tile plan for `pattern` on `grid`,
+    /// recycling the kept-index buffer. Equivalent to (but allocation-free
+    /// compared with) rebuilding through [`DropoutPlan::tile`].
+    pub fn reset_tile(
+        &mut self,
+        shape: LayerShape,
+        pattern: crate::pattern::TilePattern,
+        grid: TileGrid,
+    ) {
+        let mut sampled = self.take_pattern_buffer();
+        sampled.resolve_tile_units(pattern, grid.total_tiles());
+        self.schedule = KernelSchedule::TileCompact {
+            kept: sampled.kept_indices().len(),
+            total: grid.total_tiles(),
+        };
+        self.scale = sampled.inverted_scale();
+        self.nominal_rate = sampled.nominal_rate().value();
+        self.shape = shape;
+        self.rows = None;
+        self.tiles = Some((sampled, grid));
+        self.mask = None;
+    }
+
     /// The layer shape this plan was resolved against.
     pub fn shape(&self) -> LayerShape {
         self.shape
@@ -273,45 +438,54 @@ impl DropoutPlan {
     /// width stay at exactly 1.0 (they are outside the dropout site and must
     /// pass through untouched).
     pub fn column_multiplier(&self, n_cols: usize) -> Vec<f32> {
+        let mut mult = Vec::new();
+        self.column_multiplier_into(n_cols, &mut mult);
+        mult
+    }
+
+    /// Like [`DropoutPlan::column_multiplier`] but writing into a
+    /// caller-owned vector so the per-iteration multiplier of the LSTM's
+    /// inter-layer dropout can be recycled instead of reallocated.
+    pub fn column_multiplier_into(&self, n_cols: usize, out: &mut Vec<f32>) {
+        out.clear();
         if let Some(mask) = &self.mask {
             // Columns the mask does not cover are untouched (multiplier 1.0),
             // *not* rescaled: the inverted-dropout scale compensates for
             // masked columns only.
-            return (0..n_cols)
-                .map(|j| mask.get(j).map_or(1.0, |&m| m * self.scale))
-                .collect();
+            out.extend((0..n_cols).map(|j| mask.get(j).map_or(1.0, |&m| m * self.scale)));
+            return;
         }
         if let Some(pattern) = &self.rows {
-            let mut mult = vec![0.0; n_cols];
+            out.resize(n_cols, 0.0);
             for &j in pattern.kept_indices() {
                 if j < n_cols {
-                    mult[j] = self.scale;
+                    out[j] = self.scale;
                 }
             }
-            for m in mult.iter_mut().skip(pattern.unit_count()) {
+            for m in out.iter_mut().skip(pattern.unit_count()) {
                 *m = 1.0;
             }
-            return mult;
+            return;
         }
         if let Some((pattern, grid)) = &self.tiles {
-            let mut mult = vec![0.0; n_cols];
+            out.resize(n_cols, 0.0);
             for &t in pattern.kept_indices() {
                 if t < grid.total_tiles() {
                     let (_, cols) = grid.tile_bounds(t);
                     for c in cols {
                         if c < n_cols {
-                            mult[c] = self.scale;
+                            out[c] = self.scale;
                         }
                     }
                 }
             }
             let (_, covered_cols) = grid.weight_shape();
-            for m in mult.iter_mut().skip(covered_cols) {
+            for m in out.iter_mut().skip(covered_cols) {
                 *m = 1.0;
             }
-            return mult;
+            return;
         }
-        vec![1.0; n_cols]
+        out.resize(n_cols, 1.0);
     }
 
     /// Applies the conventional mask (if any) to a full activation matrix in

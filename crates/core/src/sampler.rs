@@ -97,6 +97,17 @@ impl PatternSampler {
         }
     }
 
+    /// Draws the `(dp, bias)` pair for one iteration, with the period clamped
+    /// to `unit_count` so that at least one unit always survives. Exactly the
+    /// two RNG draws [`PatternSampler::sample`] makes, exposed separately so
+    /// allocation-free planning ([`crate::DropoutScheme::plan_into`]) stays
+    /// draw-for-draw identical to the allocating path.
+    pub fn sample_params<R: Rng + ?Sized>(&self, rng: &mut R, unit_count: usize) -> (usize, usize) {
+        let dp = self.sample_dp(rng).min(unit_count.max(1));
+        let bias = self.sample_bias(rng, dp);
+        (dp, bias)
+    }
+
     /// Samples a concrete pattern for one iteration, resolved against
     /// `unit_count` droppable units (output neurons for row patterns, total
     /// tiles for tile patterns).
@@ -104,8 +115,7 @@ impl PatternSampler {
     /// The sampled period is clamped to `unit_count` so that at least one
     /// unit always survives.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, unit_count: usize) -> SampledPattern {
-        let dp = self.sample_dp(rng).min(unit_count.max(1));
-        let bias = self.sample_bias(rng, dp);
+        let (dp, bias) = self.sample_params(rng, unit_count);
         match self.kind {
             PatternKind::Row => {
                 let pattern =
@@ -264,10 +274,58 @@ impl ApproxDropoutLayer {
         unit_count: usize,
     ) -> SampledPattern {
         let pattern = self.sampler.sample(rng, unit_count);
-        self.iterations += 1;
-        self.dropped_unit_sum += pattern.realized_dropout_fraction();
+        self.record_resolved(pattern.realized_dropout_fraction());
         pattern
     }
+
+    /// Draws the next iteration's row pattern without materialising its
+    /// kept-index vector; statistics are updated exactly like
+    /// [`ApproxDropoutLayer::next_pattern`] and the RNG draws are identical.
+    pub fn next_row_pattern<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        unit_count: usize,
+    ) -> RowPattern {
+        let (dp, bias) = self.sampler.sample_params(rng, unit_count);
+        let pattern = RowPattern::new(dp, bias).expect("dp >= 1 and bias < dp by construction");
+        self.record_resolved(realized_fraction(dp, bias, unit_count));
+        pattern
+    }
+
+    /// Draws the next iteration's tile pattern without materialising its
+    /// kept-index vector; statistics are updated exactly like
+    /// [`ApproxDropoutLayer::next_pattern`] and the RNG draws are identical.
+    pub fn next_tile_pattern<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        total_tiles: usize,
+    ) -> TilePattern {
+        let (dp, bias) = self.sampler.sample_params(rng, total_tiles);
+        let pattern = TilePattern::new(dp, bias, self.sampler.tile_size())
+            .expect("dp >= 1, bias < dp and tile > 0 by construction");
+        self.record_resolved(realized_fraction(dp, bias, total_tiles));
+        pattern
+    }
+
+    fn record_resolved(&mut self, realized_dropout_fraction: f64) {
+        self.iterations += 1;
+        self.dropped_unit_sum += realized_dropout_fraction;
+    }
+}
+
+/// Realised dropout fraction of a `(dp, bias)` pattern over `unit_count`
+/// units, computed without materialising the kept-index list (mirrors
+/// [`SampledPattern::realized_dropout_fraction`]).
+fn realized_fraction(dp: usize, bias: usize, unit_count: usize) -> f64 {
+    if unit_count == 0 {
+        return 0.0;
+    }
+    let kept = if unit_count > bias {
+        (unit_count - bias).div_ceil(dp)
+    } else {
+        0
+    };
+    1.0 - kept as f64 / unit_count as f64
 }
 
 #[cfg(test)]

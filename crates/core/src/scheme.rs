@@ -38,6 +38,18 @@ pub trait DropoutScheme: std::fmt::Debug + Send {
     /// Samples the concrete plan for one training iteration of a layer.
     fn plan(&mut self, rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan;
 
+    /// Samples the next iteration's plan *into* an existing plan buffer,
+    /// recycling its kept-index / mask allocations.
+    ///
+    /// For the same RNG state this produces a plan equal to
+    /// [`DropoutScheme::plan`] (the schemes shipped here guarantee
+    /// draw-for-draw identical sampling); the default implementation simply
+    /// delegates, so custom schemes are correct without an override and can
+    /// add one when the per-iteration allocation matters.
+    fn plan_into(&mut self, rng: &mut dyn RngCore, shape: LayerShape, out: &mut DropoutPlan) {
+        *out = self.plan(rng, shape);
+    }
+
     /// Nominal (target) dropout rate of the scheme.
     fn nominal_rate(&self) -> f64;
 
@@ -62,6 +74,10 @@ pub struct NoDropout;
 impl DropoutScheme for NoDropout {
     fn plan(&mut self, _rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan {
         DropoutPlan::none(shape)
+    }
+
+    fn plan_into(&mut self, _rng: &mut dyn RngCore, shape: LayerShape, out: &mut DropoutPlan) {
+        out.reset_none(shape);
     }
 
     fn nominal_rate(&self) -> f64 {
@@ -107,6 +123,13 @@ impl DropoutScheme for Bernoulli {
         )
     }
 
+    fn plan_into(&mut self, rng: &mut dyn RngCore, shape: LayerShape, out: &mut DropoutPlan) {
+        let rate = self.rate;
+        out.reset_bernoulli_with(shape, rate.inverted_scale() as f32, rate.value(), |mask| {
+            BernoulliDropout::new(rate).fill_neuron_mask(rng, shape.out_features, mask)
+        });
+    }
+
     fn nominal_rate(&self) -> f64 {
         self.rate.value()
     }
@@ -147,6 +170,13 @@ impl DropoutScheme for DivergentBernoulli {
         )
     }
 
+    fn plan_into(&mut self, rng: &mut dyn RngCore, shape: LayerShape, out: &mut DropoutPlan) {
+        let rate = self.rate;
+        out.reset_divergent_with(shape, rate.inverted_scale() as f32, rate.value(), |mask| {
+            BernoulliDropout::new(rate).fill_neuron_mask(rng, shape.out_features, mask)
+        });
+    }
+
     fn nominal_rate(&self) -> f64 {
         self.rate.value()
     }
@@ -165,6 +195,10 @@ impl DropoutScheme for RowPattern {
     /// iteration (the "fixed pattern" ablation baseline).
     fn plan(&mut self, _rng: &mut dyn RngCore, shape: LayerShape) -> DropoutPlan {
         DropoutPlan::row(shape, SampledPattern::from_row(*self, shape.out_features))
+    }
+
+    fn plan_into(&mut self, _rng: &mut dyn RngCore, shape: LayerShape, out: &mut DropoutPlan) {
+        out.reset_row(shape, *self);
     }
 
     fn nominal_rate(&self) -> f64 {
@@ -188,6 +222,12 @@ impl DropoutScheme for TilePattern {
         let grid = TileGrid::new(shape.in_features, shape.out_features, self.tile())
             .expect("tile size validated at pattern construction");
         DropoutPlan::tile(shape, SampledPattern::from_tile(*self, &grid), grid)
+    }
+
+    fn plan_into(&mut self, _rng: &mut dyn RngCore, shape: LayerShape, out: &mut DropoutPlan) {
+        let grid = TileGrid::new(shape.in_features, shape.out_features, self.tile())
+            .expect("tile size validated at pattern construction");
+        out.reset_tile(shape, *self, grid);
     }
 
     fn nominal_rate(&self) -> f64 {
@@ -219,6 +259,22 @@ impl DropoutScheme for ApproxDropoutLayer {
                     .expect("tile size validated at construction");
                 let pattern = self.next_pattern(rng, grid.total_tiles());
                 DropoutPlan::tile(shape, pattern, grid)
+            }
+        }
+    }
+
+    fn plan_into(&mut self, rng: &mut dyn RngCore, shape: LayerShape, out: &mut DropoutPlan) {
+        match self.sampler().kind() {
+            PatternKind::Row => {
+                let pattern = self.next_row_pattern(rng, shape.out_features);
+                out.reset_row(shape, pattern);
+            }
+            PatternKind::Tile => {
+                let tile = self.sampler().tile_size();
+                let grid = TileGrid::new(shape.in_features, shape.out_features, tile)
+                    .expect("tile size validated at construction");
+                let pattern = self.next_tile_pattern(rng, grid.total_tiles());
+                out.reset_tile(shape, pattern, grid);
             }
         }
     }

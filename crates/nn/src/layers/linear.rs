@@ -25,7 +25,7 @@
 use crate::optimizer::Sgd;
 use approx_dropout::{DropoutPlan, TileGrid};
 use rand::Rng;
-use tensor::{gemm, init, Matrix};
+use tensor::{gemm, init, pool, Matrix, RowCompactScratch};
 
 /// A fully connected layer with weights `(in_features × out_features)` and a
 /// row-vector bias.
@@ -37,13 +37,31 @@ pub struct Linear {
     bias_velocity: Matrix,
     weight_grad: Matrix,
     bias_grad: Matrix,
-    cache: Option<ForwardCache>,
+    ws: Workspace,
 }
 
-#[derive(Debug, Clone, PartialEq)]
-struct ForwardCache {
+/// Per-layer scratch workspace: every buffer the forward/backward pair needs
+/// is owned by the layer and recycled across iterations, so the hot path
+/// performs no per-iteration heap allocations for caching inputs or plans —
+/// `clone_from` copies into the warmed buffers instead of cloning afresh.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Workspace {
+    /// Cached forward input (contents copied per iteration, buffer reused).
     input: Matrix,
+    /// Cached dropout plan (kept-index / mask buffers reused).
     plan: DropoutPlan,
+    /// `true` between a forward pass and the matching backward pass.
+    armed: bool,
+    /// Masked / scaled output-gradient buffer (dense and tile paths).
+    grad: Matrix,
+    /// Row path: kept columns of the output gradient, gathered and scaled.
+    grad_kept: Matrix,
+    /// Row path: compact weight-gradient product `Xᵀ·G_kept`.
+    dw_kept: Matrix,
+    /// Row path: kept columns of `W`, gathered for the input gradient.
+    w_kept: Matrix,
+    /// Packing buffers for the row-compacted forward GEMM.
+    row_scratch: RowCompactScratch,
 }
 
 impl Linear {
@@ -56,7 +74,7 @@ impl Linear {
             bias_velocity: Matrix::zeros(1, out_features),
             weight_grad: Matrix::zeros(in_features, out_features),
             bias_grad: Matrix::zeros(1, out_features),
-            cache: None,
+            ws: Workspace::default(),
         }
     }
 
@@ -80,7 +98,7 @@ impl Linear {
             bias_velocity: Matrix::zeros(1, out_features),
             weight_grad: Matrix::zeros(in_features, out_features),
             bias_grad: Matrix::zeros(1, out_features),
-            cache: None,
+            ws: Workspace::default(),
         }
     }
 
@@ -127,39 +145,52 @@ impl Linear {
             "input width must match in_features"
         );
         let output = if let Some(kept) = plan.compact_rows() {
-            let mut z = gemm::row_compact_gemm(input, &self.weight, kept)
-                .expect("kept indices come from the plan and are in bounds");
+            let mut z = Matrix::default();
+            gemm::row_compact_gemm_into(
+                input,
+                &self.weight,
+                kept,
+                &mut self.ws.row_scratch,
+                &mut z,
+            )
+            .expect("kept indices come from the plan and are in bounds");
             let scale = plan.scale();
+            let bias = self.bias.row(0);
             for i in 0..z.rows() {
                 let row = z.row_mut(i);
                 for &j in kept {
-                    row[j] = (row[j] + self.bias[(0, j)]) * scale;
+                    row[j] = (row[j] + bias[j]) * scale;
                 }
             }
             z
         } else if let Some((kept, grid)) = plan.kept_tiles() {
-            let z = gemm::tile_compact_gemm(input, &self.weight, kept, grid.tile())
+            let mut z = Matrix::default();
+            gemm::tile_compact_gemm_into(input, &self.weight, kept, grid.tile(), &mut z)
                 .expect("kept tiles come from the plan and are in bounds");
-            z.scale(plan.scale())
-                .add_row_broadcast(&self.bias)
-                .expect("bias width matches output")
+            let scale = plan.scale();
+            z.map_inplace(|v| v * scale);
+            z.add_row_broadcast_inplace(&self.bias)
+                .expect("bias width matches output");
+            z
         } else {
             let mut z = self.dense_forward(input);
             plan.apply_mask(&mut z);
             z
         };
-        self.cache = Some(ForwardCache {
-            input: input.clone(),
-            plan: plan.clone(),
-        });
+        // Cache by copying into the warmed workspace buffers: no fresh heap
+        // allocation once shapes have stabilised.
+        self.ws.input.clone_from(input);
+        self.ws.plan.clone_from(plan);
+        self.ws.armed = true;
         output
     }
 
     fn dense_forward(&self, input: &Matrix) -> Matrix {
-        input
-            .matmul(&self.weight)
-            .add_row_broadcast(&self.bias)
-            .expect("bias width matches output")
+        let mut z = Matrix::default();
+        gemm::blocked_gemm_into(input, &self.weight, &mut z).expect("inner dimensions must agree");
+        z.add_row_broadcast_inplace(&self.bias)
+            .expect("bias width matches output");
+        z
     }
 
     /// Inference-time forward pass: a dense `X·W + b` with no dropout and no
@@ -187,75 +218,115 @@ impl Linear {
     /// Panics if called before [`Linear::forward`] or with a gradient whose
     /// shape does not match the cached forward pass.
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let cache = self
-            .cache
-            .take()
-            .expect("backward called without a preceding forward");
-        let input = &cache.input;
-        let plan = &cache.plan;
-        assert_eq!(grad_output.rows(), input.rows(), "batch size mismatch");
+        assert!(self.ws.armed, "backward called without a preceding forward");
+        // Move the workspace out (cheap pointer swaps, no allocation) so its
+        // buffers can be borrowed alongside `self`'s parameter fields.
+        let mut ws = std::mem::take(&mut self.ws);
+        ws.armed = false;
+        assert_eq!(grad_output.rows(), ws.input.rows(), "batch size mismatch");
         assert_eq!(
             grad_output.cols(),
             self.out_features(),
             "output width mismatch"
         );
+        let (in_features, out_features) = self.weight.shape();
+        let batch = grad_output.rows();
 
-        if let Some(kept) = plan.compact_rows() {
-            let kept = kept.to_vec();
-            let scale = plan.scale();
-            // Zero the gradient at dropped outputs and apply the forward
-            // scale to the kept ones.
-            let mut g = Matrix::zeros(grad_output.rows(), grad_output.cols());
-            for i in 0..g.rows() {
-                for &j in &kept {
-                    g[(i, j)] = grad_output[(i, j)] * scale;
+        let dx = if let Some(kept) = ws.plan.compact_rows() {
+            let scale = ws.plan.scale();
+            let nk = kept.len();
+            // Gather the kept columns of the output gradient, scaled like the
+            // forward pass — dropped outputs contribute nothing, so the dense
+            // zero-masked gradient matrix of the seed implementation is never
+            // materialised.
+            ws.grad_kept.resize_for_overwrite(batch, nk);
+            for i in 0..batch {
+                let src = grad_output.row(i);
+                let dst = ws.grad_kept.row_mut(i);
+                for (c, &j) in kept.iter().enumerate() {
+                    dst[c] = src[j] * scale;
                 }
             }
-            // dW: only kept columns receive gradient.
-            let g_kept = g.select_cols(&kept);
-            let dw_kept = input.transpose().matmul(&g_kept);
-            let mut dw = Matrix::zeros(self.in_features(), self.out_features());
-            for r in 0..dw.rows() {
-                for (c_idx, &j) in kept.iter().enumerate() {
-                    dw[(r, j)] = dw_kept[(r, c_idx)];
+            // dW: compact product `Xᵀ·G_kept`, scattered into the kept
+            // columns; dropped columns stay exactly zero.
+            gemm::gemm_at_b_into(&ws.input, &ws.grad_kept, &mut ws.dw_kept)
+                .expect("batch dimensions agree");
+            self.weight_grad.resize(in_features, out_features);
+            for r in 0..in_features {
+                let src = ws.dw_kept.row(r);
+                let dst = self.weight_grad.row_mut(r);
+                for (c, &j) in kept.iter().enumerate() {
+                    dst[j] = src[c];
                 }
             }
-            self.weight_grad = dw;
-            self.bias_grad = g.sum_rows();
-            // dX = g · Wᵀ, and only the kept rows of Wᵀ contribute.
-            let w_kept = self.weight.select_cols(&kept);
-            g_kept.matmul(&w_kept.transpose())
-        } else if let Some((kept, grid)) = plan.kept_tiles() {
-            let scale = plan.scale();
-            let mask = tile_mask(kept, grid);
-            let g = grad_output.scale(scale);
-            // dW = (Xᵀ · g) ⊙ M : dropped tiles receive zero gradient.
-            let dw = input
-                .transpose()
-                .matmul(&g)
-                .hadamard(&mask)
-                .expect("mask matches weight shape");
-            self.weight_grad = dw;
-            self.bias_grad = grad_output.sum_rows();
-            // dX = g · (W ⊙ M)ᵀ
-            let masked_w = self
-                .weight
-                .hadamard(&mask)
-                .expect("mask matches weight shape");
-            g.matmul(&masked_w.transpose())
+            // Bias gradient: column sums of the scaled kept gradient.
+            self.bias_grad.resize(1, out_features);
+            let acc = self.bias_grad.row_mut(0);
+            for i in 0..batch {
+                let row = ws.grad_kept.row(i);
+                for (c, &j) in kept.iter().enumerate() {
+                    acc[j] += row[c];
+                }
+            }
+            // dX = G_kept · W_keptᵀ: only the kept rows of Wᵀ contribute.
+            ws.w_kept.resize_for_overwrite(in_features, nk);
+            for r in 0..in_features {
+                let src = self.weight.row(r);
+                let dst = ws.w_kept.row_mut(r);
+                for (c, &j) in kept.iter().enumerate() {
+                    dst[c] = src[j];
+                }
+            }
+            let mut dx = Matrix::default();
+            gemm::gemm_a_bt_into(&ws.grad_kept, &ws.w_kept, &mut dx)
+                .expect("inner dimensions agree");
+            dx
+        } else if let Some((kept, grid)) = ws.plan.kept_tiles() {
+            let scale = ws.plan.scale();
+            ws.grad.clone_from(grad_output);
+            ws.grad.map_inplace(|v| v * scale);
+            // dW = (Xᵀ·g) with dropped tiles zeroed by iterating the tile
+            // bounds directly over the gradient — no `(rows × cols)` mask
+            // matrix is ever allocated.
+            gemm::gemm_at_b_into(&ws.input, &ws.grad, &mut self.weight_grad)
+                .expect("batch dimensions agree");
+            zero_dropped_tiles(&mut self.weight_grad, kept, grid);
+            grad_output.sum_rows_into(&mut self.bias_grad);
+            // dX = g · (W ⊙ M)ᵀ accumulated tile-by-tile: only kept tiles
+            // contribute, Wᵀ is never materialised, and the batch dimension
+            // splits across the pool like every other gradient product.
+            let bounds: Vec<_> = kept.iter().map(|&t| grid.tile_bounds(t)).collect();
+            let grad = &ws.grad;
+            let weight = &self.weight;
+            let mut dx = Matrix::zeros(batch, in_features);
+            pool::run_row_chunks(batch, in_features, dx.as_mut_slice(), |rows, chunk| {
+                for (local, i) in rows.enumerate() {
+                    let grow = grad.row(i);
+                    let dxrow = &mut chunk[local * in_features..(local + 1) * in_features];
+                    for (rr, cc) in &bounds {
+                        let gslice = &grow[cc.clone()];
+                        for p in rr.clone() {
+                            dxrow[p] += gemm::dot(gslice, &weight.row(p)[cc.clone()]);
+                        }
+                    }
+                }
+            });
+            dx
         } else {
             // Dense (identity or Bernoulli-masked) path: the gradient flows
             // only through kept neurons, scaled like the forward pass — a
             // no-op when the plan is the identity.
-            let g = plan.mask_activations(grad_output);
-            self.dense_backward(input, &g)
-        }
-    }
-
-    fn dense_backward(&mut self, input: &Matrix, grad: &Matrix) -> Matrix {
-        self.weight_grad = input.transpose().matmul(grad);
-        self.bias_grad = grad.sum_rows();
-        grad.matmul(&self.weight.transpose())
+            ws.grad.clone_from(grad_output);
+            ws.plan.apply_mask(&mut ws.grad);
+            gemm::gemm_at_b_into(&ws.input, &ws.grad, &mut self.weight_grad)
+                .expect("batch dimensions agree");
+            ws.grad.sum_rows_into(&mut self.bias_grad);
+            let mut dx = Matrix::default();
+            gemm::gemm_a_bt_into(&ws.grad, &self.weight, &mut dx).expect("inner dimensions agree");
+            dx
+        };
+        self.ws = ws;
+        dx
     }
 
     /// Applies one SGD step using the stored gradients.
@@ -269,6 +340,29 @@ impl Linear {
     }
 }
 
+/// Zeroes every *dropped* tile of `dw` by iterating tile bounds directly —
+/// the allocation-free replacement for materialising a full 0/1 tile mask
+/// and taking a Hadamard product. `kept` must be ascending, which is how
+/// every [`DropoutPlan`] resolves its kept-tile list.
+fn zero_dropped_tiles(dw: &mut Matrix, kept: &[usize], grid: &TileGrid) {
+    debug_assert!(kept.windows(2).all(|w| w[0] < w[1]), "kept tiles sorted");
+    let mut kept_iter = kept.iter().peekable();
+    for t in 0..grid.total_tiles() {
+        if kept_iter.peek() == Some(&&t) {
+            kept_iter.next();
+            continue;
+        }
+        let (rr, cc) = grid.tile_bounds(t);
+        for r in rr {
+            dw.row_mut(r)[cc.clone()].fill(0.0);
+        }
+    }
+}
+
+/// Full 0/1 tile mask over the weight matrix — retained as a *reference*
+/// formulation for the equivalence tests below; the production backward pass
+/// uses [`zero_dropped_tiles`] instead.
+#[cfg(test)]
 fn tile_mask(kept: &[usize], grid: &TileGrid) -> Matrix {
     let (rows, cols) = grid.weight_shape();
     let mut mask = Matrix::zeros(rows, cols);

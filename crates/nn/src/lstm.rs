@@ -20,7 +20,7 @@ use crate::metrics::perplexity_from_nll;
 use crate::optimizer::Sgd;
 use approx_dropout::{DropoutPlan, DropoutScheme, LayerShape};
 use rand::Rng;
-use tensor::{init, ops, Matrix};
+use tensor::{gemm, init, ops, Matrix};
 
 /// One LSTM layer (cell iterated over a sequence) with combined gate weights.
 ///
@@ -54,15 +54,18 @@ struct StepCache {
 
 /// Copies columns `[start, end)` of `m` into a new matrix.
 fn slice_cols(m: &Matrix, start: usize, end: usize) -> Matrix {
-    Matrix::from_fn(m.rows(), end - start, |i, j| m[(i, start + j)])
+    let mut out = Matrix::zeros(m.rows(), end - start);
+    for i in 0..m.rows() {
+        out.row_mut(i).copy_from_slice(&m.row(i)[start..end]);
+    }
+    out
 }
 
 /// Writes `src` into columns `[start, …)` of `dst`.
 fn write_cols(dst: &mut Matrix, src: &Matrix, start: usize) {
+    let width = src.cols();
     for i in 0..src.rows() {
-        for j in 0..src.cols() {
-            dst[(i, start + j)] = src[(i, j)];
-        }
+        dst.row_mut(i)[start..start + width].copy_from_slice(src.row(i));
     }
 }
 
@@ -167,10 +170,13 @@ impl LstmCell {
         let h = self.hidden;
         let batch = grad_hidden[0].rows();
 
-        self.w_x_grad = Matrix::zeros(self.w_x.rows(), self.w_x.cols());
-        self.w_h_grad = Matrix::zeros(self.w_h.rows(), self.w_h.cols());
-        self.bias_grad = Matrix::zeros(1, 4 * h);
+        self.w_x_grad.resize(self.w_x.rows(), self.w_x.cols());
+        self.w_h_grad.resize(self.w_h.rows(), self.w_h.cols());
+        self.bias_grad.resize(1, 4 * h);
         let mut dx_list = vec![Matrix::zeros(batch, self.input_dim()); grad_hidden.len()];
+        // Scratch for the per-timestep weight-gradient products, reused
+        // across the whole sequence.
+        let mut dw_scratch = Matrix::default();
 
         let mut dh_next = Matrix::zeros(batch, h);
         let mut dc_next = Matrix::zeros(batch, h);
@@ -211,18 +217,25 @@ impl LstmCell {
             write_cols(&mut dz, &dz_g, 2 * h);
             write_cols(&mut dz, &dz_o, 3 * h);
 
+            // Transposed-operand kernels: `Xᵀ·dZ` and `dZ·Wᵀ` without ever
+            // materialising a transpose (paper-scale LSTMs run this for
+            // every timestep of every layer).
+            gemm::gemm_at_b_into(&cache.x, &dz, &mut dw_scratch)
+                .expect("weight gradient shapes agree");
             self.w_x_grad
-                .axpy_inplace(1.0, &cache.x.transpose().matmul(&dz))
+                .axpy_inplace(1.0, &dw_scratch)
+                .expect("weight gradient shapes agree");
+            gemm::gemm_at_b_into(&cache.h_prev, &dz, &mut dw_scratch)
                 .expect("weight gradient shapes agree");
             self.w_h_grad
-                .axpy_inplace(1.0, &cache.h_prev.transpose().matmul(&dz))
+                .axpy_inplace(1.0, &dw_scratch)
                 .expect("weight gradient shapes agree");
             self.bias_grad
                 .axpy_inplace(1.0, &dz.sum_rows())
                 .expect("bias gradient shapes agree");
 
-            dx_list[t] = dz.matmul(&self.w_x.transpose());
-            dh_next = dz.matmul(&self.w_h.transpose());
+            dx_list[t] = gemm::gemm_a_bt(&dz, &self.w_x).expect("input gradient shapes agree");
+            dh_next = gemm::gemm_a_bt(&dz, &self.w_h).expect("hidden gradient shapes agree");
         }
         self.cache.clear();
         dx_list
@@ -312,6 +325,10 @@ pub struct LstmLm {
     embedding_vel: Matrix,
     cells: Vec<LstmCell>,
     dropout: Vec<Box<dyn DropoutScheme>>,
+    /// Per-layer reusable plan buffers, re-resolved in place each iteration.
+    plan_ws: Vec<DropoutPlan>,
+    /// Per-layer column-multiplier buffers derived from the plans.
+    mult_ws: Vec<Vec<f32>>,
     projection: Linear,
     sgd: Sgd,
     grad_clip: f32,
@@ -341,6 +358,8 @@ impl LstmLm {
             embedding_vel: Matrix::zeros(config.vocab, config.embed_dim),
             cells,
             dropout: vec![config.dropout.clone(); config.layers],
+            plan_ws: vec![DropoutPlan::default(); config.layers],
+            mult_ws: vec![Vec::new(); config.layers],
             projection: Linear::new(rng, config.hidden, config.vocab),
             sgd: Sgd::new(config.learning_rate, config.momentum),
             grad_clip: config.grad_clip,
@@ -377,7 +396,11 @@ impl LstmLm {
     fn embed(&self, tokens: &[Vec<usize>], t: usize) -> Matrix {
         let batch = tokens.len();
         let dim = self.embedding.cols();
-        Matrix::from_fn(batch, dim, |b, j| self.embedding[(tokens[b][t], j)])
+        let mut out = Matrix::zeros(batch, dim);
+        for (b, seq) in tokens.iter().enumerate() {
+            out.row_mut(b).copy_from_slice(self.embedding.row(seq[t]));
+        }
+        out
     }
 
     /// One training step on a batch of token sequences. Each sequence must
@@ -392,15 +415,12 @@ impl LstmLm {
         let (seq_len, batch) = self.validate_batch(tokens);
         let hidden = self.cells[0].hidden();
 
-        // Plan one dropout decision per layer for the whole iteration.
-        let multipliers: Vec<Vec<f32>> = self
-            .dropout
-            .iter_mut()
-            .map(|scheme| {
-                let plan = scheme.plan(rng, LayerShape::vector(hidden));
-                plan.column_multiplier(hidden)
-            })
-            .collect();
+        // Plan one dropout decision per layer for the whole iteration,
+        // re-resolving the per-layer plan and multiplier buffers in place.
+        for l in 0..self.dropout.len() {
+            self.dropout[l].plan_into(rng, LayerShape::vector(hidden), &mut self.plan_ws[l]);
+            self.plan_ws[l].column_multiplier_into(hidden, &mut self.mult_ws[l]);
+        }
 
         // Forward.
         let mut layer_inputs: Vec<Matrix> = (0..seq_len).map(|t| self.embed(tokens, t)).collect();
@@ -409,7 +429,7 @@ impl LstmLm {
             let outputs = cell.forward_sequence(&layer_inputs);
             let dropped: Vec<Matrix> = outputs
                 .iter()
-                .map(|h| apply_column_multiplier(h, &multipliers[l]))
+                .map(|h| apply_column_multiplier(h, &self.mult_ws[l]))
                 .collect();
             per_layer_outputs.push(outputs);
             layer_inputs = dropped;
@@ -435,19 +455,21 @@ impl LstmLm {
             // Gradient through this layer's output dropout.
             let grads: Vec<Matrix> = grad_per_step
                 .iter()
-                .map(|g| apply_column_multiplier(g, &multipliers[l]))
+                .map(|g| apply_column_multiplier(g, &self.mult_ws[l]))
                 .collect();
             grad_per_step = self.cells[l].backward_sequence(&grads);
         }
 
         // Embedding gradient: scatter the bottom-layer input gradients back
-        // onto the rows of the embedding table.
-        self.embedding_grad = Matrix::zeros(self.embedding.rows(), self.embedding.cols());
+        // onto the rows of the embedding table (buffer recycled across
+        // iterations).
+        self.embedding_grad
+            .resize(self.embedding.rows(), self.embedding.cols());
         for (t, grad) in grad_per_step.iter().enumerate() {
             for (b, token_row) in tokens.iter().enumerate() {
-                let token = token_row[t];
-                for j in 0..self.embedding.cols() {
-                    self.embedding_grad[(token, j)] += grad[(b, j)];
+                let dst = self.embedding_grad.row_mut(token_row[t]);
+                for (d, &g) in dst.iter_mut().zip(grad.row(b)) {
+                    *d += g;
                 }
             }
         }
@@ -541,7 +563,13 @@ impl LstmLm {
 }
 
 fn apply_column_multiplier(m: &Matrix, mult: &[f32]) -> Matrix {
-    Matrix::from_fn(m.rows(), m.cols(), |i, j| m[(i, j)] * mult[j])
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        for (v, &s) in out.row_mut(i).iter_mut().zip(mult) {
+            *v *= s;
+        }
+    }
+    out
 }
 
 fn stack_rows(steps: &[Matrix]) -> Matrix {

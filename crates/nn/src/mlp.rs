@@ -72,8 +72,14 @@ pub struct Mlp {
 struct HiddenBlock {
     linear: Linear,
     dropout: Box<dyn DropoutScheme>,
+    /// Reusable plan buffer: the scheme re-resolves it in place each
+    /// iteration ([`DropoutScheme::plan_into`]), recycling its allocations.
+    plan: DropoutPlan,
     /// Pre-activation cache (after dropout scaling) for the ReLU gradient.
     pre_activation: Option<Matrix>,
+    /// Post-ReLU activation feeding the next layer (buffer reused across
+    /// iterations).
+    activation: Matrix,
 }
 
 impl Mlp {
@@ -98,7 +104,9 @@ impl Mlp {
             hidden.push(HiddenBlock {
                 linear: Linear::new(rng, in_dim, width),
                 dropout: config.dropout.clone(),
+                plan: DropoutPlan::default(),
                 pre_activation: None,
+                activation: Matrix::default(),
             });
             in_dim = width;
         }
@@ -170,27 +178,39 @@ impl Mlp {
     }
 
     /// Forward pass with a dropout plan sampled per layer for this iteration
-    /// (training mode).
+    /// (training mode). Plans and activations are resolved into per-block
+    /// scratch buffers, so no input or plan is cloned along the way.
     pub fn forward_train<R: Rng>(&mut self, inputs: &Matrix, rng: &mut R) -> Matrix {
-        let mut x = inputs.clone();
-        for block in &mut self.hidden {
+        for l in 0..self.hidden.len() {
+            let (prev, rest) = self.hidden.split_at_mut(l);
+            let block = &mut rest[0];
+            let x: &Matrix = if l == 0 {
+                inputs
+            } else {
+                &prev[l - 1].activation
+            };
             let shape = LayerShape::new(block.linear.in_features(), block.linear.out_features());
-            let plan = block.dropout.plan(rng, shape);
-            let z = block.linear.forward(&x, &plan);
-            block.pre_activation = Some(z.clone());
-            x = ops::relu(&z);
+            block.dropout.plan_into(rng, shape, &mut block.plan);
+            let z = block.linear.forward(x, &block.plan);
+            ops::relu_into(&z, &mut block.activation);
+            block.pre_activation = Some(z);
         }
+        let x: &Matrix = match self.hidden.last() {
+            Some(block) => &block.activation,
+            None => inputs,
+        };
         let out_shape = LayerShape::new(self.output.in_features(), self.output.out_features());
-        self.output.forward(&x, &DropoutPlan::none(out_shape))
+        self.output.forward(x, &DropoutPlan::none(out_shape))
     }
 
     /// Inference forward pass: dense GEMMs, no dropout, no caching.
     pub fn forward_eval(&self, inputs: &Matrix) -> Matrix {
-        let mut x = inputs.clone();
+        let mut x: Option<Matrix> = None;
         for block in &self.hidden {
-            x = ops::relu(&block.linear.infer(&x));
+            let input = x.as_ref().unwrap_or(inputs);
+            x = Some(ops::relu(&block.linear.infer(input)));
         }
-        self.output.infer(&x)
+        self.output.infer(x.as_ref().unwrap_or(inputs))
     }
 
     /// Backward pass given the gradient of the loss w.r.t. the logits.
@@ -201,11 +221,8 @@ impl Mlp {
                 .pre_activation
                 .take()
                 .expect("forward_train must run before backward");
-            let relu_grad = ops::relu_grad(&pre);
-            let grad_z = grad
-                .hadamard(&relu_grad)
-                .expect("gradient and activation shapes match");
-            grad = block.linear.backward(&grad_z);
+            ops::relu_grad_mask_inplace(&mut grad, &pre);
+            grad = block.linear.backward(&grad);
         }
     }
 

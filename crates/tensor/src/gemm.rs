@@ -7,9 +7,32 @@
 //! can build compact operand matrices and multiply those instead. The CPU
 //! equivalents here are [`row_compact_gemm`] and [`tile_compact_gemm`]; they
 //! are validated against the dense kernels by unit and property tests.
+//!
+//! # Kernel architecture
+//!
+//! Every production kernel is built from slice-based packed micro-kernels
+//! ([`axpy`], [`axpy4`], [`dot`]) that the compiler auto-vectorises: the
+//! inner loops never touch the bounds-checked `(i, j)` `Index` operator and
+//! the dense path carries no per-element `aip == 0.0` branch (skipping zeros
+//! is the compacted kernels' job — a data-dependent branch in the dense loop
+//! defeats SIMD exactly like warp divergence defeats the GPU kernel in the
+//! paper's Fig. 1(b)). Each kernel has
+//!
+//! * an allocating entry point (`blocked_gemm`, `gemm_at_b`, …) and a
+//!   `*_into` variant that writes into a caller-owned output buffer so the
+//!   training hot path can recycle allocations across iterations,
+//! * transposed-operand variants [`gemm_at_b`] (`C = Aᵀ·B`) and
+//!   [`gemm_a_bt`] (`C = A·Bᵀ`) so backward passes never materialise a
+//!   `transpose()`,
+//! * batch-dimension parallelism: output rows are split across the
+//!   [`crate::pool`] worker threads. Every output row is produced by exactly
+//!   one worker running the same per-row instruction sequence as the serial
+//!   kernel, so results are bitwise identical for any thread count.
 
 use crate::matrix::Matrix;
+use crate::pool;
 use std::fmt;
+use std::ops::Range;
 
 /// Error returned when GEMM operands have incompatible shapes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,9 +67,67 @@ fn check_inner(a: &Matrix, b: &Matrix) -> Result<(), GemmError> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Micro-kernels
+// ---------------------------------------------------------------------------
+
+/// `c += alpha * b`, elementwise over equal-length slices.
+#[inline]
+fn axpy(c: &mut [f32], alpha: f32, b: &[f32]) {
+    for (cj, &bj) in c.iter_mut().zip(b) {
+        *cj += alpha * bj;
+    }
+}
+
+/// `c += a0*b0 + a1*b1 + a2*b2 + a3*b3`: a four-row panel update, the unit of
+/// work the dense kernels are unrolled around (enough independent FMA chains
+/// to keep the SIMD units busy without spilling accumulators).
+#[inline]
+fn axpy4(c: &mut [f32], alpha: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    for ((((cj, &x0), &x1), &x2), &x3) in c.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+        *cj += alpha[0] * x0 + alpha[1] * x1 + alpha[2] * x2 + alpha[3] * x3;
+    }
+}
+
+/// Dot product with eight independent accumulator lanes so the reduction
+/// vectorises; the building block of [`gemm_a_bt`], public because the
+/// tile-compacted backward pass accumulates per-tile slices with it.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let mut xs = x.chunks_exact(LANES);
+    let mut ys = y.chunks_exact(LANES);
+    for (xc, yc) in (&mut xs).zip(&mut ys) {
+        for l in 0..LANES {
+            acc[l] += xc[l] * yc[l];
+        }
+    }
+    let mut sum = 0.0;
+    for &lane in &acc {
+        sum += lane;
+    }
+    for (a, b) in xs.remainder().iter().zip(ys.remainder()) {
+        sum += a * b;
+    }
+    sum
+}
+
+/// Inner-dimension block: a `KC × n` panel of `B` is reused across every row
+/// of the chunk before the kernel moves to the next panel, keeping the panel
+/// resident in L2 (the CPU analogue of staging a tile in shared memory).
+const KC: usize = 128;
+
+// ---------------------------------------------------------------------------
+// Dense kernels
+// ---------------------------------------------------------------------------
+
 /// Textbook triple-loop GEMM, `C = A * B`.
 ///
-/// Used as the ground-truth reference for the blocked and compacted kernels.
+/// Used as the ground-truth reference for the packed and compacted kernels;
+/// deliberately kept naive (including the zero-skip branch the paper's
+/// Fig. 1(b) motivates against) so the production kernels have an
+/// independent implementation to be validated against.
 ///
 /// # Errors
 ///
@@ -72,44 +153,249 @@ pub fn naive_gemm(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
     Ok(c)
 }
 
-/// Cache-blocked GEMM, `C = A * B`, with a fixed block size of 32.
+/// Per-row-chunk dense kernel: accumulates `chunk += A[rows] * B` with the
+/// panel-blocked, 4-way-unrolled micro-kernel. `chunk` must be zeroed by the
+/// caller and hold exactly `rows.len() * b.cols()` values.
+fn dense_rows_kernel(a: &Matrix, b: &Matrix, rows: Range<usize>, chunk: &mut [f32]) {
+    let k = a.cols();
+    let n = b.cols();
+    for pp in (0..k).step_by(KC) {
+        let p_end = (pp + KC).min(k);
+        for (local, i) in rows.clone().enumerate() {
+            let apanel = &a.row(i)[pp..p_end];
+            let crow = &mut chunk[local * n..(local + 1) * n];
+            let mut quads = apanel.chunks_exact(4);
+            let mut p = pp;
+            for quad in &mut quads {
+                axpy4(
+                    crow,
+                    [quad[0], quad[1], quad[2], quad[3]],
+                    b.row(p),
+                    b.row(p + 1),
+                    b.row(p + 2),
+                    b.row(p + 3),
+                );
+                p += 4;
+            }
+            for &alpha in quads.remainder() {
+                axpy(crow, alpha, b.row(p));
+                p += 1;
+            }
+        }
+    }
+}
+
+/// Packed, batch-parallel GEMM, `C = A * B`, writing into `out`.
 ///
-/// The block size mirrors the 32×32 tiles the paper uses on the GPU (one tile
-/// per warp, 32 shared-memory banks). The result is numerically identical to
-/// [`naive_gemm`] up to floating-point associativity.
+/// `out` is resized (reusing its buffer when capacity allows) and zeroed.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `a.cols() != b.rows()`.
+pub fn blocked_gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<(), GemmError> {
+    check_inner(a, b)?;
+    let m = a.rows();
+    let n = b.cols();
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        dense_rows_kernel(a, b, rows, chunk);
+    });
+    Ok(())
+}
+
+/// Packed, batch-parallel GEMM, `C = A * B`.
+///
+/// Kept under its historical name (the seed's cache-blocked kernel) because
+/// it remains the workspace-wide dense entry point; the implementation is now
+/// the packed micro-kernel pipeline described in the module docs.
 ///
 /// # Errors
 ///
 /// Returns a [`GemmError`] if `a.cols() != b.rows()`.
 pub fn blocked_gemm(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
-    check_inner(a, b)?;
-    const BLOCK: usize = 32;
-    let (m, k) = a.shape();
+    let mut out = Matrix::zeros(0, 0);
+    blocked_gemm_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// Per-row-chunk kernel for `C = Aᵀ · B`: the chunk covers rows of `C`
+/// (columns `p` of `A`); batch rows `i` are walked in panels of four.
+fn at_b_rows_kernel(a: &Matrix, b: &Matrix, prows: Range<usize>, chunk: &mut [f32]) {
+    let m = a.rows();
     let n = b.cols();
-    let mut c = Matrix::zeros(m, n);
-    for ii in (0..m).step_by(BLOCK) {
-        let i_end = (ii + BLOCK).min(m);
-        for pp in (0..k).step_by(BLOCK) {
-            let p_end = (pp + BLOCK).min(k);
-            for jj in (0..n).step_by(BLOCK) {
-                let j_end = (jj + BLOCK).min(n);
-                for i in ii..i_end {
-                    for p in pp..p_end {
-                        let aip = a[(i, p)];
-                        if aip == 0.0 {
-                            continue;
-                        }
-                        let brow = b.row(p);
-                        let crow = c.row_mut(i);
-                        for j in jj..j_end {
-                            crow[j] += aip * brow[j];
-                        }
-                    }
-                }
-            }
+    let mut i = 0;
+    while i + 4 <= m {
+        let (a0, a1, a2, a3) = (a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3));
+        let (b0, b1, b2, b3) = (b.row(i), b.row(i + 1), b.row(i + 2), b.row(i + 3));
+        for (local, p) in prows.clone().enumerate() {
+            let crow = &mut chunk[local * n..(local + 1) * n];
+            axpy4(crow, [a0[p], a1[p], a2[p], a3[p]], b0, b1, b2, b3);
+        }
+        i += 4;
+    }
+    while i < m {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (local, p) in prows.clone().enumerate() {
+            let crow = &mut chunk[local * n..(local + 1) * n];
+            axpy(crow, arow[p], brow);
+        }
+        i += 1;
+    }
+}
+
+/// Transposed-operand GEMM `C = Aᵀ · B` without materialising `Aᵀ`, writing
+/// into `out`.
+///
+/// With activations `A` of shape `(batch, in)` and output gradients `B` of
+/// shape `(batch, out)` this is exactly the weight-gradient product
+/// `dW = Xᵀ·G` of the backward pass.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `a.rows() != b.rows()` (the shared batch
+/// dimension).
+pub fn gemm_at_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<(), GemmError> {
+    if a.rows() != b.rows() {
+        return Err(GemmError::new(format!(
+            "batch dimensions disagree: {:?}ᵀ * {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let k = a.cols();
+    let n = b.cols();
+    out.resize(k, n);
+    pool::run_row_chunks(k, n, out.as_mut_slice(), |prows, chunk| {
+        at_b_rows_kernel(a, b, prows, chunk);
+    });
+    Ok(())
+}
+
+/// Transposed-operand GEMM `C = Aᵀ · B` without materialising `Aᵀ`.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `a.rows() != b.rows()`.
+pub fn gemm_at_b(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
+    let mut out = Matrix::zeros(0, 0);
+    gemm_at_b_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// Per-row-chunk kernel for `C = A · Bᵀ`: row `i` of `C` is the vector of
+/// dot products of `A.row(i)` with every row of `B`.
+fn a_bt_rows_kernel(a: &Matrix, b: &Matrix, rows: Range<usize>, chunk: &mut [f32]) {
+    let n = b.rows();
+    for (local, i) in rows.enumerate() {
+        let arow = a.row(i);
+        let crow = &mut chunk[local * n..(local + 1) * n];
+        for (j, cj) in crow.iter_mut().enumerate() {
+            *cj = dot(arow, b.row(j));
         }
     }
-    Ok(c)
+}
+
+/// Transposed-operand GEMM `C = A · Bᵀ` without materialising `Bᵀ`, writing
+/// into `out`.
+///
+/// With output gradients `A` of shape `(batch, out)` and weights `B` of
+/// shape `(in, out)` this is exactly the input-gradient product `dX = G·Wᵀ`
+/// of the backward pass.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `a.cols() != b.cols()` (the shared inner
+/// dimension).
+pub fn gemm_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<(), GemmError> {
+    if a.cols() != b.cols() {
+        return Err(GemmError::new(format!(
+            "inner dimensions disagree: {:?} * {:?}ᵀ",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let m = a.rows();
+    let n = b.rows();
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        a_bt_rows_kernel(a, b, rows, chunk);
+    });
+    Ok(())
+}
+
+/// Transposed-operand GEMM `C = A · Bᵀ` without materialising `Bᵀ`.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `a.cols() != b.cols()`.
+pub fn gemm_a_bt(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
+    let mut out = Matrix::zeros(0, 0);
+    gemm_a_bt_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Compacted kernels
+// ---------------------------------------------------------------------------
+
+/// Reusable packing buffers for [`row_compact_gemm_into`]: the compact
+/// weight panel and the compact product, recycled across training iterations
+/// so the hot path performs no per-call allocations once warmed up.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowCompactScratch {
+    pack: Matrix,
+    product: Matrix,
+}
+
+/// Row-compacted GEMM used by the Row-based Dropout Pattern, writing into
+/// `out` and packing through caller-owned `scratch`.
+///
+/// See [`row_compact_gemm`] for the semantics.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree or any kept index
+/// is out of bounds.
+pub fn row_compact_gemm_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_output_rows: &[usize],
+    scratch: &mut RowCompactScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    if let Some(&bad) = kept_output_rows.iter().find(|&&j| j >= n) {
+        return Err(GemmError::new(format!(
+            "kept output index {bad} out of bounds for {n} output features"
+        )));
+    }
+    // Pack only the kept columns of W into a dense panel (step 1 of the
+    // paper's Fig. 3(a): fetch only surviving synapses), …
+    let k = w.rows();
+    let nk = kept_output_rows.len();
+    scratch.pack.resize_for_overwrite(k, nk);
+    for p in 0..k {
+        let wrow = w.row(p);
+        let dst = scratch.pack.row_mut(p);
+        for (c, &j) in kept_output_rows.iter().enumerate() {
+            dst[c] = wrow[j];
+        }
+    }
+    // … run the small GEMM (step 2), …
+    blocked_gemm_into(a, &scratch.pack, &mut scratch.product)?;
+    // … and scatter back into the full-size zero output (step 3).
+    let m = a.rows();
+    out.resize(m, n);
+    for i in 0..m {
+        let src = scratch.product.row(i);
+        let dst = out.row_mut(i);
+        for (c, &j) in kept_output_rows.iter().enumerate() {
+            dst[j] = src[c];
+        }
+    }
+    Ok(())
 }
 
 /// Row-compacted GEMM used by the Row-based Dropout Pattern.
@@ -135,24 +421,108 @@ pub fn row_compact_gemm(
     w: &Matrix,
     kept_output_rows: &[usize],
 ) -> Result<Matrix, GemmError> {
-    check_inner(a, w)?;
-    let n = w.cols();
-    if let Some(&bad) = kept_output_rows.iter().find(|&&j| j >= n) {
+    let mut scratch = RowCompactScratch::default();
+    let mut out = Matrix::zeros(0, 0);
+    row_compact_gemm_into(a, w, kept_output_rows, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Half-open `(weight_rows, weight_cols)` region covered by one kept tile.
+type TileBounds = (Range<usize>, Range<usize>);
+
+/// Resolves the kept tiles of a grid into `(row_range, col_range)` bounds.
+fn tile_bounds_list(
+    w: &Matrix,
+    kept_tiles: &[usize],
+    tile: usize,
+) -> Result<Vec<TileBounds>, GemmError> {
+    if tile == 0 {
+        return Err(GemmError::new("tile size must be positive"));
+    }
+    let tiles_per_row = w.cols().div_ceil(tile);
+    let tiles_per_col = w.rows().div_ceil(tile);
+    let total_tiles = tiles_per_row * tiles_per_col;
+    if let Some(&bad) = kept_tiles.iter().find(|&&t| t >= total_tiles) {
         return Err(GemmError::new(format!(
-            "kept output index {bad} out of bounds for {n} output features"
+            "tile index {bad} out of bounds for a {tiles_per_col}x{tiles_per_row} tile grid"
         )));
     }
-    // Build the compact weight matrix containing only the kept columns, run a
-    // small GEMM, then scatter back into the full-size zero output.
-    let w_compact = w.select_cols(kept_output_rows);
-    let c_compact = blocked_gemm(a, &w_compact)?;
-    let mut c = Matrix::zeros(a.rows(), n);
-    for i in 0..a.rows() {
-        for (dst_pos, &j) in kept_output_rows.iter().enumerate() {
-            c[(i, j)] = c_compact[(i, dst_pos)];
+    Ok(kept_tiles
+        .iter()
+        .map(|&t| {
+            let tile_row = t / tiles_per_row; // which block of W rows (input features)
+            let tile_col = t % tiles_per_row; // which block of W cols (output features)
+            let k_start = tile_row * tile;
+            let k_end = (k_start + tile).min(w.rows());
+            let j_start = tile_col * tile;
+            let j_end = (j_start + tile).min(w.cols());
+            (k_start..k_end, j_start..j_end)
+        })
+        .collect())
+}
+
+/// Per-row-chunk kernel for the tile-compacted GEMM: each output row visits
+/// only the kept tiles, accumulating `tile`-wide slice panels.
+fn tile_rows_kernel(
+    a: &Matrix,
+    w: &Matrix,
+    bounds: &[(Range<usize>, Range<usize>)],
+    rows: Range<usize>,
+    chunk: &mut [f32],
+) {
+    let n = w.cols();
+    for (local, i) in rows.enumerate() {
+        let arow = a.row(i);
+        let crow = &mut chunk[local * n..(local + 1) * n];
+        for (kr, jr) in bounds {
+            let cslice = &mut crow[jr.clone()];
+            let apanel = &arow[kr.clone()];
+            let mut quads = apanel.chunks_exact(4);
+            let mut p = kr.start;
+            for quad in &mut quads {
+                axpy4(
+                    cslice,
+                    [quad[0], quad[1], quad[2], quad[3]],
+                    &w.row(p)[jr.clone()],
+                    &w.row(p + 1)[jr.clone()],
+                    &w.row(p + 2)[jr.clone()],
+                    &w.row(p + 3)[jr.clone()],
+                );
+                p += 4;
+            }
+            for &alpha in quads.remainder() {
+                axpy(cslice, alpha, &w.row(p)[jr.clone()]);
+                p += 1;
+            }
         }
     }
-    Ok(c)
+}
+
+/// Tile-compacted GEMM used by the Tile-based Dropout Pattern, writing into
+/// `out`.
+///
+/// See [`tile_compact_gemm`] for the semantics.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `tile == 0`, or
+/// a tile index is outside the tile grid.
+pub fn tile_compact_gemm_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_tiles: &[usize],
+    tile: usize,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let bounds = tile_bounds_list(w, kept_tiles, tile)?;
+    let m = a.rows();
+    let n = w.cols();
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        tile_rows_kernel(a, w, &bounds, rows, chunk);
+    });
+    Ok(())
 }
 
 /// Tile-compacted GEMM used by the Tile-based Dropout Pattern.
@@ -173,41 +543,9 @@ pub fn tile_compact_gemm(
     kept_tiles: &[usize],
     tile: usize,
 ) -> Result<Matrix, GemmError> {
-    check_inner(a, w)?;
-    if tile == 0 {
-        return Err(GemmError::new("tile size must be positive"));
-    }
-    let tiles_per_row = w.cols().div_ceil(tile);
-    let tiles_per_col = w.rows().div_ceil(tile);
-    let total_tiles = tiles_per_row * tiles_per_col;
-    if let Some(&bad) = kept_tiles.iter().find(|&&t| t >= total_tiles) {
-        return Err(GemmError::new(format!(
-            "tile index {bad} out of bounds for a {tiles_per_col}x{tiles_per_row} tile grid"
-        )));
-    }
-    let m = a.rows();
-    let n = w.cols();
-    let mut c = Matrix::zeros(m, n);
-    for &t in kept_tiles {
-        let tile_row = t / tiles_per_row; // which block of W rows (input features)
-        let tile_col = t % tiles_per_row; // which block of W cols (output features)
-        let k_start = tile_row * tile;
-        let k_end = (k_start + tile).min(w.rows());
-        let j_start = tile_col * tile;
-        let j_end = (j_start + tile).min(w.cols());
-        for i in 0..m {
-            for p in k_start..k_end {
-                let aip = a[(i, p)];
-                if aip == 0.0 {
-                    continue;
-                }
-                for j in j_start..j_end {
-                    c[(i, j)] += aip * w[(p, j)];
-                }
-            }
-        }
-    }
-    Ok(c)
+    let mut out = Matrix::zeros(0, 0);
+    tile_compact_gemm_into(a, w, kept_tiles, tile, &mut out)?;
+    Ok(out)
 }
 
 /// Reference implementation of tile dropout through explicit masking.
@@ -267,6 +605,8 @@ mod tests {
         let b = Matrix::zeros(4, 2);
         assert!(naive_gemm(&a, &b).is_err());
         assert!(blocked_gemm(&a, &b).is_err());
+        assert!(gemm_at_b(&a, &b).is_err());
+        assert!(gemm_a_bt(&a, &Matrix::zeros(4, 2)).is_err());
     }
 
     #[test]
@@ -294,6 +634,75 @@ mod tests {
             a.as_slice(),
             1e-5
         ));
+    }
+
+    #[test]
+    fn blocked_into_reuses_the_output_buffer() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let a = random_matrix(&mut rng, 12, 20);
+        let b = random_matrix(&mut rng, 20, 16);
+        let mut out = Matrix::zeros(12, 16);
+        blocked_gemm_into(&a, &b, &mut out).unwrap();
+        let ptr_before = out.as_slice().as_ptr();
+        blocked_gemm_into(&a, &b, &mut out).unwrap();
+        assert_eq!(
+            ptr_before,
+            out.as_slice().as_ptr(),
+            "same-shape recomputation must not reallocate"
+        );
+        let reference = naive_gemm(&a, &b).unwrap();
+        assert!(crate::approx_eq_slice(
+            out.as_slice(),
+            reference.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = random_matrix(&mut rng, 33, 21); // (batch, in)
+        let b = random_matrix(&mut rng, 33, 17); // (batch, out)
+        let fused = gemm_at_b(&a, &b).unwrap();
+        let reference = naive_gemm(&a.transpose(), &b).unwrap();
+        assert_eq!(fused.shape(), (21, 17));
+        assert!(crate::approx_eq_slice(
+            fused.as_slice(),
+            reference.as_slice(),
+            1e-3
+        ));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let a = random_matrix(&mut rng, 19, 27); // (batch, out)
+        let b = random_matrix(&mut rng, 23, 27); // (in, out)
+        let fused = gemm_a_bt(&a, &b).unwrap();
+        let reference = naive_gemm(&a, &b.transpose()).unwrap();
+        assert_eq!(fused.shape(), (19, 23));
+        assert!(crate::approx_eq_slice(
+            fused.as_slice(),
+            reference.as_slice(),
+            1e-3
+        ));
+    }
+
+    #[test]
+    fn transposed_variants_handle_ragged_batch_remainders() {
+        // Batch sizes that are not multiples of the 4-row panel exercise the
+        // scalar tail of the unrolled loops.
+        let mut rng = StdRng::seed_from_u64(41);
+        for batch in [1, 2, 3, 5, 6, 7] {
+            let a = random_matrix(&mut rng, batch, 9);
+            let b = random_matrix(&mut rng, batch, 11);
+            let fused = gemm_at_b(&a, &b).unwrap();
+            let reference = naive_gemm(&a.transpose(), &b).unwrap();
+            assert!(
+                crate::approx_eq_slice(fused.as_slice(), reference.as_slice(), 1e-4),
+                "batch {batch}"
+            );
+        }
     }
 
     #[test]
@@ -350,6 +759,22 @@ mod tests {
         let c = row_compact_gemm(&a, &w, &[]).unwrap();
         assert_eq!(c.sum(), 0.0);
         assert_eq!(c.shape(), (3, 5));
+    }
+
+    #[test]
+    fn row_compact_scratch_is_recycled() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = random_matrix(&mut rng, 6, 10);
+        let w = random_matrix(&mut rng, 10, 8);
+        let mut scratch = RowCompactScratch::default();
+        let mut out = Matrix::zeros(0, 0);
+        row_compact_gemm_into(&a, &w, &[0, 2, 4, 6], &mut scratch, &mut out).unwrap();
+        let pack_ptr = scratch.pack.as_slice().as_ptr();
+        let out_ptr = out.as_slice().as_ptr();
+        // Second call with the same kept-count: every buffer is reused.
+        row_compact_gemm_into(&a, &w, &[1, 3, 5, 7], &mut scratch, &mut out).unwrap();
+        assert_eq!(pack_ptr, scratch.pack.as_slice().as_ptr());
+        assert_eq!(out_ptr, out.as_slice().as_ptr());
     }
 
     #[test]
@@ -413,5 +838,16 @@ mod tests {
             reference.as_slice(),
             1e-4
         ));
+    }
+
+    #[test]
+    fn dense_path_keeps_exact_zeros_in_operands() {
+        // The packed kernel has no zero-skip branch; a zero in A must simply
+        // contribute nothing (and not disturb vectorised lanes).
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[1.0, 0.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[10.0, 20.0], &[100.0, 200.0]]);
+        let c = blocked_gemm(&a, &b).unwrap();
+        let reference = naive_gemm(&a, &b).unwrap();
+        assert_eq!(c, reference);
     }
 }

@@ -11,6 +11,10 @@
 //!   is what Row-based and Tile-based Dropout Patterns do on the GPU.
 //! * [`init`] — weight initialisation helpers (uniform, Xavier/Glorot,
 //!   Gaussian via Box–Muller) so the crate has no dependency beyond `rand`.
+//! * [`pool`] — a hand-rolled thread pool that splits the batch (row)
+//!   dimension of every GEMM entry point across workers; `TENSOR_THREADS=1`
+//!   pins execution fully serial, and results are bitwise identical for any
+//!   thread count.
 //!
 //! # Example
 //!
@@ -27,8 +31,13 @@ pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod pool;
 
-pub use gemm::{blocked_gemm, naive_gemm, row_compact_gemm, tile_compact_gemm, GemmError};
+pub use gemm::{
+    blocked_gemm, blocked_gemm_into, gemm_a_bt, gemm_a_bt_into, gemm_at_b, gemm_at_b_into,
+    naive_gemm, row_compact_gemm, row_compact_gemm_into, tile_compact_gemm, tile_compact_gemm_into,
+    GemmError, RowCompactScratch,
+};
 pub use init::{gaussian, uniform, xavier_uniform};
 pub use matrix::{Matrix, ShapeError};
 

@@ -44,11 +44,30 @@ impl std::error::Error for ShapeError {}
 /// assert_eq!(m.cols(), 3);
 /// assert_eq!(m[(1, 2)], 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Copies `source` into `self`, reusing the existing allocation whenever
+    /// its capacity suffices. This is what lets the training hot path cache
+    /// inputs across iterations without a fresh heap allocation per step.
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl Matrix {
@@ -155,6 +174,31 @@ impl Matrix {
     /// Returns `true` if the matrix contains no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Reshapes the matrix to `(rows, cols)` and zeroes every element,
+    /// reusing the existing allocation whenever its capacity suffices.
+    ///
+    /// This is the buffer-recycling primitive behind the `*_into` GEMM
+    /// variants: a warmed-up output matrix is resized in place instead of
+    /// being reallocated each training iteration.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Like [`Matrix::resize`] but leaving the contents unspecified: stale
+    /// values from the previous use may remain anywhere in the buffer. For
+    /// scratch buffers whose every element is immediately overwritten by a
+    /// gather/pack loop — skipping the zero-fill halves the write traffic
+    /// over the buffer. Use [`Matrix::resize`] whenever the consumer
+    /// accumulates into (or only partially writes) the matrix.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Borrows the underlying row-major data.
@@ -354,12 +398,33 @@ impl Matrix {
             )));
         }
         let mut out = self.clone();
-        for i in 0..out.rows {
-            for j in 0..out.cols {
-                out[(i, j)] += bias[(0, j)];
+        out.add_row_broadcast_inplace(bias)?;
+        Ok(out)
+    }
+
+    /// Adds `bias` (a `1 x cols` row vector) to every row of the matrix in
+    /// place — the allocation-free variant used by the training hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `bias` is not a row vector with `cols`
+    /// entries.
+    pub fn add_row_broadcast_inplace(&mut self, bias: &Matrix) -> Result<(), ShapeError> {
+        if bias.rows != 1 || bias.cols != self.cols {
+            return Err(ShapeError::new(format!(
+                "broadcast of {:?} onto {:?}",
+                bias.shape(),
+                self.shape()
+            )));
+        }
+        let cols = self.cols;
+        for i in 0..self.rows {
+            let row = self.row_mut(i);
+            for (v, &b) in row.iter_mut().zip(&bias.data[..cols]) {
+                *v += b;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Sums every element of the matrix.
@@ -378,13 +443,21 @@ impl Matrix {
 
     /// Sums each column into a `1 x cols` row vector.
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Sums each column into `out`, resized to a `1 x cols` row vector — the
+    /// buffer-recycling variant of [`Matrix::sum_rows`].
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.resize(1, self.cols);
+        let acc = out.row_mut(0);
         for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(0, j)] += self[(i, j)];
+            for (a, &v) in acc.iter_mut().zip(self.row(i)) {
+                *a += v;
             }
         }
-        out
     }
 
     /// Index of the maximum element in row `i` (ties resolved to the first).

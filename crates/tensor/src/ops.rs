@@ -11,9 +11,36 @@ pub fn relu(x: &Matrix) -> Matrix {
     x.map(|v| v.max(0.0))
 }
 
+/// Like [`relu`] but writing into a caller-owned matrix (resized in place),
+/// so per-iteration activations can recycle their buffers.
+pub fn relu_into(x: &Matrix, out: &mut Matrix) {
+    out.clone_from(x);
+    out.map_inplace(|v| v.max(0.0));
+}
+
 /// Derivative of ReLU expressed in terms of the pre-activation input.
 pub fn relu_grad(x: &Matrix) -> Matrix {
     x.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// In-place ReLU gradient gate: zeroes `grad` wherever the pre-activation
+/// `pre` is non-positive — `grad ⊙ relu'(pre)` without materialising the
+/// derivative matrix or the Hadamard product.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn relu_grad_mask_inplace(grad: &mut Matrix, pre: &Matrix) {
+    assert_eq!(
+        grad.shape(),
+        pre.shape(),
+        "gradient and pre-activation shapes must match"
+    );
+    for (g, &p) in grad.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+        if p <= 0.0 {
+            *g = 0.0;
+        }
+    }
 }
 
 /// Logistic sigmoid applied elementwise.
