@@ -1,0 +1,260 @@
+//! Structured-sparsity benchmark: N:M and block-unit schemes against the
+//! Bernoulli baseline and the paper's RDP/TDP patterns.
+//!
+//! For every variant the bench records
+//!
+//! 1. CPU wall-clock of one MLP training epoch executing the scheme's
+//!    plans through the compacted kernels (speedup vs the Bernoulli
+//!    baseline epoch), and
+//! 2. the simulated per-iteration speedup on the paper's MLP at full scale,
+//!    on **two** device shapes — the consumer GTX 1080Ti and the
+//!    bandwidth-rich server-class HBM preset — each against a Bernoulli
+//!    baseline at the variant's own nominal dropout rate.
+//!
+//! Results land in `BENCH_STRUCTURED.json` at the repository root,
+//! extending the perf trajectory started by `BENCH_HOTPATH.json`. Run
+//! `cargo run --release -p bench --bin bench_structured` for the full
+//! shapes, or pass `--smoke` (CI) for tiny shapes that finish in seconds.
+
+use approx_dropout::{scheme, DropoutRate, DropoutScheme};
+use gpu_sim::{GpuConfig, MlpSpec, NetworkTimingModel};
+use nn::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tensor::{init, pool};
+
+struct Config {
+    mode: &'static str,
+    input_dim: usize,
+    hidden: usize,
+    batch: usize,
+    batches: usize,
+    reps: usize,
+    samples: usize,
+}
+
+const FULL: Config = Config {
+    mode: "full",
+    input_dim: 512,
+    hidden: 512,
+    batch: 256,
+    batches: 4,
+    reps: 3,
+    samples: 192,
+};
+
+const SMOKE: Config = Config {
+    mode: "smoke",
+    input_dim: 64,
+    hidden: 64,
+    batch: 48,
+    batches: 2,
+    reps: 1,
+    samples: 48,
+};
+
+/// One benchmarked scheme variant. `rate` is the nominal dropout rate the
+/// Bernoulli baseline is matched at.
+struct Variant {
+    key: &'static str,
+    params: String,
+    rate: f64,
+    /// Scheme at the paper's full network scale (drives the timing model).
+    full: Box<dyn DropoutScheme>,
+    /// Scheme for the down-scaled CPU training run.
+    scaled: Box<dyn DropoutScheme>,
+}
+
+fn variants() -> Vec<Variant> {
+    let rate = |p: f64| DropoutRate::new(p).unwrap();
+    vec![
+        Variant {
+            key: "row",
+            params: "rate 0.5, max_dp 16".into(),
+            rate: 0.5,
+            full: scheme::row(rate(0.5), 16).unwrap(),
+            scaled: scheme::row(rate(0.5), 8).unwrap(),
+        },
+        Variant {
+            key: "tile",
+            params: "rate 0.5, tile 32".into(),
+            rate: 0.5,
+            full: scheme::tile(rate(0.5), 16, 32).unwrap(),
+            scaled: scheme::tile(rate(0.5), 8, 16).unwrap(),
+        },
+        Variant {
+            key: "nm_2_4",
+            params: "2:4 lanes".into(),
+            rate: 0.5,
+            full: scheme::nm(2, 4).unwrap(),
+            scaled: scheme::nm(2, 4).unwrap(),
+        },
+        Variant {
+            key: "nm_1_4",
+            params: "1:4 lanes".into(),
+            rate: 0.75,
+            full: scheme::nm(1, 4).unwrap(),
+            scaled: scheme::nm(1, 4).unwrap(),
+        },
+        Variant {
+            key: "block_16",
+            params: "rate 0.5, block 16".into(),
+            rate: 0.5,
+            full: scheme::block_unit(rate(0.5), 16).unwrap(),
+            scaled: scheme::block_unit(rate(0.5), 16).unwrap(),
+        },
+        Variant {
+            key: "block_32",
+            params: "rate 0.5, block 32".into(),
+            rate: 0.5,
+            full: scheme::block_unit(rate(0.5), 32).unwrap(),
+            scaled: scheme::block_unit(rate(0.5), 32).unwrap(),
+        },
+    ]
+}
+
+/// Best-of-`reps` wall-clock seconds for one invocation of `f` (after one
+/// warm-up call).
+fn bench(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Wall-clock seconds of one MLP training epoch under `dropout`.
+fn cpu_epoch_secs(cfg: &Config, dropout: Box<dyn DropoutScheme>) -> f64 {
+    let mut rng = StdRng::seed_from_u64(0x57A7);
+    let config = MlpConfig {
+        input_dim: cfg.input_dim,
+        hidden: vec![cfg.hidden, cfg.hidden],
+        output_dim: 10,
+        dropout,
+        learning_rate: 0.01,
+        momentum: 0.9,
+    };
+    let inputs = init::uniform(&mut rng, cfg.batch, cfg.input_dim, -1.0, 1.0);
+    let labels: Vec<usize> = (0..cfg.batch).map(|i| i % 10).collect();
+    let mut mlp = Mlp::new(&config, &mut rng);
+    let mut train_rng = StdRng::seed_from_u64(7);
+    bench(cfg.reps, || {
+        for _ in 0..cfg.batches {
+            std::hint::black_box(mlp.train_batch(&inputs, &labels, &mut train_rng));
+        }
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let cfg = if smoke { SMOKE } else { FULL };
+
+    let devices: Vec<(&str, GpuConfig)> = vec![
+        ("gtx_1080ti", GpuConfig::gtx_1080ti()),
+        ("server_hbm", GpuConfig::server_hbm()),
+    ];
+    let models: Vec<(&str, NetworkTimingModel)> = devices
+        .into_iter()
+        .map(|(key, gpu)| (key, NetworkTimingModel::mlp(gpu, MlpSpec::paper_mlp())))
+        .collect();
+
+    // Bernoulli baseline CPU epoch (rate 0.5; the N:M 1:4 variant's CPU
+    // speedup is also reported against this epoch, its simulated speedup
+    // against a rate-matched baseline).
+    let bernoulli_secs = cpu_epoch_secs(&cfg, scheme::bernoulli(DropoutRate::new(0.5).unwrap()));
+    eprintln!(
+        "bernoulli 0.5 epoch     {:>10.3} ms (baseline)",
+        bernoulli_secs * 1e3
+    );
+
+    let mut rows = Vec::new();
+    for variant in variants() {
+        let cpu_secs = cpu_epoch_secs(&cfg, variant.scaled.clone());
+        let cpu_speedup = bernoulli_secs / cpu_secs;
+        let mut sims = Vec::new();
+        for (device_key, model) in &models {
+            let baseline = scheme::bernoulli(DropoutRate::new(variant.rate).unwrap());
+            let speedup = model.speedup(&*baseline, &*variant.full, cfg.samples, 0x5EED);
+            sims.push((*device_key, speedup));
+        }
+        eprintln!(
+            "{:<10} epoch {:>10.3} ms ({:.2}x cpu; sim {:.2}x / {:.2}x)",
+            variant.key,
+            cpu_secs * 1e3,
+            cpu_speedup,
+            sims[0].1,
+            sims[1].1
+        );
+        rows.push((variant, cpu_secs, cpu_speedup, sims));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let variant_json: Vec<String> = rows
+        .iter()
+        .map(|(variant, cpu_secs, cpu_speedup, sims)| {
+            let sim_fields: Vec<String> = sims
+                .iter()
+                .map(|(device, speedup)| format!("\"sim_speedup_{device}\": {speedup:.3}"))
+                .collect();
+            format!(
+                "    \"{key}\": {{\n      \"params\": \"{params}\",\n      \"nominal_rate\": {rate:.2},\n      \"cpu_secs\": {cpu_secs:.6},\n      \"cpu_speedup_vs_bernoulli\": {cpu_speedup:.3},\n      {sim}\n    }}",
+                key = variant.key,
+                params = variant.params,
+                rate = variant.rate,
+                sim = sim_fields.join(",\n      "),
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"tensor_threads\": {threads},\n  \"cpu_epoch\": {{\n    \"batch\": {batch},\n    \"batches\": {batches},\n    \"hidden\": [{hid}, {hid}],\n    \"bernoulli_secs\": {bern:.6}\n  }},\n  \"simulated_network\": \"paper MLP 784x2048x2048x10, batch 128\",\n  \"variants\": {{\n{variants}\n  }}\n}}\n",
+        mode = cfg.mode,
+        threads = pool::threads(),
+        batch = cfg.batch,
+        batches = cfg.batches,
+        hid = cfg.hidden,
+        bern = bernoulli_secs,
+        variants = variant_json.join(",\n"),
+    );
+
+    let out_path = std::env::var("BENCH_STRUCTURED_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_STRUCTURED.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("writing BENCH_STRUCTURED.json failed");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    // Regression gates, opt-in via BENCH_ASSERT=1 (CI): every scheme of the
+    // *new* structured family (N:M and block-unit) must keep a simulated
+    // speedup over the rate-matched Bernoulli baseline on both device
+    // shapes. The row/tile rows are informational baselines — tile hovers
+    // near 1.0x on the compute-rich server preset by design.
+    if std::env::var("BENCH_ASSERT").is_ok_and(|v| v != "0") {
+        let mut failures = Vec::new();
+        for (variant, _, _, sims) in &rows {
+            if !variant.key.starts_with("nm_") && !variant.key.starts_with("block_") {
+                continue;
+            }
+            for (device, speedup) in sims {
+                if *speedup <= 1.0 {
+                    failures.push(format!(
+                        "{} simulated speedup {speedup:.2}x <= 1.0x on {device}",
+                        variant.key
+                    ));
+                }
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("BENCH_ASSERT failures:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("BENCH_ASSERT passed");
+    }
+}

@@ -1,23 +1,23 @@
 //! Fig. 5 — accuracy-vs-time training curves of the row pattern vs
 //! conventional dropout at rate 0.5 on the LSTM.
 //!
-//! Both runs train the same down-scaled language model; the time axis charges
-//! each iteration the per-iteration time of the corresponding method on the
-//! GPU timing model at the paper's LSTM size, so the row-pattern curve is
-//! compressed horizontally exactly as in the paper's figure.
+//! Both runs train the same down-scaled language model; the time axis
+//! charges each iteration the time of its *own concretely sampled* dropout
+//! plans on the GPU timing model at the paper's LSTM size
+//! (`NetworkTimingModel::iteration_time_from_plans`), so the row-pattern
+//! curve is compressed horizontally exactly as in the paper's figure — and
+//! its per-iteration jitter (the sampled `(dp, bias)` varies) is carried
+//! into the simulated clock instead of being averaged away.
 
-use bench::{iteration_time_us, lstm_timing_model, Method};
+use approx_dropout::DropoutScheme;
+use bench::{lstm_timing_model, Method, TIMING_SEED};
 use data::{CorpusConfig, SyntheticCorpus};
 use nn::lstm::{LstmLm, LstmLmConfig};
 use nn::trainer::{first_reaching_accuracy, Trainer, TrainerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn run(
-    method: Method,
-    iterations: usize,
-    time_per_iteration_us: f64,
-) -> Vec<nn::trainer::TrainRecord> {
+fn run(method: Method, iterations: usize) -> Vec<nn::trainer::TrainRecord> {
     let corpus = SyntheticCorpus::new(CorpusConfig {
         vocab: 120,
         ..CorpusConfig::small()
@@ -34,11 +34,24 @@ fn run(
         grad_clip: 5.0,
     };
     let mut lm = LstmLm::new(&config, &mut rng);
-    let trainer = Trainer::new(TrainerConfig::new(iterations, 10, time_per_iteration_us));
-    trainer.run(|it| {
+
+    // Paper-scale timing: one scheme per droppable layer of the full-size
+    // LSTM, planned iteration by iteration exactly like the training loop
+    // plans its own layers — the time of iteration `t` is the time of the
+    // plans sampled for iteration `t`.
+    let model = lstm_timing_model();
+    let mut timing_schemes: Vec<Box<dyn DropoutScheme>> = (0..model.dropout_layers())
+        .map(|_| method.scheme(0.5))
+        .collect();
+    let mut timing_rng = StdRng::seed_from_u64(TIMING_SEED);
+
+    let trainer = Trainer::new(TrainerConfig::new(iterations, 10, 0.0));
+    trainer.run_timed(|it| {
         let batch = corpus.batch(10, 12, it as u64);
         let stats = lm.train_batch(&batch, &mut rng);
-        (stats.loss as f64, stats.accuracy)
+        let plans = model.plan_iteration(&mut timing_schemes, &mut timing_rng);
+        let time_us = model.iteration_time_from_plans(&plans).total_us();
+        (stats.loss as f64, stats.accuracy, time_us)
     })
 }
 
@@ -48,22 +61,16 @@ fn main() {
     } else {
         300
     };
-    let model = lstm_timing_model();
-    let baseline_time = iteration_time_us(&model, Method::Baseline, 0.5);
-    let row_time = iteration_time_us(&model, Method::Row, 0.5);
 
     println!("# Fig. 5 — training accuracy vs simulated time (dropout 0.5)");
-    println!(
-        "# per-iteration time: baseline {:.1} us, row pattern {:.1} us",
-        baseline_time, row_time
-    );
+    println!("# time axis: per-iteration sampled plan times on the paper-scale LSTM model");
     println!(
         "{:<12} {:>16} {:>12} {:>18} {:>14}",
         "iteration", "baseline_time_ms", "baseline_acc", "row_pattern_time_ms", "row_pattern_acc"
     );
 
-    let baseline = run(Method::Baseline, iterations, baseline_time);
-    let row = run(Method::Row, iterations, row_time);
+    let baseline = run(Method::Baseline, iterations);
+    let row = run(Method::Row, iterations);
     for (b, r) in baseline.iter().zip(&row) {
         println!(
             "{:<12} {:>16.2} {:>12.3} {:>18.2} {:>14.3}",
@@ -75,18 +82,26 @@ fn main() {
         );
     }
 
+    if let (Some(b), Some(r)) = (baseline.last(), row.last()) {
+        println!(
+            "\n# mean per-iteration time: baseline {:.1} us, row pattern {:.1} us",
+            b.elapsed_us / b.iteration as f64,
+            r.elapsed_us / r.iteration as f64
+        );
+    }
+
     let target = 0.5;
     match (
         first_reaching_accuracy(&baseline, target),
         first_reaching_accuracy(&row, target),
     ) {
         (Some(b), Some(r)) => println!(
-            "\ntime to reach {:.0}% accuracy: baseline {:.1} ms, row pattern {:.1} ms ({:.2}x earlier)",
+            "time to reach {:.0}% accuracy: baseline {:.1} ms, row pattern {:.1} ms ({:.2}x earlier)",
             target * 100.0,
             b.elapsed_us / 1e3,
             r.elapsed_us / 1e3,
             b.elapsed_us / r.elapsed_us
         ),
-        _ => println!("\ntarget accuracy {:.0}% not reached within {iterations} iterations", target * 100.0),
+        _ => println!("target accuracy {:.0}% not reached within {iterations} iterations", target * 100.0),
     }
 }

@@ -57,6 +57,7 @@ pub mod rate;
 pub mod sampler;
 pub mod scheme;
 pub mod search;
+pub mod structured;
 
 pub use bernoulli::BernoulliDropout;
 pub use error::DropoutError;
@@ -66,6 +67,7 @@ pub use rate::DropoutRate;
 pub use sampler::{ApproxDropoutBuilder, ApproxDropoutLayer, PatternSampler};
 pub use scheme::{Bernoulli, DivergentBernoulli, DropoutScheme, NoDropout};
 pub use search::{PatternDistribution, SearchConfig, SearchOutcome};
+pub use structured::{BlockUnit, NmSparsity, StructuredKind, StructuredUnits};
 
 /// Default tile edge length used by the Tile-based Dropout Pattern.
 ///

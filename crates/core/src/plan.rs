@@ -24,6 +24,7 @@
 //!   on a GPU, consumed by the `gpu_sim` timing model.
 
 use crate::pattern::{SampledPattern, TileGrid};
+use crate::structured::{StructuredKind, StructuredUnits};
 use tensor::Matrix;
 
 /// Shape of the layer a plan is resolved against: the weight matrix is
@@ -83,6 +84,26 @@ pub enum KernelSchedule {
         /// Tiles in the full weight grid.
         total: usize,
     },
+    /// Group-compacted GEMM under N:M fine-grained sparsity: exactly `n` of
+    /// every `m` consecutive output lanes are computed, so the executed
+    /// fraction is the constant `n/m`.
+    NmCompact {
+        /// Kept lanes per group.
+        n: usize,
+        /// Group size.
+        m: usize,
+    },
+    /// Block-compacted GEMM under structured unit dropout: `kept` of `total`
+    /// contiguous `block`-wide output-neuron blocks are computed as dense
+    /// column strips.
+    BlockCompact {
+        /// Blocks participating in the GEMM.
+        kept: usize,
+        /// Blocks the layer's outputs split into.
+        total: usize,
+        /// Block width in neurons.
+        block: usize,
+    },
 }
 
 impl KernelSchedule {
@@ -91,13 +112,15 @@ impl KernelSchedule {
     pub fn kept_fraction(&self) -> f64 {
         match *self {
             KernelSchedule::RowCompact { kept, total }
-            | KernelSchedule::TileCompact { kept, total } => {
+            | KernelSchedule::TileCompact { kept, total }
+            | KernelSchedule::BlockCompact { kept, total, .. } => {
                 if total == 0 {
                     1.0
                 } else {
                     kept as f64 / total as f64
                 }
             }
+            KernelSchedule::NmCompact { n, m } => n as f64 / m as f64,
             _ => 1.0,
         }
     }
@@ -111,7 +134,10 @@ impl KernelSchedule {
     pub fn is_compacted(&self) -> bool {
         matches!(
             self,
-            KernelSchedule::RowCompact { .. } | KernelSchedule::TileCompact { .. }
+            KernelSchedule::RowCompact { .. }
+                | KernelSchedule::TileCompact { .. }
+                | KernelSchedule::NmCompact { .. }
+                | KernelSchedule::BlockCompact { .. }
         )
     }
 }
@@ -137,6 +163,9 @@ pub struct DropoutPlan {
     /// Per-output-neuron 0/1 Bernoulli mask (1 = kept), if this is a
     /// conventional plan.
     mask: Option<Vec<f32>>,
+    /// Sampled structured-sparsity decision (N:M lanes or unit blocks), if
+    /// this is a structured plan.
+    structured: Option<StructuredUnits>,
     schedule: KernelSchedule,
     nominal_rate: f64,
 }
@@ -149,6 +178,7 @@ impl Clone for DropoutPlan {
             rows: self.rows.clone(),
             tiles: self.tiles.clone(),
             mask: self.mask.clone(),
+            structured: self.structured.clone(),
             schedule: self.schedule,
             nominal_rate: self.nominal_rate,
         }
@@ -177,6 +207,10 @@ impl Clone for DropoutPlan {
             (Some(dst), Some(src)) => dst.clone_from(src),
             (dst, src) => *dst = src.clone(),
         }
+        match (&mut self.structured, &source.structured) {
+            (Some(dst), Some(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
     }
 }
 
@@ -197,6 +231,7 @@ impl DropoutPlan {
             rows: None,
             tiles: None,
             mask: None,
+            structured: None,
             schedule: KernelSchedule::Dense,
             nominal_rate: 0.0,
         }
@@ -220,6 +255,7 @@ impl DropoutPlan {
             rows: None,
             tiles: None,
             mask: Some(mask),
+            structured: None,
             schedule: KernelSchedule::DenseWithMask,
             nominal_rate,
         }
@@ -252,6 +288,7 @@ impl DropoutPlan {
             rows: Some(pattern),
             tiles: None,
             mask: None,
+            structured: None,
             schedule,
         }
     }
@@ -270,8 +307,33 @@ impl DropoutPlan {
             rows: None,
             tiles: Some((pattern, grid)),
             mask: None,
+            structured: None,
             schedule,
         }
+    }
+
+    /// An N:M structured-sparsity plan: group-compacted GEMM over the kept
+    /// lanes (`n` of every `m` consecutive output neurons), kept outputs
+    /// scaled by `m/n`.
+    pub fn nm(shape: LayerShape, n: usize, m: usize, kept: Vec<usize>) -> Self {
+        let mut plan = Self::none(shape);
+        plan.reset_nm_with(shape, n, m, |buf| *buf = kept);
+        plan
+    }
+
+    /// A block-structured unit-dropout plan: block-compacted GEMM over the
+    /// kept contiguous `block`-wide output-neuron blocks, kept outputs
+    /// scaled by the inverted-dropout `scale`.
+    pub fn block_unit(
+        shape: LayerShape,
+        block: usize,
+        kept_blocks: Vec<usize>,
+        scale: f32,
+        nominal_rate: f64,
+    ) -> Self {
+        let mut plan = Self::none(shape);
+        plan.reset_block_unit_with(shape, block, scale, nominal_rate, |buf| *buf = kept_blocks);
+        plan
     }
 
     /// Extracts whichever sampled-pattern buffer the plan currently holds so
@@ -286,6 +348,15 @@ impl DropoutPlan {
         }
     }
 
+    /// Extracts whichever structured-units buffer the plan currently holds
+    /// so a `reset_nm_with` / `reset_block_unit_with` call can recycle its
+    /// kept-index vector.
+    fn take_structured_buffer(&mut self) -> StructuredUnits {
+        self.structured
+            .take()
+            .unwrap_or_else(StructuredUnits::empty)
+    }
+
     /// Re-resolves this plan in place as the identity (dense GEMM, nothing
     /// dropped).
     pub fn reset_none(&mut self, shape: LayerShape) {
@@ -294,6 +365,7 @@ impl DropoutPlan {
         self.rows = None;
         self.tiles = None;
         self.mask = None;
+        self.structured = None;
         self.schedule = KernelSchedule::Dense;
         self.nominal_rate = 0.0;
     }
@@ -325,6 +397,7 @@ impl DropoutPlan {
         self.rows = None;
         self.tiles = None;
         self.mask = Some(mask);
+        self.structured = None;
         self.schedule = KernelSchedule::DenseWithMask;
         self.nominal_rate = nominal_rate;
     }
@@ -362,6 +435,7 @@ impl DropoutPlan {
         self.rows = Some(sampled);
         self.tiles = None;
         self.mask = None;
+        self.structured = None;
     }
 
     /// Re-resolves this plan in place as a tile plan for `pattern` on `grid`,
@@ -385,6 +459,60 @@ impl DropoutPlan {
         self.rows = None;
         self.tiles = Some((sampled, grid));
         self.mask = None;
+        self.structured = None;
+    }
+
+    /// Re-resolves this plan in place as an N:M plan, recycling the
+    /// kept-index buffer: `fill` receives the cleared vector and must push
+    /// the kept neuron indices in ascending order (exactly `n` per complete
+    /// `m`-group). Equivalent to (but allocation-free compared with)
+    /// rebuilding through [`DropoutPlan::nm`].
+    pub fn reset_nm_with(
+        &mut self,
+        shape: LayerShape,
+        n: usize,
+        m: usize,
+        fill: impl FnOnce(&mut Vec<usize>),
+    ) {
+        let mut units = self.take_structured_buffer();
+        units.resolve_nm(n, m, shape.out_features, fill);
+        self.schedule = KernelSchedule::NmCompact { n, m };
+        self.scale = m as f32 / n as f32;
+        self.nominal_rate = 1.0 - n as f64 / m as f64;
+        self.shape = shape;
+        self.rows = None;
+        self.tiles = None;
+        self.mask = None;
+        self.structured = Some(units);
+    }
+
+    /// Re-resolves this plan in place as a block-unit plan, recycling the
+    /// kept-index buffer: `fill` receives the cleared vector and must push
+    /// kept *block* indices in ascending order. Equivalent to (but
+    /// allocation-free compared with) rebuilding through
+    /// [`DropoutPlan::block_unit`].
+    pub fn reset_block_unit_with(
+        &mut self,
+        shape: LayerShape,
+        block: usize,
+        scale: f32,
+        nominal_rate: f64,
+        fill: impl FnOnce(&mut Vec<usize>),
+    ) {
+        let mut units = self.take_structured_buffer();
+        units.resolve_block(block, shape.out_features, fill);
+        let (kept, total) = match units.kind() {
+            StructuredKind::Block { total, .. } => (units.kept_indices().len(), total),
+            StructuredKind::Nm { .. } => unreachable!("resolve_block sets the block kind"),
+        };
+        self.schedule = KernelSchedule::BlockCompact { kept, total, block };
+        self.scale = scale;
+        self.nominal_rate = nominal_rate;
+        self.shape = shape;
+        self.rows = None;
+        self.tiles = None;
+        self.mask = None;
+        self.structured = Some(units);
     }
 
     /// The layer shape this plan was resolved against.
@@ -427,9 +555,38 @@ impl DropoutPlan {
         self.mask.as_deref()
     }
 
+    /// Kept output lanes and the `(n, m)` group parameters, if this is an
+    /// N:M structured-sparsity plan.
+    pub fn nm_lanes(&self) -> Option<(&[usize], usize, usize)> {
+        match &self.structured {
+            Some(units) => match units.kind() {
+                StructuredKind::Nm { n, m } => Some((units.kept_indices(), n, m)),
+                StructuredKind::Block { .. } => None,
+            },
+            None => None,
+        }
+    }
+
+    /// Kept block indices, the block width and the total block count, if
+    /// this is a block-unit plan.
+    pub fn kept_unit_blocks(&self) -> Option<(&[usize], usize, usize)> {
+        match &self.structured {
+            Some(units) => match units.kind() {
+                StructuredKind::Block { block, total } => {
+                    Some((units.kept_indices(), block, total))
+                }
+                StructuredKind::Nm { .. } => None,
+            },
+            None => None,
+        }
+    }
+
     /// `true` when the plan performs no dropout at all.
     pub fn is_identity(&self) -> bool {
-        self.rows.is_none() && self.tiles.is_none() && self.mask.is_none()
+        self.rows.is_none()
+            && self.tiles.is_none()
+            && self.mask.is_none()
+            && self.structured.is_none()
     }
 
     /// Per-output-column multiplier implementing this plan on an activation
@@ -485,6 +642,31 @@ impl DropoutPlan {
             }
             return;
         }
+        if let Some(units) = &self.structured {
+            out.resize(n_cols, 0.0);
+            match units.kind() {
+                StructuredKind::Nm { .. } => {
+                    for &j in units.kept_indices() {
+                        if j < n_cols {
+                            out[j] = self.scale;
+                        }
+                    }
+                }
+                StructuredKind::Block { block, .. } => {
+                    for &b in units.kept_indices() {
+                        let start = (b * block).min(n_cols);
+                        let end = (b * block + block).min(units.unit_count()).min(n_cols);
+                        for m in &mut out[start..end] {
+                            *m = self.scale;
+                        }
+                    }
+                }
+            }
+            for m in out.iter_mut().skip(units.unit_count()) {
+                *m = 1.0;
+            }
+            return;
+        }
         out.resize(n_cols, 1.0);
     }
 
@@ -514,10 +696,15 @@ impl DropoutPlan {
     /// therefore still have to be processed by the next layer. Only row
     /// plans (which drop whole neurons) shrink this below 1.
     pub fn active_output_fraction(&self) -> f64 {
-        match &self.rows {
-            Some(pattern) => 1.0 - pattern.realized_dropout_fraction(),
-            None => 1.0,
+        if let Some(pattern) = &self.rows {
+            return 1.0 - pattern.realized_dropout_fraction();
         }
+        if let Some(units) = &self.structured {
+            // Both structured families drop whole output neurons, so the
+            // next layer's input shrinks just like under a row plan.
+            return units.active_fraction();
+        }
+        1.0
     }
 
     /// Indices of the output neurons that still carry signal after this
@@ -525,6 +712,11 @@ impl DropoutPlan {
     pub fn active_output_neurons(&self) -> Vec<usize> {
         if let Some(pattern) = &self.rows {
             return pattern.kept_indices().to_vec();
+        }
+        if let Some(units) = &self.structured {
+            let mut neurons = Vec::new();
+            units.extend_kept_neurons(&mut neurons);
+            return neurons;
         }
         if let Some(mask) = &self.mask {
             return mask
@@ -544,6 +736,12 @@ impl DropoutPlan {
         }
         if let Some((pattern, _)) = &self.tiles {
             return pattern.realized_dropout_fraction();
+        }
+        if let Some(units) = &self.structured {
+            if units.unit_count() == 0 {
+                return 0.0;
+            }
+            return 1.0 - units.active_fraction();
         }
         if let Some(mask) = &self.mask {
             if mask.is_empty() {

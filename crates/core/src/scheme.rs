@@ -19,10 +19,16 @@
 //!   degenerate scheme (the "fixed pattern" ablation baseline).
 //! * [`ApproxDropoutLayer`] — the paper's contribution: per-iteration
 //!   `(dp, bias)` sampling from the distribution found by Algorithm 1.
+//! * [`crate::NmSparsity`] / [`crate::BlockUnit`] — the structured-sparsity
+//!   family from follow-up work (N:M fine-grained sparsity, arXiv:2203.05705,
+//!   and SDropout's structured unit dropout, arXiv:2411.01238), implemented
+//!   in [`crate::structured`] and boxed here by [`nm`] / [`block_unit`].
 //!
-//! Adding a new pattern family (e.g. the structured-sparsity variants of
-//! related work) is a single trait implementation: no consumer in `nn` or
-//! `gpu_sim` needs to change.
+//! Adding a new pattern family is a single trait implementation plus, when
+//! the family implies a new kernel shape, one [`crate::KernelSchedule`]
+//! variant: the scheme samples the plan, the plan carries the schedule, and
+//! every consumer (`nn` execution, `gpu_sim` pricing) dispatches on the plan
+//! alone — no consumer ever branches on the scheme type.
 
 use crate::bernoulli::BernoulliDropout;
 use crate::error::DropoutError;
@@ -344,6 +350,26 @@ pub fn tile(
             .tile_size(tile_size)
             .build()?,
     ))
+}
+
+/// Boxed N:M structured-sparsity scheme: every iteration keeps exactly `n`
+/// uniformly sampled lanes in each group of `m` consecutive output neurons.
+///
+/// # Errors
+///
+/// Propagates [`DropoutError`] from parameter validation.
+pub fn nm(n: usize, m: usize) -> Result<Box<dyn DropoutScheme>, DropoutError> {
+    Ok(Box::new(crate::structured::NmSparsity::new(n, m)?))
+}
+
+/// Boxed block-structured unit-dropout scheme: contiguous `block`-wide
+/// neuron blocks are dropped with independent Bernoulli draws at `rate`.
+///
+/// # Errors
+///
+/// Propagates [`DropoutError`] from parameter validation.
+pub fn block_unit(rate: DropoutRate, block: usize) -> Result<Box<dyn DropoutScheme>, DropoutError> {
+    Ok(Box::new(crate::structured::BlockUnit::new(rate, block)?))
 }
 
 /// Boxed pattern scheme of either family with the paper's defaults

@@ -35,6 +35,10 @@ pub enum KernelKind {
     RowCompactGemm,
     /// Tile-compacted GEMM (Tile-based Dropout Pattern).
     TileCompactGemm,
+    /// Group-compacted GEMM (N:M structured sparsity).
+    NmCompactGemm,
+    /// Block-compacted GEMM (structured unit dropout).
+    BlockCompactGemm,
     /// Dense GEMM with naive per-thread branch skipping (divergent).
     DivergentGemm,
     /// Conventional dropout: mask generation + elementwise multiply.
@@ -49,6 +53,8 @@ impl fmt::Display for KernelKind {
             KernelKind::DenseGemm => "dense-gemm",
             KernelKind::RowCompactGemm => "row-compact-gemm",
             KernelKind::TileCompactGemm => "tile-compact-gemm",
+            KernelKind::NmCompactGemm => "nm-compact-gemm",
+            KernelKind::BlockCompactGemm => "block-compact-gemm",
             KernelKind::DivergentGemm => "divergent-gemm",
             KernelKind::DropoutMask => "dropout-mask",
             KernelKind::Elementwise => "elementwise",
@@ -259,6 +265,95 @@ pub fn row_compact_gemm(
     KernelStats::finalize(gpu, stats)
 }
 
+/// Relative memory inefficiency of gathering the scattered kept lanes of an
+/// N:M group: worse than streaming contiguous row strips (1.0) but better
+/// than the 2-D tile gather, because the lanes of one group sit within an
+/// `m`-wide window.
+pub const NM_GATHER_INEFFICIENCY: f64 = 1.08;
+
+/// Cycles charged per `m`-wide lane group for decoding the N:M sparsity
+/// metadata (which `n` lanes of the group survive) before the GEMM.
+pub const NM_METADATA_CYCLES: f64 = 2.0;
+
+/// Group-compacted GEMM under N:M structured sparsity.
+///
+/// Exactly `n_of` of every `m_of` consecutive output lanes are computed, so
+/// the executed work is the constant fraction `n/m` of the dense GEMM. The
+/// kept lanes are scattered *within* their group, which costs a modest
+/// gather inefficiency ([`NM_GATHER_INEFFICIENCY`]) plus per-group metadata
+/// decode cycles, and the dropped part of the output is zero-filled like
+/// the row-compacted kernel — so N:M prices between RDP (contiguous) and
+/// TDP (2-D scattered) at equal dropout rate.
+pub fn nm_compact_gemm(
+    gpu: &GpuConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    n_of: usize,
+    m_of: usize,
+) -> KernelStats {
+    let m_of = m_of.max(1);
+    let n_of = n_of.clamp(1, m_of);
+    let fraction = n_of as f64 / m_of as f64;
+    // At least one lane survives when the layer has any; a 0-wide layer
+    // keeps 0 (so the dropped-output accounting below cannot underflow).
+    let kept_n = ((n as f64 * fraction).round() as usize).clamp(usize::from(n > 0), n.max(1));
+
+    let mut stats = gemm_core(gpu, KernelKind::NmCompactGemm, m, k, kept_n);
+    // Within-group gather: slightly less efficient operand fetches.
+    let extra_read = stats.global_read_bytes * (NM_GATHER_INEFFICIENCY - 1.0);
+    stats.global_read_bytes += extra_read;
+    stats.memory_cycles += extra_read / gpu.bytes_per_cycle();
+    // Zero-fill of the dropped output lanes (output stays dense).
+    let dropped_bytes = m as f64 * (n - kept_n) as f64 * F32;
+    stats.global_write_bytes += dropped_bytes;
+    stats.memory_cycles += dropped_bytes / gpu.bytes_per_cycle();
+    // Sparsity-metadata decode: one pass over the lane groups.
+    let groups = ceil_div(n.max(1), m_of);
+    stats.overhead_cycles += groups as f64 * NM_METADATA_CYCLES;
+    KernelStats::finalize(gpu, stats)
+}
+
+/// Cycles charged per block of the output grid for computing the kept-block
+/// prefix offsets before the multiplication (cheaper than the tile kernel's
+/// bookkeeping: the grid is 1-D and the strips are contiguous).
+pub const BLOCK_POSITION_CYCLES: f64 = 4.0;
+
+/// Block-compacted GEMM under structured unit dropout.
+///
+/// `kept_blocks` of the `total_blocks` contiguous `block`-wide output
+/// strips survive; each strip is a dense column panel, so the fetches
+/// coalesce exactly like the row-compacted kernel (no gather penalty) and
+/// the only overheads are the dropped-output zero-fill and a small 1-D
+/// position computation — the hardware-cheapest member of the structured
+/// family.
+pub fn block_compact_gemm(
+    gpu: &GpuConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    kept_blocks: usize,
+    total_blocks: usize,
+    block: usize,
+) -> KernelStats {
+    let total = total_blocks.max(1);
+    let kept = kept_blocks.min(total);
+    let fraction = kept as f64 / total as f64;
+    // Same degenerate-width guard as `nm_compact_gemm`: 0-wide layers keep
+    // 0 lanes so the zero-fill accounting cannot underflow.
+    let kept_n = ((n as f64 * fraction).round() as usize).clamp(usize::from(n > 0), n.max(1));
+    let _ = block; // strip width is already folded into kept_n
+
+    let mut stats = gemm_core(gpu, KernelKind::BlockCompactGemm, m, k, kept_n);
+    // Zero-fill of the dropped output strips.
+    let dropped_bytes = m as f64 * (n - kept_n) as f64 * F32;
+    stats.global_write_bytes += dropped_bytes;
+    stats.memory_cycles += dropped_bytes / gpu.bytes_per_cycle();
+    // Kept-block prefix offsets: one pass over the 1-D block grid.
+    stats.overhead_cycles += total as f64 * BLOCK_POSITION_CYCLES;
+    KernelStats::finalize(gpu, stats)
+}
+
 /// Relative memory inefficiency of the tile-compacted kernel: gathering
 /// scattered tiles coalesces slightly worse than streaming contiguous rows.
 pub const TILE_GATHER_INEFFICIENCY: f64 = 1.15;
@@ -407,6 +502,93 @@ mod tests {
         let row = row_compact_gemm(&g, 128, 2048, 2048, 2048 / 2);
         let tile = tile_compact_gemm(&g, 128, 2048, 2048, grid / 2, grid);
         assert!(tile.time_us() > row.time_us());
+    }
+
+    #[test]
+    fn nm_compact_is_faster_than_dense_and_slower_than_ideal() {
+        let g = gpu();
+        let dense = dense_gemm(&g, 128, 2048, 2048);
+        let half = nm_compact_gemm(&g, 128, 2048, 2048, 2, 4);
+        let ideal = dense_gemm(&g, 128, 2048, 1024);
+        assert!(half.time_us() < dense.time_us());
+        assert!(half.time_us() >= ideal.time_us());
+    }
+
+    #[test]
+    fn nm_prices_between_row_and_tile_at_equal_rate() {
+        // Contiguous rows < within-group gather < 2-D tile gather.
+        let g = gpu();
+        let grid = (2048 / 32) * (2048 / 32);
+        let row = row_compact_gemm(&g, 128, 2048, 2048, 1024);
+        let nm = nm_compact_gemm(&g, 128, 2048, 2048, 2, 4);
+        let tile = tile_compact_gemm(&g, 128, 2048, 2048, grid / 2, grid);
+        assert!(nm.time_us() > row.time_us(), "nm should pay a gather cost");
+        assert!(
+            nm.time_us() < tile.time_us(),
+            "nm should beat the 2-D gather"
+        );
+    }
+
+    #[test]
+    fn block_compact_prices_like_row_compact() {
+        let g = gpu();
+        let row = row_compact_gemm(&g, 128, 2048, 2048, 1024);
+        let block = block_compact_gemm(&g, 128, 2048, 2048, 32, 64, 32);
+        let ratio = block.time_us() / row.time_us();
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "block/row ratio {ratio} should be ~1 (both stream contiguous strips)"
+        );
+    }
+
+    #[test]
+    fn structured_kernels_price_monotonically_in_kept_fraction() {
+        // Lower kept fraction must never price slower, for every compacted
+        // kernel family.
+        let g = gpu();
+        let (m, k, n) = (128, 2048, 2048);
+        let row: Vec<f64> = [2048, 1024, 512, 256]
+            .iter()
+            .map(|&kept| row_compact_gemm(&g, m, k, n, kept).time_us())
+            .collect();
+        let nm: Vec<f64> = [(4, 4), (3, 4), (2, 4), (1, 4)]
+            .iter()
+            .map(|&(a, b)| nm_compact_gemm(&g, m, k, n, a, b).time_us())
+            .collect();
+        let blocks: Vec<f64> = [64, 48, 32, 16]
+            .iter()
+            .map(|&kept| block_compact_gemm(&g, m, k, n, kept, 64, 32).time_us())
+            .collect();
+        let grid = (n / 32) * (k / 32);
+        let tiles: Vec<f64> = [grid, grid / 2, grid / 4, grid / 8]
+            .iter()
+            .map(|&kept| tile_compact_gemm(&g, m, k, n, kept, grid).time_us())
+            .collect();
+        for series in [row, nm, blocks, tiles] {
+            for w in series.windows(2) {
+                assert!(
+                    w[1] <= w[0] + 1e-9,
+                    "dropping more must not price slower: {series:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structured_kernels_handle_zero_width_outputs() {
+        // Degenerate 0-wide layers must not underflow the dropped-output
+        // accounting (regression: `n - kept_n` with kept_n clamped to 1).
+        let g = gpu();
+        let nm = nm_compact_gemm(&g, 8, 8, 0, 2, 4);
+        let block = block_compact_gemm(&g, 8, 8, 0, 1, 2, 4);
+        assert!(nm.time_us().is_finite());
+        assert!(block.time_us().is_finite());
+        assert!(nm.global_write_bytes < 1e3, "{}", nm.global_write_bytes);
+        assert!(
+            block.global_write_bytes < 1e3,
+            "{}",
+            block.global_write_bytes
+        );
     }
 
     #[test]

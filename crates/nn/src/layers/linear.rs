@@ -1,21 +1,29 @@
 //! Dropout-aware fully connected layer.
 //!
 //! The layer computes `Z = X·W + b` and *executes* whatever
-//! [`DropoutPlan`] the layer's scheme sampled for the iteration:
+//! [`DropoutPlan`] the layer's scheme sampled for the iteration. The plan's
+//! fields are classified once by [`ExecPath`] — the single place in this
+//! crate that maps plan fields to kernels — and both the forward and the
+//! backward pass dispatch on that classification:
 //!
-//! * a plan with [`DropoutPlan::compact_rows`] runs the compacted GEMM of
-//!   the Row-based Dropout Pattern ([`tensor::row_compact_gemm`]): only the
-//!   kept output neurons are computed, the rest of the output stays zero,
-//!   and kept outputs are scaled by `dp`;
-//! * a plan with [`DropoutPlan::kept_tiles`] runs the compacted GEMM of the
-//!   Tile-based Dropout Pattern ([`tensor::tile_compact_gemm`]) and scales
-//!   the product by `dp`;
-//! * any other plan runs a dense GEMM and lets
-//!   [`DropoutPlan::apply_mask`] apply the conventional Bernoulli mask (a
-//!   no-op for the identity plan) — the baseline of the paper, Fig. 1(a).
+//! * [`ExecPath::Gather`] — scattered kept output neurons (the Row-based
+//!   Dropout Pattern, and N:M structured sparsity with the group structure
+//!   validated): the column-gather compacted kernels of `tensor::gemm`
+//!   compute only surviving neurons, scaled by the plan's inverted-dropout
+//!   factor;
+//! * [`ExecPath::Blocks`] — contiguous kept output-neuron blocks
+//!   (block-structured unit dropout): the block-compacted kernels stream
+//!   whole column strips with no gather at all;
+//! * [`ExecPath::Tiles`] — kept weight tiles of the Tile-based Dropout
+//!   Pattern ([`tensor::tile_compact_gemm`]);
+//! * [`ExecPath::Dense`] — dense GEMM, with
+//!   [`DropoutPlan::apply_mask`] applying the conventional Bernoulli mask
+//!   (a no-op for the identity plan) — the baseline of the paper,
+//!   Fig. 1(a).
 //!
-//! The layer never inspects *which* scheme produced the plan: new pattern
-//! families only need to populate the plan fields they use.
+//! The layer never inspects *which* scheme produced the plan: a new pattern
+//! family only needs to populate the plan fields it uses and, if it implies
+//! a new kernel shape, add one `ExecPath` arm here.
 //!
 //! Because dropped outputs are exactly zero and ReLU is positively
 //! homogeneous, applying the pattern to the pre-activation `Z` is
@@ -25,7 +33,58 @@
 use crate::optimizer::Sgd;
 use approx_dropout::{DropoutPlan, TileGrid};
 use rand::Rng;
-use tensor::{gemm, init, pool, Matrix, RowCompactScratch};
+use tensor::{gemm, init, pool, GatherColsScratch, Matrix, RowCompactScratch};
+
+/// The execution strategy a [`DropoutPlan`] implies for a fully connected
+/// layer — the per-variant dispatch extracted into one place so forward and
+/// backward can never disagree and a new scheme family is one new arm.
+enum ExecPath<'p> {
+    /// Dense GEMM; the plan's Bernoulli mask (if any) is applied after.
+    Dense,
+    /// Column-gather compaction over scattered kept output neurons; `nm`
+    /// carries the `(n, m)` group parameters when the plan is an N:M plan
+    /// (validated by the kernel).
+    Gather {
+        /// Kept output-neuron indices, ascending.
+        kept: &'p [usize],
+        /// `(n, m)` for N:M plans, `None` for row plans.
+        nm: Option<(usize, usize)>,
+    },
+    /// Contiguous block-strip compaction of block-structured unit dropout.
+    Blocks {
+        /// Kept block indices, ascending.
+        kept: &'p [usize],
+        /// Block width in neurons.
+        block: usize,
+    },
+    /// 2-D tile compaction of the Tile-based Dropout Pattern.
+    Tiles {
+        /// Kept tile indices, ascending.
+        kept: &'p [usize],
+        /// The tile grid the indices resolve against.
+        grid: &'p TileGrid,
+    },
+}
+
+/// Classifies a plan into its execution path.
+fn exec_path(plan: &DropoutPlan) -> ExecPath<'_> {
+    if let Some(kept) = plan.compact_rows() {
+        return ExecPath::Gather { kept, nm: None };
+    }
+    if let Some((kept, n, m)) = plan.nm_lanes() {
+        return ExecPath::Gather {
+            kept,
+            nm: Some((n, m)),
+        };
+    }
+    if let Some((kept, block, _)) = plan.kept_unit_blocks() {
+        return ExecPath::Blocks { kept, block };
+    }
+    if let Some((kept, grid)) = plan.kept_tiles() {
+        return ExecPath::Tiles { kept, grid };
+    }
+    ExecPath::Dense
+}
 
 /// A fully connected layer with weights `(in_features × out_features)` and a
 /// row-vector bias.
@@ -54,14 +113,11 @@ struct Workspace {
     armed: bool,
     /// Masked / scaled output-gradient buffer (dense and tile paths).
     grad: Matrix,
-    /// Row path: kept columns of the output gradient, gathered and scaled.
-    grad_kept: Matrix,
-    /// Row path: compact weight-gradient product `Xᵀ·G_kept`.
-    dw_kept: Matrix,
-    /// Row path: kept columns of `W`, gathered for the input gradient.
-    w_kept: Matrix,
-    /// Packing buffers for the row-compacted forward GEMM.
+    /// Packing buffers for the column-gather compacted forward GEMM (row
+    /// and N:M paths).
     row_scratch: RowCompactScratch,
+    /// Gather buffers for the column-gather compacted backward pass.
+    gather_scratch: GatherColsScratch,
 }
 
 impl Linear {
@@ -144,38 +200,70 @@ impl Linear {
             self.in_features(),
             "input width must match in_features"
         );
-        let output = if let Some(kept) = plan.compact_rows() {
-            let mut z = Matrix::default();
-            gemm::row_compact_gemm_into(
-                input,
-                &self.weight,
-                kept,
-                &mut self.ws.row_scratch,
-                &mut z,
-            )
-            .expect("kept indices come from the plan and are in bounds");
-            let scale = plan.scale();
-            let bias = self.bias.row(0);
-            for i in 0..z.rows() {
-                let row = z.row_mut(i);
-                for &j in kept {
-                    row[j] = (row[j] + bias[j]) * scale;
+        let output = match exec_path(plan) {
+            ExecPath::Gather { kept, nm } => {
+                let mut z = Matrix::default();
+                match nm {
+                    Some((n, m)) => gemm::nm_compact_gemm_into(
+                        input,
+                        &self.weight,
+                        kept,
+                        n,
+                        m,
+                        &mut self.ws.row_scratch,
+                        &mut z,
+                    ),
+                    None => gemm::row_compact_gemm_into(
+                        input,
+                        &self.weight,
+                        kept,
+                        &mut self.ws.row_scratch,
+                        &mut z,
+                    ),
                 }
+                .expect("kept indices come from the plan and are in bounds");
+                let scale = plan.scale();
+                let bias = self.bias.row(0);
+                for i in 0..z.rows() {
+                    let row = z.row_mut(i);
+                    for &j in kept {
+                        row[j] = (row[j] + bias[j]) * scale;
+                    }
+                }
+                z
             }
-            z
-        } else if let Some((kept, grid)) = plan.kept_tiles() {
-            let mut z = Matrix::default();
-            gemm::tile_compact_gemm_into(input, &self.weight, kept, grid.tile(), &mut z)
-                .expect("kept tiles come from the plan and are in bounds");
-            let scale = plan.scale();
-            z.map_inplace(|v| v * scale);
-            z.add_row_broadcast_inplace(&self.bias)
-                .expect("bias width matches output");
-            z
-        } else {
-            let mut z = self.dense_forward(input);
-            plan.apply_mask(&mut z);
-            z
+            ExecPath::Blocks { kept, block } => {
+                let mut z = Matrix::default();
+                gemm::block_compact_gemm_into(input, &self.weight, kept, block, &mut z)
+                    .expect("kept blocks come from the plan and are in bounds");
+                let scale = plan.scale();
+                let bias = self.bias.row(0);
+                let n = self.weight.cols();
+                for i in 0..z.rows() {
+                    let row = z.row_mut(i);
+                    for &b in kept {
+                        for j in (b * block)..((b + 1) * block).min(n) {
+                            row[j] = (row[j] + bias[j]) * scale;
+                        }
+                    }
+                }
+                z
+            }
+            ExecPath::Tiles { kept, grid } => {
+                let mut z = Matrix::default();
+                gemm::tile_compact_gemm_into(input, &self.weight, kept, grid.tile(), &mut z)
+                    .expect("kept tiles come from the plan and are in bounds");
+                let scale = plan.scale();
+                z.map_inplace(|v| v * scale);
+                z.add_row_broadcast_inplace(&self.bias)
+                    .expect("bias width matches output");
+                z
+            }
+            ExecPath::Dense => {
+                let mut z = self.dense_forward(input);
+                plan.apply_mask(&mut z);
+                z
+            }
         };
         // Cache by copying into the warmed workspace buffers: no fresh heap
         // allocation once shapes have stabilised.
@@ -232,98 +320,117 @@ impl Linear {
         let (in_features, out_features) = self.weight.shape();
         let batch = grad_output.rows();
 
-        let dx = if let Some(kept) = ws.plan.compact_rows() {
-            let scale = ws.plan.scale();
-            let nk = kept.len();
-            // Gather the kept columns of the output gradient, scaled like the
-            // forward pass — dropped outputs contribute nothing, so the dense
-            // zero-masked gradient matrix of the seed implementation is never
-            // materialised.
-            ws.grad_kept.resize_for_overwrite(batch, nk);
-            for i in 0..batch {
-                let src = grad_output.row(i);
-                let dst = ws.grad_kept.row_mut(i);
-                for (c, &j) in kept.iter().enumerate() {
-                    dst[c] = src[j] * scale;
+        let dx = match exec_path(&ws.plan) {
+            ExecPath::Gather { kept, .. } => {
+                let scale = ws.plan.scale();
+                // Fused backward pair: the scaled kept gradient columns are
+                // gathered once and reused for both products —
+                // dW = Xᵀ·(scale·G[:, kept]) scattered into the kept columns
+                // (dropped columns stay exactly zero; the dense zero-masked
+                // gradient matrix of the seed implementation is never
+                // materialised) and dX = (scale·G[:, kept]) · W[:, kept]ᵀ.
+                let mut dx = Matrix::default();
+                gemm::gather_cols_backward_into(
+                    &ws.input,
+                    grad_output,
+                    &self.weight,
+                    kept,
+                    scale,
+                    &mut ws.gather_scratch,
+                    &mut self.weight_grad,
+                    &mut dx,
+                )
+                .expect("shapes agree and kept indices come from the plan");
+                // Bias gradient: column sums of the scaled kept gradient.
+                self.bias_grad.resize(1, out_features);
+                let acc = self.bias_grad.row_mut(0);
+                for i in 0..batch {
+                    let row = grad_output.row(i);
+                    for &j in kept {
+                        acc[j] += row[j] * scale;
+                    }
                 }
+                dx
             }
-            // dW: compact product `Xᵀ·G_kept`, scattered into the kept
-            // columns; dropped columns stay exactly zero.
-            gemm::gemm_at_b_into(&ws.input, &ws.grad_kept, &mut ws.dw_kept)
+            ExecPath::Blocks { kept, block } => {
+                let scale = ws.plan.scale();
+                gemm::block_compact_gemm_at_b_into(
+                    &ws.input,
+                    grad_output,
+                    kept,
+                    block,
+                    scale,
+                    &mut self.weight_grad,
+                )
                 .expect("batch dimensions agree");
-            self.weight_grad.resize(in_features, out_features);
-            for r in 0..in_features {
-                let src = ws.dw_kept.row(r);
-                let dst = self.weight_grad.row_mut(r);
-                for (c, &j) in kept.iter().enumerate() {
-                    dst[j] = src[c];
-                }
-            }
-            // Bias gradient: column sums of the scaled kept gradient.
-            self.bias_grad.resize(1, out_features);
-            let acc = self.bias_grad.row_mut(0);
-            for i in 0..batch {
-                let row = ws.grad_kept.row(i);
-                for (c, &j) in kept.iter().enumerate() {
-                    acc[j] += row[c];
-                }
-            }
-            // dX = G_kept · W_keptᵀ: only the kept rows of Wᵀ contribute.
-            ws.w_kept.resize_for_overwrite(in_features, nk);
-            for r in 0..in_features {
-                let src = self.weight.row(r);
-                let dst = ws.w_kept.row_mut(r);
-                for (c, &j) in kept.iter().enumerate() {
-                    dst[c] = src[j];
-                }
-            }
-            let mut dx = Matrix::default();
-            gemm::gemm_a_bt_into(&ws.grad_kept, &ws.w_kept, &mut dx)
-                .expect("inner dimensions agree");
-            dx
-        } else if let Some((kept, grid)) = ws.plan.kept_tiles() {
-            let scale = ws.plan.scale();
-            ws.grad.clone_from(grad_output);
-            ws.grad.map_inplace(|v| v * scale);
-            // dW = (Xᵀ·g) with dropped tiles zeroed by iterating the tile
-            // bounds directly over the gradient — no `(rows × cols)` mask
-            // matrix is ever allocated.
-            gemm::gemm_at_b_into(&ws.input, &ws.grad, &mut self.weight_grad)
-                .expect("batch dimensions agree");
-            zero_dropped_tiles(&mut self.weight_grad, kept, grid);
-            grad_output.sum_rows_into(&mut self.bias_grad);
-            // dX = g · (W ⊙ M)ᵀ accumulated tile-by-tile: only kept tiles
-            // contribute, Wᵀ is never materialised, and the batch dimension
-            // splits across the pool like every other gradient product.
-            let bounds: Vec<_> = kept.iter().map(|&t| grid.tile_bounds(t)).collect();
-            let grad = &ws.grad;
-            let weight = &self.weight;
-            let mut dx = Matrix::zeros(batch, in_features);
-            pool::run_row_chunks(batch, in_features, dx.as_mut_slice(), |rows, chunk| {
-                for (local, i) in rows.enumerate() {
-                    let grow = grad.row(i);
-                    let dxrow = &mut chunk[local * in_features..(local + 1) * in_features];
-                    for (rr, cc) in &bounds {
-                        let gslice = &grow[cc.clone()];
-                        for p in rr.clone() {
-                            dxrow[p] += gemm::dot(gslice, &weight.row(p)[cc.clone()]);
+                self.bias_grad.resize(1, out_features);
+                let acc = self.bias_grad.row_mut(0);
+                for i in 0..batch {
+                    let row = grad_output.row(i);
+                    for &b in kept {
+                        for j in (b * block)..((b + 1) * block).min(out_features) {
+                            acc[j] += row[j] * scale;
                         }
                     }
                 }
-            });
-            dx
-        } else {
-            // Dense (identity or Bernoulli-masked) path: the gradient flows
-            // only through kept neurons, scaled like the forward pass — a
-            // no-op when the plan is the identity.
-            ws.grad.clone_from(grad_output);
-            ws.plan.apply_mask(&mut ws.grad);
-            gemm::gemm_at_b_into(&ws.input, &ws.grad, &mut self.weight_grad)
-                .expect("batch dimensions agree");
-            ws.grad.sum_rows_into(&mut self.bias_grad);
-            let mut dx = Matrix::default();
-            gemm::gemm_a_bt_into(&ws.grad, &self.weight, &mut dx).expect("inner dimensions agree");
-            dx
+                let mut dx = Matrix::default();
+                gemm::block_compact_gemm_a_bt_into(
+                    grad_output,
+                    &self.weight,
+                    kept,
+                    block,
+                    scale,
+                    &mut dx,
+                )
+                .expect("inner dimensions agree");
+                dx
+            }
+            ExecPath::Tiles { kept, grid } => {
+                let scale = ws.plan.scale();
+                ws.grad.clone_from(grad_output);
+                ws.grad.map_inplace(|v| v * scale);
+                // dW = (Xᵀ·g) with dropped tiles zeroed by iterating the tile
+                // bounds directly over the gradient — no `(rows × cols)` mask
+                // matrix is ever allocated.
+                gemm::gemm_at_b_into(&ws.input, &ws.grad, &mut self.weight_grad)
+                    .expect("batch dimensions agree");
+                zero_dropped_tiles(&mut self.weight_grad, kept, grid);
+                grad_output.sum_rows_into(&mut self.bias_grad);
+                // dX = g · (W ⊙ M)ᵀ accumulated tile-by-tile: only kept tiles
+                // contribute, Wᵀ is never materialised, and the batch dimension
+                // splits across the pool like every other gradient product.
+                let bounds: Vec<_> = kept.iter().map(|&t| grid.tile_bounds(t)).collect();
+                let grad = &ws.grad;
+                let weight = &self.weight;
+                let mut dx = Matrix::zeros(batch, in_features);
+                pool::run_row_chunks(batch, in_features, dx.as_mut_slice(), |rows, chunk| {
+                    for (local, i) in rows.enumerate() {
+                        let grow = grad.row(i);
+                        let dxrow = &mut chunk[local * in_features..(local + 1) * in_features];
+                        for (rr, cc) in &bounds {
+                            let gslice = &grow[cc.clone()];
+                            for p in rr.clone() {
+                                dxrow[p] += gemm::dot(gslice, &weight.row(p)[cc.clone()]);
+                            }
+                        }
+                    }
+                });
+                dx
+            }
+            ExecPath::Dense => {
+                // Dense (identity or Bernoulli-masked) path: the gradient
+                // flows only through kept neurons, scaled like the forward
+                // pass — a no-op when the plan is the identity.
+                ws.grad.clone_from(grad_output);
+                ws.plan.apply_mask(&mut ws.grad);
+                gemm::gemm_at_b_into(&ws.input, &ws.grad, &mut self.weight_grad)
+                    .expect("batch dimensions agree");
+                ws.grad.sum_rows_into(&mut self.bias_grad);
+                let mut dx = Matrix::default();
+                gemm::gemm_a_bt_into(&ws.grad, &self.weight, &mut dx)
+                    .expect("inner dimensions agree");
+                dx
+            }
         };
         self.ws = ws;
         dx
@@ -582,6 +689,155 @@ mod tests {
                 assert!(norm > 0.0, "kept tile {t} should receive gradient");
             } else {
                 assert_eq!(norm, 0.0, "dropped tile {t} must have zero gradient");
+            }
+        }
+    }
+
+    fn nm_plan(layer: &Linear, n: usize, m: usize, seed: u64) -> DropoutPlan {
+        let mut scheme = approx_dropout::NmSparsity::new(n, m).unwrap();
+        use approx_dropout::DropoutScheme;
+        scheme.plan(
+            &mut StdRng::seed_from_u64(seed),
+            LayerShape::new(layer.in_features(), layer.out_features()),
+        )
+    }
+
+    fn block_plan(layer: &Linear, rate: f64, block: usize, seed: u64) -> DropoutPlan {
+        let mut scheme =
+            approx_dropout::BlockUnit::new(approx_dropout::DropoutRate::new(rate).unwrap(), block)
+                .unwrap();
+        use approx_dropout::DropoutScheme;
+        scheme.plan(
+            &mut StdRng::seed_from_u64(seed),
+            LayerShape::new(layer.in_features(), layer.out_features()),
+        )
+    }
+
+    /// Masked-dense forward reference shared by the structured plans: dense
+    /// `X·W + b`, then the plan's column multiplier.
+    fn column_masked_reference(layer: &Linear, x: &Matrix, plan: &DropoutPlan) -> Matrix {
+        let dense = x
+            .matmul(layer.weight())
+            .add_row_broadcast(layer.bias())
+            .unwrap();
+        let mult = plan.column_multiplier(layer.out_features());
+        Matrix::from_fn(dense.rows(), dense.cols(), |i, j| dense[(i, j)] * mult[j])
+    }
+
+    #[test]
+    fn nm_plan_forward_matches_masked_dense() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut layer = Linear::new(&mut rng, 6, 12);
+        let plan = nm_plan(&layer, 2, 4, 99);
+        let x = init::uniform(&mut rng, 3, 6, -1.0, 1.0);
+        let reference = column_masked_reference(&layer, &x, &plan);
+        let compact = layer.forward(&x, &plan);
+        assert!(tensor::approx_eq_slice(
+            compact.as_slice(),
+            reference.as_slice(),
+            1e-3
+        ));
+        // Exactly half the output columns are live under 2:4.
+        let live = (0..12)
+            .filter(|&j| (0..3).any(|i| compact[(i, j)] != 0.0))
+            .count();
+        assert_eq!(live, 6);
+    }
+
+    #[test]
+    fn nm_plan_backward_zeroes_dropped_lane_gradients() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut layer = Linear::new(&mut rng, 5, 8);
+        let plan = nm_plan(&layer, 1, 4, 7);
+        let (kept, _, _) = plan.nm_lanes().unwrap();
+        let kept = kept.to_vec();
+        let x = init::uniform(&mut rng, 4, 5, -1.0, 1.0);
+        let _ = layer.forward(&x, &plan);
+        let dx = layer.backward(&Matrix::ones(4, 8));
+        assert_eq!(dx.shape(), (4, 5));
+        for c in 0..8 {
+            let col_norm: f32 = (0..5).map(|r| layer.weight_grad()[(r, c)].abs()).sum();
+            if kept.contains(&c) {
+                assert!(col_norm > 0.0, "kept lane {c} should receive gradient");
+            } else {
+                assert_eq!(col_norm, 0.0, "dropped lane {c} must have zero gradient");
+            }
+        }
+    }
+
+    #[test]
+    fn block_plan_forward_matches_masked_dense() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut layer = Linear::new(&mut rng, 7, 10); // ragged last block
+        let plan = block_plan(&layer, 0.5, 4, 3);
+        let x = init::uniform(&mut rng, 3, 7, -1.0, 1.0);
+        let reference = column_masked_reference(&layer, &x, &plan);
+        let compact = layer.forward(&x, &plan);
+        assert!(tensor::approx_eq_slice(
+            compact.as_slice(),
+            reference.as_slice(),
+            1e-3
+        ));
+    }
+
+    #[test]
+    fn block_plan_backward_zeroes_dropped_block_gradients() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut layer = Linear::new(&mut rng, 6, 12);
+        let plan = block_plan(&layer, 0.5, 4, 11);
+        let (kept, block, total) = plan.kept_unit_blocks().unwrap();
+        let kept = kept.to_vec();
+        assert!(kept.len() < total, "seed should drop at least one block");
+        let x = init::uniform(&mut rng, 3, 6, -1.0, 1.0);
+        let _ = layer.forward(&x, &plan);
+        let _ = layer.backward(&Matrix::ones(3, 12));
+        for b in 0..total {
+            let cols = (b * block)..((b + 1) * block).min(12);
+            let norm: f32 = cols
+                .flat_map(|c| (0..6).map(move |r| (r, c)))
+                .map(|(r, c)| layer.weight_grad()[(r, c)].abs())
+                .sum();
+            if kept.contains(&b) {
+                assert!(norm > 0.0, "kept block {b} should receive gradient");
+            } else {
+                assert_eq!(norm, 0.0, "dropped block {b} must have zero gradient");
+            }
+        }
+    }
+
+    #[test]
+    fn structured_numerical_gradient_check() {
+        // Loss = sum of outputs under a fixed structured plan; analytic dW
+        // must match central differences through the compacted kernels.
+        for (label, plan_of) in [
+            (
+                "nm",
+                Box::new(|l: &Linear| nm_plan(l, 2, 4, 5)) as Box<dyn Fn(&Linear) -> DropoutPlan>,
+            ),
+            ("block", Box::new(|l: &Linear| block_plan(l, 0.5, 2, 5))),
+        ] {
+            let mut rng = StdRng::seed_from_u64(24);
+            let mut layer = Linear::new(&mut rng, 4, 8);
+            let plan = plan_of(&layer);
+            let x = init::uniform(&mut rng, 2, 4, -1.0, 1.0);
+            let _ = layer.forward(&x, &plan);
+            let _ = layer.backward(&Matrix::ones(2, 8));
+            let analytic = layer.weight_grad().clone();
+            let eps = 1e-2f32;
+            for &(r, c) in &[(0usize, 0usize), (1, 3), (2, 5), (3, 7)] {
+                let perturb = |delta: f32| {
+                    let mut copy = layer.clone();
+                    let mut w = copy.weight.clone();
+                    w[(r, c)] += delta;
+                    copy.weight = w;
+                    copy.forward(&x, &plan).sum()
+                };
+                let numeric = (perturb(eps) - perturb(-eps)) / (2.0 * eps);
+                assert!(
+                    (analytic[(r, c)] - numeric).abs() < 2e-2,
+                    "{label} grad mismatch at ({r},{c}): {} vs {numeric}",
+                    analytic[(r, c)]
+                );
             }
         }
     }

@@ -20,11 +20,18 @@ use crate::metrics::perplexity_from_nll;
 use crate::optimizer::Sgd;
 use approx_dropout::{DropoutPlan, DropoutScheme, LayerShape};
 use rand::Rng;
-use tensor::{gemm, init, ops, Matrix};
+use tensor::{gemm, init, Matrix};
 
 /// One LSTM layer (cell iterated over a sequence) with combined gate weights.
 ///
 /// Gate layout along the `4·hidden` axis is `[input | forget | cell | output]`.
+///
+/// The per-timestep gate matrices live in recycled workspaces: the
+/// [`StepCache`] entries are reused across *iterations* (re-resolved in
+/// place each forward pass) and the gate pre-activation / BPTT buffers are
+/// reused across *timesteps*, so the sequence loops perform no per-step
+/// heap allocations once the shapes have stabilised — the same workspace
+/// discipline the `Linear` layer follows.
 #[derive(Debug, Clone)]
 pub struct LstmCell {
     w_x: Matrix,
@@ -37,10 +44,25 @@ pub struct LstmCell {
     w_h_vel: Matrix,
     bias_vel: Matrix,
     hidden: usize,
+    /// Per-timestep caches, reused across iterations (entries are
+    /// re-resolved in place, never reallocated while shapes are stable).
     cache: Vec<StepCache>,
+    /// Timesteps cached by the most recent forward pass (the cache vector
+    /// itself persists for buffer reuse, so its length is not the marker).
+    steps: usize,
+    /// Running hidden state of the forward sequence loop.
+    h_state: Matrix,
+    /// Running cell state of the forward sequence loop.
+    c_state: Matrix,
+    /// Gate pre-activation workspace `z = x·W_x + h·W_h + b`.
+    z_ws: Matrix,
+    /// Second GEMM product workspace (`h·W_h`) merged into `z_ws`.
+    zh_ws: Matrix,
+    /// Backward-through-time workspaces.
+    bptt: BpttWorkspace,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct StepCache {
     x: Matrix,
     h_prev: Matrix,
@@ -52,21 +74,33 @@ struct StepCache {
     tanh_c: Matrix,
 }
 
-/// Copies columns `[start, end)` of `m` into a new matrix.
-fn slice_cols(m: &Matrix, start: usize, end: usize) -> Matrix {
-    let mut out = Matrix::zeros(m.rows(), end - start);
-    for i in 0..m.rows() {
-        out.row_mut(i).copy_from_slice(&m.row(i)[start..end]);
-    }
-    out
+/// Recycled buffers of the backward-through-time loop: the combined gate
+/// gradient and the recurrent hidden/cell gradients that flow between
+/// timesteps, plus the per-step bias-row reduction.
+#[derive(Debug, Clone, Default)]
+struct BpttWorkspace {
+    dz: Matrix,
+    dh_next: Matrix,
+    dc_next: Matrix,
+    bias_rows: Matrix,
 }
 
-/// Writes `src` into columns `[start, …)` of `dst`.
-fn write_cols(dst: &mut Matrix, src: &Matrix, start: usize) {
-    let width = src.cols();
-    for i in 0..src.rows() {
-        dst.row_mut(i)[start..start + width].copy_from_slice(src.row(i));
+/// Applies `f` to columns `[start, end)` of `z`, writing into `out`
+/// (resized in place) — the allocation-free replacement for slicing a gate
+/// column band into a fresh matrix every timestep.
+fn gate_into(z: &Matrix, start: usize, end: usize, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+    out.resize_for_overwrite(z.rows(), end - start);
+    for b in 0..z.rows() {
+        let src = &z.row(b)[start..end];
+        for (dst, &v) in out.row_mut(b).iter_mut().zip(src) {
+            *dst = f(v);
+        }
     }
+}
+
+#[inline]
+fn sigmoid_scalar(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
 }
 
 impl LstmCell {
@@ -89,6 +123,12 @@ impl LstmCell {
             bias_vel: Matrix::zeros(1, 4 * hidden),
             hidden,
             cache: Vec::new(),
+            steps: 0,
+            h_state: Matrix::default(),
+            c_state: Matrix::default(),
+            z_ws: Matrix::default(),
+            zh_ws: Matrix::default(),
+            bptt: BpttWorkspace::default(),
         }
     }
 
@@ -111,44 +151,64 @@ impl LstmCell {
     /// matrix per timestep) starting from a zero state, returning the hidden
     /// state of every timestep and caching intermediates for backward.
     pub fn forward_sequence(&mut self, inputs: &[Matrix]) -> Vec<Matrix> {
-        self.cache.clear();
         let batch = inputs.first().map_or(0, Matrix::rows);
         let h = self.hidden;
-        let mut h_prev = Matrix::zeros(batch, h);
-        let mut c_prev = Matrix::zeros(batch, h);
+        // Zero-initialised running state, buffers recycled across
+        // iterations.
+        self.h_state.resize(batch, h);
+        self.c_state.resize(batch, h);
         let mut outputs = Vec::with_capacity(inputs.len());
-        for x in inputs {
-            let z = x
-                .matmul(&self.w_x)
-                .add(&h_prev.matmul(&self.w_h))
-                .expect("gate pre-activation shapes agree")
-                .add_row_broadcast(&self.bias)
+        for (t, x) in inputs.iter().enumerate() {
+            if self.cache.len() <= t {
+                self.cache.push(StepCache::default());
+            }
+            // z = x·W_x + h_prev·W_h + b, accumulated in the recycled gate
+            // workspace (same evaluation order as the allocating
+            // formulation).
+            gemm::blocked_gemm_into(x, &self.w_x, &mut self.z_ws)
+                .expect("gate pre-activation shapes agree");
+            gemm::blocked_gemm_into(&self.h_state, &self.w_h, &mut self.zh_ws)
+                .expect("gate pre-activation shapes agree");
+            self.z_ws
+                .axpy_inplace(1.0, &self.zh_ws)
+                .expect("gate pre-activation shapes agree");
+            self.z_ws
+                .add_row_broadcast_inplace(&self.bias)
                 .expect("bias width matches 4*hidden");
-            let i = ops::sigmoid(&slice_cols(&z, 0, h));
-            let f = ops::sigmoid(&slice_cols(&z, h, 2 * h));
-            let g = ops::tanh(&slice_cols(&z, 2 * h, 3 * h));
-            let o = ops::sigmoid(&slice_cols(&z, 3 * h, 4 * h));
-            let c = f
-                .hadamard(&c_prev)
-                .expect("cell state shapes agree")
-                .add(&i.hadamard(&g).expect("gate shapes agree"))
-                .expect("cell state shapes agree");
-            let tanh_c = ops::tanh(&c);
-            let h_new = o.hadamard(&tanh_c).expect("gate shapes agree");
-            self.cache.push(StepCache {
-                x: x.clone(),
-                h_prev: h_prev.clone(),
-                c_prev: c_prev.clone(),
-                i,
-                f,
-                g,
-                o,
-                tanh_c,
-            });
-            outputs.push(h_new.clone());
-            h_prev = h_new;
-            c_prev = c;
+
+            let cache = &mut self.cache[t];
+            cache.x.clone_from(x);
+            cache.h_prev.clone_from(&self.h_state);
+            cache.c_prev.clone_from(&self.c_state);
+            gate_into(&self.z_ws, 0, h, &mut cache.i, sigmoid_scalar);
+            gate_into(&self.z_ws, h, 2 * h, &mut cache.f, sigmoid_scalar);
+            gate_into(&self.z_ws, 2 * h, 3 * h, &mut cache.g, f32::tanh);
+            gate_into(&self.z_ws, 3 * h, 4 * h, &mut cache.o, sigmoid_scalar);
+            // c = f ⊙ c_prev + i ⊙ g, updating the cell state in place
+            // (c_prev is already saved in the cache).
+            cache.tanh_c.resize_for_overwrite(batch, h);
+            for b in 0..batch {
+                let crow = self.c_state.row_mut(b);
+                let (irow, frow, grow) = (cache.i.row(b), cache.f.row(b), cache.g.row(b));
+                for j in 0..h {
+                    crow[j] = frow[j] * crow[j] + irow[j] * grow[j];
+                }
+                let tcrow = cache.tanh_c.row_mut(b);
+                for (tc, &c) in tcrow.iter_mut().zip(&*crow) {
+                    *tc = c.tanh();
+                }
+            }
+            // h = o ⊙ tanh(c), again in place over the hidden state.
+            for b in 0..batch {
+                let hrow = self.h_state.row_mut(b);
+                let (orow, tcrow) = (cache.o.row(b), cache.tanh_c.row(b));
+                for j in 0..h {
+                    hrow[j] = orow[j] * tcrow[j];
+                }
+            }
+            outputs.push(self.h_state.clone());
         }
+        self.steps = inputs.len();
         outputs
     }
 
@@ -163,10 +223,10 @@ impl LstmCell {
     pub fn backward_sequence(&mut self, grad_hidden: &[Matrix]) -> Vec<Matrix> {
         assert_eq!(
             grad_hidden.len(),
-            self.cache.len(),
+            self.steps,
             "one hidden gradient per cached timestep is required"
         );
-        assert!(!self.cache.is_empty(), "backward called without forward");
+        assert!(self.steps > 0, "backward called without forward");
         let h = self.hidden;
         let batch = grad_hidden[0].rows();
 
@@ -178,66 +238,75 @@ impl LstmCell {
         // across the whole sequence.
         let mut dw_scratch = Matrix::default();
 
-        let mut dh_next = Matrix::zeros(batch, h);
-        let mut dc_next = Matrix::zeros(batch, h);
-        for t in (0..self.cache.len()).rev() {
+        // Recurrent gradients and the combined gate gradient live in the
+        // recycled BPTT workspace; moved out so its buffers can be borrowed
+        // alongside `self`'s parameter fields.
+        let mut ws = std::mem::take(&mut self.bptt);
+        ws.dh_next.resize(batch, h);
+        ws.dc_next.resize(batch, h);
+        for t in (0..self.steps).rev() {
             let cache = &self.cache[t];
-            let dh = grad_hidden[t]
-                .add(&dh_next)
-                .expect("hidden grads share shape");
-            // h = o ⊙ tanh(c)
-            let d_o = dh.hadamard(&cache.tanh_c).expect("shapes agree");
-            let dc_from_h = dh
-                .hadamard(&cache.o)
-                .expect("shapes agree")
-                .hadamard(&ops::tanh_grad_from_output(&cache.tanh_c))
-                .expect("shapes agree");
-            let dc = dc_from_h.add(&dc_next).expect("shapes agree");
-            // c = f ⊙ c_prev + i ⊙ g
-            let d_f = dc.hadamard(&cache.c_prev).expect("shapes agree");
-            let d_i = dc.hadamard(&cache.g).expect("shapes agree");
-            let d_g = dc.hadamard(&cache.i).expect("shapes agree");
-            dc_next = dc.hadamard(&cache.f).expect("shapes agree");
-            // Pre-activation gradients.
-            let dz_i = d_i
-                .hadamard(&ops::sigmoid_grad_from_output(&cache.i))
-                .expect("shapes agree");
-            let dz_f = d_f
-                .hadamard(&ops::sigmoid_grad_from_output(&cache.f))
-                .expect("shapes agree");
-            let dz_g = d_g
-                .hadamard(&ops::tanh_grad_from_output(&cache.g))
-                .expect("shapes agree");
-            let dz_o = d_o
-                .hadamard(&ops::sigmoid_grad_from_output(&cache.o))
-                .expect("shapes agree");
-            let mut dz = Matrix::zeros(batch, 4 * h);
-            write_cols(&mut dz, &dz_i, 0);
-            write_cols(&mut dz, &dz_f, h);
-            write_cols(&mut dz, &dz_g, 2 * h);
-            write_cols(&mut dz, &dz_o, 3 * h);
+            // All gate gradients fused into one pass that writes the
+            // `[di | df | dg | do]` bands of the recycled dz buffer — no
+            // per-step gate-gradient matrices are ever materialised. The
+            // per-element expressions (and their evaluation order) match
+            // the hadamard formulation they replace.
+            ws.dz.resize_for_overwrite(batch, 4 * h);
+            for b in 0..batch {
+                let gh = grad_hidden[t].row(b);
+                let dh_next_row = ws.dh_next.row(b);
+                let dc_next_row = ws.dc_next.row_mut(b);
+                let dzrow = ws.dz.row_mut(b);
+                let (irow, frow, grow, orow) = (
+                    cache.i.row(b),
+                    cache.f.row(b),
+                    cache.g.row(b),
+                    cache.o.row(b),
+                );
+                let (tcrow, cprow) = (cache.tanh_c.row(b), cache.c_prev.row(b));
+                for j in 0..h {
+                    // h = o ⊙ tanh(c)
+                    let dh = gh[j] + dh_next_row[j];
+                    let d_o = dh * tcrow[j];
+                    let dc = dh * orow[j] * (1.0 - tcrow[j] * tcrow[j]) + dc_next_row[j];
+                    // c = f ⊙ c_prev + i ⊙ g
+                    let d_f = dc * cprow[j];
+                    let d_i = dc * grow[j];
+                    let d_g = dc * irow[j];
+                    dc_next_row[j] = dc * frow[j];
+                    // Pre-activation gradients.
+                    dzrow[j] = d_i * (irow[j] * (1.0 - irow[j]));
+                    dzrow[h + j] = d_f * (frow[j] * (1.0 - frow[j]));
+                    dzrow[2 * h + j] = d_g * (1.0 - grow[j] * grow[j]);
+                    dzrow[3 * h + j] = d_o * (orow[j] * (1.0 - orow[j]));
+                }
+            }
 
             // Transposed-operand kernels: `Xᵀ·dZ` and `dZ·Wᵀ` without ever
             // materialising a transpose (paper-scale LSTMs run this for
             // every timestep of every layer).
-            gemm::gemm_at_b_into(&cache.x, &dz, &mut dw_scratch)
+            gemm::gemm_at_b_into(&cache.x, &ws.dz, &mut dw_scratch)
                 .expect("weight gradient shapes agree");
             self.w_x_grad
                 .axpy_inplace(1.0, &dw_scratch)
                 .expect("weight gradient shapes agree");
-            gemm::gemm_at_b_into(&cache.h_prev, &dz, &mut dw_scratch)
+            gemm::gemm_at_b_into(&cache.h_prev, &ws.dz, &mut dw_scratch)
                 .expect("weight gradient shapes agree");
             self.w_h_grad
                 .axpy_inplace(1.0, &dw_scratch)
                 .expect("weight gradient shapes agree");
+            ws.dz.sum_rows_into(&mut ws.bias_rows);
             self.bias_grad
-                .axpy_inplace(1.0, &dz.sum_rows())
+                .axpy_inplace(1.0, &ws.bias_rows)
                 .expect("bias gradient shapes agree");
 
-            dx_list[t] = gemm::gemm_a_bt(&dz, &self.w_x).expect("input gradient shapes agree");
-            dh_next = gemm::gemm_a_bt(&dz, &self.w_h).expect("hidden gradient shapes agree");
+            gemm::gemm_a_bt_into(&ws.dz, &self.w_x, &mut dx_list[t])
+                .expect("input gradient shapes agree");
+            gemm::gemm_a_bt_into(&ws.dz, &self.w_h, &mut ws.dh_next)
+                .expect("hidden gradient shapes agree");
         }
-        self.cache.clear();
+        self.bptt = ws;
+        self.steps = 0;
         dx_list
     }
 
@@ -700,6 +769,55 @@ mod tests {
                 "w_x[{r},{c}]: numeric {numeric} vs analytic {analytic}"
             );
         }
+    }
+
+    #[test]
+    fn gate_workspaces_are_recycled_across_iterations() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut cell = LstmCell::new(&mut rng, 8, 16);
+        let inputs: Vec<Matrix> = (0..3).map(|_| Matrix::ones(4, 8)).collect();
+        let outputs = cell.forward_sequence(&inputs);
+        let grads: Vec<Matrix> = outputs
+            .iter()
+            .map(|h| Matrix::ones(h.rows(), h.cols()))
+            .collect();
+        let _ = cell.backward_sequence(&grads);
+        // Second iteration with the same shapes: the per-timestep gate
+        // caches and the BPTT gate-gradient buffer must be reused, not
+        // reallocated.
+        let gate_ptr = cell.cache[0].i.as_slice().as_ptr();
+        let dz_ptr = cell.bptt.dz.as_slice().as_ptr();
+        let _ = cell.forward_sequence(&inputs);
+        assert_eq!(
+            gate_ptr,
+            cell.cache[0].i.as_slice().as_ptr(),
+            "gate cache must be recycled"
+        );
+        let _ = cell.backward_sequence(&grads);
+        assert_eq!(
+            dz_ptr,
+            cell.bptt.dz.as_slice().as_ptr(),
+            "dz workspace must be recycled"
+        );
+    }
+
+    #[test]
+    fn shrinking_sequence_reuses_then_truncates_cached_steps() {
+        // A shorter sequence after a longer one must not leave stale steps
+        // visible to backward.
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut cell = LstmCell::new(&mut rng, 4, 8);
+        let long: Vec<Matrix> = (0..5).map(|_| Matrix::ones(2, 4)).collect();
+        let _ = cell.forward_sequence(&long);
+        let short: Vec<Matrix> = (0..2).map(|_| Matrix::ones(2, 4)).collect();
+        let outputs = cell.forward_sequence(&short);
+        assert_eq!(outputs.len(), 2);
+        let grads: Vec<Matrix> = outputs
+            .iter()
+            .map(|h| Matrix::ones(h.rows(), h.cols()))
+            .collect();
+        let dx = cell.backward_sequence(&grads);
+        assert_eq!(dx.len(), 2);
     }
 
     #[test]

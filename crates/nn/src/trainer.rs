@@ -72,16 +72,32 @@ impl Trainer {
     }
 
     /// Runs the loop. The closure receives the 0-based iteration index and
-    /// returns `(loss, accuracy)` for that iteration.
+    /// returns `(loss, accuracy)` for that iteration; every iteration is
+    /// charged the fixed `time_per_iteration_us` of the configuration.
     pub fn run(&self, mut step: impl FnMut(usize) -> (f64, f64)) -> Vec<TrainRecord> {
-        let mut records = Vec::new();
-        for it in 0..self.config.iterations {
+        let fixed = self.config.time_per_iteration_us;
+        self.run_timed(|it| {
             let (loss, accuracy) = step(it);
+            (loss, accuracy, fixed)
+        })
+    }
+
+    /// Like [`Trainer::run`] but with the closure also returning the
+    /// iteration's *own* time in microseconds, which is accumulated into
+    /// the elapsed axis. This is how the Fig. 5 convergence curves charge
+    /// each iteration the time of its concretely sampled dropout plans
+    /// (via `gpu_sim`'s `iteration_time_from_plans`) instead of a mean.
+    pub fn run_timed(&self, mut step: impl FnMut(usize) -> (f64, f64, f64)) -> Vec<TrainRecord> {
+        let mut records = Vec::new();
+        let mut elapsed_us = 0.0;
+        for it in 0..self.config.iterations {
+            let (loss, accuracy, time_us) = step(it);
+            elapsed_us += time_us;
             let iteration = it + 1;
             if iteration % self.config.record_every == 0 || iteration == self.config.iterations {
                 records.push(TrainRecord {
                     iteration,
-                    elapsed_us: iteration as f64 * self.config.time_per_iteration_us,
+                    elapsed_us,
                     loss,
                     accuracy,
                 });
@@ -118,6 +134,23 @@ mod tests {
         let f = fast.run(|_| (0.0, 0.0));
         let s = slow.run(|_| (0.0, 0.0));
         assert!((s.last().unwrap().elapsed_us / f.last().unwrap().elapsed_us - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_timed_accumulates_per_iteration_times() {
+        let trainer = Trainer::new(TrainerConfig::new(4, 1, 0.0));
+        // Iteration times 10, 20, 30, 40 → cumulative 10, 30, 60, 100.
+        let records = trainer.run_timed(|it| (0.0, 0.0, (it + 1) as f64 * 10.0));
+        let elapsed: Vec<f64> = records.iter().map(|r| r.elapsed_us).collect();
+        assert_eq!(elapsed, vec![10.0, 30.0, 60.0, 100.0]);
+    }
+
+    #[test]
+    fn run_is_run_timed_with_a_fixed_time() {
+        let trainer = Trainer::new(TrainerConfig::new(3, 1, 7.0));
+        let fixed = trainer.run(|_| (0.0, 0.0));
+        let timed = trainer.run_timed(|_| (0.0, 0.0, 7.0));
+        assert_eq!(fixed, timed);
     }
 
     #[test]

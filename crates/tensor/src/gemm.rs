@@ -339,13 +339,75 @@ pub fn gemm_a_bt(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
 // Compacted kernels
 // ---------------------------------------------------------------------------
 
-/// Reusable packing buffers for [`row_compact_gemm_into`]: the compact
-/// weight panel and the compact product, recycled across training iterations
-/// so the hot path performs no per-call allocations once warmed up.
+/// Reusable packing buffers for the column-gather compacted GEMMs
+/// ([`gather_cols_gemm_into`] and its [`row_compact_gemm_into`] /
+/// [`nm_compact_gemm_into`] wrappers): the compact weight panel and the
+/// compact product, recycled across training iterations so the hot path
+/// performs no per-call allocations once warmed up.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RowCompactScratch {
     pack: Matrix,
     product: Matrix,
+}
+
+fn check_kept_cols(kept: &[usize], n: usize) -> Result<(), GemmError> {
+    if let Some(&bad) = kept.iter().find(|&&j| j >= n) {
+        return Err(GemmError::new(format!(
+            "kept output index {bad} out of bounds for {n} output features"
+        )));
+    }
+    Ok(())
+}
+
+/// Column-gather compacted GEMM: the shared execution core of every scheme
+/// that drops whole output neurons at scattered positions (the Row-based
+/// Dropout Pattern and N:M structured sparsity).
+///
+/// Computes `C = A * W` where only the output columns listed in `kept_cols`
+/// participate: the surviving columns of `W` are packed into a dense panel,
+/// a small `M × K × |kept|` GEMM runs, and the compact product is scattered
+/// back into the full-size zero output — steps 1–3 of the paper's
+/// Fig. 3(a), generalised to an arbitrary kept set.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree or any kept
+/// index is out of bounds.
+pub fn gather_cols_gemm_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_cols: &[usize],
+    scratch: &mut RowCompactScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    check_kept_cols(kept_cols, n)?;
+    // Pack only the kept columns of W into a dense panel (step 1: fetch
+    // only surviving synapses), …
+    let k = w.rows();
+    let nk = kept_cols.len();
+    scratch.pack.resize_for_overwrite(k, nk);
+    for p in 0..k {
+        let wrow = w.row(p);
+        let dst = scratch.pack.row_mut(p);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            dst[c] = wrow[j];
+        }
+    }
+    // … run the small GEMM (step 2), …
+    blocked_gemm_into(a, &scratch.pack, &mut scratch.product)?;
+    // … and scatter back into the full-size zero output (step 3).
+    let m = a.rows();
+    out.resize(m, n);
+    for i in 0..m {
+        let src = scratch.product.row(i);
+        let dst = out.row_mut(i);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            dst[j] = src[c];
+        }
+    }
+    Ok(())
 }
 
 /// Row-compacted GEMM used by the Row-based Dropout Pattern, writing into
@@ -364,38 +426,271 @@ pub fn row_compact_gemm_into(
     scratch: &mut RowCompactScratch,
     out: &mut Matrix,
 ) -> Result<(), GemmError> {
-    check_inner(a, w)?;
-    let n = w.cols();
-    if let Some(&bad) = kept_output_rows.iter().find(|&&j| j >= n) {
-        return Err(GemmError::new(format!(
-            "kept output index {bad} out of bounds for {n} output features"
-        )));
+    gather_cols_gemm_into(a, w, kept_output_rows, scratch, out)
+}
+
+/// Validates that `kept_cols` has the N:M group structure: exactly
+/// `min(n, group_size)` ascending kept lanes inside every `m`-wide group of
+/// the `out_features` output columns.
+fn check_nm_structure(
+    kept_cols: &[usize],
+    n: usize,
+    m: usize,
+    out_features: usize,
+) -> Result<(), GemmError> {
+    if n == 0 || m == 0 || n > m {
+        return Err(GemmError::new(format!("invalid N:M parameters {n}:{m}")));
     }
-    // Pack only the kept columns of W into a dense panel (step 1 of the
-    // paper's Fig. 3(a): fetch only surviving synapses), …
-    let k = w.rows();
-    let nk = kept_output_rows.len();
-    scratch.pack.resize_for_overwrite(k, nk);
-    for p in 0..k {
-        let wrow = w.row(p);
-        let dst = scratch.pack.row_mut(p);
-        for (c, &j) in kept_output_rows.iter().enumerate() {
-            dst[c] = wrow[j];
+    let mut it = kept_cols.iter().peekable();
+    let mut start = 0;
+    while start < out_features {
+        let size = m.min(out_features - start);
+        let expected = n.min(size);
+        let mut in_group = 0;
+        let mut prev = None;
+        while let Some(&&j) = it.peek() {
+            if j >= start + size {
+                break;
+            }
+            if j < start || prev.is_some_and(|p| j <= p) {
+                return Err(GemmError::new(format!(
+                    "kept lane {j} breaks the ascending N:M group order"
+                )));
+            }
+            prev = Some(j);
+            in_group += 1;
+            it.next();
+        }
+        if in_group != expected {
+            return Err(GemmError::new(format!(
+                "group starting at {start} keeps {in_group} lanes, expected {expected} for {n}:{m}"
+            )));
+        }
+        start += size;
+    }
+    if it.next().is_some() {
+        return Err(GemmError::new("kept lane beyond the output width"));
+    }
+    Ok(())
+}
+
+/// Group-compacted GEMM for N:M structured sparsity, writing into `out`.
+///
+/// Validates that `kept_cols` keeps exactly `n` lanes of every `m`-wide
+/// output group (the structure a sparse-tensor-core kernel relies on) and
+/// executes through the shared column-gather core
+/// ([`gather_cols_gemm_into`]).
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree or `kept_cols`
+/// does not have the `n`-of-`m` group structure.
+pub fn nm_compact_gemm_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_cols: &[usize],
+    n: usize,
+    m: usize,
+    scratch: &mut RowCompactScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_nm_structure(kept_cols, n, m, w.cols())?;
+    gather_cols_gemm_into(a, w, kept_cols, scratch, out)
+}
+
+/// Allocating variant of [`nm_compact_gemm_into`].
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] under the same conditions.
+pub fn nm_compact_gemm(
+    a: &Matrix,
+    w: &Matrix,
+    kept_cols: &[usize],
+    n: usize,
+    m: usize,
+) -> Result<Matrix, GemmError> {
+    let mut scratch = RowCompactScratch::default();
+    let mut out = Matrix::zeros(0, 0);
+    nm_compact_gemm_into(a, w, kept_cols, n, m, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable gather buffers for the backward passes of the column-gather
+/// compacted schemes: the gathered (and gradient-scaled) output-gradient
+/// panel, the gathered weight panel and the compact weight-gradient product.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GatherColsScratch {
+    g_kept: Matrix,
+    w_kept: Matrix,
+    compact: Matrix,
+}
+
+/// Gathers the kept columns of `g`, scaled by `scale`, into `dst`.
+fn gather_scaled_cols(g: &Matrix, kept_cols: &[usize], scale: f32, dst: &mut Matrix) {
+    let batch = g.rows();
+    dst.resize_for_overwrite(batch, kept_cols.len());
+    for i in 0..batch {
+        let src = g.row(i);
+        let out = dst.row_mut(i);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            out[c] = src[j] * scale;
         }
     }
-    // … run the small GEMM (step 2), …
-    blocked_gemm_into(a, &scratch.pack, &mut scratch.product)?;
-    // … and scatter back into the full-size zero output (step 3).
-    let m = a.rows();
-    out.resize(m, n);
-    for i in 0..m {
-        let src = scratch.product.row(i);
-        let dst = out.row_mut(i);
-        for (c, &j) in kept_output_rows.iter().enumerate() {
+}
+
+/// Weight-gradient form of the column-gather compacted backward pass:
+/// `dW = Xᵀ · (scale · G[:, kept])`, scattered into the kept columns of
+/// `out` (shape `x.cols() × g.cols()`); dropped columns stay exactly zero.
+///
+/// With activations `X` of shape `(batch, in)` and the full-width output
+/// gradient `G` of shape `(batch, out)` this is the weight gradient of a
+/// row- or N:M-compacted layer without ever materialising the dense
+/// zero-masked gradient.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the batch dimensions disagree or any kept
+/// index is out of bounds.
+pub fn gather_cols_gemm_at_b_into(
+    x: &Matrix,
+    g: &Matrix,
+    kept_cols: &[usize],
+    scale: f32,
+    scratch: &mut GatherColsScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    if x.rows() != g.rows() {
+        return Err(GemmError::new(format!(
+            "batch dimensions disagree: {:?}ᵀ * {:?}",
+            x.shape(),
+            g.shape()
+        )));
+    }
+    check_kept_cols(kept_cols, g.cols())?;
+    gather_scaled_cols(g, kept_cols, scale, &mut scratch.g_kept);
+    at_b_from_gathered(x, g.cols(), kept_cols, scratch, out)
+}
+
+/// `dW` tail of the gather backward given an already-gathered (and scaled)
+/// gradient panel in `scratch.g_kept`: compact product + scatter into the
+/// kept columns of `out`.
+fn at_b_from_gathered(
+    x: &Matrix,
+    n: usize,
+    kept_cols: &[usize],
+    scratch: &mut GatherColsScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    let GatherColsScratch {
+        g_kept, compact, ..
+    } = scratch;
+    gemm_at_b_into(x, g_kept, compact)?;
+    let k = x.cols();
+    out.resize(k, n);
+    for r in 0..k {
+        let src = compact.row(r);
+        let dst = out.row_mut(r);
+        for (c, &j) in kept_cols.iter().enumerate() {
             dst[j] = src[c];
         }
     }
     Ok(())
+}
+
+/// `dX` tail of the gather backward given an already-gathered (and scaled)
+/// gradient panel in `scratch.g_kept`: gather the kept weight columns and
+/// multiply.
+fn a_bt_from_gathered(
+    w: &Matrix,
+    kept_cols: &[usize],
+    scratch: &mut GatherColsScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    let GatherColsScratch { g_kept, w_kept, .. } = scratch;
+    let k = w.rows();
+    w_kept.resize_for_overwrite(k, kept_cols.len());
+    for r in 0..k {
+        let src = w.row(r);
+        let dst = w_kept.row_mut(r);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            dst[c] = src[j];
+        }
+    }
+    gemm_a_bt_into(g_kept, w_kept, out)
+}
+
+/// Input-gradient form of the column-gather compacted backward pass:
+/// `dX = (scale · G[:, kept]) · W[:, kept]ᵀ` — only the synapses feeding
+/// kept output neurons contribute, and neither transpose is materialised.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `g.cols() != w.cols()` or any kept index is
+/// out of bounds.
+pub fn gather_cols_gemm_a_bt_into(
+    g: &Matrix,
+    w: &Matrix,
+    kept_cols: &[usize],
+    scale: f32,
+    scratch: &mut GatherColsScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    if g.cols() != w.cols() {
+        return Err(GemmError::new(format!(
+            "output widths disagree: {:?} * {:?}ᵀ",
+            g.shape(),
+            w.shape()
+        )));
+    }
+    check_kept_cols(kept_cols, g.cols())?;
+    gather_scaled_cols(g, kept_cols, scale, &mut scratch.g_kept);
+    a_bt_from_gathered(w, kept_cols, scratch, out)
+}
+
+/// Fused backward pair of the column-gather compacted schemes: gathers the
+/// scaled kept gradient columns **once** and reuses the panel for both
+/// transposed-operand products,
+/// `dW = Xᵀ·(scale·G[:, kept])` (scattered into `dw_out`, dropped columns
+/// zero) and `dX = (scale·G[:, kept]) · W[:, kept]ᵀ` (into `dx_out`).
+///
+/// Equivalent to calling [`gather_cols_gemm_at_b_into`] then
+/// [`gather_cols_gemm_a_bt_into`], minus the second gather pass — this is
+/// the entry point the training hot path uses.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the batch dimensions of `x` and `g` disagree,
+/// `g.cols() != w.cols()`, or any kept index is out of bounds.
+#[allow(clippy::too_many_arguments)] // a GEMM pair: 4 operands, 1 scale, scratch, 2 outputs
+pub fn gather_cols_backward_into(
+    x: &Matrix,
+    g: &Matrix,
+    w: &Matrix,
+    kept_cols: &[usize],
+    scale: f32,
+    scratch: &mut GatherColsScratch,
+    dw_out: &mut Matrix,
+    dx_out: &mut Matrix,
+) -> Result<(), GemmError> {
+    if x.rows() != g.rows() {
+        return Err(GemmError::new(format!(
+            "batch dimensions disagree: {:?}ᵀ * {:?}",
+            x.shape(),
+            g.shape()
+        )));
+    }
+    if g.cols() != w.cols() {
+        return Err(GemmError::new(format!(
+            "output widths disagree: {:?} * {:?}ᵀ",
+            g.shape(),
+            w.shape()
+        )));
+    }
+    check_kept_cols(kept_cols, g.cols())?;
+    gather_scaled_cols(g, kept_cols, scale, &mut scratch.g_kept);
+    at_b_from_gathered(x, g.cols(), kept_cols, scratch, dw_out)?;
+    a_bt_from_gathered(w, kept_cols, scratch, dx_out)
 }
 
 /// Row-compacted GEMM used by the Row-based Dropout Pattern.
@@ -546,6 +841,251 @@ pub fn tile_compact_gemm(
     let mut out = Matrix::zeros(0, 0);
     tile_compact_gemm_into(a, w, kept_tiles, tile, &mut out)?;
     Ok(out)
+}
+
+/// Resolves kept block indices into clipped half-open output-column ranges
+/// of a `block`-wide grid over `n` output columns.
+fn block_col_ranges(
+    n: usize,
+    kept_blocks: &[usize],
+    block: usize,
+) -> Result<Vec<Range<usize>>, GemmError> {
+    if block == 0 {
+        return Err(GemmError::new("block width must be positive"));
+    }
+    let total = n.div_ceil(block);
+    if let Some(&bad) = kept_blocks.iter().find(|&&b| b >= total) {
+        return Err(GemmError::new(format!(
+            "block index {bad} out of bounds for {total} blocks of width {block}"
+        )));
+    }
+    Ok(kept_blocks
+        .iter()
+        .map(|&b| (b * block)..((b + 1) * block).min(n))
+        .collect())
+}
+
+/// Per-row-chunk kernel for the block-compacted GEMM: each output row
+/// streams the full K panel of `A` once per kept block, accumulating into
+/// the block's contiguous output slice — no gather, no pack, pure slice
+/// panels (the CPU analogue of perfectly coalesced column-strip fetches).
+fn block_rows_kernel(
+    a: &Matrix,
+    w: &Matrix,
+    ranges: &[Range<usize>],
+    rows: Range<usize>,
+    chunk: &mut [f32],
+) {
+    let n = w.cols();
+    for (local, i) in rows.enumerate() {
+        let arow = a.row(i);
+        let crow = &mut chunk[local * n..(local + 1) * n];
+        for jr in ranges {
+            let cslice = &mut crow[jr.clone()];
+            let mut quads = arow.chunks_exact(4);
+            let mut p = 0;
+            for quad in &mut quads {
+                axpy4(
+                    cslice,
+                    [quad[0], quad[1], quad[2], quad[3]],
+                    &w.row(p)[jr.clone()],
+                    &w.row(p + 1)[jr.clone()],
+                    &w.row(p + 2)[jr.clone()],
+                    &w.row(p + 3)[jr.clone()],
+                );
+                p += 4;
+            }
+            for &alpha in quads.remainder() {
+                axpy(cslice, alpha, &w.row(p)[jr.clone()]);
+                p += 1;
+            }
+        }
+    }
+}
+
+/// Block-compacted GEMM for structured unit dropout, writing into `out`.
+///
+/// `kept_blocks` lists the surviving contiguous `block`-wide groups of
+/// output columns; only those column strips of `W` participate and the rest
+/// of the `(batch, out_features)` output stays zero. Because the strips are
+/// contiguous, the kernel streams slice panels directly — no gather or
+/// packing step at all, which is what makes block dropout the
+/// hardware-cheapest member of the structured family.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `block == 0`,
+/// or a block index is out of bounds.
+pub fn block_compact_gemm_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_blocks: &[usize],
+    block: usize,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let ranges = block_col_ranges(w.cols(), kept_blocks, block)?;
+    let m = a.rows();
+    let n = w.cols();
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        block_rows_kernel(a, w, &ranges, rows, chunk);
+    });
+    Ok(())
+}
+
+/// Allocating variant of [`block_compact_gemm_into`].
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] under the same conditions.
+pub fn block_compact_gemm(
+    a: &Matrix,
+    w: &Matrix,
+    kept_blocks: &[usize],
+    block: usize,
+) -> Result<Matrix, GemmError> {
+    let mut out = Matrix::zeros(0, 0);
+    block_compact_gemm_into(a, w, kept_blocks, block, &mut out)?;
+    Ok(out)
+}
+
+/// Per-row-chunk kernel for the block-compacted `C = Xᵀ · (scale·G)`: the
+/// chunk covers rows `p` of `C` and only the kept column strips are
+/// accumulated.
+fn block_at_b_rows_kernel(
+    x: &Matrix,
+    g: &Matrix,
+    ranges: &[Range<usize>],
+    scale: f32,
+    prows: Range<usize>,
+    chunk: &mut [f32],
+) {
+    let batch = x.rows();
+    let n = g.cols();
+    let mut i = 0;
+    while i + 4 <= batch {
+        let (x0, x1, x2, x3) = (x.row(i), x.row(i + 1), x.row(i + 2), x.row(i + 3));
+        let (g0, g1, g2, g3) = (g.row(i), g.row(i + 1), g.row(i + 2), g.row(i + 3));
+        for (local, p) in prows.clone().enumerate() {
+            let crow = &mut chunk[local * n..(local + 1) * n];
+            let alpha = [x0[p] * scale, x1[p] * scale, x2[p] * scale, x3[p] * scale];
+            for jr in ranges {
+                axpy4(
+                    &mut crow[jr.clone()],
+                    alpha,
+                    &g0[jr.clone()],
+                    &g1[jr.clone()],
+                    &g2[jr.clone()],
+                    &g3[jr.clone()],
+                );
+            }
+        }
+        i += 4;
+    }
+    while i < batch {
+        let xrow = x.row(i);
+        let grow = g.row(i);
+        for (local, p) in prows.clone().enumerate() {
+            let crow = &mut chunk[local * n..(local + 1) * n];
+            let alpha = xrow[p] * scale;
+            for jr in ranges {
+                axpy(&mut crow[jr.clone()], alpha, &grow[jr.clone()]);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Weight-gradient form of the block-compacted backward pass:
+/// `dW = Xᵀ · (scale · G)` restricted to the kept `block`-wide column
+/// strips of `out` (shape `x.cols() × g.cols()`); dropped strips stay
+/// exactly zero and no transpose or mask matrix is materialised.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the batch dimensions disagree, `block == 0`,
+/// or a block index is out of bounds.
+pub fn block_compact_gemm_at_b_into(
+    x: &Matrix,
+    g: &Matrix,
+    kept_blocks: &[usize],
+    block: usize,
+    scale: f32,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    if x.rows() != g.rows() {
+        return Err(GemmError::new(format!(
+            "batch dimensions disagree: {:?}ᵀ * {:?}",
+            x.shape(),
+            g.shape()
+        )));
+    }
+    let ranges = block_col_ranges(g.cols(), kept_blocks, block)?;
+    let (k, n) = (x.cols(), g.cols());
+    out.resize(k, n);
+    pool::run_row_chunks(k, n, out.as_mut_slice(), |prows, chunk| {
+        block_at_b_rows_kernel(x, g, &ranges, scale, prows, chunk);
+    });
+    Ok(())
+}
+
+/// Per-row-chunk kernel for the block-compacted `C = (scale·G) · Wᵀ`: row
+/// `i` of `C` accumulates per-block dot products against the kept column
+/// strips of `W`.
+fn block_a_bt_rows_kernel(
+    g: &Matrix,
+    w: &Matrix,
+    ranges: &[Range<usize>],
+    scale: f32,
+    rows: Range<usize>,
+    chunk: &mut [f32],
+) {
+    let n = w.rows();
+    for (local, i) in rows.enumerate() {
+        let grow = g.row(i);
+        let crow = &mut chunk[local * n..(local + 1) * n];
+        for (p, cj) in crow.iter_mut().enumerate() {
+            let wrow = w.row(p);
+            let mut acc = 0.0;
+            for jr in ranges {
+                acc += dot(&grow[jr.clone()], &wrow[jr.clone()]);
+            }
+            *cj = acc * scale;
+        }
+    }
+}
+
+/// Input-gradient form of the block-compacted backward pass:
+/// `dX = (scale · G) · Wᵀ` where only the kept `block`-wide column strips
+/// of `W` contribute — the synapses of dropped blocks are skipped entirely.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `g.cols() != w.cols()`, `block == 0`, or a
+/// block index is out of bounds.
+pub fn block_compact_gemm_a_bt_into(
+    g: &Matrix,
+    w: &Matrix,
+    kept_blocks: &[usize],
+    block: usize,
+    scale: f32,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    if g.cols() != w.cols() {
+        return Err(GemmError::new(format!(
+            "output widths disagree: {:?} * {:?}ᵀ",
+            g.shape(),
+            w.shape()
+        )));
+    }
+    let ranges = block_col_ranges(g.cols(), kept_blocks, block)?;
+    let (m, n) = (g.rows(), w.rows());
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        block_a_bt_rows_kernel(g, w, &ranges, scale, rows, chunk);
+    });
+    Ok(())
 }
 
 /// Reference implementation of tile dropout through explicit masking.
@@ -838,6 +1378,286 @@ mod tests {
             reference.as_slice(),
             1e-4
         ));
+    }
+
+    /// Dense column-multiplier reference for the gather/block kernels: zero
+    /// the dropped columns of `w`, multiply naively.
+    fn col_masked_reference(a: &Matrix, w: &Matrix, kept: &[usize]) -> Matrix {
+        let mut masked = w.clone();
+        for j in 0..w.cols() {
+            if !kept.contains(&j) {
+                for p in 0..w.rows() {
+                    masked[(p, j)] = 0.0;
+                }
+            }
+        }
+        naive_gemm(a, &masked).unwrap()
+    }
+
+    #[test]
+    fn nm_compact_matches_column_masked_dense() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = random_matrix(&mut rng, 6, 9);
+        let w = random_matrix(&mut rng, 9, 8);
+        // 2:4 over 8 columns: lanes {1,3} and {4,6}.
+        let kept = vec![1, 3, 4, 6];
+        let compact = nm_compact_gemm(&a, &w, &kept, 2, 4).unwrap();
+        let reference = col_masked_reference(&a, &w, &kept);
+        assert!(crate::approx_eq_slice(
+            compact.as_slice(),
+            reference.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn nm_compact_rejects_malformed_group_structure() {
+        let a = Matrix::zeros(2, 4);
+        let w = Matrix::zeros(4, 8);
+        // Three lanes in the first group of four.
+        assert!(nm_compact_gemm(&a, &w, &[0, 1, 2, 4, 6], 2, 4).is_err());
+        // Unsorted lanes inside a group.
+        assert!(nm_compact_gemm(&a, &w, &[3, 1, 4, 6], 2, 4).is_err());
+        // Lane past the output width.
+        assert!(nm_compact_gemm(&a, &w, &[1, 3, 4, 8], 2, 4).is_err());
+        // Correct structure passes.
+        assert!(nm_compact_gemm(&a, &w, &[0, 1, 4, 5], 2, 4).is_ok());
+    }
+
+    #[test]
+    fn nm_compact_handles_ragged_tail_group() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let a = random_matrix(&mut rng, 3, 5);
+        let w = random_matrix(&mut rng, 5, 10);
+        // 3:4 over 10 columns: tail group {8, 9} keeps min(3, 2) = 2 lanes.
+        let kept = vec![0, 2, 3, 5, 6, 7, 8, 9];
+        let compact = nm_compact_gemm(&a, &w, &kept, 3, 4).unwrap();
+        let reference = col_masked_reference(&a, &w, &kept);
+        assert!(crate::approx_eq_slice(
+            compact.as_slice(),
+            reference.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn gather_backward_forms_match_dense_references() {
+        let mut rng = StdRng::seed_from_u64(57);
+        let x = random_matrix(&mut rng, 7, 5); // (batch, in)
+        let g = random_matrix(&mut rng, 7, 9); // (batch, out)
+        let w = random_matrix(&mut rng, 5, 9); // (in, out)
+        let kept = vec![0, 3, 4, 8];
+        let scale = 2.25f32;
+        let mut scratch = GatherColsScratch::default();
+
+        // dW reference: Xᵀ · (scale · G ⊙ column mask).
+        let mut g_masked = Matrix::zeros(7, 9);
+        for i in 0..7 {
+            for &j in &kept {
+                g_masked[(i, j)] = g[(i, j)] * scale;
+            }
+        }
+        let dw_ref = naive_gemm(&x.transpose(), &g_masked).unwrap();
+        let mut dw = Matrix::zeros(0, 0);
+        gather_cols_gemm_at_b_into(&x, &g, &kept, scale, &mut scratch, &mut dw).unwrap();
+        assert_eq!(dw.shape(), (5, 9));
+        assert!(crate::approx_eq_slice(
+            dw.as_slice(),
+            dw_ref.as_slice(),
+            1e-4
+        ));
+
+        // dX reference: (scale · G ⊙ mask) · Wᵀ with dropped columns of W
+        // contributing nothing.
+        let dx_ref = naive_gemm(&g_masked, &w.transpose()).unwrap();
+        let mut dx = Matrix::zeros(0, 0);
+        gather_cols_gemm_a_bt_into(&g, &w, &kept, scale, &mut scratch, &mut dx).unwrap();
+        assert_eq!(dx.shape(), (7, 5));
+        assert!(crate::approx_eq_slice(
+            dx.as_slice(),
+            dx_ref.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn fused_gather_backward_matches_the_standalone_pair() {
+        let mut rng = StdRng::seed_from_u64(59);
+        let x = random_matrix(&mut rng, 6, 4);
+        let g = random_matrix(&mut rng, 6, 10);
+        let w = random_matrix(&mut rng, 4, 10);
+        let kept = vec![1, 2, 6, 9];
+        let scale = 3.0f32;
+
+        let mut s1 = GatherColsScratch::default();
+        let mut dw_ref = Matrix::zeros(0, 0);
+        let mut dx_ref = Matrix::zeros(0, 0);
+        gather_cols_gemm_at_b_into(&x, &g, &kept, scale, &mut s1, &mut dw_ref).unwrap();
+        gather_cols_gemm_a_bt_into(&g, &w, &kept, scale, &mut s1, &mut dx_ref).unwrap();
+
+        let mut s2 = GatherColsScratch::default();
+        let mut dw = Matrix::zeros(0, 0);
+        let mut dx = Matrix::zeros(0, 0);
+        gather_cols_backward_into(&x, &g, &w, &kept, scale, &mut s2, &mut dw, &mut dx).unwrap();
+        assert_eq!(dw, dw_ref);
+        assert_eq!(dx, dx_ref);
+
+        // Shape mismatches are rejected up front.
+        assert!(gather_cols_backward_into(
+            &Matrix::zeros(5, 4),
+            &g,
+            &w,
+            &kept,
+            scale,
+            &mut s2,
+            &mut dw,
+            &mut dx
+        )
+        .is_err());
+        assert!(gather_cols_backward_into(
+            &x,
+            &g,
+            &Matrix::zeros(4, 9),
+            &kept,
+            scale,
+            &mut s2,
+            &mut dw,
+            &mut dx
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gather_backward_rejects_bad_shapes() {
+        let mut scratch = GatherColsScratch::default();
+        let mut out = Matrix::zeros(0, 0);
+        assert!(gather_cols_gemm_at_b_into(
+            &Matrix::zeros(3, 4),
+            &Matrix::zeros(2, 5),
+            &[0],
+            1.0,
+            &mut scratch,
+            &mut out
+        )
+        .is_err());
+        assert!(gather_cols_gemm_a_bt_into(
+            &Matrix::zeros(3, 5),
+            &Matrix::zeros(4, 6),
+            &[0],
+            1.0,
+            &mut scratch,
+            &mut out
+        )
+        .is_err());
+        assert!(gather_cols_gemm_a_bt_into(
+            &Matrix::zeros(3, 5),
+            &Matrix::zeros(4, 5),
+            &[5],
+            1.0,
+            &mut scratch,
+            &mut out
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn block_compact_matches_column_masked_dense() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let a = random_matrix(&mut rng, 5, 7);
+        let w = random_matrix(&mut rng, 7, 10); // 3 blocks of 4 (last ragged)
+        let kept_blocks = vec![0, 2];
+        let kept_cols: Vec<usize> = (0..4).chain(8..10).collect();
+        let compact = block_compact_gemm(&a, &w, &kept_blocks, 4).unwrap();
+        let reference = col_masked_reference(&a, &w, &kept_cols);
+        assert!(crate::approx_eq_slice(
+            compact.as_slice(),
+            reference.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn block_compact_with_all_blocks_equals_dense() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let a = random_matrix(&mut rng, 6, 8);
+        let w = random_matrix(&mut rng, 8, 12);
+        let compact = block_compact_gemm(&a, &w, &[0, 1, 2], 4).unwrap();
+        let dense = naive_gemm(&a, &w).unwrap();
+        assert!(crate::approx_eq_slice(
+            compact.as_slice(),
+            dense.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn block_compact_rejects_bad_parameters() {
+        let a = Matrix::zeros(2, 4);
+        let w = Matrix::zeros(4, 8);
+        assert!(block_compact_gemm(&a, &w, &[0], 0).is_err());
+        assert!(block_compact_gemm(&a, &w, &[2], 4).is_err()); // 2 blocks only
+    }
+
+    #[test]
+    fn block_backward_forms_match_dense_references() {
+        let mut rng = StdRng::seed_from_u64(67);
+        let x = random_matrix(&mut rng, 6, 5); // (batch, in)
+        let g = random_matrix(&mut rng, 6, 11); // (batch, out): 3 blocks of 4
+        let w = random_matrix(&mut rng, 5, 11); // (in, out)
+        let kept_blocks = vec![1, 2];
+        let kept_cols: Vec<usize> = (4..11).collect();
+        let scale = 1.75f32;
+
+        let mut g_masked = Matrix::zeros(6, 11);
+        for i in 0..6 {
+            for &j in &kept_cols {
+                g_masked[(i, j)] = g[(i, j)] * scale;
+            }
+        }
+
+        let dw_ref = naive_gemm(&x.transpose(), &g_masked).unwrap();
+        let mut dw = Matrix::zeros(0, 0);
+        block_compact_gemm_at_b_into(&x, &g, &kept_blocks, 4, scale, &mut dw).unwrap();
+        assert_eq!(dw.shape(), (5, 11));
+        assert!(crate::approx_eq_slice(
+            dw.as_slice(),
+            dw_ref.as_slice(),
+            1e-3
+        ));
+
+        let dx_ref = naive_gemm(&g_masked, &w.transpose()).unwrap();
+        let mut dx = Matrix::zeros(0, 0);
+        block_compact_gemm_a_bt_into(&g, &w, &kept_blocks, 4, scale, &mut dx).unwrap();
+        assert_eq!(dx.shape(), (6, 5));
+        assert!(crate::approx_eq_slice(
+            dx.as_slice(),
+            dx_ref.as_slice(),
+            1e-3
+        ));
+    }
+
+    #[test]
+    fn block_backward_with_ragged_batch_exercises_scalar_tail() {
+        // Batch sizes off the 4-row panel exercise the scalar tail of the
+        // unrolled at_b kernel.
+        let mut rng = StdRng::seed_from_u64(71);
+        for batch in [1usize, 2, 3, 5] {
+            let x = random_matrix(&mut rng, batch, 4);
+            let g = random_matrix(&mut rng, batch, 8);
+            let mut g_masked = Matrix::zeros(batch, 8);
+            for i in 0..batch {
+                for j in 0..4 {
+                    g_masked[(i, j)] = g[(i, j)];
+                }
+            }
+            let dw_ref = naive_gemm(&x.transpose(), &g_masked).unwrap();
+            let mut dw = Matrix::zeros(0, 0);
+            block_compact_gemm_at_b_into(&x, &g, &[0], 4, 1.0, &mut dw).unwrap();
+            assert!(
+                crate::approx_eq_slice(dw.as_slice(), dw_ref.as_slice(), 1e-4),
+                "batch {batch}"
+            );
+        }
     }
 
     #[test]

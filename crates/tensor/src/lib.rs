@@ -34,9 +34,12 @@ pub mod ops;
 pub mod pool;
 
 pub use gemm::{
-    blocked_gemm, blocked_gemm_into, gemm_a_bt, gemm_a_bt_into, gemm_at_b, gemm_at_b_into,
-    naive_gemm, row_compact_gemm, row_compact_gemm_into, tile_compact_gemm, tile_compact_gemm_into,
-    GemmError, RowCompactScratch,
+    block_compact_gemm, block_compact_gemm_a_bt_into, block_compact_gemm_at_b_into,
+    block_compact_gemm_into, blocked_gemm, blocked_gemm_into, gather_cols_backward_into,
+    gather_cols_gemm_a_bt_into, gather_cols_gemm_at_b_into, gather_cols_gemm_into, gemm_a_bt,
+    gemm_a_bt_into, gemm_at_b, gemm_at_b_into, naive_gemm, nm_compact_gemm, nm_compact_gemm_into,
+    row_compact_gemm, row_compact_gemm_into, tile_compact_gemm, tile_compact_gemm_into,
+    GatherColsScratch, GemmError, RowCompactScratch,
 };
 pub use init::{gaussian, uniform, xavier_uniform};
 pub use matrix::{Matrix, ShapeError};

@@ -10,7 +10,8 @@ use nn::{Linear, Mlp, MlpConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensor::{
-    blocked_gemm, gemm_a_bt, gemm_at_b, init, pool, row_compact_gemm, tile_compact_gemm, Matrix,
+    block_compact_gemm, block_compact_gemm_a_bt_into, block_compact_gemm_at_b_into, blocked_gemm,
+    gemm_a_bt, gemm_at_b, init, pool, row_compact_gemm, tile_compact_gemm, Matrix,
 };
 
 /// All global-pool mutation lives in this single test: the pool is
@@ -24,16 +25,25 @@ fn parallel_execution_is_bitwise_identical_to_serial() {
     let b = init::uniform(&mut rng, 53, 41, -1.0, 1.0);
     let g = init::uniform(&mut rng, 67, 41, -1.0, 1.0); // shares a's batch dim
     let w2 = init::uniform(&mut rng, 41, 53, -1.0, 1.0);
+    let g2 = init::uniform(&mut rng, 53, 53, -1.0, 1.0); // shares b's batch dim and w2's width
     let kept_cols: Vec<usize> = (1..53).step_by(3).collect();
     let kept_tiles = vec![0, 2, 5, 7, 11]; // 12-tile grid for 41x53 @ tile 16
 
+    let kept_blocks = vec![0, 2, 3]; // 4-block grid for 53 cols @ block 16
     let run_kernels = || {
+        let mut block_dw = Matrix::zeros(0, 0);
+        block_compact_gemm_at_b_into(&b, &g2, &kept_blocks, 16, 2.0, &mut block_dw).unwrap();
+        let mut block_dx = Matrix::zeros(0, 0);
+        block_compact_gemm_a_bt_into(&g2, &w2, &kept_blocks, 16, 2.0, &mut block_dx).unwrap();
         (
             blocked_gemm(&a, &b).unwrap(),
             gemm_at_b(&a, &g).unwrap(),
             gemm_a_bt(&a, &w2).unwrap(),
             row_compact_gemm(&b, &w2, &kept_cols).unwrap(),
             tile_compact_gemm(&b, &w2, &kept_tiles, 16).unwrap(),
+            block_compact_gemm(&b, &w2, &kept_blocks, 16).unwrap(),
+            block_dw,
+            block_dx,
         )
     };
     pool::set_threads(1);
@@ -49,6 +59,18 @@ fn parallel_execution_is_bitwise_identical_to_serial() {
     assert_eq!(
         serial.4, parallel.4,
         "tile-compact must be thread-invariant"
+    );
+    assert_eq!(
+        serial.5, parallel.5,
+        "block-compact must be thread-invariant"
+    );
+    assert_eq!(
+        serial.6, parallel.6,
+        "block-compact AᵀB must be thread-invariant"
+    );
+    assert_eq!(
+        serial.7, parallel.7,
+        "block-compact ABᵀ must be thread-invariant"
     );
 
     // Whole-model check: a same-seed training trajectory (batch wide enough
@@ -95,6 +117,8 @@ fn all_schemes() -> Vec<Box<dyn DropoutScheme>> {
         Box::new(TilePattern::new(2, 0, 8).unwrap()),
         scheme::row(DropoutRate::new(0.5).unwrap(), 8).unwrap(),
         scheme::tile(DropoutRate::new(0.5).unwrap(), 8, 16).unwrap(),
+        scheme::nm(2, 4).unwrap(),
+        scheme::block_unit(DropoutRate::new(0.5).unwrap(), 8).unwrap(),
     ]
 }
 
@@ -185,9 +209,10 @@ fn linear_workspace_reuse_is_numerically_inert() {
     let mut plan_rng = StdRng::seed_from_u64(3);
     let mut data_rng = StdRng::seed_from_u64(4);
     // Vary the batch size too: workspace buffers must resize correctly.
-    let batches = [8usize, 3, 16, 8, 33, 5, 8];
+    let batches = [8usize, 3, 16, 8, 33, 5, 8, 12, 6];
+    let scheme_count = schemes.len();
     for (iteration, &batch) in batches.iter().enumerate() {
-        let scheme = &mut schemes[iteration % 7];
+        let scheme = &mut schemes[iteration % scheme_count];
         let plan = scheme.plan(&mut plan_rng, shape);
         let x = init::uniform(&mut data_rng, batch, 12, -1.0, 1.0);
         let dy = init::uniform(&mut data_rng, batch, 16, -1.0, 1.0);

@@ -23,6 +23,9 @@ fn all_schemes() -> Vec<(Box<dyn DropoutScheme>, f64)> {
         (scheme::tile(rate(0.7), 16, 8).unwrap(), 0.7),
         (Box::new(RowPattern::new(4, 1).unwrap()), 0.75),
         (Box::new(TilePattern::new(2, 0, 8).unwrap()), 0.5),
+        (scheme::nm(2, 4).unwrap(), 0.5),
+        (scheme::nm(1, 4).unwrap(), 0.75),
+        (scheme::block_unit(rate(0.5), 8).unwrap(), 0.5),
     ]
 }
 
@@ -87,6 +90,20 @@ fn column_multiplier_is_consistent_with_kept_indices() {
                     let expected = if covered[j] { plan.scale() } else { 0.0 };
                     assert_eq!(m, expected, "scheme {} column {j}", s.label());
                 }
+            } else if let Some((kept, _, _)) = plan.nm_lanes() {
+                for (j, &m) in mult.iter().enumerate() {
+                    let expected = if kept.contains(&j) { plan.scale() } else { 0.0 };
+                    assert_eq!(m, expected, "scheme {} column {j}", s.label());
+                }
+            } else if let Some((kept_blocks, block, _)) = plan.kept_unit_blocks() {
+                for (j, &m) in mult.iter().enumerate() {
+                    let expected = if kept_blocks.contains(&(j / block)) {
+                        plan.scale()
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(m, expected, "scheme {} column {j}", s.label());
+                }
             } else {
                 assert!(mult.iter().all(|&m| m == 1.0), "identity scheme multiplier");
             }
@@ -101,26 +118,34 @@ fn column_multiplier_is_consistent_with_kept_indices() {
     }
 }
 
-/// The plan's `active_output_fraction` matches its kept-row count, and is
-/// exactly 1 for every non-row plan.
+/// The plan's `active_output_fraction` matches its kept-neuron count for
+/// every family that drops whole neurons (row, N:M, block), and is exactly
+/// 1 for every other plan.
 #[test]
-fn active_output_fraction_matches_compact_rows() {
+fn active_output_fraction_matches_kept_neurons() {
     let shape = LayerShape::new(48, 48);
     for (mut s, _) in all_schemes() {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..20 {
             let plan = s.plan(&mut rng, shape);
-            match plan.compact_rows() {
-                Some(kept) => {
-                    let expected = kept.len() as f64 / shape.out_features as f64;
-                    assert!(
-                        (plan.active_output_fraction() - expected).abs() < 1e-12,
-                        "scheme {}",
-                        s.label()
-                    );
-                }
-                None => assert_eq!(plan.active_output_fraction(), 1.0, "scheme {}", s.label()),
-            }
+            let expected = if let Some(kept) = plan.compact_rows() {
+                kept.len() as f64 / shape.out_features as f64
+            } else if let Some((kept, _, _)) = plan.nm_lanes() {
+                kept.len() as f64 / shape.out_features as f64
+            } else if let Some((kept_blocks, block, _)) = plan.kept_unit_blocks() {
+                let neurons: usize = kept_blocks
+                    .iter()
+                    .map(|&b| ((b + 1) * block).min(shape.out_features) - b * block)
+                    .sum();
+                neurons as f64 / shape.out_features as f64
+            } else {
+                1.0
+            };
+            assert!(
+                (plan.active_output_fraction() - expected).abs() < 1e-12,
+                "scheme {}",
+                s.label()
+            );
         }
     }
 }
