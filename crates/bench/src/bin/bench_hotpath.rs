@@ -10,12 +10,19 @@
 //! 3. the row- and tile-compacted kernels at a dp=2 pattern versus the dense
 //!    kernel — the speedup the paper's compaction is supposed to buy once
 //!    constant overhead stops drowning it;
-//! 4. one MLP training epoch (row-pattern dropout) at 1/2/4 threads.
+//! 4. one MLP training epoch (row-pattern dropout) at 1/2/4 threads;
+//! 5. the fused whole-layer forward (one GEMM+bias+ReLU kernel per layer)
+//!    versus the separate GEMM → bias → ReLU chain, on the CPU *and* in the
+//!    GPU timing model on both device presets.
 //!
 //! Run `cargo run --release -p bench --bin bench_hotpath` for the full
 //! shapes, or pass `--smoke` (CI) for tiny shapes that finish in seconds.
+//! Pass `--check-baseline` to additionally compare every speedup/scaling
+//! ratio of this run against the committed `BENCH_HOTPATH.json` and fail on
+//! a regression beyond the tolerance (`BENCH_TOLERANCE`, default 15%).
 
 use approx_dropout::{scheme, DropoutRate};
+use gpu_sim::{GpuConfig, MlpSpec, NetworkTimingModel};
 use nn::{Mlp, MlpConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -208,8 +215,76 @@ fn main() {
     // interpretable (the pool cannot beat the hardware).
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
+    // 5. Fused vs unfused whole-layer MLP forward at the *default* thread
+    //    count (TENSOR_THREADS or the machine width): the same network and
+    //    the same deterministic dp=8 row plans (rate 0.875, inside the
+    //    paper's swept range — the high-dropout regime where the compacted
+    //    GEMM shrinks and the per-layer bias/ReLU epilogue kernels dominate,
+    //    which is exactly what fusion removes), once as one fused
+    //    GEMM+bias+ReLU kernel per layer and once as the separate chain.
+    //    The two sides are timed interleaved (best-of per side) so machine
+    //    drift cancels; their outputs are bitwise equal (covered by
+    //    tests/fused_kernels.rs) — this measures time only.
+    let default_threads = pool::env_default_threads();
+    pool::set_threads(default_threads);
+    const FUSED_DP: usize = 8;
+    let fused_config = MlpConfig {
+        dropout: Box::new(approx_dropout::RowPattern::new(FUSED_DP, 0).unwrap()),
+        ..config
+    };
+    let mut mlp_fused = Mlp::new(&fused_config, &mut rng);
+    let mut mlp_unfused = mlp_fused.clone();
+    mlp_unfused.set_fused(false);
+    let forward_epoch = |mlp: &mut Mlp| {
+        let mut fwd_rng = StdRng::seed_from_u64(11);
+        for _ in 0..cfg.mlp_batches {
+            std::hint::black_box(mlp.forward_train(&inputs, &mut fwd_rng));
+        }
+    };
+    forward_epoch(&mut mlp_fused); // warm both sides
+    forward_epoch(&mut mlp_unfused);
+    let mut fused_secs = f64::INFINITY;
+    let mut unfused_secs = f64::INFINITY;
+    for _ in 0..cfg.reps.max(5) {
+        let start = Instant::now();
+        forward_epoch(&mut mlp_fused);
+        fused_secs = fused_secs.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        forward_epoch(&mut mlp_unfused);
+        unfused_secs = unfused_secs.min(start.elapsed().as_secs_f64());
+    }
+    let fused_speedup = unfused_secs / fused_secs;
+    eprintln!(
+        "mlp forward fused      {:>10.3} ms vs unfused {:.3} ms ({fused_speedup:.2}x, dp={FUSED_DP}, {default_threads} thread(s))",
+        fused_secs * 1e3,
+        unfused_secs * 1e3
+    );
+
+    // Simulated fused-vs-unfused iteration on the paper's MLP, both device
+    // presets: the timing model prices the same sampled plans with and
+    // without KernelSchedule::Fused (launch overhead once per layer).
+    let sim_scheme = scheme::row(DropoutRate::new(0.5).unwrap(), 16).unwrap();
+    let mut sim_fused_speedups = Vec::new();
+    for (device_key, gpu) in [
+        ("gtx_1080ti", GpuConfig::gtx_1080ti()),
+        ("server_hbm", GpuConfig::server_hbm()),
+    ] {
+        let model = NetworkTimingModel::mlp(gpu, MlpSpec::paper_mlp());
+        let unfused_us = model
+            .expected_iteration_time(&*sim_scheme, 128, 0x5EED)
+            .total_us();
+        let fused_us = model
+            .clone()
+            .with_fusion(true)
+            .expected_iteration_time(&*sim_scheme, 128, 0x5EED)
+            .total_us();
+        let speedup = unfused_us / fused_us;
+        eprintln!("sim fused iteration    {speedup:>10.3}x on {device_key}");
+        sim_fused_speedups.push((device_key, speedup));
+    }
+
     let json = format!(
-        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"dense_gemm\": {{\n    \"shape\": [{m}, {k}, {n}],\n    \"seed_blocked_secs\": {seed:.6},\n    \"packed_secs_by_threads\": {dense_map},\n    \"single_thread_speedup_vs_seed\": {speedup:.3},\n    \"scaling_2_threads\": {s2:.3},\n    \"scaling_4_threads\": {s4:.3}\n  }},\n  \"row_compact\": {{\n    \"dp\": 2,\n    \"secs\": {row:.6},\n    \"speedup_vs_dense_1t\": {row_speedup:.3}\n  }},\n  \"tile_compact\": {{\n    \"dp\": 2,\n    \"tile\": {tile},\n    \"secs\": {tile_secs:.6},\n    \"speedup_vs_dense_1t\": {tile_speedup:.3}\n  }},\n  \"mlp_epoch\": {{\n    \"batch\": {mlp_batch},\n    \"batches\": {mlp_batches},\n    \"hidden\": [{hid}, {hid}],\n    \"secs_by_threads\": {mlp_map},\n    \"scaling_2_threads\": {mlp_s2:.3}\n  }}\n}}\n",
+        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"dense_gemm\": {{\n    \"shape\": [{m}, {k}, {n}],\n    \"seed_blocked_secs\": {seed:.6},\n    \"packed_secs_by_threads\": {dense_map},\n    \"single_thread_speedup_vs_seed\": {speedup:.3},\n    \"scaling_2_threads\": {s2:.3},\n    \"scaling_4_threads\": {s4:.3}\n  }},\n  \"row_compact\": {{\n    \"dp\": 2,\n    \"secs\": {row:.6},\n    \"speedup_vs_dense_1t\": {row_speedup:.3}\n  }},\n  \"tile_compact\": {{\n    \"dp\": 2,\n    \"tile\": {tile},\n    \"secs\": {tile_secs:.6},\n    \"speedup_vs_dense_1t\": {tile_speedup:.3}\n  }},\n  \"mlp_epoch\": {{\n    \"batch\": {mlp_batch},\n    \"batches\": {mlp_batches},\n    \"hidden\": [{hid}, {hid}],\n    \"secs_by_threads\": {mlp_map},\n    \"scaling_2_threads\": {mlp_s2:.3}\n  }},\n  \"fused_forward\": {{\n    \"threads\": {fused_threads},\n    \"row_pattern_dp\": {fused_dp},\n    \"unfused_secs\": {unfused_secs:.6},\n    \"fused_secs\": {fused_secs:.6},\n    \"speedup\": {fused_speedup:.3},\n    \"sim_iteration_speedup_{sim0_key}\": {sim0:.3},\n    \"sim_iteration_speedup_{sim1_key}\": {sim1:.3}\n  }}\n}}\n",
         mode = cfg.mode,
         m = cfg.m,
         k = cfg.k,
@@ -229,13 +304,33 @@ fn main() {
         hid = cfg.mlp_hidden,
         mlp_map = json_threads_map(&mlp_by_threads),
         mlp_s2 = mlp_scaling_2t,
+        fused_threads = default_threads,
+        fused_dp = FUSED_DP,
+        unfused_secs = unfused_secs,
+        fused_secs = fused_secs,
+        fused_speedup = fused_speedup,
+        sim0_key = sim_fused_speedups[0].0,
+        sim0 = sim_fused_speedups[0].1,
+        sim1_key = sim_fused_speedups[1].0,
+        sim1 = sim_fused_speedups[1].1,
     );
 
     let out_path = std::env::var("BENCH_HOTPATH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_HOTPATH.json", env!("CARGO_MANIFEST_DIR")));
+    // In --check-baseline mode the committed file is the baseline; read it
+    // before the fresh result overwrites it, and write the fresh JSON
+    // before enforcing so the CI artifact carries the regressed run too.
+    let check_baseline = std::env::args().any(|a| a == "--check-baseline");
+    let baseline_path = std::env::var("BENCH_HOTPATH_BASELINE")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_HOTPATH.json", env!("CARGO_MANIFEST_DIR")));
+    let baseline = check_baseline
+        .then(|| bench::baseline::read_baseline_or_exit(&baseline_path, "bench_hotpath"));
     std::fs::write(&out_path, &json).expect("writing BENCH_HOTPATH.json failed");
     println!("{json}");
     eprintln!("wrote {out_path}");
+    if let Some(baseline) = baseline {
+        bench::baseline::enforce_baseline(&baseline, &baseline_path, &json, "bench_hotpath");
+    }
 
     // Regression gates, opt-in via BENCH_ASSERT=1 (CI). The kernel speedup
     // is machine-portable; the scaling gate only arms on hardware that can
@@ -252,6 +347,23 @@ fn main() {
             failures.push(format!(
                 "dense 2-thread scaling {scaling_2t:.2}x < 1.25x on a {cores}-core machine"
             ));
+        }
+        // The fused whole-layer forward must beat the separate chain: it
+        // does strictly less work (no extra pass over the activations, no
+        // per-iteration output allocation). Smoke shapes are too small to
+        // time reliably, so the CPU gate arms on full runs only; the
+        // simulated ratios are deterministic and gate everywhere.
+        if !smoke && fused_speedup <= 1.0 {
+            failures.push(format!(
+                "fused MLP forward speedup {fused_speedup:.3}x <= 1.0x at {default_threads} thread(s)"
+            ));
+        }
+        for (device, speedup) in &sim_fused_speedups {
+            if *speedup <= 1.0 {
+                failures.push(format!(
+                    "simulated fused iteration speedup {speedup:.3}x <= 1.0x on {device}"
+                ));
+            }
         }
         if !failures.is_empty() {
             eprintln!("BENCH_ASSERT failures:");

@@ -15,6 +15,9 @@
 //! extending the perf trajectory started by `BENCH_HOTPATH.json`. Run
 //! `cargo run --release -p bench --bin bench_structured` for the full
 //! shapes, or pass `--smoke` (CI) for tiny shapes that finish in seconds.
+//! Pass `--check-baseline` to additionally compare every speedup ratio of
+//! this run against the committed `BENCH_STRUCTURED.json` and fail on a
+//! regression beyond the tolerance (`BENCH_TOLERANCE`, default 15%).
 
 use approx_dropout::{scheme, DropoutRate, DropoutScheme};
 use gpu_sim::{GpuConfig, MlpSpec, NetworkTimingModel};
@@ -224,9 +227,20 @@ fn main() {
 
     let out_path = std::env::var("BENCH_STRUCTURED_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_STRUCTURED.json", env!("CARGO_MANIFEST_DIR")));
+    // In --check-baseline mode the committed file is the baseline; read it
+    // before the fresh result overwrites it, and write the fresh JSON
+    // before enforcing so the CI artifact carries the regressed run too.
+    let check_baseline = std::env::args().any(|a| a == "--check-baseline");
+    let baseline_path = std::env::var("BENCH_STRUCTURED_BASELINE")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_STRUCTURED.json", env!("CARGO_MANIFEST_DIR")));
+    let baseline = check_baseline
+        .then(|| bench::baseline::read_baseline_or_exit(&baseline_path, "bench_structured"));
     std::fs::write(&out_path, &json).expect("writing BENCH_STRUCTURED.json failed");
     println!("{json}");
     eprintln!("wrote {out_path}");
+    if let Some(baseline) = baseline {
+        bench::baseline::enforce_baseline(&baseline, &baseline_path, &json, "bench_structured");
+    }
 
     // Regression gates, opt-in via BENCH_ASSERT=1 (CI): every scheme of the
     // *new* structured family (N:M and block-unit) must keep a simulated

@@ -14,6 +14,10 @@
 //!   conventional dropout), which is what EXPERIMENTS.md records.
 //! * [`Report`] — a plain-text table printer so each binary emits rows in
 //!   the same format as the corresponding table of the paper.
+//! * [`baseline`] — the committed-baseline perf-regression gate behind the
+//!   bench binaries' `--check-baseline` mode.
+
+pub mod baseline;
 
 use approx_dropout::{scheme, DropoutRate, DropoutScheme};
 use data::{CorpusConfig, MnistConfig, SyntheticCorpus, SyntheticMnist};

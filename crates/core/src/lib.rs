@@ -62,12 +62,13 @@ pub mod structured;
 pub use bernoulli::BernoulliDropout;
 pub use error::DropoutError;
 pub use pattern::{DropoutPattern, PatternKind, RowPattern, SampledPattern, TileGrid, TilePattern};
-pub use plan::{DropoutPlan, KernelSchedule, LayerShape};
+pub use plan::{DropoutPlan, FusedBody, KernelSchedule, LayerShape};
 pub use rate::DropoutRate;
 pub use sampler::{ApproxDropoutBuilder, ApproxDropoutLayer, PatternSampler};
 pub use scheme::{Bernoulli, DivergentBernoulli, DropoutScheme, NoDropout};
 pub use search::{PatternDistribution, SearchConfig, SearchOutcome};
 pub use structured::{BlockUnit, NmSparsity, StructuredKind, StructuredUnits};
+pub use tensor::Activation;
 
 /// Default tile edge length used by the Tile-based Dropout Pattern.
 ///

@@ -25,7 +25,7 @@
 
 use crate::pattern::{SampledPattern, TileGrid};
 use crate::structured::{StructuredKind, StructuredUnits};
-use tensor::Matrix;
+use tensor::{Activation, Matrix};
 
 /// Shape of the layer a plan is resolved against: the weight matrix is
 /// `in_features × out_features` and dropout acts on the output units.
@@ -104,6 +104,81 @@ pub enum KernelSchedule {
         /// Block width in neurons.
         block: usize,
     },
+    /// Fused whole-layer launch: the GEMM runs `body`'s compaction and the
+    /// bias add + activation execute in the kernel's write-back loop — one
+    /// launch per layer instead of the GEMM → bias/activation elementwise
+    /// chain, so launch overhead and the extra pass over the activation
+    /// matrix are paid once, not per epilogue kernel.
+    Fused {
+        /// Compaction of the GEMM body (mirrors the stand-alone variants).
+        body: FusedBody,
+        /// Activation fused into the epilogue.
+        activation: Activation,
+    },
+}
+
+/// GEMM-body compaction of a fused whole-layer launch
+/// ([`KernelSchedule::Fused`]) — a carbon copy of the stand-alone
+/// [`KernelSchedule`] variants, flattened so the schedule stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedBody {
+    /// Dense GEMM body.
+    Dense,
+    /// Dense GEMM body whose Bernoulli column mask is folded into the fused
+    /// epilogue; the mask-*generation* kernel still runs separately.
+    DenseWithMask,
+    /// Dense GEMM body with naive in-kernel `if (kept)` skipping.
+    DenseDivergent {
+        /// Dropout rate determining how many warps diverge.
+        rate: f64,
+    },
+    /// Row-compacted body over `kept` of `total` output neurons.
+    RowCompact {
+        /// Output neurons actually computed.
+        kept: usize,
+        /// Output neurons of the full layer.
+        total: usize,
+    },
+    /// Tile-compacted body over `kept` of `total` weight tiles.
+    TileCompact {
+        /// Weight tiles participating in the GEMM.
+        kept: usize,
+        /// Tiles in the full weight grid.
+        total: usize,
+    },
+    /// Group-compacted body under N:M structured sparsity.
+    NmCompact {
+        /// Kept lanes per group.
+        n: usize,
+        /// Group size.
+        m: usize,
+    },
+    /// Block-compacted body over `kept` of `total` `block`-wide strips.
+    BlockCompact {
+        /// Blocks participating in the GEMM.
+        kept: usize,
+        /// Blocks the layer's outputs split into.
+        total: usize,
+        /// Block width in neurons.
+        block: usize,
+    },
+}
+
+impl FusedBody {
+    /// The stand-alone (unfused) schedule this body corresponds to.
+    pub fn schedule(self) -> KernelSchedule {
+        match self {
+            FusedBody::Dense => KernelSchedule::Dense,
+            FusedBody::DenseWithMask => KernelSchedule::DenseWithMask,
+            FusedBody::DenseDivergent { rate } => KernelSchedule::DenseDivergent { rate },
+            FusedBody::RowCompact { kept, total } => KernelSchedule::RowCompact { kept, total },
+            FusedBody::TileCompact { kept, total } => KernelSchedule::TileCompact { kept, total },
+            FusedBody::NmCompact { n, m } => KernelSchedule::NmCompact { n, m },
+            FusedBody::BlockCompact { kept, total, block } => {
+                KernelSchedule::BlockCompact { kept, total, block }
+            }
+        }
+    }
 }
 
 impl KernelSchedule {
@@ -121,24 +196,63 @@ impl KernelSchedule {
                 }
             }
             KernelSchedule::NmCompact { n, m } => n as f64 / m as f64,
+            KernelSchedule::Fused { body, .. } => body.schedule().kept_fraction(),
             _ => 1.0,
         }
     }
 
-    /// `true` when the plan pays for separate dropout-mask kernels.
+    /// `true` when the plan pays for separate dropout-mask kernels. (A fused
+    /// masked layer folds the mask *multiply* into its epilogue but still
+    /// launches the mask-generation kernel.)
     pub fn needs_mask_kernel(&self) -> bool {
-        matches!(self, KernelSchedule::DenseWithMask)
+        matches!(
+            self,
+            KernelSchedule::DenseWithMask
+                | KernelSchedule::Fused {
+                    body: FusedBody::DenseWithMask,
+                    ..
+                }
+        )
     }
 
     /// `true` when the GEMM operands are compacted before launch.
     pub fn is_compacted(&self) -> bool {
-        matches!(
-            self,
+        match *self {
             KernelSchedule::RowCompact { .. }
-                | KernelSchedule::TileCompact { .. }
-                | KernelSchedule::NmCompact { .. }
-                | KernelSchedule::BlockCompact { .. }
-        )
+            | KernelSchedule::TileCompact { .. }
+            | KernelSchedule::NmCompact { .. }
+            | KernelSchedule::BlockCompact { .. } => true,
+            KernelSchedule::Fused { body, .. } => body.schedule().is_compacted(),
+            _ => false,
+        }
+    }
+
+    /// The fused whole-layer form of this schedule with `activation` in the
+    /// epilogue. An already-fused schedule keeps its body and only swaps the
+    /// activation. This is how an executor (or the timing model) declares
+    /// that a layer's bias/activation epilogue rides inside the GEMM launch.
+    pub fn fused(self, activation: Activation) -> KernelSchedule {
+        let body = match self {
+            KernelSchedule::Dense => FusedBody::Dense,
+            KernelSchedule::DenseWithMask => FusedBody::DenseWithMask,
+            KernelSchedule::DenseDivergent { rate } => FusedBody::DenseDivergent { rate },
+            KernelSchedule::RowCompact { kept, total } => FusedBody::RowCompact { kept, total },
+            KernelSchedule::TileCompact { kept, total } => FusedBody::TileCompact { kept, total },
+            KernelSchedule::NmCompact { n, m } => FusedBody::NmCompact { n, m },
+            KernelSchedule::BlockCompact { kept, total, block } => {
+                FusedBody::BlockCompact { kept, total, block }
+            }
+            KernelSchedule::Fused { body, .. } => body,
+        };
+        KernelSchedule::Fused { body, activation }
+    }
+
+    /// The stand-alone form of this schedule (identity for non-fused ones).
+    pub fn unfused(self) -> KernelSchedule {
+        match self {
+            KernelSchedule::Fused { body, .. } => body.schedule(),
+            other => other,
+        }
     }
 }
 
@@ -854,6 +968,39 @@ mod tests {
             KernelSchedule::DenseDivergent { rate: 0.5 }.kept_fraction(),
             1.0
         );
+    }
+
+    #[test]
+    fn fused_schedule_round_trips_and_delegates() {
+        let schedules = [
+            KernelSchedule::Dense,
+            KernelSchedule::DenseWithMask,
+            KernelSchedule::DenseDivergent { rate: 0.5 },
+            KernelSchedule::RowCompact { kept: 3, total: 8 },
+            KernelSchedule::TileCompact { kept: 2, total: 4 },
+            KernelSchedule::NmCompact { n: 2, m: 4 },
+            KernelSchedule::BlockCompact {
+                kept: 1,
+                total: 2,
+                block: 16,
+            },
+        ];
+        for schedule in schedules {
+            let fused = schedule.fused(Activation::Relu);
+            assert_eq!(fused.unfused(), schedule, "{schedule:?}");
+            assert_eq!(
+                fused.kept_fraction(),
+                schedule.kept_fraction(),
+                "{schedule:?}"
+            );
+            assert_eq!(fused.is_compacted(), schedule.is_compacted());
+            assert_eq!(fused.needs_mask_kernel(), schedule.needs_mask_kernel());
+            // Re-fusing swaps only the activation.
+            assert_eq!(
+                fused.fused(Activation::Identity),
+                schedule.fused(Activation::Identity)
+            );
+        }
     }
 
     #[test]

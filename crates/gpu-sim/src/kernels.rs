@@ -193,6 +193,33 @@ pub fn dense_gemm(gpu: &GpuConfig, m: usize, k: usize, n: usize) -> KernelStats 
     gemm_core(gpu, KernelKind::DenseGemm, m, k, n)
 }
 
+/// Folds a bias/activation epilogue into an already-priced GEMM launch,
+/// producing the cost of the **fused** whole-layer kernel.
+///
+/// The epilogue touches each of the `m × n` written outputs while it is
+/// still in registers, so relative to a separate elementwise kernel it saves
+/// the extra launch, the re-read of the activation matrix and its re-write —
+/// the only new costs are `flops_per_element` ALU work per output and
+/// `vector_reads` broadcast vectors of `n` values (bias, and the dropout
+/// mask when one is folded in).
+pub fn fuse_epilogue(
+    gpu: &GpuConfig,
+    mut gemm: KernelStats,
+    m: usize,
+    n: usize,
+    flops_per_element: f64,
+    vector_reads: usize,
+) -> KernelStats {
+    let elems = m as f64 * n as f64;
+    let flops = elems * flops_per_element;
+    let vec_bytes = n as f64 * vector_reads as f64 * F32;
+    gemm.flops += flops;
+    gemm.compute_cycles += flops / gpu.flops_per_cycle();
+    gemm.global_read_bytes += vec_bytes;
+    gemm.memory_cycles += vec_bytes / gpu.bytes_per_cycle();
+    KernelStats::finalize(gpu, gemm)
+}
+
 /// Generic elementwise kernel over an `M×N` matrix.
 ///
 /// `reads`/`writes` count how many matrices of that shape are read/written,

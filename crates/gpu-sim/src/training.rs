@@ -21,7 +21,9 @@
 
 use crate::config::GpuConfig;
 use crate::kernels;
-use approx_dropout::{DropoutPlan, DropoutScheme, KernelSchedule, LayerShape};
+use approx_dropout::{
+    Activation, DropoutPlan, DropoutScheme, FusedBody, KernelSchedule, LayerShape,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -176,6 +178,14 @@ enum NetworkKind {
 pub struct NetworkTimingModel {
     gpu: GpuConfig,
     kind: NetworkKind,
+    /// When `true`, forward fully connected layers are priced as **fused**
+    /// whole-layer launches ([`KernelSchedule::Fused`]): the bias/activation
+    /// epilogue rides in the GEMM's write-back, so launch overhead is
+    /// charged once per layer instead of once per chained kernel. Off by
+    /// default so existing speedup comparisons keep their baseline; flip it
+    /// with [`NetworkTimingModel::with_fusion`] to price the deployed fused
+    /// executor.
+    fused: bool,
 }
 
 impl NetworkTimingModel {
@@ -185,6 +195,7 @@ impl NetworkTimingModel {
         Self {
             gpu,
             kind: NetworkKind::Mlp(spec),
+            fused: false,
         }
     }
 
@@ -194,6 +205,34 @@ impl NetworkTimingModel {
         Self {
             gpu,
             kind: NetworkKind::Lstm(spec),
+            fused: false,
+        }
+    }
+
+    /// Selects whether forward fc layers are priced as fused whole-layer
+    /// launches (GEMM+bias+activation in one kernel) or as the separate
+    /// GEMM → elementwise chain.
+    pub fn with_fusion(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// `true` when the model prices fused whole-layer launches.
+    pub fn fusion(&self) -> bool {
+        self.fused
+    }
+
+    /// The forward schedule a droppable fc layer prices under, honouring the
+    /// fusion toggle (`activation` is the layer's epilogue nonlinearity).
+    fn layer_schedule(
+        &self,
+        plan_schedule: &KernelSchedule,
+        activation: Activation,
+    ) -> KernelSchedule {
+        if self.fused {
+            plan_schedule.fused(activation)
+        } else {
+            *plan_schedule
         }
     }
 
@@ -406,25 +445,27 @@ impl NetworkTimingModel {
         let mut layers = Vec::new();
         let mut in_dim = spec.input_dim;
         for (i, &width) in spec.hidden.iter().enumerate() {
+            let schedule = self.layer_schedule(plans[i].kernel_schedule(), Activation::Relu);
             let layer = self.fc_layer(
                 &format!("fc{} ({}x{})", i + 1, in_dim, width),
                 spec.batch,
                 in_dim,
                 width,
                 1.0,
-                plans[i].kernel_schedule(),
+                &schedule,
             );
             layers.push(layer);
             in_dim = width;
         }
         // Output layer: small and never dropped.
+        let out_schedule = self.layer_schedule(&KernelSchedule::Dense, Activation::Identity);
         let output = self.fc_layer(
             &format!("fc_out ({}x{})", in_dim, spec.output_dim),
             spec.batch,
             in_dim,
             spec.output_dim,
             1.0,
-            &KernelSchedule::Dense,
+            &out_schedule,
         );
         layers.push(output);
         summarize(layers)
@@ -499,13 +540,14 @@ impl NetworkTimingModel {
         // (batch·seq_len × h) · (h × vocab). The last layer's row dropout
         // shrinks its input dimension.
         let tokens = spec.batch * spec.seq_len;
+        let proj_schedule = self.layer_schedule(&KernelSchedule::Dense, Activation::Identity);
         let proj = self.fc_layer(
             &format!("softmax ({}x{})", spec.hidden, spec.vocab),
             tokens,
             spec.hidden,
             spec.vocab,
             input_keep,
-            &KernelSchedule::Dense,
+            &proj_schedule,
         );
         layers.push(proj);
         summarize(layers)
@@ -601,6 +643,91 @@ fn price_fc_schedule(
             );
             (fwd, bwd, 0.0)
         }
+        KernelSchedule::Fused { body, activation } => {
+            // Fused whole-layer launch: the body's GEMM kernel with the
+            // bias/activation epilogue folded into its write-back — launch
+            // overhead charged once for the whole forward layer, and no
+            // separate elementwise pass re-reading the activation matrix.
+            // Masked bodies fold the mask *multiply* in too (one extra flop
+            // and one extra broadcast vector read); mask *generation* and
+            // the backward mask apply still run as kernels of their own.
+            let masked = matches!(
+                body,
+                FusedBody::DenseWithMask | FusedBody::DenseDivergent { .. }
+            );
+            let (gemm, epilogue_n) = match body {
+                FusedBody::Dense | FusedBody::DenseWithMask => (
+                    kernels::dense_gemm(gpu, batch, k_eff, out_features),
+                    out_features,
+                ),
+                FusedBody::DenseDivergent { rate } => (
+                    kernels::divergent_gemm(gpu, batch, k_eff, out_features, rate),
+                    out_features,
+                ),
+                FusedBody::RowCompact { kept, total } => {
+                    let kept = scaled_units(out_features, kept, total);
+                    (
+                        kernels::row_compact_gemm(gpu, batch, k_eff, out_features, kept),
+                        kept,
+                    )
+                }
+                // The tile epilogue covers every output column (bias is
+                // added to dropped columns too, matching the executor).
+                FusedBody::TileCompact { kept, total } => (
+                    kernels::tile_compact_gemm(gpu, batch, k_eff, out_features, kept, total),
+                    out_features,
+                ),
+                FusedBody::NmCompact { n, m } => (
+                    kernels::nm_compact_gemm(gpu, batch, k_eff, out_features, n, m),
+                    scaled_units(out_features, n, m),
+                ),
+                FusedBody::BlockCompact { kept, total, block } => (
+                    kernels::block_compact_gemm(
+                        gpu,
+                        batch,
+                        k_eff,
+                        out_features,
+                        kept,
+                        total,
+                        block,
+                    ),
+                    scaled_units(out_features, kept, total),
+                ),
+            };
+            let flops_per_element =
+                1.0 + activation_flops(activation) + if masked { 1.0 } else { 0.0 };
+            let vector_reads = if masked { 2 } else { 1 };
+            let fwd = kernels::fuse_epilogue(
+                gpu,
+                gemm,
+                batch,
+                epilogue_n,
+                flops_per_element,
+                vector_reads,
+            );
+            // Backward is not fused — fusion is a forward-epilogue property.
+            let (_, bwd, _) = price_fc_schedule(gpu, &body.schedule(), batch, k_eff, out_features);
+            let dropout_us = if matches!(body, FusedBody::DenseWithMask) {
+                // Mask generation plus the backward gradient-mask apply; the
+                // forward mask apply lives in the fused epilogue now.
+                kernels::elementwise(gpu, batch, out_features, 0, 1, 12.0)
+                    .merged_with(&kernels::elementwise(gpu, batch, out_features, 2, 1, 1.0))
+                    .time_us()
+            } else {
+                0.0
+            };
+            (fwd, bwd, dropout_us)
+        }
+    }
+}
+
+/// FLOPs a fused epilogue charges per output element for the activation
+/// (the bias add and optional mask multiply are accounted separately).
+fn activation_flops(act: Activation) -> f64 {
+    match act {
+        Activation::Identity => 0.0,
+        Activation::Relu => 1.0,
+        Activation::Sigmoid | Activation::Tanh => 4.0,
     }
 }
 
@@ -831,6 +958,118 @@ mod tests {
                     "lower kept fraction priced slower: {series:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn fused_layer_never_prices_above_the_unfused_chain() {
+        // fused_cost <= sum(parts): the fused launch saves the elementwise
+        // kernel's launch overhead and its re-read/re-write of the
+        // activation matrix, for every schedule family and on both device
+        // presets.
+        let schedules = [
+            KernelSchedule::Dense,
+            KernelSchedule::DenseWithMask,
+            KernelSchedule::DenseDivergent { rate: 0.5 },
+            KernelSchedule::RowCompact {
+                kept: 1024,
+                total: 2048,
+            },
+            KernelSchedule::TileCompact {
+                kept: 2048,
+                total: 4096,
+            },
+            KernelSchedule::NmCompact { n: 2, m: 4 },
+            KernelSchedule::BlockCompact {
+                kept: 32,
+                total: 64,
+                block: 32,
+            },
+        ];
+        for gpu in [GpuConfig::gtx_1080ti(), GpuConfig::server_hbm()] {
+            for schedule in schedules {
+                for act in [Activation::Identity, Activation::Relu] {
+                    let (unfused_fwd, unfused_bwd, unfused_drop) =
+                        price_fc_schedule(&gpu, &schedule, 128, 2048, 2048);
+                    let (fused_fwd, fused_bwd, fused_drop) =
+                        price_fc_schedule(&gpu, &schedule.fused(act), 128, 2048, 2048);
+                    assert!(
+                        fused_fwd.time_us() <= unfused_fwd.time_us(),
+                        "{}: fused fwd {} > unfused {} for {schedule:?}/{act:?}",
+                        gpu.name,
+                        fused_fwd.time_us(),
+                        unfused_fwd.time_us()
+                    );
+                    // Whole-layer totals shrink too.
+                    let unfused_total =
+                        unfused_fwd.time_us() + unfused_bwd.time_us() + unfused_drop;
+                    let fused_total = fused_fwd.time_us() + fused_bwd.time_us() + fused_drop;
+                    assert!(
+                        fused_total <= unfused_total,
+                        "{}: fused total {fused_total} > unfused {unfused_total} for {schedule:?}",
+                        gpu.name
+                    );
+                    // Launch accounting: the fused forward is one kernel,
+                    // the unfused forward is a GEMM + elementwise chain.
+                    assert_eq!(fused_fwd.launches, 1, "{schedule:?}");
+                    assert_eq!(unfused_fwd.launches, 2, "{schedule:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pricing_is_monotonic_in_kept_fraction() {
+        let g = GpuConfig::gtx_1080ti();
+        let row_series: Vec<f64> = [2048usize, 1024, 512, 256]
+            .iter()
+            .map(|&kept| {
+                let schedule =
+                    KernelSchedule::RowCompact { kept, total: 2048 }.fused(Activation::Relu);
+                let (fwd, bwd, _) = price_fc_schedule(&g, &schedule, 128, 2048, 2048);
+                fwd.time_us() + bwd.time_us()
+            })
+            .collect();
+        let nm_series: Vec<f64> = [(4usize, 4usize), (3, 4), (2, 4), (1, 4)]
+            .iter()
+            .map(|&(n, m)| {
+                let schedule = KernelSchedule::NmCompact { n, m }.fused(Activation::Relu);
+                let (fwd, bwd, _) = price_fc_schedule(&g, &schedule, 128, 2048, 2048);
+                fwd.time_us() + bwd.time_us()
+            })
+            .collect();
+        for series in [row_series, nm_series] {
+            for w in series.windows(2) {
+                assert!(
+                    w[1] <= w[0] + 1e-9,
+                    "dropping more must not price slower: {series:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_model_speeds_up_whole_network_pricing() {
+        // The deployed executor runs one fused kernel per layer; the model
+        // with fusion on must price a strictly faster iteration than the
+        // unfused chain, on both device presets, with the dropout-scheme
+        // speedup ordering intact.
+        for gpu in [GpuConfig::gtx_1080ti(), GpuConfig::server_hbm()] {
+            let unfused = NetworkTimingModel::mlp(gpu.clone(), MlpSpec::paper_mlp());
+            let fused = unfused.clone().with_fusion(true);
+            assert!(fused.fusion());
+            for scheme in [scheme::bernoulli(rate(0.5)), row(0.5), scheme::none()] {
+                let t_unfused = unfused.expected_iteration_time(&*scheme, 64, 13).total_us();
+                let t_fused = fused.expected_iteration_time(&*scheme, 64, 13).total_us();
+                assert!(
+                    t_fused < t_unfused,
+                    "{}: fused {t_fused} >= unfused {t_unfused}",
+                    gpu.name
+                );
+            }
+            // Fusion does not wash out the compaction win.
+            let speedup = fused.speedup(&*scheme::bernoulli(rate(0.5)), &*row(0.5), 64, 13);
+            assert!(speedup > 1.0, "{}: fused-model speedup {speedup}", gpu.name);
         }
     }
 

@@ -31,7 +31,7 @@
 //! output" formulation the paper starts from.
 
 use crate::optimizer::Sgd;
-use approx_dropout::{DropoutPlan, TileGrid};
+use approx_dropout::{Activation, DropoutPlan, TileGrid};
 use rand::Rng;
 use tensor::{gemm, init, pool, GatherColsScratch, Matrix, RowCompactScratch};
 
@@ -39,8 +39,16 @@ use tensor::{gemm, init, pool, GatherColsScratch, Matrix, RowCompactScratch};
 /// layer — the per-variant dispatch extracted into one place so forward and
 /// backward can never disagree and a new scheme family is one new arm.
 enum ExecPath<'p> {
-    /// Dense GEMM; the plan's Bernoulli mask (if any) is applied after.
+    /// Dense GEMM with no mask at all (the identity plan).
     Dense,
+    /// Dense GEMM whose per-output-neuron Bernoulli (or divergent) column
+    /// mask rides in the epilogue: the fused forward folds
+    /// `mask[j] · scale` into the write-back, the unfused forward applies it
+    /// as a separate pass.
+    DenseMasked {
+        /// Per-output-neuron 0/1 mask (1 = kept).
+        mask: &'p [f32],
+    },
     /// Column-gather compaction over scattered kept output neurons; `nm`
     /// carries the `(n, m)` group parameters when the plan is an N:M plan
     /// (validated by the kernel).
@@ -82,6 +90,9 @@ fn exec_path(plan: &DropoutPlan) -> ExecPath<'_> {
     }
     if let Some((kept, grid)) = plan.kept_tiles() {
         return ExecPath::Tiles { kept, grid };
+    }
+    if let Some(mask) = plan.bernoulli_mask() {
+        return ExecPath::DenseMasked { mask };
     }
     ExecPath::Dense
 }
@@ -259,7 +270,7 @@ impl Linear {
                     .expect("bias width matches output");
                 z
             }
-            ExecPath::Dense => {
+            ExecPath::Dense | ExecPath::DenseMasked { .. } => {
                 let mut z = self.dense_forward(input);
                 plan.apply_mask(&mut z);
                 z
@@ -271,6 +282,97 @@ impl Linear {
         self.ws.plan.clone_from(plan);
         self.ws.armed = true;
         output
+    }
+
+    /// Fused whole-layer forward pass: executes the plan, the bias add and
+    /// `act` as **one** fused kernel per layer (`tensor`'s
+    /// `*_bias_act_into` family), writing into the caller-owned `out` buffer
+    /// so the per-iteration output allocation of [`Linear::forward`]
+    /// disappears as well. Caches exactly what [`Linear::backward`] needs —
+    /// fused and unfused forwards are interchangeable in front of the same
+    /// backward pass, and their outputs are bitwise identical once the
+    /// caller of the unfused path applies `act` elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != in_features()`.
+    pub fn forward_act_into(
+        &mut self,
+        input: &Matrix,
+        plan: &DropoutPlan,
+        act: Activation,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            input.cols(),
+            self.in_features(),
+            "input width must match in_features"
+        );
+        let scale = plan.scale();
+        match exec_path(plan) {
+            ExecPath::Gather { kept, nm } => match nm {
+                Some((n, m)) => gemm::nm_compact_gemm_bias_act_into(
+                    input,
+                    &self.weight,
+                    kept,
+                    n,
+                    m,
+                    &self.bias,
+                    scale,
+                    act,
+                    &mut self.ws.row_scratch,
+                    out,
+                ),
+                None => gemm::gather_cols_gemm_bias_act_into(
+                    input,
+                    &self.weight,
+                    kept,
+                    &self.bias,
+                    scale,
+                    act,
+                    &mut self.ws.row_scratch,
+                    out,
+                ),
+            }
+            .expect("kept indices come from the plan and are in bounds"),
+            ExecPath::Blocks { kept, block } => gemm::block_compact_gemm_bias_act_into(
+                input,
+                &self.weight,
+                kept,
+                block,
+                &self.bias,
+                scale,
+                act,
+                out,
+            )
+            .expect("kept blocks come from the plan and are in bounds"),
+            ExecPath::Tiles { kept, grid } => gemm::tile_compact_gemm_bias_act_into(
+                input,
+                &self.weight,
+                kept,
+                grid.tile(),
+                &self.bias,
+                scale,
+                act,
+                out,
+            )
+            .expect("kept tiles come from the plan and are in bounds"),
+            ExecPath::DenseMasked { mask } => gemm::gemm_bias_act_masked_into(
+                input,
+                &self.weight,
+                &self.bias,
+                mask,
+                scale,
+                act,
+                out,
+            )
+            .expect("mask length comes from the plan and matches"),
+            ExecPath::Dense => gemm::gemm_bias_act_into(input, &self.weight, &self.bias, act, out)
+                .expect("inner dimensions must agree"),
+        }
+        self.ws.input.clone_from(input);
+        self.ws.plan.clone_from(plan);
+        self.ws.armed = true;
     }
 
     fn dense_forward(&self, input: &Matrix) -> Matrix {
@@ -417,7 +519,7 @@ impl Linear {
                 });
                 dx
             }
-            ExecPath::Dense => {
+            ExecPath::Dense | ExecPath::DenseMasked { .. } => {
                 // Dense (identity or Bernoulli-masked) path: the gradient
                 // flows only through kept neurons, scaled like the forward
                 // pass — a no-op when the plan is the identity.

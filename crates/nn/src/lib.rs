@@ -69,7 +69,9 @@ pub use approx_dropout::scheme as schemes;
 pub use approx_dropout::{DropoutPlan, DropoutScheme, KernelSchedule, LayerShape};
 pub use builder::{LstmBuilder, NetworkBuilder};
 pub use layers::Linear;
-pub use loss::{softmax_cross_entropy, CrossEntropyOutput};
+pub use loss::{
+    softmax_cross_entropy, softmax_cross_entropy_into, CrossEntropyOutput, CrossEntropyScratch,
+};
 pub use metrics::{accuracy, perplexity_from_nll};
 pub use mlp::{Mlp, MlpConfig, TrainBatchStats};
 pub use optimizer::Sgd;

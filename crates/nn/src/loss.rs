@@ -46,9 +46,105 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> CrossEntropyO
     }
 }
 
+/// Recycled buffers for [`softmax_cross_entropy_into`]: the probability
+/// matrix and the logits gradient, reused across training iterations so the
+/// loss computation stops allocating once warmed up (the same workspace
+/// discipline the layers follow).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CrossEntropyScratch {
+    probs: Matrix,
+    grad_logits: Matrix,
+}
+
+impl CrossEntropyScratch {
+    /// Row-wise softmax probabilities of the most recent call.
+    pub fn probabilities(&self) -> &Matrix {
+        &self.probs
+    }
+
+    /// Gradient of the mean loss w.r.t. the logits of the most recent call.
+    pub fn grad_logits(&self) -> &Matrix {
+        &self.grad_logits
+    }
+}
+
+/// Allocation-free variant of [`softmax_cross_entropy`]: writes the
+/// probabilities and logits gradient into `scratch` (buffers recycled across
+/// calls) and returns the mean loss. Produces bitwise-identical numbers to
+/// the allocating function.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy_into(
+    logits: &Matrix,
+    labels: &[usize],
+    scratch: &mut CrossEntropyScratch,
+) -> f32 {
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "one label per logits row is required"
+    );
+    let batch = logits.rows().max(1);
+    ops::softmax_rows_into(logits, &mut scratch.probs);
+    // The loss needs the log-softmax only at the label positions, so the
+    // per-row log-denominator is computed on the fly (same expressions and
+    // accumulation order as `ops::log_softmax_rows`) instead of
+    // materialising the whole matrix.
+    let mut loss = 0.0f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        let row = logits.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_denom = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+        loss -= row[label] - max - log_denom;
+    }
+    loss /= batch as f32;
+    scratch.grad_logits.clone_from(&scratch.probs);
+    for (i, &label) in labels.iter().enumerate() {
+        scratch.grad_logits[(i, label)] -= 1.0;
+    }
+    let inv = 1.0 / batch as f32;
+    scratch.grad_logits.map_inplace(|v| v * inv);
+    loss
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scratch_variant_matches_allocating_function_bitwise() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.2], &[2.0, 0.1, -1.0], &[0.0, 0.0, 5.0]]);
+        let labels = vec![1, 0, 2];
+        let reference = softmax_cross_entropy(&logits, &labels);
+        let mut scratch = CrossEntropyScratch::default();
+        let loss = softmax_cross_entropy_into(&logits, &labels, &mut scratch);
+        assert_eq!(loss, reference.loss);
+        assert_eq!(*scratch.probabilities(), reference.probabilities);
+        assert_eq!(*scratch.grad_logits(), reference.grad_logits);
+    }
+
+    #[test]
+    fn scratch_buffers_are_recycled_across_calls() {
+        let logits = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.0, 1.0, 1.0]]);
+        let labels = vec![1, 0];
+        let mut scratch = CrossEntropyScratch::default();
+        let _ = softmax_cross_entropy_into(&logits, &labels, &mut scratch);
+        let probs_ptr = scratch.probs.as_slice().as_ptr();
+        let grad_ptr = scratch.grad_logits.as_slice().as_ptr();
+        let _ = softmax_cross_entropy_into(&logits, &labels, &mut scratch);
+        assert_eq!(probs_ptr, scratch.probs.as_slice().as_ptr());
+        assert_eq!(grad_ptr, scratch.grad_logits.as_slice().as_ptr());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scratch_variant_rejects_out_of_range_label() {
+        let mut scratch = CrossEntropyScratch::default();
+        let _ = softmax_cross_entropy_into(&Matrix::zeros(1, 3), &[3], &mut scratch);
+    }
 
     #[test]
     fn uniform_logits_give_log_c_loss() {

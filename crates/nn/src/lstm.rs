@@ -15,10 +15,10 @@
 //! implementation focuses on numerical fidelity of the training dynamics.
 
 use crate::layers::Linear;
-use crate::loss::softmax_cross_entropy;
+use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_into, CrossEntropyScratch};
 use crate::metrics::perplexity_from_nll;
 use crate::optimizer::Sgd;
-use approx_dropout::{DropoutPlan, DropoutScheme, LayerShape};
+use approx_dropout::{Activation, DropoutPlan, DropoutScheme, LayerShape};
 use rand::Rng;
 use tensor::{gemm, init, Matrix};
 
@@ -83,6 +83,9 @@ struct BpttWorkspace {
     dh_next: Matrix,
     dc_next: Matrix,
     bias_rows: Matrix,
+    /// Per-timestep weight-gradient product, accumulated into the running
+    /// gradients (reused across the whole sequence and across iterations).
+    dw: Matrix,
 }
 
 /// Applies `f` to columns `[start, end)` of `z`, writing into `out`
@@ -151,13 +154,24 @@ impl LstmCell {
     /// matrix per timestep) starting from a zero state, returning the hidden
     /// state of every timestep and caching intermediates for backward.
     pub fn forward_sequence(&mut self, inputs: &[Matrix]) -> Vec<Matrix> {
+        let mut outputs = Vec::new();
+        self.forward_sequence_into(inputs, &mut outputs);
+        outputs
+    }
+
+    /// Like [`LstmCell::forward_sequence`] but writing the per-timestep
+    /// hidden states into caller-owned buffers (`outputs` is resized to the
+    /// sequence length and each entry recycled), so the inter-layer
+    /// activation matrices of a stacked LSTM stop being reallocated every
+    /// iteration.
+    pub fn forward_sequence_into(&mut self, inputs: &[Matrix], outputs: &mut Vec<Matrix>) {
         let batch = inputs.first().map_or(0, Matrix::rows);
         let h = self.hidden;
         // Zero-initialised running state, buffers recycled across
         // iterations.
         self.h_state.resize(batch, h);
         self.c_state.resize(batch, h);
-        let mut outputs = Vec::with_capacity(inputs.len());
+        outputs.resize_with(inputs.len(), Matrix::default);
         for (t, x) in inputs.iter().enumerate() {
             if self.cache.len() <= t {
                 self.cache.push(StepCache::default());
@@ -206,10 +220,9 @@ impl LstmCell {
                     hrow[j] = orow[j] * tcrow[j];
                 }
             }
-            outputs.push(self.h_state.clone());
+            outputs[t].clone_from(&self.h_state);
         }
         self.steps = inputs.len();
-        outputs
     }
 
     /// Backpropagation through time. `grad_hidden[t]` is the gradient of the
@@ -221,6 +234,20 @@ impl LstmCell {
     /// Panics if called without a preceding [`LstmCell::forward_sequence`] or
     /// with a gradient list of the wrong length.
     pub fn backward_sequence(&mut self, grad_hidden: &[Matrix]) -> Vec<Matrix> {
+        let mut dx_list = Vec::new();
+        self.backward_sequence_into(grad_hidden, &mut dx_list);
+        dx_list
+    }
+
+    /// Like [`LstmCell::backward_sequence`] but writing the per-timestep
+    /// input gradients into caller-owned buffers (`dx_out` resized to the
+    /// sequence length, entries recycled) — the backward counterpart of
+    /// [`LstmCell::forward_sequence_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LstmCell::backward_sequence`].
+    pub fn backward_sequence_into(&mut self, grad_hidden: &[Matrix], dx_out: &mut Vec<Matrix>) {
         assert_eq!(
             grad_hidden.len(),
             self.steps,
@@ -233,10 +260,7 @@ impl LstmCell {
         self.w_x_grad.resize(self.w_x.rows(), self.w_x.cols());
         self.w_h_grad.resize(self.w_h.rows(), self.w_h.cols());
         self.bias_grad.resize(1, 4 * h);
-        let mut dx_list = vec![Matrix::zeros(batch, self.input_dim()); grad_hidden.len()];
-        // Scratch for the per-timestep weight-gradient products, reused
-        // across the whole sequence.
-        let mut dw_scratch = Matrix::default();
+        dx_out.resize_with(grad_hidden.len(), Matrix::default);
 
         // Recurrent gradients and the combined gate gradient live in the
         // recycled BPTT workspace; moved out so its buffers can be borrowed
@@ -285,29 +309,28 @@ impl LstmCell {
             // Transposed-operand kernels: `Xᵀ·dZ` and `dZ·Wᵀ` without ever
             // materialising a transpose (paper-scale LSTMs run this for
             // every timestep of every layer).
-            gemm::gemm_at_b_into(&cache.x, &ws.dz, &mut dw_scratch)
+            gemm::gemm_at_b_into(&cache.x, &ws.dz, &mut ws.dw)
                 .expect("weight gradient shapes agree");
             self.w_x_grad
-                .axpy_inplace(1.0, &dw_scratch)
+                .axpy_inplace(1.0, &ws.dw)
                 .expect("weight gradient shapes agree");
-            gemm::gemm_at_b_into(&cache.h_prev, &ws.dz, &mut dw_scratch)
+            gemm::gemm_at_b_into(&cache.h_prev, &ws.dz, &mut ws.dw)
                 .expect("weight gradient shapes agree");
             self.w_h_grad
-                .axpy_inplace(1.0, &dw_scratch)
+                .axpy_inplace(1.0, &ws.dw)
                 .expect("weight gradient shapes agree");
             ws.dz.sum_rows_into(&mut ws.bias_rows);
             self.bias_grad
                 .axpy_inplace(1.0, &ws.bias_rows)
                 .expect("bias gradient shapes agree");
 
-            gemm::gemm_a_bt_into(&ws.dz, &self.w_x, &mut dx_list[t])
+            gemm::gemm_a_bt_into(&ws.dz, &self.w_x, &mut dx_out[t])
                 .expect("input gradient shapes agree");
             gemm::gemm_a_bt_into(&ws.dz, &self.w_h, &mut ws.dh_next)
                 .expect("hidden gradient shapes agree");
         }
         self.bptt = ws;
         self.steps = 0;
-        dx_list
     }
 
     /// Maximum absolute value over all parameter gradients (used for
@@ -386,6 +409,32 @@ pub struct LmBatchStats {
     pub accuracy: f64,
 }
 
+/// Recycled buffers of one [`LstmLm::train_batch`] iteration: the
+/// inter-layer activation sequences (ping-ponged between layer input and
+/// layer output), the stacked projection input, the logits, the per-step
+/// gradient sequences, the flattened target ids and the softmax
+/// cross-entropy scratch. Together with the per-cell workspaces this makes
+/// the whole training hot path allocation-free once shapes have stabilised.
+#[derive(Debug, Clone, Default)]
+struct SeqWorkspace {
+    /// Current layer's per-timestep inputs (the embeddings at layer 0).
+    acts_a: Vec<Matrix>,
+    /// Current layer's per-timestep outputs (dropout applied in place);
+    /// swapped with `acts_a` after each layer.
+    acts_b: Vec<Matrix>,
+    /// Top-layer states stacked over time, feeding the projection.
+    stacked: Matrix,
+    /// Projection output (vocabulary logits).
+    logits: Matrix,
+    /// Per-timestep gradient buffers, ping-ponged like the activations.
+    grad_a: Vec<Matrix>,
+    grad_b: Vec<Matrix>,
+    /// Flattened next-token targets.
+    targets: Vec<usize>,
+    /// Softmax cross-entropy probability/gradient buffers.
+    xent: CrossEntropyScratch,
+}
+
 /// Word-level LSTM language model with inter-layer approximate dropout.
 #[derive(Debug, Clone)]
 pub struct LstmLm {
@@ -398,6 +447,8 @@ pub struct LstmLm {
     plan_ws: Vec<DropoutPlan>,
     /// Per-layer column-multiplier buffers derived from the plans.
     mult_ws: Vec<Vec<f32>>,
+    /// Per-iteration sequence buffers, recycled across iterations.
+    seq_ws: SeqWorkspace,
     projection: Linear,
     sgd: Sgd,
     grad_clip: f32,
@@ -429,6 +480,7 @@ impl LstmLm {
             dropout: vec![config.dropout.clone(); config.layers],
             plan_ws: vec![DropoutPlan::default(); config.layers],
             mult_ws: vec![Vec::new(); config.layers],
+            seq_ws: SeqWorkspace::default(),
             projection: Linear::new(rng, config.hidden, config.vocab),
             sgd: Sgd::new(config.learning_rate, config.momentum),
             grad_clip: config.grad_clip,
@@ -463,12 +515,8 @@ impl LstmLm {
     }
 
     fn embed(&self, tokens: &[Vec<usize>], t: usize) -> Matrix {
-        let batch = tokens.len();
-        let dim = self.embedding.cols();
-        let mut out = Matrix::zeros(batch, dim);
-        for (b, seq) in tokens.iter().enumerate() {
-            out.row_mut(b).copy_from_slice(self.embedding.row(seq[t]));
-        }
+        let mut out = Matrix::default();
+        embed_into(&self.embedding, tokens, t, &mut out);
         out
     }
 
@@ -491,42 +539,53 @@ impl LstmLm {
             self.plan_ws[l].column_multiplier_into(hidden, &mut self.mult_ws[l]);
         }
 
-        // Forward.
-        let mut layer_inputs: Vec<Matrix> = (0..seq_len).map(|t| self.embed(tokens, t)).collect();
-        let mut per_layer_outputs: Vec<Vec<Matrix>> = Vec::with_capacity(self.cells.len());
+        // Forward. The inter-layer activation sequences live in the recycled
+        // `seq_ws` buffers: embeddings land in `acts_a`, each cell writes
+        // its hidden states into `acts_b`, dropout multiplies in place, and
+        // the two buffers swap roles for the next layer — no per-iteration
+        // activation matrix is ever allocated.
+        let mut ws = std::mem::take(&mut self.seq_ws);
+        ws.acts_a.resize_with(seq_len, Matrix::default);
+        for t in 0..seq_len {
+            embed_into(&self.embedding, tokens, t, &mut ws.acts_a[t]);
+        }
         for (l, cell) in self.cells.iter_mut().enumerate() {
-            let outputs = cell.forward_sequence(&layer_inputs);
-            let dropped: Vec<Matrix> = outputs
-                .iter()
-                .map(|h| apply_column_multiplier(h, &self.mult_ws[l]))
-                .collect();
-            per_layer_outputs.push(outputs);
-            layer_inputs = dropped;
+            cell.forward_sequence_into(&ws.acts_a, &mut ws.acts_b);
+            for step in &mut ws.acts_b {
+                apply_column_multiplier_inplace(step, &self.mult_ws[l]);
+            }
+            std::mem::swap(&mut ws.acts_a, &mut ws.acts_b);
         }
 
-        // Stack the (dropped) top-layer states over time and project.
-        let stacked = stack_rows(&layer_inputs);
+        // Stack the (dropped) top-layer states over time and project — one
+        // fused GEMM+bias kernel into the recycled logits buffer.
+        stack_rows_into(&ws.acts_a, &mut ws.stacked);
         let projection_shape = LayerShape::new(
             self.projection.in_features(),
             self.projection.out_features(),
         );
-        let logits = self
-            .projection
-            .forward(&stacked, &DropoutPlan::none(projection_shape));
-        let targets: Vec<usize> = flatten_targets(tokens, seq_len);
-        let loss_out = softmax_cross_entropy(&logits, &targets);
-        let acc = crate::metrics::accuracy(&logits, &targets);
+        let mut logits = std::mem::take(&mut ws.logits);
+        self.projection.forward_act_into(
+            &ws.stacked,
+            &DropoutPlan::none(projection_shape),
+            Activation::Identity,
+            &mut logits,
+        );
+        ws.logits = logits;
+        flatten_targets_into(tokens, seq_len, &mut ws.targets);
+        let loss = softmax_cross_entropy_into(&ws.logits, &ws.targets, &mut ws.xent);
+        let acc = crate::metrics::accuracy(&ws.logits, &ws.targets);
 
         // Backward.
-        let grad_stacked = self.projection.backward(&loss_out.grad_logits);
-        let mut grad_per_step = unstack_rows(&grad_stacked, seq_len, batch);
+        let grad_stacked = self.projection.backward(ws.xent.grad_logits());
+        unstack_rows_into(&grad_stacked, seq_len, batch, &mut ws.grad_a);
         for l in (0..self.cells.len()).rev() {
-            // Gradient through this layer's output dropout.
-            let grads: Vec<Matrix> = grad_per_step
-                .iter()
-                .map(|g| apply_column_multiplier(g, &self.mult_ws[l]))
-                .collect();
-            grad_per_step = self.cells[l].backward_sequence(&grads);
+            // Gradient through this layer's output dropout, in place.
+            for step in &mut ws.grad_a {
+                apply_column_multiplier_inplace(step, &self.mult_ws[l]);
+            }
+            self.cells[l].backward_sequence_into(&ws.grad_a, &mut ws.grad_b);
+            std::mem::swap(&mut ws.grad_a, &mut ws.grad_b);
         }
 
         // Embedding gradient: scatter the bottom-layer input gradients back
@@ -534,7 +593,7 @@ impl LstmLm {
         // iterations).
         self.embedding_grad
             .resize(self.embedding.rows(), self.embedding.cols());
-        for (t, grad) in grad_per_step.iter().enumerate() {
+        for (t, grad) in ws.grad_a.iter().enumerate() {
             for (b, token_row) in tokens.iter().enumerate() {
                 let dst = self.embedding_grad.row_mut(token_row[t]);
                 for (d, &g) in dst.iter_mut().zip(grad.row(b)) {
@@ -542,12 +601,12 @@ impl LstmLm {
                 }
             }
         }
+        self.seq_ws = ws;
 
         self.clip_and_step();
-        let _ = per_layer_outputs; // retained for clarity; caches live in the cells
         LmBatchStats {
-            loss: loss_out.loss,
-            perplexity: perplexity_from_nll(loss_out.loss as f64),
+            loss,
+            perplexity: perplexity_from_nll(loss as f64),
             accuracy: acc,
         }
     }
@@ -563,7 +622,8 @@ impl LstmLm {
         }
         let stacked = stack_rows(&layer_inputs);
         let logits = model.projection.infer(&stacked);
-        let targets: Vec<usize> = flatten_targets(tokens, seq_len);
+        let mut targets = Vec::new();
+        flatten_targets_into(tokens, seq_len, &mut targets);
         let loss_out = softmax_cross_entropy(&logits, &targets);
         LmBatchStats {
             loss: loss_out.loss,
@@ -631,48 +691,73 @@ impl LstmLm {
     }
 }
 
-fn apply_column_multiplier(m: &Matrix, mult: &[f32]) -> Matrix {
-    let mut out = m.clone();
-    for i in 0..out.rows() {
-        for (v, &s) in out.row_mut(i).iter_mut().zip(mult) {
+/// Gathers the embedding rows of timestep `t` into `out` (resized in place).
+fn embed_into(embedding: &Matrix, tokens: &[Vec<usize>], t: usize, out: &mut Matrix) {
+    out.resize_for_overwrite(tokens.len(), embedding.cols());
+    for (b, seq) in tokens.iter().enumerate() {
+        out.row_mut(b).copy_from_slice(embedding.row(seq[t]));
+    }
+}
+
+/// Applies a per-column multiplier in place — the allocation-free form of
+/// the inter-layer dropout (and its gradient) application.
+fn apply_column_multiplier_inplace(m: &mut Matrix, mult: &[f32]) {
+    for i in 0..m.rows() {
+        for (v, &s) in m.row_mut(i).iter_mut().zip(mult) {
             *v *= s;
         }
     }
-    out
 }
 
 fn stack_rows(steps: &[Matrix]) -> Matrix {
+    let mut out = Matrix::default();
+    stack_rows_into(steps, &mut out);
+    out
+}
+
+/// Stacks per-timestep `(batch, cols)` matrices into one
+/// `(steps·batch, cols)` matrix, recycling `out`.
+fn stack_rows_into(steps: &[Matrix], out: &mut Matrix) {
     let batch = steps.first().map_or(0, Matrix::rows);
     let cols = steps.first().map_or(0, Matrix::cols);
-    let mut out = Matrix::zeros(batch * steps.len(), cols);
+    out.resize_for_overwrite(batch * steps.len(), cols);
     for (t, step) in steps.iter().enumerate() {
         for b in 0..batch {
             out.row_mut(t * batch + b).copy_from_slice(step.row(b));
         }
     }
+}
+
+/// Reference formulation of [`unstack_rows_into`], retained for the
+/// round-trip test.
+#[cfg(test)]
+fn unstack_rows(stacked: &Matrix, steps: usize, batch: usize) -> Vec<Matrix> {
+    let mut out = Vec::new();
+    unstack_rows_into(stacked, steps, batch, &mut out);
     out
 }
 
-fn unstack_rows(stacked: &Matrix, steps: usize, batch: usize) -> Vec<Matrix> {
-    (0..steps)
-        .map(|t| {
-            let mut m = Matrix::zeros(batch, stacked.cols());
-            for b in 0..batch {
-                m.row_mut(b).copy_from_slice(stacked.row(t * batch + b));
-            }
-            m
-        })
-        .collect()
-}
-
-fn flatten_targets(tokens: &[Vec<usize>], seq_len: usize) -> Vec<usize> {
-    let mut targets = Vec::with_capacity(seq_len * tokens.len());
-    for t in 0..seq_len {
-        for seq in tokens {
-            targets.push(seq[t + 1]);
+/// Splits a stacked `(steps·batch, cols)` matrix back into per-timestep
+/// matrices, recycling the buffers in `out`.
+fn unstack_rows_into(stacked: &Matrix, steps: usize, batch: usize, out: &mut Vec<Matrix>) {
+    out.resize_with(steps, Matrix::default);
+    for (t, m) in out.iter_mut().enumerate() {
+        m.resize_for_overwrite(batch, stacked.cols());
+        for b in 0..batch {
+            m.row_mut(b).copy_from_slice(stacked.row(t * batch + b));
         }
     }
-    targets
+}
+
+/// Flattens the next-token targets into `out` (cleared and refilled).
+fn flatten_targets_into(tokens: &[Vec<usize>], seq_len: usize, out: &mut Vec<usize>) {
+    out.clear();
+    out.reserve(seq_len * tokens.len());
+    for t in 0..seq_len {
+        for seq in tokens {
+            out.push(seq[t + 1]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -818,6 +903,58 @@ mod tests {
             .collect();
         let dx = cell.backward_sequence(&grads);
         assert_eq!(dx.len(), 2);
+    }
+
+    #[test]
+    fn train_batch_sequence_workspaces_are_recycled() {
+        // The inter-layer activation sequences, stacked projection input,
+        // logits, gradient sequences, target ids and softmax scratch must
+        // all reuse their buffers across iterations — the hot path performs
+        // no per-iteration allocations once warmed up.
+        let mut rng = StdRng::seed_from_u64(42);
+        let dropout = scheme::bernoulli(DropoutRate::new(0.3).unwrap());
+        let mut lm = LstmLm::new(&config(dropout), &mut rng);
+        let batch = cyclic_batch(12, 4, 6);
+        let _ = lm.train_batch(&batch, &mut rng);
+        let _ = lm.train_batch(&batch, &mut rng); // warm both ping-pong roles
+        let acts_ptr = lm.seq_ws.acts_a[0].as_slice().as_ptr();
+        let stacked_ptr = lm.seq_ws.stacked.as_slice().as_ptr();
+        let logits_ptr = lm.seq_ws.logits.as_slice().as_ptr();
+        let grad_ptr = lm.seq_ws.grad_a[0].as_slice().as_ptr();
+        let targets_ptr = lm.seq_ws.targets.as_ptr();
+        let probs_ptr = lm.seq_ws.xent.probabilities().as_slice().as_ptr();
+        let _ = lm.train_batch(&batch, &mut rng);
+        assert_eq!(acts_ptr, lm.seq_ws.acts_a[0].as_slice().as_ptr());
+        assert_eq!(stacked_ptr, lm.seq_ws.stacked.as_slice().as_ptr());
+        assert_eq!(logits_ptr, lm.seq_ws.logits.as_slice().as_ptr());
+        assert_eq!(grad_ptr, lm.seq_ws.grad_a[0].as_slice().as_ptr());
+        assert_eq!(targets_ptr, lm.seq_ws.targets.as_ptr());
+        assert_eq!(
+            probs_ptr,
+            lm.seq_ws.xent.probabilities().as_slice().as_ptr()
+        );
+    }
+
+    #[test]
+    fn sequence_into_variants_match_allocating_wrappers() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut cell_a = LstmCell::new(&mut rng, 6, 10);
+        let mut cell_b = cell_a.clone();
+        let inputs: Vec<Matrix> = (0..3)
+            .map(|_| init::uniform(&mut rng, 4, 6, -1.0, 1.0))
+            .collect();
+        let out_a = cell_a.forward_sequence(&inputs);
+        let mut out_b = Vec::new();
+        cell_b.forward_sequence_into(&inputs, &mut out_b);
+        assert_eq!(out_a, out_b);
+        let grads: Vec<Matrix> = out_a
+            .iter()
+            .map(|h| Matrix::ones(h.rows(), h.cols()))
+            .collect();
+        let dx_a = cell_a.backward_sequence(&grads);
+        let mut dx_b = Vec::new();
+        cell_b.backward_sequence_into(&grads, &mut dx_b);
+        assert_eq!(dx_a, dx_b);
     }
 
     #[test]

@@ -11,10 +11,10 @@
 //! `(p1, p2)` rate pairs of Fig. 4 fluently.
 
 use crate::layers::Linear;
-use crate::loss::softmax_cross_entropy;
+use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_into, CrossEntropyScratch};
 use crate::metrics::accuracy;
 use crate::optimizer::Sgd;
-use approx_dropout::{DropoutPlan, DropoutScheme, LayerShape};
+use approx_dropout::{Activation, DropoutPlan, DropoutScheme, LayerShape};
 use rand::Rng;
 use tensor::{ops, Matrix};
 
@@ -66,6 +66,18 @@ pub struct Mlp {
     hidden: Vec<HiddenBlock>,
     output: Linear,
     sgd: Sgd,
+    /// `true` (the default): each hidden layer runs as **one** fused
+    /// GEMM+bias+ReLU kernel ([`Linear::forward_act_into`]); `false` falls
+    /// back to the separate GEMM → bias → ReLU chain (kept for benchmarking
+    /// the fusion win and for equivalence tests — both paths are bitwise
+    /// identical).
+    fused: bool,
+    /// Softmax cross-entropy scratch recycled across training iterations.
+    xent: CrossEntropyScratch,
+    /// Recycled logits buffer: lent to the fused forward pass and returned
+    /// by [`Mlp::train_batch`] after the loss is computed, so the output
+    /// layer allocates nothing per iteration either.
+    logits_ws: Matrix,
 }
 
 #[derive(Debug, Clone)]
@@ -75,11 +87,12 @@ struct HiddenBlock {
     /// Reusable plan buffer: the scheme re-resolves it in place each
     /// iteration ([`DropoutScheme::plan_into`]), recycling its allocations.
     plan: DropoutPlan,
-    /// Pre-activation cache (after dropout scaling) for the ReLU gradient.
-    pre_activation: Option<Matrix>,
     /// Post-ReLU activation feeding the next layer (buffer reused across
-    /// iterations).
+    /// iterations). Also gates the backward ReLU: `relu(z) > 0 ⇔ z > 0`,
+    /// so the pre-activation matrix no longer needs to be cached at all.
     activation: Matrix,
+    /// `true` between a forward pass and the matching backward pass.
+    armed: bool,
 }
 
 impl Mlp {
@@ -105,8 +118,8 @@ impl Mlp {
                 linear: Linear::new(rng, in_dim, width),
                 dropout: config.dropout.clone(),
                 plan: DropoutPlan::default(),
-                pre_activation: None,
                 activation: Matrix::default(),
+                armed: false,
             });
             in_dim = width;
         }
@@ -115,7 +128,22 @@ impl Mlp {
             hidden,
             output,
             sgd: Sgd::new(config.learning_rate, config.momentum),
+            fused: true,
+            xent: CrossEntropyScratch::default(),
+            logits_ws: Matrix::default(),
         }
+    }
+
+    /// Selects between the fused whole-layer forward (the default) and the
+    /// separate GEMM → bias → ReLU chain. Both are bitwise identical; the
+    /// unfused path exists so the fusion win can be measured and tested.
+    pub fn set_fused(&mut self, fused: bool) {
+        self.fused = fused;
+    }
+
+    /// `true` when hidden layers run as fused whole-layer kernels.
+    pub fn fused(&self) -> bool {
+        self.fused
     }
 
     /// Number of hidden layers.
@@ -167,19 +195,26 @@ impl Mlp {
         rng: &mut R,
     ) -> TrainBatchStats {
         let logits = self.forward_train(inputs, rng);
-        let loss_out = softmax_cross_entropy(&logits, labels);
+        let mut xent = std::mem::take(&mut self.xent);
+        let loss = softmax_cross_entropy_into(&logits, labels, &mut xent);
         let acc = accuracy(&logits, labels);
-        self.backward(&loss_out.grad_logits);
+        // Hand the logits buffer back to the workspace so the next
+        // iteration's fused output layer reuses it.
+        self.logits_ws = logits;
+        self.backward(xent.grad_logits());
+        self.xent = xent;
         self.step();
         TrainBatchStats {
-            loss: loss_out.loss,
+            loss,
             accuracy: acc,
         }
     }
 
     /// Forward pass with a dropout plan sampled per layer for this iteration
     /// (training mode). Plans and activations are resolved into per-block
-    /// scratch buffers, so no input or plan is cloned along the way.
+    /// scratch buffers, so no input or plan is cloned along the way; in the
+    /// default fused mode each hidden layer is exactly one
+    /// GEMM+bias+ReLU kernel call.
     pub fn forward_train<R: Rng>(&mut self, inputs: &Matrix, rng: &mut R) -> Matrix {
         for l in 0..self.hidden.len() {
             let (prev, rest) = self.hidden.split_at_mut(l);
@@ -191,16 +226,36 @@ impl Mlp {
             };
             let shape = LayerShape::new(block.linear.in_features(), block.linear.out_features());
             block.dropout.plan_into(rng, shape, &mut block.plan);
-            let z = block.linear.forward(x, &block.plan);
-            ops::relu_into(&z, &mut block.activation);
-            block.pre_activation = Some(z);
+            if self.fused {
+                // One fused whole-layer kernel, written straight into the
+                // recycled activation buffer.
+                let mut activation = std::mem::take(&mut block.activation);
+                block
+                    .linear
+                    .forward_act_into(x, &block.plan, Activation::Relu, &mut activation);
+                block.activation = activation;
+            } else {
+                let z = block.linear.forward(x, &block.plan);
+                ops::relu_into(&z, &mut block.activation);
+            }
+            block.armed = true;
         }
         let x: &Matrix = match self.hidden.last() {
             Some(block) => &block.activation,
             None => inputs,
         };
         let out_shape = LayerShape::new(self.output.in_features(), self.output.out_features());
-        self.output.forward(x, &DropoutPlan::none(out_shape))
+        let out_plan = DropoutPlan::none(out_shape);
+        if self.fused {
+            // Borrow the recycled logits buffer (train_batch returns it
+            // after the loss; external callers simply keep the matrix).
+            let mut logits = std::mem::take(&mut self.logits_ws);
+            self.output
+                .forward_act_into(x, &out_plan, Activation::Identity, &mut logits);
+            logits
+        } else {
+            self.output.forward(x, &out_plan)
+        }
     }
 
     /// Inference forward pass: dense GEMMs, no dropout, no caching.
@@ -217,11 +272,11 @@ impl Mlp {
     fn backward(&mut self, grad_logits: &Matrix) {
         let mut grad = self.output.backward(grad_logits);
         for block in self.hidden.iter_mut().rev() {
-            let pre = block
-                .pre_activation
-                .take()
-                .expect("forward_train must run before backward");
-            ops::relu_grad_mask_inplace(&mut grad, &pre);
+            assert!(block.armed, "forward_train must run before backward");
+            block.armed = false;
+            // The post-ReLU activation gates the gradient exactly like the
+            // pre-activation would: relu(z) > 0 ⇔ z > 0.
+            ops::relu_grad_mask_inplace(&mut grad, &block.activation);
             grad = block.linear.backward(&grad);
         }
     }

@@ -1088,6 +1088,336 @@ pub fn block_compact_gemm_a_bt_into(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Fused whole-layer kernels (GEMM + bias + activation)
+// ---------------------------------------------------------------------------
+
+/// Activation function fused into a kernel's write-back epilogue.
+///
+/// The scalar formulas match the stand-alone maps in [`crate::ops`] exactly,
+/// so a fused kernel is bitwise identical to the unfused
+/// GEMM → bias → activation chain it replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Pass-through (`f(v) = v`): bias add only.
+    Identity,
+    /// Rectified linear unit, `max(0, v)`.
+    Relu,
+    /// Logistic sigmoid, `1 / (1 + e^{-v})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one scalar.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Activation::Identity => v,
+            Activation::Relu => v.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            Activation::Tanh => v.tanh(),
+        }
+    }
+}
+
+/// Validates that `bias` is a `1 × n` row vector.
+fn check_bias(bias: &Matrix, n: usize) -> Result<(), GemmError> {
+    if bias.rows() != 1 || bias.cols() != n {
+        return Err(GemmError::new(format!(
+            "bias must be a 1x{n} row vector, got {:?}",
+            bias.shape()
+        )));
+    }
+    Ok(())
+}
+
+/// Shared dense epilogue: `chunk[r][j] = act((chunk[r][j] + bias[j]) * mult)`
+/// where `mult` is `mask[j] * scale` when a column mask is given and 1
+/// (skipped entirely) otherwise. Runs inside the pool chunk closure while the
+/// freshly written rows are still cache-hot.
+fn bias_act_epilogue(
+    chunk: &mut [f32],
+    n: usize,
+    bias: &[f32],
+    mask_scale: Option<(&[f32], f32)>,
+    act: Activation,
+) {
+    for row in chunk.chunks_exact_mut(n) {
+        match mask_scale {
+            Some((mask, scale)) => {
+                for ((v, &b), &m) in row.iter_mut().zip(bias).zip(mask) {
+                    *v = act.apply((*v + b) * (m * scale));
+                }
+            }
+            None => {
+                for (v, &b) in row.iter_mut().zip(bias) {
+                    *v = act.apply(*v + b);
+                }
+            }
+        }
+    }
+}
+
+/// Fused dense whole-layer kernel, `C = act(A·W + bias)`, writing into `out`.
+///
+/// The bias add and activation run in the write-back loop of the packed GEMM
+/// — one pass over the output while it is cache-hot, instead of the
+/// GEMM → bias broadcast → activation map chain of separate kernels. Results
+/// are bitwise identical to that chain and thread-invariant like every other
+/// kernel here.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `a.cols() != w.rows()` or `bias` is not a
+/// `1 × w.cols()` row vector.
+pub fn gemm_bias_act_into(
+    a: &Matrix,
+    w: &Matrix,
+    bias: &Matrix,
+    act: Activation,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    check_bias(bias, n)?;
+    let m = a.rows();
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        dense_rows_kernel(a, w, rows, chunk);
+        bias_act_epilogue(chunk, n, bias.row(0), None, act);
+    });
+    Ok(())
+}
+
+/// Allocating variant of [`gemm_bias_act_into`].
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] under the same conditions.
+pub fn gemm_bias_act(
+    a: &Matrix,
+    w: &Matrix,
+    bias: &Matrix,
+    act: Activation,
+) -> Result<Matrix, GemmError> {
+    let mut out = Matrix::zeros(0, 0);
+    gemm_bias_act_into(a, w, bias, act, &mut out)?;
+    Ok(out)
+}
+
+/// Fused dense whole-layer kernel with a per-output-column multiplier folded
+/// into the epilogue: `C = act((A·W + bias) ⊙ (mask · scale))` — the
+/// conventional Bernoulli-masked layer of the paper's Fig. 1(a) as a single
+/// launch (the mask multiply rides in the write-back instead of a separate
+/// elementwise kernel).
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `bias` is not a
+/// `1 × w.cols()` row vector, or `mask.len() != w.cols()`.
+pub fn gemm_bias_act_masked_into(
+    a: &Matrix,
+    w: &Matrix,
+    bias: &Matrix,
+    mask: &[f32],
+    scale: f32,
+    act: Activation,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    check_bias(bias, n)?;
+    if mask.len() != n {
+        return Err(GemmError::new(format!(
+            "column mask length {} must match {n} output features",
+            mask.len()
+        )));
+    }
+    let m = a.rows();
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        dense_rows_kernel(a, w, rows, chunk);
+        bias_act_epilogue(chunk, n, bias.row(0), Some((mask, scale)), act);
+    });
+    Ok(())
+}
+
+/// Fused column-gather whole-layer kernel: the compacted GEMM of
+/// [`gather_cols_gemm_into`] with the bias add, inverted-dropout scale and
+/// activation folded into the scatter step —
+/// `C[:, j] = act((A·W[:, kept] + bias[j]) · scale)` for kept columns `j`
+/// and `act(0)` for dropped columns (exactly what the unfused
+/// compact → bias/scale → activation chain produces, since the dropped
+/// pre-activations are zero).
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `bias` is not a
+/// `1 × w.cols()` row vector, or any kept index is out of bounds.
+#[allow(clippy::too_many_arguments)] // a whole layer: 3 operands + plan params + scratch + out
+pub fn gather_cols_gemm_bias_act_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_cols: &[usize],
+    bias: &Matrix,
+    scale: f32,
+    act: Activation,
+    scratch: &mut RowCompactScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    check_bias(bias, n)?;
+    check_kept_cols(kept_cols, n)?;
+    // Pack the kept columns and run the small GEMM exactly like the unfused
+    // kernel …
+    let k = w.rows();
+    let nk = kept_cols.len();
+    scratch.pack.resize_for_overwrite(k, nk);
+    for p in 0..k {
+        let wrow = w.row(p);
+        let dst = scratch.pack.row_mut(p);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            dst[c] = wrow[j];
+        }
+    }
+    blocked_gemm_into(a, &scratch.pack, &mut scratch.product)?;
+    // … then scatter with the whole epilogue fused into the write-back.
+    let m = a.rows();
+    let fill = act.apply(0.0);
+    let brow = bias.row(0);
+    out.resize_for_overwrite(m, n);
+    for i in 0..m {
+        let src = scratch.product.row(i);
+        let dst = out.row_mut(i);
+        dst.fill(fill);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            dst[j] = act.apply((src[c] + brow[j]) * scale);
+        }
+    }
+    Ok(())
+}
+
+/// Fused N:M whole-layer kernel: validates the `n`-of-`m` group structure and
+/// executes through [`gather_cols_gemm_bias_act_into`].
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `bias` is
+/// malformed, or `kept_cols` does not have the `n`-of-`m` group structure.
+#[allow(clippy::too_many_arguments)]
+pub fn nm_compact_gemm_bias_act_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_cols: &[usize],
+    n: usize,
+    m: usize,
+    bias: &Matrix,
+    scale: f32,
+    act: Activation,
+    scratch: &mut RowCompactScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_nm_structure(kept_cols, n, m, w.cols())?;
+    gather_cols_gemm_bias_act_into(a, w, kept_cols, bias, scale, act, scratch, out)
+}
+
+/// Fused block-compacted whole-layer kernel: the contiguous column strips of
+/// [`block_compact_gemm_into`] with `act((v + bias[j]) · scale)` applied in
+/// the write-back for kept strips and `act(0)` filled elsewhere.
+///
+/// `kept_blocks` must be ascending (which is how every `DropoutPlan`
+/// resolves its kept-block list); unsorted lists are rejected.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `bias` is
+/// malformed, `block == 0`, a block index is out of bounds, or
+/// `kept_blocks` is not strictly ascending.
+#[allow(clippy::too_many_arguments)]
+pub fn block_compact_gemm_bias_act_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_blocks: &[usize],
+    block: usize,
+    bias: &Matrix,
+    scale: f32,
+    act: Activation,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    check_bias(bias, n)?;
+    if kept_blocks.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(GemmError::new(
+            "kept blocks must be strictly ascending for the fused kernel",
+        ));
+    }
+    let ranges = block_col_ranges(n, kept_blocks, block)?;
+    let m = a.rows();
+    let fill = act.apply(0.0);
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        block_rows_kernel(a, w, &ranges, rows, chunk);
+        let brow = bias.row(0);
+        for row in chunk.chunks_exact_mut(n) {
+            // Epilogue over the kept strips, act(0) over the complement —
+            // the ranges are ascending so one forward walk covers both.
+            let mut cursor = 0;
+            for jr in &ranges {
+                row[cursor..jr.start].fill(fill);
+                for (v, &b) in row[jr.clone()].iter_mut().zip(&brow[jr.clone()]) {
+                    *v = act.apply((*v + b) * scale);
+                }
+                cursor = jr.end;
+            }
+            row[cursor..].fill(fill);
+        }
+    });
+    Ok(())
+}
+
+/// Fused tile-compacted whole-layer kernel: the kept-tile GEMM of
+/// [`tile_compact_gemm_into`] with the tile path's epilogue
+/// (`act(v · scale + bias[j])` over **every** output column — the tile
+/// pattern adds bias to dropped columns too, matching the unfused
+/// scale → bias broadcast → activation chain bitwise).
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `bias` is
+/// malformed, `tile == 0`, or a tile index is outside the tile grid.
+#[allow(clippy::too_many_arguments)]
+pub fn tile_compact_gemm_bias_act_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_tiles: &[usize],
+    tile: usize,
+    bias: &Matrix,
+    scale: f32,
+    act: Activation,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    check_bias(bias, n)?;
+    let bounds = tile_bounds_list(w, kept_tiles, tile)?;
+    let m = a.rows();
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        tile_rows_kernel(a, w, &bounds, rows, chunk);
+        let brow = bias.row(0);
+        for row in chunk.chunks_exact_mut(n) {
+            for (v, &b) in row.iter_mut().zip(brow) {
+                *v = act.apply(*v * scale + b);
+            }
+        }
+    });
+    Ok(())
+}
+
 /// Reference implementation of tile dropout through explicit masking.
 ///
 /// Builds the full masked weight matrix (kept tiles preserved, dropped tiles
@@ -1658,6 +1988,265 @@ mod tests {
                 "batch {batch}"
             );
         }
+    }
+
+    /// All four activations, for sweeping the fused-kernel tests.
+    const ACTIVATIONS: [Activation; 4] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ];
+
+    #[test]
+    fn fused_dense_matches_unfused_chain_bitwise() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let a = random_matrix(&mut rng, 9, 13);
+        let w = random_matrix(&mut rng, 13, 11);
+        let bias = random_matrix(&mut rng, 1, 11);
+        for act in ACTIVATIONS {
+            let mut reference = blocked_gemm(&a, &w).unwrap();
+            reference.add_row_broadcast_inplace(&bias).unwrap();
+            reference.map_inplace(|v| act.apply(v));
+            let fused = gemm_bias_act(&a, &w, &bias, act).unwrap();
+            assert_eq!(fused, reference, "{act:?}");
+        }
+    }
+
+    #[test]
+    fn fused_dense_masked_matches_unfused_chain_bitwise() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let a = random_matrix(&mut rng, 7, 10);
+        let w = random_matrix(&mut rng, 10, 8);
+        let bias = random_matrix(&mut rng, 1, 8);
+        let mask: Vec<f32> = (0..8).map(|j| if j % 3 == 0 { 0.0 } else { 1.0 }).collect();
+        let scale = 1.5f32;
+        for act in ACTIVATIONS {
+            let mut reference = blocked_gemm(&a, &w).unwrap();
+            reference.add_row_broadcast_inplace(&bias).unwrap();
+            for i in 0..reference.rows() {
+                for (v, &m) in reference.row_mut(i).iter_mut().zip(&mask) {
+                    *v *= m * scale;
+                }
+            }
+            reference.map_inplace(|v| act.apply(v));
+            let mut fused = Matrix::zeros(0, 0);
+            gemm_bias_act_masked_into(&a, &w, &bias, &mask, scale, act, &mut fused).unwrap();
+            assert_eq!(fused, reference, "{act:?}");
+        }
+    }
+
+    #[test]
+    fn fused_gather_matches_unfused_chain_bitwise() {
+        let mut rng = StdRng::seed_from_u64(85);
+        let a = random_matrix(&mut rng, 6, 9);
+        let w = random_matrix(&mut rng, 9, 12);
+        let bias = random_matrix(&mut rng, 1, 12);
+        let kept = vec![0usize, 3, 5, 6, 10];
+        let scale = 2.0f32;
+        for act in ACTIVATIONS {
+            // Unfused chain: compacted GEMM, then the gather path's epilogue
+            // ((v + bias) * scale on kept columns only), then the activation.
+            let mut reference = row_compact_gemm(&a, &w, &kept).unwrap();
+            for i in 0..reference.rows() {
+                let row = reference.row_mut(i);
+                for &j in &kept {
+                    row[j] = (row[j] + bias[(0, j)]) * scale;
+                }
+            }
+            reference.map_inplace(|v| act.apply(v));
+            let mut scratch = RowCompactScratch::default();
+            let mut fused = Matrix::zeros(0, 0);
+            gather_cols_gemm_bias_act_into(
+                &a,
+                &w,
+                &kept,
+                &bias,
+                scale,
+                act,
+                &mut scratch,
+                &mut fused,
+            )
+            .unwrap();
+            assert_eq!(fused, reference, "{act:?}");
+        }
+    }
+
+    #[test]
+    fn fused_nm_validates_structure_and_matches_gather() {
+        let mut rng = StdRng::seed_from_u64(87);
+        let a = random_matrix(&mut rng, 5, 6);
+        let w = random_matrix(&mut rng, 6, 8);
+        let bias = random_matrix(&mut rng, 1, 8);
+        let kept = vec![1usize, 3, 4, 6]; // 2:4 over 8 columns
+        let mut scratch = RowCompactScratch::default();
+        let mut fused = Matrix::zeros(0, 0);
+        nm_compact_gemm_bias_act_into(
+            &a,
+            &w,
+            &kept,
+            2,
+            4,
+            &bias,
+            2.0,
+            Activation::Relu,
+            &mut scratch,
+            &mut fused,
+        )
+        .unwrap();
+        let mut reference = Matrix::zeros(0, 0);
+        gather_cols_gemm_bias_act_into(
+            &a,
+            &w,
+            &kept,
+            &bias,
+            2.0,
+            Activation::Relu,
+            &mut scratch,
+            &mut reference,
+        )
+        .unwrap();
+        assert_eq!(fused, reference);
+        // Malformed group structure is rejected.
+        assert!(nm_compact_gemm_bias_act_into(
+            &a,
+            &w,
+            &[0, 1, 2, 4],
+            2,
+            4,
+            &bias,
+            2.0,
+            Activation::Relu,
+            &mut scratch,
+            &mut fused,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fused_block_matches_unfused_chain_bitwise() {
+        let mut rng = StdRng::seed_from_u64(89);
+        let a = random_matrix(&mut rng, 6, 7);
+        let w = random_matrix(&mut rng, 7, 11); // 3 blocks of 4, last ragged
+        let bias = random_matrix(&mut rng, 1, 11);
+        let kept_blocks = vec![0usize, 2];
+        let scale = 2.0f32;
+        for act in ACTIVATIONS {
+            let mut reference = block_compact_gemm(&a, &w, &kept_blocks, 4).unwrap();
+            for i in 0..reference.rows() {
+                let row = reference.row_mut(i);
+                for &b in &kept_blocks {
+                    for j in (b * 4)..((b + 1) * 4).min(11) {
+                        row[j] = (row[j] + bias[(0, j)]) * scale;
+                    }
+                }
+            }
+            reference.map_inplace(|v| act.apply(v));
+            let mut fused = Matrix::zeros(0, 0);
+            block_compact_gemm_bias_act_into(
+                &a,
+                &w,
+                &kept_blocks,
+                4,
+                &bias,
+                scale,
+                act,
+                &mut fused,
+            )
+            .unwrap();
+            assert_eq!(fused, reference, "{act:?}");
+        }
+        // Unsorted kept lists are rejected (the complement walk needs order).
+        let mut out = Matrix::zeros(0, 0);
+        assert!(block_compact_gemm_bias_act_into(
+            &a,
+            &w,
+            &[2, 0],
+            4,
+            &bias,
+            scale,
+            Activation::Relu,
+            &mut out
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fused_tile_matches_unfused_chain_bitwise() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let a = random_matrix(&mut rng, 5, 8);
+        let w = random_matrix(&mut rng, 8, 9); // ragged 2x3 tile grid at tile 4
+        let bias = random_matrix(&mut rng, 1, 9);
+        let kept = vec![0usize, 2, 5];
+        let scale = 2.0f32;
+        for act in ACTIVATIONS {
+            // Unfused tile chain: compacted GEMM, scale, bias broadcast over
+            // every column, then the activation.
+            let mut reference = tile_compact_gemm(&a, &w, &kept, 4).unwrap();
+            reference.map_inplace(|v| v * scale);
+            reference.add_row_broadcast_inplace(&bias).unwrap();
+            reference.map_inplace(|v| act.apply(v));
+            let mut fused = Matrix::zeros(0, 0);
+            tile_compact_gemm_bias_act_into(&a, &w, &kept, 4, &bias, scale, act, &mut fused)
+                .unwrap();
+            assert_eq!(fused, reference, "{act:?}");
+        }
+    }
+
+    #[test]
+    fn fused_kernels_reject_malformed_bias() {
+        let a = Matrix::zeros(2, 3);
+        let w = Matrix::zeros(3, 4);
+        let bad_bias = Matrix::zeros(1, 5);
+        let mut out = Matrix::zeros(0, 0);
+        assert!(gemm_bias_act_into(&a, &w, &bad_bias, Activation::Relu, &mut out).is_err());
+        assert!(gemm_bias_act_masked_into(
+            &a,
+            &w,
+            &Matrix::zeros(1, 4),
+            &[1.0; 3],
+            1.0,
+            Activation::Relu,
+            &mut out
+        )
+        .is_err());
+        let mut scratch = RowCompactScratch::default();
+        assert!(gather_cols_gemm_bias_act_into(
+            &a,
+            &w,
+            &[0],
+            &bad_bias,
+            1.0,
+            Activation::Relu,
+            &mut scratch,
+            &mut out
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fused_dropped_columns_carry_the_activation_of_zero() {
+        // A dropped neuron's pre-activation is exactly zero; the fused kernel
+        // must report act(0) there (0 for ReLU, 0.5 for sigmoid) just like
+        // the unfused chain's elementwise activation pass does.
+        let a = Matrix::ones(2, 3);
+        let w = Matrix::ones(3, 4);
+        let bias = Matrix::zeros(1, 4);
+        let mut scratch = RowCompactScratch::default();
+        let mut out = Matrix::zeros(0, 0);
+        gather_cols_gemm_bias_act_into(
+            &a,
+            &w,
+            &[1],
+            &bias,
+            1.0,
+            Activation::Sigmoid,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out[(0, 0)], 0.5);
+        assert!((out[(0, 1)] - Activation::Sigmoid.apply(3.0)).abs() < 1e-6);
     }
 
     #[test]

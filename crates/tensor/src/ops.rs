@@ -69,7 +69,15 @@ pub fn tanh_grad_from_output(y: &Matrix) -> Matrix {
 /// Each row is treated as one sample's logits; the maximum logit is
 /// subtracted before exponentiation so large logits do not overflow.
 pub fn softmax_rows(x: &Matrix) -> Matrix {
-    let mut out = Matrix::zeros(x.rows(), x.cols());
+    let mut out = Matrix::zeros(0, 0);
+    softmax_rows_into(x, &mut out);
+    out
+}
+
+/// Like [`softmax_rows`] but writing into a caller-owned matrix (resized in
+/// place), so per-iteration probability buffers can be recycled.
+pub fn softmax_rows_into(x: &Matrix, out: &mut Matrix) {
+    out.resize_for_overwrite(x.rows(), x.cols());
     for i in 0..x.rows() {
         let row = x.row(i);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -82,7 +90,6 @@ pub fn softmax_rows(x: &Matrix) -> Matrix {
             out_row[j] = (v - max).exp() / denom;
         }
     }
-    out
 }
 
 /// Row-wise log-softmax (used by the cross-entropy / perplexity metrics).

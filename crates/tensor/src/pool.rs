@@ -270,6 +270,16 @@ fn env_threads() -> usize {
     })
 }
 
+/// The pool size the environment implies — `TENSOR_THREADS` when set
+/// (unparsable values fall back to 1, the documented slow-and-correct
+/// misconfiguration behaviour), else the machine's available parallelism,
+/// clamped to [`MAX_THREADS`]. This is what the global pool starts at
+/// before any [`set_threads`] override; benches use it to restore the
+/// default width after sweeping explicit thread counts.
+pub fn env_default_threads() -> usize {
+    env_threads()
+}
+
 /// Handle to the global pool, creating it from the environment on first use.
 pub fn global() -> Arc<ThreadPool> {
     if let Some(pool) = GLOBAL
@@ -371,6 +381,14 @@ mod tests {
     fn pool_size_is_clamped() {
         assert_eq!(ThreadPool::new(0).workers(), 1);
         assert_eq!(ThreadPool::new(MAX_THREADS + 7).workers(), MAX_THREADS);
+    }
+
+    #[test]
+    fn env_default_is_a_valid_pool_size() {
+        let threads = env_default_threads();
+        assert!((1..=MAX_THREADS).contains(&threads));
+        // Stable across calls (cached once).
+        assert_eq!(threads, env_default_threads());
     }
 
     #[test]
