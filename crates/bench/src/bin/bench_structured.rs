@@ -7,9 +7,14 @@
 //!    plans through the compacted kernels (speedup vs the Bernoulli
 //!    baseline epoch), and
 //! 2. the simulated per-iteration speedup on the paper's MLP at full scale,
-//!    on **two** device shapes — the consumer GTX 1080Ti and the
-//!    bandwidth-rich server-class HBM preset — each against a Bernoulli
-//!    baseline at the variant's own nominal dropout rate.
+//!    on **three** device shapes — the consumer GTX 1080Ti, the
+//!    bandwidth-rich server-class HBM preset and the A100-class
+//!    sparse-tensor-core preset — each against a Bernoulli baseline at the
+//!    variant's own nominal dropout rate, and
+//! 3. the `tensor_core_2_4` section: the hardware-2:4 win on the
+//!    sparse-tensor-core preset — the same 2:4 plans priced through the
+//!    tensor-core roofline vs their SIMT-gather pricing on identical
+//!    silicon (tensor cores stripped), and vs the Bernoulli baseline.
 //!
 //! Results land in `BENCH_STRUCTURED.json` at the repository root,
 //! extending the perf trajectory started by `BENCH_HOTPATH.json`. Run
@@ -160,6 +165,7 @@ fn main() {
     let devices: Vec<(&str, GpuConfig)> = vec![
         ("gtx_1080ti", GpuConfig::gtx_1080ti()),
         ("server_hbm", GpuConfig::server_hbm()),
+        ("sparse_tensor_core", GpuConfig::sparse_tensor_core()),
     ];
     let models: Vec<(&str, NetworkTimingModel)> = devices
         .into_iter()
@@ -186,15 +192,47 @@ fn main() {
             sims.push((*device_key, speedup));
         }
         eprintln!(
-            "{:<10} epoch {:>10.3} ms ({:.2}x cpu; sim {:.2}x / {:.2}x)",
+            "{:<10} epoch {:>10.3} ms ({:.2}x cpu; sim {:.2}x / {:.2}x / {:.2}x)",
             variant.key,
             cpu_secs * 1e3,
             cpu_speedup,
             sims[0].1,
-            sims[1].1
+            sims[1].1,
+            sims[2].1
         );
         rows.push((variant, cpu_secs, cpu_speedup, sims));
     }
+
+    // The hardware-2:4 section: on the sparse-tensor-core preset, the same
+    // 2:4 plans priced through the tensor-core roofline vs (a) their
+    // SIMT-gather pricing on identical silicon (tensor cores stripped) and
+    // (b) the rate-matched Bernoulli baseline. Only (a) needs fresh
+    // pricing; (b) is exactly the nm_2_4 variant's sparse-preset speedup
+    // already computed above (same model, samples, seed and baseline).
+    let sparse = GpuConfig::sparse_tensor_core();
+    let tc_model = NetworkTimingModel::mlp(sparse.clone(), MlpSpec::paper_mlp());
+    let gather_model = NetworkTimingModel::mlp(sparse.without_tensor_cores(), MlpSpec::paper_mlp());
+    let nm24 = scheme::nm(2, 4).unwrap();
+    let t_tc = tc_model
+        .expected_iteration_time(&*nm24, cfg.samples, 0x5EED)
+        .total_us();
+    let t_gather = gather_model
+        .expected_iteration_time(&*nm24, cfg.samples, 0x5EED)
+        .total_us();
+    let tc_vs_gather = t_gather / t_tc;
+    let tc_vs_bernoulli = rows
+        .iter()
+        .find(|(variant, ..)| variant.key == "nm_2_4")
+        .and_then(|(_, _, _, sims)| {
+            sims.iter()
+                .find(|(device, _)| *device == "sparse_tensor_core")
+        })
+        .map(|(_, speedup)| *speedup)
+        .expect("nm_2_4 is benchmarked on the sparse preset");
+    eprintln!(
+        "tensor-core 2:4 on {}: {:.3}x vs SIMT-gather pricing, {:.3}x vs bernoulli",
+        sparse.name, tc_vs_gather, tc_vs_bernoulli
+    );
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let variant_json: Vec<String> = rows
@@ -215,7 +253,7 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"tensor_threads\": {threads},\n  \"cpu_epoch\": {{\n    \"batch\": {batch},\n    \"batches\": {batches},\n    \"hidden\": [{hid}, {hid}],\n    \"bernoulli_secs\": {bern:.6}\n  }},\n  \"simulated_network\": \"paper MLP 784x2048x2048x10, batch 128\",\n  \"variants\": {{\n{variants}\n  }}\n}}\n",
+        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"tensor_threads\": {threads},\n  \"cpu_epoch\": {{\n    \"batch\": {batch},\n    \"batches\": {batches},\n    \"hidden\": [{hid}, {hid}],\n    \"bernoulli_secs\": {bern:.6}\n  }},\n  \"simulated_network\": \"paper MLP 784x2048x2048x10, batch 128\",\n  \"tensor_core_2_4\": {{\n    \"device\": \"sparse_tensor_core\",\n    \"sim_speedup_vs_gather_pricing\": {tc_vs_gather:.3},\n    \"sim_speedup_vs_bernoulli\": {tc_vs_bernoulli:.3}\n  }},\n  \"variants\": {{\n{variants}\n  }}\n}}\n",
         mode = cfg.mode,
         threads = pool::threads(),
         batch = cfg.batch,
@@ -243,10 +281,12 @@ fn main() {
     }
 
     // Regression gates, opt-in via BENCH_ASSERT=1 (CI): every scheme of the
-    // *new* structured family (N:M and block-unit) must keep a simulated
-    // speedup over the rate-matched Bernoulli baseline on both device
-    // shapes. The row/tile rows are informational baselines — tile hovers
-    // near 1.0x on the compute-rich server preset by design.
+    // structured family (N:M and block-unit) must keep a simulated speedup
+    // over the rate-matched Bernoulli baseline on every device shape, and
+    // the sparse-tensor-core preset must realise the hardware 2:4 win (the
+    // tensor-core pricing beats the same plan's gather pricing). The
+    // row/tile rows are informational baselines — tile hovers near 1.0x on
+    // the compute-rich presets by design.
     if std::env::var("BENCH_ASSERT").is_ok_and(|v| v != "0") {
         let mut failures = Vec::new();
         for (variant, _, _, sims) in &rows {
@@ -261,6 +301,13 @@ fn main() {
                     ));
                 }
             }
+        }
+        // (The vs-bernoulli leaf is the nm_2_4 variant's sparse-preset
+        // speedup, already gated by the loop above.)
+        if tc_vs_gather <= 1.0 {
+            failures.push(format!(
+                "tensor-core 2:4 pricing {tc_vs_gather:.3}x <= 1.0x vs its own gather pricing"
+            ));
         }
         if !failures.is_empty() {
             eprintln!("BENCH_ASSERT failures:");

@@ -16,6 +16,30 @@
 //! * [`divergent_gemm`] — the naive `if (kept)` skipping of Fig. 1(b), which
 //!   serialises both branch sides inside a warp and therefore does not get
 //!   faster at all.
+//!
+//! # Which kernels may use the matrix engine
+//!
+//! On a device whose [`crate::config::DeviceCapabilities`] advertise tensor
+//! cores, `gemm_core`-based kernels price compute at
+//! [`GpuConfig::gemm_flops_per_cycle`]. This is a deliberate modelling
+//! split, not an accident of code sharing:
+//!
+//! * **Pack-then-dense-GEMM** (dense, row-, block- and tile-compacted):
+//!   the compaction gathers whole output columns, contiguous strips or
+//!   dense 32×32 tiles into packed operands *before* the multiply, so the
+//!   inner loop is ordinary dense tile math and can feed a matrix engine;
+//!   the gather cost is charged separately (index/position overhead
+//!   cycles, read-inefficiency factors).
+//! * **SIMT-pinned** ([`nm_gather_gemm`], [`divergent_gemm`]): the
+//!   irregularity lives *inside* the inner loop — per-group lane decode
+//!   for software N:M, per-thread branching for the divergent kernel — so
+//!   these never price at the tensor-core rate even when the device has
+//!   one. Hardware 2:4 escapes the pin through its own roofline,
+//!   [`nm_tensor_core_gemm`].
+//!
+//! Changing this split moves the speedup curves pinned (±2%) by
+//! `tests/paper_figures.rs`; regenerate its golden table if you change it
+//! on purpose.
 
 use crate::config::GpuConfig;
 use std::fmt;
@@ -165,7 +189,10 @@ fn gemm_core(gpu: &GpuConfig, kind: KernelKind, m: usize, k: usize, n: usize) ->
     let global_read = blocks as f64 * k_steps as f64 * 2.0 * tile_bytes;
     let global_write = m as f64 * n as f64 * F32;
 
-    let compute_cycles = flops / gpu.flops_per_cycle();
+    // A well-tiled GEMM runs on the device's best matrix engine: the tensor
+    // cores when the capability block advertises them, the SIMT FMA lanes
+    // otherwise (on the SIMT-only presets the two rates coincide).
+    let compute_cycles = flops / gpu.gemm_flops_per_cycle();
     let memory_cycles = (global_read + global_write) / gpu.bytes_per_cycle();
     // One pipeline-fill latency per wave of blocks across the SMs.
     let waves = ceil_div(blocks, gpu.num_sms.max(1));
@@ -302,7 +329,32 @@ pub const NM_GATHER_INEFFICIENCY: f64 = 1.08;
 /// metadata (which `n` lanes of the group survive) before the GEMM.
 pub const NM_METADATA_CYCLES: f64 = 2.0;
 
-/// Group-compacted GEMM under N:M structured sparsity.
+/// Group-compacted GEMM under N:M structured sparsity — the
+/// **capability-aware dispatch** between the two N:M cost models.
+///
+/// On a device whose [`crate::config::DeviceCapabilities`] accelerate the
+/// scheme's exact `(n, m)` shape (hardware 2:4 on the
+/// [`GpuConfig::sparse_tensor_core`] preset), the plan prices through the
+/// [`nm_tensor_core_gemm`] roofline: compressed weight operands, hardware
+/// metadata decode, no software gather. Every other combination — the
+/// SIMT-only presets, and non-2:4 shapes even on the sparse-tensor-core
+/// device — falls back to the software gather model [`nm_gather_gemm`].
+pub fn nm_compact_gemm(
+    gpu: &GpuConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    n_of: usize,
+    m_of: usize,
+) -> KernelStats {
+    if gpu.capabilities.accelerates_nm(n_of, m_of) {
+        nm_tensor_core_gemm(gpu, m, k, n)
+    } else {
+        nm_gather_gemm(gpu, m, k, n, n_of, m_of)
+    }
+}
+
+/// Software-gather N:M GEMM (the only N:M model a SIMT-only device has).
 ///
 /// Exactly `n_of` of every `m_of` consecutive output lanes are computed, so
 /// the executed work is the constant fraction `n/m` of the dense GEMM. The
@@ -310,8 +362,14 @@ pub const NM_METADATA_CYCLES: f64 = 2.0;
 /// gather inefficiency ([`NM_GATHER_INEFFICIENCY`]) plus per-group metadata
 /// decode cycles, and the dropped part of the output is zero-filled like
 /// the row-compacted kernel — so N:M prices between RDP (contiguous) and
-/// TDP (2-D scattered) at equal dropout rate.
-pub fn nm_compact_gemm(
+/// TDP (2-D scattered) at equal dropout rate. Unlike the row/block/tile
+/// kernels — whose compaction packs whole columns, strips or dense tiles
+/// *before* the multiply and therefore still feeds a matrix engine — the
+/// per-group lane decode here lives inside the inner loop, so the compute
+/// phase is pinned to the SIMT FMA lanes (see the module docs): on a
+/// tensor-core device this is exactly the "gather by hand and lose the
+/// hardware" baseline the sparse-tensor-core path is compared against.
+pub fn nm_gather_gemm(
     gpu: &GpuConfig,
     m: usize,
     k: usize,
@@ -327,6 +385,9 @@ pub fn nm_compact_gemm(
     let kept_n = ((n as f64 * fraction).round() as usize).clamp(usize::from(n > 0), n.max(1));
 
     let mut stats = gemm_core(gpu, KernelKind::NmCompactGemm, m, k, kept_n);
+    // The gather kernel's irregular operand feeds run on the SIMT lanes,
+    // not the tensor cores (identical on SIMT-only devices).
+    stats.compute_cycles = stats.flops / gpu.flops_per_cycle();
     // Within-group gather: slightly less efficient operand fetches.
     let extra_read = stats.global_read_bytes * (NM_GATHER_INEFFICIENCY - 1.0);
     stats.global_read_bytes += extra_read;
@@ -338,6 +399,60 @@ pub fn nm_compact_gemm(
     // Sparsity-metadata decode: one pass over the lane groups.
     let groups = ceil_div(n.max(1), m_of);
     stats.overhead_cycles += groups as f64 * NM_METADATA_CYCLES;
+    KernelStats::finalize(gpu, stats)
+}
+
+/// Bytes of 2:4 sparsity metadata per kept weight element (2 bits each: the
+/// position of the nonzero within its 4-wide group).
+const NM_TC_METADATA_BYTES_PER_KEPT: f64 = 0.25;
+
+/// Hardware 2:4 sparse-tensor-core GEMM roofline.
+///
+/// The weight operand stays in its compressed 2:4 form — half the tiles of
+/// the dense operand stream through shared memory, plus a thin metadata
+/// sidecar (2 bits per kept element) — and the tensor cores execute the
+/// dense-equivalent `M×K×N` product at `sparse_2_4_speedup` times their
+/// dense rate. The dropped output lanes are zero-filled exactly like the
+/// gather kernel (the output stays dense), and the per-group metadata
+/// decode happens in hardware at the capability block's (near-free) rate
+/// instead of [`NM_METADATA_CYCLES`]. Relative to [`nm_gather_gemm`] on the
+/// same silicon this removes the gather read inefficiency, moves compute
+/// from the FMA lanes to the sparse tensor cores, and shrinks the decode
+/// overhead — which is the hardware win the 2:4 scheme exists for.
+///
+/// # Panics
+///
+/// Panics if the device has no tensor cores — callers dispatch through
+/// [`nm_compact_gemm`], which routes SIMT-only devices to the gather model.
+pub fn nm_tensor_core_gemm(gpu: &GpuConfig, m: usize, k: usize, n: usize) -> KernelStats {
+    let caps = &gpu.capabilities;
+    assert!(
+        caps.has_tensor_cores(),
+        "tensor-core pricing on a device without tensor cores"
+    );
+    // Hardware 2:4 keeps exactly half the lanes (same degenerate-width
+    // guard as the gather model).
+    let kept_n = ((n as f64 * 0.5).round() as usize).clamp(usize::from(n > 0), n.max(1));
+
+    let mut stats = gemm_core(gpu, KernelKind::NmCompactGemm, m, k, kept_n);
+    // Compute phase: the dense-equivalent GEMM at the sparse tensor-core
+    // rate. With the nominal 2x sparse speedup this equals the compacted
+    // GEMM at the dense tensor-core rate; a smaller factor prices the
+    // hardware's real, sub-ideal step.
+    let dense_equiv_flops = 2.0 * m as f64 * k as f64 * n as f64;
+    stats.compute_cycles =
+        dense_equiv_flops / (caps.dense_tensor_core_flops_per_cycle * caps.sparse_2_4_speedup);
+    // Metadata sidecar streamed alongside the compressed weights.
+    let metadata_bytes = k as f64 * kept_n as f64 * NM_TC_METADATA_BYTES_PER_KEPT;
+    stats.global_read_bytes += metadata_bytes;
+    stats.memory_cycles += metadata_bytes / gpu.bytes_per_cycle();
+    // Zero-fill of the dropped output lanes (output stays dense).
+    let dropped_bytes = m as f64 * (n - kept_n) as f64 * F32;
+    stats.global_write_bytes += dropped_bytes;
+    stats.memory_cycles += dropped_bytes / gpu.bytes_per_cycle();
+    // Hardware metadata decode over the 4-wide lane groups.
+    let groups = ceil_div(n.max(1), 4);
+    stats.overhead_cycles += groups as f64 * caps.nm_metadata_decode_cycles;
     KernelStats::finalize(gpu, stats)
 }
 
@@ -454,6 +569,11 @@ pub fn divergent_gemm(
 ) -> KernelStats {
     let mut stats = gemm_core(gpu, KernelKind::DivergentGemm, m, k, n);
     stats.kind = KernelKind::DivergentGemm;
+    // A per-thread `if (kept)` kernel runs on the SIMT lanes — branching
+    // threads cannot feed a matrix engine, so on a tensor-core device this
+    // kernel does not get the tensor-core rate (identical on SIMT-only
+    // devices, where gemm_flops_per_cycle == flops_per_cycle).
+    stats.compute_cycles = stats.flops / gpu.flops_per_cycle();
     // Warps per block for a 32x32 output tile handled by 1024 threads.
     let warps_per_block = (GEMM_TILE * GEMM_TILE) / gpu.warp_size;
     let k_steps = ceil_div(k.max(1), GEMM_TILE);
@@ -602,6 +722,97 @@ mod tests {
     }
 
     #[test]
+    fn nm_dispatch_is_capability_and_shape_gated() {
+        // 2:4 on the sparse-tensor-core preset routes to the hardware
+        // roofline; every other (device, shape) combination prices as the
+        // software gather.
+        let sparse = GpuConfig::sparse_tensor_core();
+        let (m, k, n) = (128, 2048, 2048);
+        assert_eq!(
+            nm_compact_gemm(&sparse, m, k, n, 2, 4),
+            nm_tensor_core_gemm(&sparse, m, k, n),
+            "2:4 on the sparse preset must price as tensor-core"
+        );
+        assert_eq!(
+            nm_compact_gemm(&sparse, m, k, n, 1, 4),
+            nm_gather_gemm(&sparse, m, k, n, 1, 4),
+            "non-2:4 shapes fall back to the gather model"
+        );
+        for gpu in [GpuConfig::gtx_1080ti(), GpuConfig::server_hbm()] {
+            assert_eq!(
+                nm_compact_gemm(&gpu, m, k, n, 2, 4),
+                nm_gather_gemm(&gpu, m, k, n, 2, 4),
+                "{}: SIMT-only devices always gather",
+                gpu.name
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_core_2_4_beats_its_own_gather_pricing() {
+        // The hardware win: on identical silicon, the 2:4 tensor-core
+        // roofline is strictly cheaper than pricing the same plan as a
+        // software gather — no gather read inefficiency, hardware metadata
+        // decode, and compute on the sparse tensor cores instead of the
+        // FMA lanes.
+        let sparse = GpuConfig::sparse_tensor_core();
+        for (m, k, n) in [(128, 2048, 2048), (32, 784, 2048), (256, 1500, 6000)] {
+            let tc = nm_tensor_core_gemm(&sparse, m, k, n);
+            let gather = nm_gather_gemm(&sparse, m, k, n, 2, 4);
+            assert!(
+                tc.time_us() < gather.time_us(),
+                "({m},{k},{n}): tensor-core {} >= gather {}",
+                tc.time_us(),
+                gather.time_us()
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_core_2_4_beats_dense_on_the_same_device() {
+        let sparse = GpuConfig::sparse_tensor_core();
+        let dense = dense_gemm(&sparse, 128, 2048, 2048);
+        let tc = nm_tensor_core_gemm(&sparse, 128, 2048, 2048);
+        assert!(tc.time_us() < dense.time_us());
+        // … but never cheaper than the ideal half-width dense GEMM plus its
+        // unavoidable zero-fill-free lower bound.
+        let ideal = dense_gemm(&sparse, 128, 2048, 1024);
+        assert!(tc.time_us() >= ideal.time_us() * 0.999);
+    }
+
+    #[test]
+    fn gather_pricing_is_identical_with_and_without_tensor_cores_disabled() {
+        // nm_gather_gemm on the stripped device equals the stripped
+        // device's dispatch: without_tensor_cores() is a faithful
+        // "same silicon, SIMT pricing" baseline.
+        let sparse = GpuConfig::sparse_tensor_core();
+        let stripped = sparse.without_tensor_cores();
+        assert_eq!(
+            nm_compact_gemm(&stripped, 128, 1024, 1024, 2, 4),
+            nm_gather_gemm(&stripped, 128, 1024, 1024, 2, 4),
+        );
+    }
+
+    #[test]
+    fn structured_kernels_price_monotonically_on_the_sparse_preset_too() {
+        // The kept-fraction monotonicity of the compacted family must
+        // survive the capability-aware dispatch (the 2:4 point switches
+        // cost models mid-series).
+        let g = GpuConfig::sparse_tensor_core();
+        let (m, k, n) = (128, 2048, 2048);
+        let nm: Vec<f64> = [(4, 4), (3, 4), (2, 4), (1, 4)]
+            .iter()
+            .map(|&(a, b)| nm_compact_gemm(&g, m, k, n, a, b).time_us())
+            .collect();
+        for w in nm.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "dropping more must not price slower: {nm:?}"
+            );
+        }
+    }
+
+    #[test]
     fn structured_kernels_handle_zero_width_outputs() {
         // Degenerate 0-wide layers must not underflow the dropped-output
         // accounting (regression: `n - kept_n` with kept_n clamped to 1).
@@ -629,6 +840,22 @@ mod tests {
                 "divergent {p} should not beat dense"
             );
         }
+    }
+
+    #[test]
+    fn divergent_gemm_never_runs_on_the_tensor_cores() {
+        // The naive per-thread `if (kept)` kernel of Fig. 1(b) cannot feed
+        // a matrix engine: even on the sparse-tensor-core preset its
+        // compute phase is priced at the SIMT FMA rate, like the gather
+        // kernel and unlike the well-tiled dense GEMM.
+        let g = GpuConfig::sparse_tensor_core();
+        let s = divergent_gemm(&g, 128, 2048, 2048, 0.5);
+        assert!(
+            (s.compute_cycles - s.flops / g.flops_per_cycle()).abs() < 1e-6,
+            "divergent compute must use the SIMT rate"
+        );
+        let dense = dense_gemm(&g, 128, 2048, 2048);
+        assert!(s.time_us() >= dense.time_us());
     }
 
     #[test]

@@ -4,7 +4,13 @@
 //! crate is the reproduction's stand-in for that hardware: a first-order
 //! timing model of a SIMT GPU executing the kernels that dominate DNN
 //! training — tiled GEMM, the elementwise dropout-mask kernels, and the
-//! compacted GEMMs enabled by the regular dropout patterns.
+//! compacted GEMMs enabled by the regular dropout patterns. Three device
+//! presets span the hardware classes the benches compare —
+//! [`GpuConfig::gtx_1080ti`], [`GpuConfig::server_hbm`] and the
+//! tensor-core-equipped [`GpuConfig::sparse_tensor_core`] — and pricing is
+//! **capability-aware**: a [`DeviceCapabilities`] block on the config
+//! selects, per kernel, between the SIMT cost models and the hardware
+//! 2:4 sparse-tensor-core roofline ([`kernels::nm_tensor_core_gemm`]).
 //!
 //! The model charges each kernel for
 //!
@@ -45,10 +51,10 @@ pub mod config;
 pub mod kernels;
 pub mod training;
 
-pub use config::GpuConfig;
+pub use config::{DeviceCapabilities, GpuConfig};
 pub use kernels::{KernelKind, KernelStats};
 pub use training::{
-    LayerTiming, LstmSpec, MlpSpec, NetworkTimingModel, TrainingTimeBreakdown,
+    price_fc_schedule, LayerTiming, LstmSpec, MlpSpec, NetworkTimingModel, TrainingTimeBreakdown,
     DEFAULT_TIMING_SAMPLES,
 };
 

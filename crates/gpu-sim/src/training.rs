@@ -563,8 +563,16 @@ impl NetworkTimingModel {
 /// counterpart of the `ExecPath` classification the `nn` crate executes
 /// with. Both MLP layers and the LSTM softmax projection price through it,
 /// so a new `KernelSchedule` variant is exactly one new arm here plus its
-/// cost model in [`kernels`].
-fn price_fc_schedule(
+/// cost model in [`kernels`]. Pricing is capability-aware through the
+/// kernel layer: on a [`GpuConfig`] whose capabilities accelerate hardware
+/// 2:4, an `NmCompact { n: 2, m: 4 }` schedule prices through
+/// [`kernels::nm_tensor_core_gemm`]; everywhere else N:M pays the software
+/// gather model.
+///
+/// Returns `(forward, backward, dropout_us)`: the forward-pass kernel
+/// stats, the backward-pass kernel stats, and any separate dropout-mask
+/// kernel time in microseconds.
+pub fn price_fc_schedule(
     gpu: &GpuConfig,
     schedule: &KernelSchedule,
     batch: usize,
@@ -893,6 +901,44 @@ mod tests {
     }
 
     #[test]
+    fn sparse_tensor_core_preset_realises_the_nm_hardware_win() {
+        // The acceptance criterion of the sparse-tensor-core preset: on it,
+        // a simulated 2:4 N:M training iteration prices faster than (a) the
+        // Bernoulli-masked dense baseline and (b) the *same plan's*
+        // SIMT-gather pricing on identical silicon (tensor cores stripped).
+        let sparse = GpuConfig::sparse_tensor_core();
+        let model = NetworkTimingModel::mlp(sparse.clone(), MlpSpec::paper_mlp());
+        let gather_model =
+            NetworkTimingModel::mlp(sparse.without_tensor_cores(), MlpSpec::paper_mlp());
+
+        let s_nm24 = model.speedup(&*scheme::bernoulli(rate(0.5)), &*nm(2, 4), SAMPLES, 21);
+        assert!(s_nm24 > 1.0, "2:4 must beat Bernoulli: {s_nm24}");
+
+        let t_tc = model
+            .expected_iteration_time(&*nm(2, 4), SAMPLES, 21)
+            .total_us();
+        let t_gather = gather_model
+            .expected_iteration_time(&*nm(2, 4), SAMPLES, 21)
+            .total_us();
+        assert!(
+            t_tc < t_gather,
+            "tensor-core 2:4 iteration {t_tc} must beat its gather pricing {t_gather}"
+        );
+
+        // Dropping more still never prices slower, across the model switch
+        // (1:4 falls back to the gather model on the same device).
+        let s_nm14 = model.speedup(&*scheme::bernoulli(rate(0.75)), &*nm(1, 4), SAMPLES, 21);
+        assert!(s_nm14 > 1.0, "1:4 must still beat Bernoulli: {s_nm14}");
+        let t_nm14 = model
+            .expected_iteration_time(&*nm(1, 4), SAMPLES, 21)
+            .total_us();
+        assert!(
+            t_nm14 <= t_tc + 1e-9,
+            "1:4 ({t_nm14}) must not price above 2:4 ({t_tc})"
+        );
+    }
+
+    #[test]
     fn structured_plans_price_monotonically_in_kept_fraction() {
         // Lower kept_fraction never prices slower, through the full
         // network-level pricing path (plans constructed directly so the
@@ -986,7 +1032,11 @@ mod tests {
                 block: 32,
             },
         ];
-        for gpu in [GpuConfig::gtx_1080ti(), GpuConfig::server_hbm()] {
+        for gpu in [
+            GpuConfig::gtx_1080ti(),
+            GpuConfig::server_hbm(),
+            GpuConfig::sparse_tensor_core(),
+        ] {
             for schedule in schedules {
                 for act in [Activation::Identity, Activation::Relu] {
                     let (unfused_fwd, unfused_bwd, unfused_drop) =
@@ -1052,9 +1102,13 @@ mod tests {
     fn fused_model_speeds_up_whole_network_pricing() {
         // The deployed executor runs one fused kernel per layer; the model
         // with fusion on must price a strictly faster iteration than the
-        // unfused chain, on both device presets, with the dropout-scheme
+        // unfused chain, on every device preset, with the dropout-scheme
         // speedup ordering intact.
-        for gpu in [GpuConfig::gtx_1080ti(), GpuConfig::server_hbm()] {
+        for gpu in [
+            GpuConfig::gtx_1080ti(),
+            GpuConfig::server_hbm(),
+            GpuConfig::sparse_tensor_core(),
+        ] {
             let unfused = NetworkTimingModel::mlp(gpu.clone(), MlpSpec::paper_mlp());
             let fused = unfused.clone().with_fusion(true);
             assert!(fused.fusion());

@@ -403,11 +403,28 @@ impl Linear {
     /// The same cached plan that shaped the forward pass shapes the
     /// gradients (paper Fig. 1(a): one mask for both directions).
     ///
+    /// Allocates the returned `dX` matrix; the training hot paths use
+    /// [`Linear::backward_into`] instead, which writes into caller scratch.
+    ///
     /// # Panics
     ///
     /// Panics if called before [`Linear::forward`] or with a gradient whose
     /// shape does not match the cached forward pass.
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut dx = Matrix::default();
+        self.backward_into(grad_output, &mut dx);
+        dx
+    }
+
+    /// Like [`Linear::backward`] but writing the input gradient into the
+    /// caller-owned `dx` buffer (resized in place, allocation reused once
+    /// warmed) — the backward counterpart of [`Linear::forward_act_into`],
+    /// closing the last per-iteration allocation of the backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Linear::backward`].
+    pub fn backward_into(&mut self, grad_output: &Matrix, dx: &mut Matrix) {
         assert!(self.ws.armed, "backward called without a preceding forward");
         // Move the workspace out (cheap pointer swaps, no allocation) so its
         // buffers can be borrowed alongside `self`'s parameter fields.
@@ -422,7 +439,7 @@ impl Linear {
         let (in_features, out_features) = self.weight.shape();
         let batch = grad_output.rows();
 
-        let dx = match exec_path(&ws.plan) {
+        match exec_path(&ws.plan) {
             ExecPath::Gather { kept, .. } => {
                 let scale = ws.plan.scale();
                 // Fused backward pair: the scaled kept gradient columns are
@@ -431,7 +448,6 @@ impl Linear {
                 // (dropped columns stay exactly zero; the dense zero-masked
                 // gradient matrix of the seed implementation is never
                 // materialised) and dX = (scale·G[:, kept]) · W[:, kept]ᵀ.
-                let mut dx = Matrix::default();
                 gemm::gather_cols_backward_into(
                     &ws.input,
                     grad_output,
@@ -440,7 +456,7 @@ impl Linear {
                     scale,
                     &mut ws.gather_scratch,
                     &mut self.weight_grad,
-                    &mut dx,
+                    dx,
                 )
                 .expect("shapes agree and kept indices come from the plan");
                 // Bias gradient: column sums of the scaled kept gradient.
@@ -452,7 +468,6 @@ impl Linear {
                         acc[j] += row[j] * scale;
                     }
                 }
-                dx
             }
             ExecPath::Blocks { kept, block } => {
                 let scale = ws.plan.scale();
@@ -475,17 +490,15 @@ impl Linear {
                         }
                     }
                 }
-                let mut dx = Matrix::default();
                 gemm::block_compact_gemm_a_bt_into(
                     grad_output,
                     &self.weight,
                     kept,
                     block,
                     scale,
-                    &mut dx,
+                    dx,
                 )
                 .expect("inner dimensions agree");
-                dx
             }
             ExecPath::Tiles { kept, grid } => {
                 let scale = ws.plan.scale();
@@ -504,7 +517,10 @@ impl Linear {
                 let bounds: Vec<_> = kept.iter().map(|&t| grid.tile_bounds(t)).collect();
                 let grad = &ws.grad;
                 let weight = &self.weight;
-                let mut dx = Matrix::zeros(batch, in_features);
+                // Zeroing resize: the tile loop below accumulates into the
+                // buffer, so stale contents must be cleared (allocation
+                // reused once warmed).
+                dx.resize(batch, in_features);
                 pool::run_row_chunks(batch, in_features, dx.as_mut_slice(), |rows, chunk| {
                     for (local, i) in rows.enumerate() {
                         let grow = grad.row(i);
@@ -517,7 +533,6 @@ impl Linear {
                         }
                     }
                 });
-                dx
             }
             ExecPath::Dense | ExecPath::DenseMasked { .. } => {
                 // Dense (identity or Bernoulli-masked) path: the gradient
@@ -528,14 +543,10 @@ impl Linear {
                 gemm::gemm_at_b_into(&ws.input, &ws.grad, &mut self.weight_grad)
                     .expect("batch dimensions agree");
                 ws.grad.sum_rows_into(&mut self.bias_grad);
-                let mut dx = Matrix::default();
-                gemm::gemm_a_bt_into(&ws.grad, &self.weight, &mut dx)
-                    .expect("inner dimensions agree");
-                dx
+                gemm::gemm_a_bt_into(&ws.grad, &self.weight, dx).expect("inner dimensions agree");
             }
-        };
+        }
         self.ws = ws;
-        dx
     }
 
     /// Applies one SGD step using the stored gradients.

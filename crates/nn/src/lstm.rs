@@ -426,6 +426,10 @@ struct SeqWorkspace {
     stacked: Matrix,
     /// Projection output (vocabulary logits).
     logits: Matrix,
+    /// Gradient w.r.t. the stacked projection input, written by
+    /// [`crate::Linear::backward_into`] (the backward counterpart of the
+    /// `stacked`/`logits` recycling).
+    grad_stacked: Matrix,
     /// Per-timestep gradient buffers, ping-ponged like the activations.
     grad_a: Vec<Matrix>,
     grad_b: Vec<Matrix>,
@@ -576,9 +580,15 @@ impl LstmLm {
         let loss = softmax_cross_entropy_into(&ws.logits, &ws.targets, &mut ws.xent);
         let acc = crate::metrics::accuracy(&ws.logits, &ws.targets);
 
-        // Backward.
-        let grad_stacked = self.projection.backward(ws.xent.grad_logits());
-        unstack_rows_into(&grad_stacked, seq_len, batch, &mut ws.grad_a);
+        // Backward. The projection's dX lands in the recycled
+        // `grad_stacked` buffer — the last per-iteration allocation of the
+        // backward pass is gone.
+        let SeqWorkspace {
+            xent, grad_stacked, ..
+        } = &mut ws;
+        self.projection
+            .backward_into(xent.grad_logits(), grad_stacked);
+        unstack_rows_into(&ws.grad_stacked, seq_len, batch, &mut ws.grad_a);
         for l in (0..self.cells.len()).rev() {
             // Gradient through this layer's output dropout, in place.
             for step in &mut ws.grad_a {

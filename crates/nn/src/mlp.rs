@@ -78,6 +78,11 @@ pub struct Mlp {
     /// by [`Mlp::train_batch`] after the loss is computed, so the output
     /// layer allocates nothing per iteration either.
     logits_ws: Matrix,
+    /// Ping-pong gradient buffers for the backward chain: each layer's
+    /// [`Linear::backward_into`] writes its `dX` into one while the other
+    /// holds the incoming gradient, then the two swap — no per-iteration
+    /// gradient allocation anywhere in the backward pass.
+    grad_ws: (Matrix, Matrix),
 }
 
 #[derive(Debug, Clone)]
@@ -131,6 +136,7 @@ impl Mlp {
             fused: true,
             xent: CrossEntropyScratch::default(),
             logits_ws: Matrix::default(),
+            grad_ws: (Matrix::default(), Matrix::default()),
         }
     }
 
@@ -269,16 +275,22 @@ impl Mlp {
     }
 
     /// Backward pass given the gradient of the loss w.r.t. the logits.
+    /// Every layer's `dX` lands in one of the two recycled ping-pong
+    /// buffers ([`Linear::backward_into`]); nothing is allocated per
+    /// iteration once the buffers are warmed.
     fn backward(&mut self, grad_logits: &Matrix) {
-        let mut grad = self.output.backward(grad_logits);
+        let (mut grad, mut scratch) = std::mem::take(&mut self.grad_ws);
+        self.output.backward_into(grad_logits, &mut grad);
         for block in self.hidden.iter_mut().rev() {
             assert!(block.armed, "forward_train must run before backward");
             block.armed = false;
             // The post-ReLU activation gates the gradient exactly like the
             // pre-activation would: relu(z) > 0 ⇔ z > 0.
             ops::relu_grad_mask_inplace(&mut grad, &block.activation);
-            grad = block.linear.backward(&grad);
+            block.linear.backward_into(&grad, &mut scratch);
+            std::mem::swap(&mut grad, &mut scratch);
         }
+        self.grad_ws = (grad, scratch);
     }
 
     /// Applies the SGD update to every layer.

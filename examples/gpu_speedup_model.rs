@@ -1,6 +1,8 @@
 //! Query the GPU timing model directly: per-kernel and per-iteration times
-//! for the paper's MLP and LSTM configurations, across dropout rates and
-//! network sizes.
+//! for the paper's MLP and LSTM configurations, across dropout rates,
+//! network sizes and all three device presets — the consumer GTX 1080Ti,
+//! the bandwidth-rich server HBM part, and the A100-class
+//! sparse-tensor-core preset where hardware 2:4 N:M pricing kicks in.
 //!
 //! Run with `cargo run --example gpu_speedup_model`.
 
@@ -8,57 +10,94 @@ use approx_dropout::{scheme, DropoutRate};
 use gpu_sim::{kernels, GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel, DEFAULT_TIMING_SAMPLES};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let gpu = GpuConfig::gtx_1080ti();
-    println!("device: {gpu}");
-
-    println!("\nsingle GEMM (batch 128, 2048 -> 2048):");
-    let dense = kernels::dense_gemm(&gpu, 128, 2048, 2048);
-    println!("  dense GEMM            {:>8.1} us", dense.time_us());
-    for dp in [2usize, 3, 5] {
-        let row = kernels::row_compact_gemm(&gpu, 128, 2048, 2048, 2048 / dp);
-        println!(
-            "  row-compact (dp = {dp})   {:>8.1} us  ({:.2}x)",
-            row.time_us(),
-            dense.time_us() / row.time_us()
-        );
-    }
-
-    println!("\nend-to-end iteration speedups vs conventional dropout:");
-    println!(
-        "{:<28} {:>8} {:>8} {:>8}",
-        "network", "p=0.3", "p=0.5", "p=0.7"
-    );
-    let networks: Vec<(String, NetworkTimingModel)> = vec![
-        (
-            "MLP 2048x2048".to_string(),
-            NetworkTimingModel::mlp(gpu.clone(), MlpSpec::paper_mlp()),
-        ),
-        (
-            "MLP 4096x4096".to_string(),
-            NetworkTimingModel::mlp(gpu.clone(), MlpSpec::with_hidden(4096, 4096)),
-        ),
-        (
-            "LSTM 2x1500 (dictionary)".to_string(),
-            NetworkTimingModel::lstm(gpu.clone(), LstmSpec::paper_dictionary_lstm()),
-        ),
-        (
-            "LSTM 3x1500 (PTB)".to_string(),
-            NetworkTimingModel::lstm(gpu, LstmSpec::paper_ptb_lstm()),
-        ),
+    let presets = [
+        GpuConfig::gtx_1080ti(),
+        GpuConfig::server_hbm(),
+        GpuConfig::sparse_tensor_core(),
     ];
-    for (name, model) in &networks {
-        let mut row = format!("{name:<28}");
-        for &p in &[0.3, 0.5, 0.7] {
-            let rate = DropoutRate::new(p)?;
-            let speedup = model.speedup(
-                &*scheme::bernoulli(rate),
-                &*scheme::row(rate, 16)?,
+
+    for gpu in &presets {
+        println!("device: {gpu}");
+
+        println!("  single GEMM (batch 128, 2048 -> 2048):");
+        let dense = kernels::dense_gemm(gpu, 128, 2048, 2048);
+        println!("    dense GEMM            {:>8.1} us", dense.time_us());
+        for dp in [2usize, 3, 5] {
+            let row = kernels::row_compact_gemm(gpu, 128, 2048, 2048, 2048 / dp);
+            println!(
+                "    row-compact (dp = {dp})   {:>8.1} us  ({:.2}x)",
+                row.time_us(),
+                dense.time_us() / row.time_us()
+            );
+        }
+        // N:M 2:4 prices through the capability-aware dispatch: software
+        // gather on the SIMT presets, the sparse-tensor-core roofline on
+        // the A100-class preset.
+        let nm = kernels::nm_compact_gemm(gpu, 128, 2048, 2048, 2, 4);
+        let path = if gpu.capabilities.accelerates_nm(2, 4) {
+            "tensor-core"
+        } else {
+            "SIMT gather"
+        };
+        println!(
+            "    nm 2:4 ({path:<11})  {:>8.1} us  ({:.2}x)",
+            nm.time_us(),
+            dense.time_us() / nm.time_us()
+        );
+        if gpu.capabilities.accelerates_nm(2, 4) {
+            let gather = kernels::nm_gather_gemm(gpu, 128, 2048, 2048, 2, 4);
+            println!(
+                "    nm 2:4 (gather, same silicon) {:>4.1} us  ({:.2}x over gather)",
+                gather.time_us(),
+                gather.time_us() / nm.time_us()
+            );
+        }
+
+        println!("  end-to-end iteration speedups vs conventional dropout:");
+        println!(
+            "  {:<28} {:>8} {:>8} {:>8} {:>8}",
+            "network", "p=0.3", "p=0.5", "p=0.7", "2:4"
+        );
+        let networks: Vec<(String, NetworkTimingModel)> = vec![
+            (
+                "MLP 2048x2048".to_string(),
+                NetworkTimingModel::mlp(gpu.clone(), MlpSpec::paper_mlp()),
+            ),
+            (
+                "MLP 4096x4096".to_string(),
+                NetworkTimingModel::mlp(gpu.clone(), MlpSpec::with_hidden(4096, 4096)),
+            ),
+            (
+                "LSTM 2x1500 (dictionary)".to_string(),
+                NetworkTimingModel::lstm(gpu.clone(), LstmSpec::paper_dictionary_lstm()),
+            ),
+            (
+                "LSTM 3x1500 (PTB)".to_string(),
+                NetworkTimingModel::lstm(gpu.clone(), LstmSpec::paper_ptb_lstm()),
+            ),
+        ];
+        for (name, model) in &networks {
+            let mut row = format!("  {name:<28}");
+            for &p in &[0.3, 0.5, 0.7] {
+                let rate = DropoutRate::new(p)?;
+                let speedup = model.speedup(
+                    &*scheme::bernoulli(rate),
+                    &*scheme::row(rate, 16)?,
+                    DEFAULT_TIMING_SAMPLES,
+                    11,
+                );
+                row.push_str(&format!(" {speedup:>7.2}x"));
+            }
+            let nm_speedup = model.speedup(
+                &*scheme::bernoulli(DropoutRate::new(0.5)?),
+                &*scheme::nm(2, 4)?,
                 DEFAULT_TIMING_SAMPLES,
                 11,
             );
-            row.push_str(&format!(" {speedup:>7.2}x"));
+            row.push_str(&format!(" {nm_speedup:>7.2}x"));
+            println!("{row}");
         }
-        println!("{row}");
+        println!();
     }
     Ok(())
 }

@@ -234,6 +234,55 @@ fn linear_workspace_reuse_is_numerically_inert() {
     }
 }
 
+/// The backward counterpart of the buffer-reuse checks above:
+/// `Linear::backward_into` must (a) produce exactly the matrix
+/// `Linear::backward` allocates, for every plan family, and (b) recycle the
+/// caller's `dx` buffer — once the shape is warmed the pointer never moves,
+/// no matter which execution path the iteration's plan selects.
+#[test]
+fn backward_into_matches_backward_and_recycles_dx_buffer() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut reused = Linear::new(&mut rng, 12, 16);
+    let pristine = reused.clone();
+    let shape = LayerShape::new(12, 16);
+    let mut schemes = all_schemes();
+    let mut plan_rng = StdRng::seed_from_u64(22);
+    let mut data_rng = StdRng::seed_from_u64(23);
+    let scheme_count = schemes.len();
+
+    let mut dx = Matrix::default();
+    let mut dx_ptr = None;
+    for iteration in 0..(2 * scheme_count) {
+        let scheme = &mut schemes[iteration % scheme_count];
+        let plan = scheme.plan(&mut plan_rng, shape);
+        let x = init::uniform(&mut data_rng, 8, 12, -1.0, 1.0);
+        let dy = init::uniform(&mut data_rng, 8, 16, -1.0, 1.0);
+
+        let mut fresh = pristine.clone();
+        let _ = fresh.forward(&x, &plan);
+        let dx_fresh = fresh.backward(&dy);
+
+        let _ = reused.forward(&x, &plan);
+        reused.backward_into(&dy, &mut dx);
+
+        assert_eq!(dx_fresh, dx, "dx diverged at iteration {iteration}");
+        assert_eq!(
+            fresh.weight_grad(),
+            reused.weight_grad(),
+            "weight grad diverged at iteration {iteration}"
+        );
+        match dx_ptr {
+            None => dx_ptr = Some(dx.as_slice().as_ptr()),
+            Some(ptr) => assert_eq!(
+                ptr,
+                dx.as_slice().as_ptr(),
+                "dx buffer must be reused, not reallocated (iteration {iteration}, scheme {})",
+                schemes[iteration % scheme_count].label()
+            ),
+        }
+    }
+}
+
 /// Same-seed loss trajectories are exactly reproducible through the
 /// `plan_into` + workspace path end to end (MLP train loop).
 #[test]
