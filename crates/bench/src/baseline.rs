@@ -1,7 +1,8 @@
 //! Committed-baseline perf-regression checking for the bench binaries.
 //!
-//! The repository commits the JSON emitted by `bench_hotpath` and
-//! `bench_structured` (`BENCH_HOTPATH.json` / `BENCH_STRUCTURED.json`) as
+//! The repository commits the JSON emitted by `bench_hotpath`,
+//! `bench_structured` and `bench_serve` (`BENCH_HOTPATH.json` /
+//! `BENCH_STRUCTURED.json` / `BENCH_SERVE.json`) as
 //! the perf trajectory. The `--check-baseline` mode of those binaries runs
 //! this module: every **speedup** leaf of the committed baseline is compared
 //! against the same leaf of the fresh run, and a drop of more than the
@@ -482,7 +483,11 @@ mod tests {
     #[test]
     fn committed_baselines_parse_and_expose_ratio_keys() {
         // The real committed files must stay parseable by this gate.
-        for path in ["../../BENCH_HOTPATH.json", "../../BENCH_STRUCTURED.json"] {
+        for path in [
+            "../../BENCH_HOTPATH.json",
+            "../../BENCH_STRUCTURED.json",
+            "../../BENCH_SERVE.json",
+        ] {
             let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
             let content = std::fs::read_to_string(&full).expect("committed bench JSON exists");
             let leaves = parse_leaves(&content).expect("committed bench JSON parses");

@@ -125,6 +125,9 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
     let cfg = if smoke { SMOKE } else { FULL };
+    // Sections 2–3 sweep explicit pool widths regardless; `--threads` (or
+    // the TENSOR_THREADS fallback) picks the width for the fused section.
+    let cli_threads = bench::threads_from_args();
     let thread_counts = [1usize, 2, 4];
 
     let mut rng = StdRng::seed_from_u64(0xB0A7);
@@ -225,7 +228,7 @@ fn main() {
     //    The two sides are timed interleaved (best-of per side) so machine
     //    drift cancels; their outputs are bitwise equal (covered by
     //    tests/fused_kernels.rs) — this measures time only.
-    let default_threads = pool::env_default_threads();
+    let default_threads = cli_threads.unwrap_or_else(pool::env_default_threads);
     pool::set_threads(default_threads);
     const FUSED_DP: usize = 8;
     let fused_config = MlpConfig {

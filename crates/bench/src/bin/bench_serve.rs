@@ -1,0 +1,414 @@
+//! Serving benchmark: multi-tenant closed-loop load against the `serve`
+//! crate, per-request dispatch versus dynamic batching.
+//!
+//! Simulates heavy traffic from many tenants: each tenant thread replays a
+//! deterministic trace of train/infer jobs over a mixed catalog (two MLPs
+//! and an LSTM language model, so dispatches span several `LayerShape`
+//! mixes) with a bounded window of outstanding requests — a closed loop,
+//! so offered load adapts to service rate instead of overrunning it. The
+//! **identical** trace is replayed against both batching policies; the
+//! difference between the runs is purely the dispatch decision.
+//!
+//! Reported per policy: throughput (jobs/s) and p50/p99/p999 latency, mean
+//! coalesced rows per dispatch, and the plan-cache hit rate. On top of the
+//! measured CPU numbers, the same batching decision is priced on the
+//! `gpu-sim` device model ([`serve::simulated_policy_speedup`], which runs
+//! on `price_fc_schedule`): coalescing `B` requests into one dispatch pays
+//! per-kernel launch overhead once instead of `B` times, a deterministic
+//! ratio the baseline gate holds at the tight `sim_*` tolerance.
+//!
+//! Writes `BENCH_SERVE.json` at the repository root. Flags: `--smoke`
+//! (tiny CI shapes), `--threads N` (tensor-pool width; `TENSOR_THREADS`
+//! stays the fallback), `--tenants N`, `--requests N` (per tenant),
+//! `--window N` (outstanding requests per tenant), `--check-baseline`
+//! (regression gate against the committed JSON). `BENCH_ASSERT=1` enforces
+//! the win conditions: dynamic batching must beat per-request dispatch on
+//! throughput (full runs; smoke shapes are too small to time reliably) and
+//! the simulated ratios must exceed 1 everywhere.
+
+use gpu_sim::GpuConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{
+    simulated_policy_speedup, BatchPolicy, JobKind, JobSpec, ModelSpec, SchemeKind, ServeConfig,
+    ServeReport, Server,
+};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+use tensor::pool;
+
+struct Config {
+    mode: &'static str,
+    tenants: u64,
+    requests_per_tenant: usize,
+    window: usize,
+    workers: usize,
+    max_batch_rows: usize,
+    deadline_us: u64,
+    epoch_rounds: u64,
+    /// Simulated pricing scenario: this many same-shape requests of this
+    /// many rows each, dispatched one by one versus as one batch.
+    sim_requests: usize,
+    sim_rows_per_request: usize,
+}
+
+const FULL: Config = Config {
+    mode: "full",
+    tenants: 8,
+    requests_per_tenant: 48,
+    window: 8,
+    workers: 4,
+    max_batch_rows: 192,
+    deadline_us: 800,
+    epoch_rounds: 8,
+    sim_requests: 16,
+    sim_rows_per_request: 8,
+};
+
+const SMOKE: Config = Config {
+    mode: "smoke",
+    tenants: 3,
+    requests_per_tenant: 10,
+    window: 4,
+    workers: 2,
+    max_batch_rows: 64,
+    deadline_us: 300,
+    epoch_rounds: 4,
+    sim_requests: 16,
+    sim_rows_per_request: 8,
+};
+
+/// The served catalog: a row-pattern MLP, an N:M structured MLP and a
+/// small LSTM language model — three distinct `LayerShape` families, so
+/// the batcher has real shape mixing to contend with.
+fn catalog(smoke: bool) -> Vec<ModelSpec> {
+    let scale = if smoke { 4 } else { 1 };
+    vec![
+        ModelSpec::mlp(
+            "mlp-row",
+            64,
+            vec![256 / scale, 256 / scale],
+            10,
+            SchemeKind::Row {
+                rate: 0.5,
+                max_dp: 8,
+            },
+        ),
+        ModelSpec::mlp(
+            "mlp-nm",
+            48,
+            vec![128 / scale, 128 / scale],
+            10,
+            SchemeKind::Nm { n: 2, m: 4 },
+        ),
+        ModelSpec::lstm(
+            "lstm-row",
+            64,
+            32 / scale,
+            2,
+            if smoke { 4 } else { 8 },
+            SchemeKind::Row {
+                rate: 0.5,
+                max_dp: 4,
+            },
+        ),
+    ]
+}
+
+/// One tenant's deterministic job trace: model/shape mix and train/infer
+/// mix drawn from a per-tenant seed, identical across policy runs.
+fn tenant_trace(cfg: &Config, models: usize, tenant: u64) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(0xC0FF_EE00 ^ tenant.wrapping_mul(0x9E37_79B9));
+    (0..cfg.requests_per_tenant)
+        .map(|i| {
+            let model = rng.gen_range(0..models);
+            // LSTM rows are sequences (BPTT-heavy); keep them smaller than
+            // MLP rows so the shape mix stays balanced in wall-clock terms.
+            let rows = if model == 2 {
+                rng.gen_range(1..3usize)
+            } else {
+                rng.gen_range(2..9usize)
+            };
+            let kind = if rng.gen::<f32>() < 0.25 {
+                JobKind::Infer
+            } else {
+                JobKind::Train
+            };
+            JobSpec {
+                tenant,
+                model,
+                rows,
+                seed: (tenant << 32) | i as u64,
+                kind,
+            }
+        })
+        .collect()
+}
+
+struct PolicyStats {
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    mean_batch_rows: f64,
+    jobs: u64,
+    batches: u64,
+    plan_cache_hit_rate: f64,
+}
+
+fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+/// Replays every tenant trace against a fresh server under `policy` and
+/// collects end-to-end latencies plus the server's own report.
+fn run_policy(cfg: &Config, policy: BatchPolicy, traces: &[Vec<JobSpec>]) -> PolicyStats {
+    let server = Server::start(
+        ServeConfig {
+            workers: cfg.workers,
+            policy,
+            plan_cache: true,
+            plan_cache_shards: 16,
+            epoch_rounds: cfg.epoch_rounds,
+            init_seed: 42,
+        },
+        catalog(cfg.mode == "smoke"),
+    );
+    let start = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .iter()
+            .map(|trace| {
+                let client = server.client();
+                scope.spawn(move || {
+                    let mut outstanding: VecDeque<std::sync::mpsc::Receiver<serve::JobResult>> =
+                        VecDeque::new();
+                    let mut latencies = Vec::with_capacity(trace.len());
+                    for &spec in trace {
+                        if outstanding.len() >= cfg.window {
+                            let rx = outstanding.pop_front().expect("window is non-empty");
+                            latencies.push(rx.recv().expect("job must complete").latency);
+                        }
+                        outstanding.push_back(client.submit(spec));
+                    }
+                    for rx in outstanding {
+                        latencies.push(rx.recv().expect("job must complete").latency);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("tenant thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let report: ServeReport = server.shutdown();
+    let mut sorted = latencies;
+    sorted.sort();
+    let cache = report.plan_cache.expect("plan cache is enabled");
+    PolicyStats {
+        throughput_rps: report.jobs as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile_us(&sorted, 0.50),
+        p99_us: percentile_us(&sorted, 0.99),
+        p999_us: percentile_us(&sorted, 0.999),
+        mean_batch_rows: report.mean_batch_rows(),
+        jobs: report.jobs,
+        batches: report.batches,
+        plan_cache_hit_rate: cache.hit_rate(),
+    }
+}
+
+fn usize_flag(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == name {
+            iter.next().map(String::as_str)
+        } else if let Some(inline) = arg.strip_prefix(&format!("{name}=")) {
+            Some(inline)
+        } else {
+            continue;
+        };
+        match value
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            Some(n) => return n,
+            None => {
+                eprintln!("{name} expects a positive integer, got {value:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    default
+}
+
+fn policy_json(label: &str, stats: &PolicyStats) -> String {
+    format!(
+        "  \"{label}\": {{\n    \"throughput_rps\": {:.3},\n    \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    \"p999_us\": {:.1},\n    \"mean_batch_rows\": {:.3},\n    \"jobs\": {},\n    \"batches\": {},\n    \"plan_cache_hit_rate\": {:.4}\n  }}",
+        stats.throughput_rps,
+        stats.p50_us,
+        stats.p99_us,
+        stats.p999_us,
+        stats.mean_batch_rows,
+        stats.jobs,
+        stats.batches,
+        stats.plan_cache_hit_rate,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let mut cfg = if smoke { SMOKE } else { FULL };
+    let explicit_threads = bench::apply_threads_flag();
+    cfg.tenants = usize_flag("--tenants", cfg.tenants as usize) as u64;
+    cfg.requests_per_tenant = usize_flag("--requests", cfg.requests_per_tenant);
+    cfg.window = usize_flag("--window", cfg.window);
+
+    let models = catalog(smoke);
+    let traces: Vec<Vec<JobSpec>> = (0..cfg.tenants)
+        .map(|tenant| tenant_trace(&cfg, models.len(), tenant))
+        .collect();
+    let total_jobs: usize = traces.iter().map(Vec::len).sum();
+    eprintln!(
+        "serving {} jobs from {} tenants over {} models ({} workers, window {}, {} pool thread(s))",
+        total_jobs,
+        cfg.tenants,
+        models.len(),
+        cfg.workers,
+        cfg.window,
+        pool::threads(),
+    );
+
+    let per_request = run_policy(&cfg, BatchPolicy::PerRequest, &traces);
+    eprintln!(
+        "per-request   {:>8.1} jobs/s  p50 {:>8.0} us  p99 {:>8.0} us  ({} batches)",
+        per_request.throughput_rps, per_request.p50_us, per_request.p99_us, per_request.batches
+    );
+    let dynamic = run_policy(
+        &cfg,
+        BatchPolicy::Dynamic {
+            max_batch_rows: cfg.max_batch_rows,
+            deadline: Duration::from_micros(cfg.deadline_us),
+        },
+        &traces,
+    );
+    eprintln!(
+        "dynamic       {:>8.1} jobs/s  p50 {:>8.0} us  p99 {:>8.0} us  ({} batches, {:.1} rows/batch, {:.0}% cache hits)",
+        dynamic.throughput_rps,
+        dynamic.p50_us,
+        dynamic.p99_us,
+        dynamic.batches,
+        dynamic.mean_batch_rows,
+        dynamic.plan_cache_hit_rate * 100.0
+    );
+    let speedup = dynamic.throughput_rps / per_request.throughput_rps;
+    eprintln!("dynamic batching throughput speedup: {speedup:.2}x");
+
+    // Price the same dispatch decision on the device model: deterministic,
+    // so the baseline gate holds these at the tight sim_* tolerance.
+    let sim_devices = [
+        ("gtx_1080ti", GpuConfig::gtx_1080ti()),
+        ("sparse_tensor_core", GpuConfig::sparse_tensor_core()),
+    ];
+    let sim_speedups: Vec<(&str, f64)> = sim_devices
+        .iter()
+        .map(|(key, gpu)| {
+            let s = simulated_policy_speedup(
+                gpu,
+                &models[0],
+                0,
+                0,
+                cfg.sim_rows_per_request,
+                cfg.sim_requests,
+            );
+            eprintln!(
+                "sim {}x{}-row dispatches coalesced: {s:.2}x on {key}",
+                cfg.sim_requests, cfg.sim_rows_per_request
+            );
+            (*key, s)
+        })
+        .collect();
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let model_names: Vec<String> = models.iter().map(|m| format!("\"{}\"", m.name)).collect();
+    let json = format!
+        (
+        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"tensor_threads\": {threads},\n  \"workers\": {workers},\n  \"tenants\": {tenants},\n  \"requests_per_tenant\": {requests},\n  \"window\": {window},\n  \"max_batch_rows\": {max_rows},\n  \"deadline_us\": {deadline},\n  \"epoch_rounds\": {epoch_rounds},\n  \"models\": [{names}],\n{per_request},\n{dynamic},\n  \"speedup_dynamic_vs_per_request\": {speedup:.3},\n  \"sim_speedup_dynamic_vs_per_request_{sim0_key}\": {sim0:.3},\n  \"sim_speedup_dynamic_vs_per_request_{sim1_key}\": {sim1:.3}\n}}\n",
+        mode = cfg.mode,
+        threads = pool::threads(),
+        workers = cfg.workers,
+        tenants = cfg.tenants,
+        requests = cfg.requests_per_tenant,
+        window = cfg.window,
+        max_rows = cfg.max_batch_rows,
+        deadline = cfg.deadline_us,
+        epoch_rounds = cfg.epoch_rounds,
+        names = model_names.join(", "),
+        per_request = policy_json("per_request", &per_request),
+        dynamic = policy_json("dynamic", &dynamic),
+        speedup = speedup,
+        sim0_key = sim_speedups[0].0,
+        sim0 = sim_speedups[0].1,
+        sim1_key = sim_speedups[1].0,
+        sim1 = sim_speedups[1].1,
+    );
+
+    let out_path = std::env::var("BENCH_SERVE_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_SERVE.json", env!("CARGO_MANIFEST_DIR")));
+    // In --check-baseline mode the committed file is the baseline; read it
+    // before the fresh result overwrites it, and write the fresh JSON
+    // before enforcing so the CI artifact carries the regressed run too.
+    let check_baseline = std::env::args().any(|a| a == "--check-baseline");
+    let baseline_path = std::env::var("BENCH_SERVE_BASELINE")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_SERVE.json", env!("CARGO_MANIFEST_DIR")));
+    let baseline = check_baseline
+        .then(|| bench::baseline::read_baseline_or_exit(&baseline_path, "bench_serve"));
+    std::fs::write(&out_path, &json).expect("writing BENCH_SERVE.json failed");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    if let Some(baseline) = baseline {
+        bench::baseline::enforce_baseline(&baseline, &baseline_path, &json, "bench_serve");
+    }
+
+    // Win conditions, opt-in via BENCH_ASSERT=1 (CI). The measured
+    // throughput gate arms on full runs only — smoke traffic is far too
+    // small for stable wall-clock ratios — while the simulated ratios are
+    // deterministic and gate everywhere.
+    if std::env::var("BENCH_ASSERT").is_ok_and(|v| v != "0") {
+        let mut failures = Vec::new();
+        if !smoke && speedup <= 1.0 {
+            failures.push(format!(
+                "dynamic batching throughput speedup {speedup:.3}x <= 1.0x over per-request dispatch"
+            ));
+        }
+        if dynamic.plan_cache_hit_rate <= 0.0 {
+            failures.push("plan cache recorded no hits under dynamic batching".to_string());
+        }
+        for (device, s) in &sim_speedups {
+            if *s <= 1.0 {
+                failures.push(format!(
+                    "simulated coalescing speedup {s:.3}x <= 1.0x on {device}"
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("BENCH_ASSERT failures:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("BENCH_ASSERT passed");
+    }
+    let _ = explicit_threads;
+}

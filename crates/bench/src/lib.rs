@@ -30,6 +30,45 @@ use rand::SeedableRng;
 /// reproducible run to run.
 pub const TIMING_SEED: u64 = 0x5EED;
 
+/// Parses the `--threads N` (or `--threads=N`) flag the bench binaries
+/// share, so the pool width is settable per invocation without the
+/// `TENSOR_THREADS` environment variable (which stays as the fallback
+/// when the flag is absent). Returns `None` when the flag was not given;
+/// terminates the process on a malformed value rather than silently
+/// benchmarking at the wrong width.
+pub fn threads_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--threads" {
+            iter.next().map(String::as_str)
+        } else if let Some(inline) = arg.strip_prefix("--threads=") {
+            Some(inline)
+        } else {
+            continue;
+        };
+        match value
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            Some(n) => return Some(n),
+            None => {
+                eprintln!("--threads expects a positive integer, got {value:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
+
+/// Applies [`threads_from_args`] to the global tensor pool and returns the
+/// explicit width, if one was given.
+pub fn apply_threads_flag() -> Option<usize> {
+    let threads = threads_from_args()?;
+    tensor::pool::set_threads(threads);
+    Some(threads)
+}
+
 /// Number of training iterations the scaled accuracy runs use by default.
 /// Set the `ARD_FAST=1` environment variable to cut this down for smoke runs.
 pub fn default_train_iterations() -> usize {

@@ -53,6 +53,7 @@ pub mod equivalence;
 pub mod error;
 pub mod pattern;
 pub mod plan;
+pub mod plan_cache;
 pub mod rate;
 pub mod sampler;
 pub mod scheme;
@@ -63,6 +64,7 @@ pub use bernoulli::BernoulliDropout;
 pub use error::DropoutError;
 pub use pattern::{DropoutPattern, PatternKind, RowPattern, SampledPattern, TileGrid, TilePattern};
 pub use plan::{DropoutPlan, FusedBody, KernelSchedule, LayerShape};
+pub use plan_cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use rate::DropoutRate;
 pub use sampler::{ApproxDropoutBuilder, ApproxDropoutLayer, PatternSampler};
 pub use scheme::{Bernoulli, DivergentBernoulli, DropoutScheme, NoDropout};

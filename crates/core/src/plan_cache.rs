@@ -1,0 +1,308 @@
+//! Memoized [`DropoutPlan`] cache — the serving-layer analogue of taking
+//! mask generation off the hot path.
+//!
+//! The paper amortizes dropout overhead by making the pattern decision
+//! *before* the GEMM launches; the hardware-oriented follow-up work goes
+//! further and generates masks with LFSR-grade generators so the decision
+//! costs nothing at all on the training path. [`PlanCache`] is the software
+//! form of that idea for a multi-tenant serving layer: a plan is a pure
+//! function of a [`PlanKey`] — which scheme configuration, which
+//! [`LayerShape`], which *seed epoch* — so once one worker has sampled the
+//! plan for a key, every other request in the same epoch reuses it.
+//!
+//! Two properties make the cache fit the hot path:
+//!
+//! * **Sharded mutexes.** Keys spread over independently locked shards, so
+//!   concurrent worker shards rarely contend on the same lock.
+//! * **Allocation-free hits.** A hit copies the cached plan into the
+//!   caller's plan buffer with [`Clone::clone_from`], which recycles the
+//!   buffer's kept-index / mask vectors (see `DropoutPlan::clone_from`).
+//!   Once a worker's per-layer plan slot has been warmed by one fetch of
+//!   each plan family, further hits allocate nothing and the slot's buffer
+//!   pointers never move.
+//!
+//! Determinism is the contract that lets a serving layer switch the cache
+//! on and off without changing results: the sampling closure passed to
+//! [`PlanCache::fetch`] must derive its RNG from [`PlanKey::seed`], so a
+//! cache miss (sample now) and a cache hit (reuse the earlier sample of the
+//! same key) produce bitwise-identical plans.
+
+use crate::plan::{DropoutPlan, LayerShape};
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Identity of one cached plan: which scheme configuration sampled it, for
+/// which layer shape, in which seed epoch.
+///
+/// The *seed epoch* is the amortization knob: all requests dispatched in
+/// the same epoch share one sampled plan per `(scheme, shape)`, and bumping
+/// the epoch re-randomizes every plan (dropout keeps regularizing across
+/// epochs, it just stops paying per-request sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Stable identifier of the scheme configuration (the caller assigns
+    /// one per distinct scheme instance, e.g. per model layer).
+    pub scheme_id: u64,
+    /// Layer shape the plan is resolved against.
+    pub shape: LayerShape,
+    /// Seed epoch; advancing it invalidates the key and re-randomizes.
+    pub epoch: u64,
+}
+
+impl PlanKey {
+    /// Creates a key.
+    pub fn new(scheme_id: u64, shape: LayerShape, epoch: u64) -> Self {
+        Self {
+            scheme_id,
+            shape,
+            epoch,
+        }
+    }
+
+    /// The deterministic RNG seed for this key (a splitmix64-style mix of
+    /// all fields). Samplers driven from `StdRng::seed_from_u64(key.seed())`
+    /// produce the same plan whether or not the cache is enabled — the
+    /// bitwise cache-on/cache-off equivalence the serving tests pin.
+    pub fn seed(&self) -> u64 {
+        let shape = ((self.shape.in_features as u64) << 32) ^ self.shape.out_features as u64;
+        let mut z = self
+            .scheme_id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.epoch)
+            .wrapping_add(shape.rotate_left(17));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Hit/miss counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Fetches answered from the cache.
+    pub hits: u64,
+    /// Fetches that had to sample a fresh plan.
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of fetches answered from the cache (0 when never fetched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded-mutex memoization table from [`PlanKey`] to [`DropoutPlan`].
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Box<[Mutex<HashMap<PlanKey, DropoutPlan>>]>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache with `shards` independently locked shards (clamped
+    /// to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<HashMap<PlanKey, DropoutPlan>> {
+        let idx = self.hasher.hash_one(key) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Resolves `key` into `dest`, reusing `dest`'s buffers either way.
+    ///
+    /// On a hit the cached plan is copied into `dest` with `clone_from`
+    /// (allocation-free once `dest` has held the same plan family). On a
+    /// miss `sample` is invoked to resolve the plan into `dest` (callers
+    /// use `DropoutScheme::plan_into` seeded from [`PlanKey::seed`]) and
+    /// the result is memoized for later fetches of the same key. Returns
+    /// `true` on a hit.
+    ///
+    /// The shard lock is held across `sample`, so one worker samples each
+    /// key at most once even under concurrent fetches of the same key.
+    pub fn fetch(
+        &self,
+        key: PlanKey,
+        dest: &mut DropoutPlan,
+        sample: impl FnOnce(&mut DropoutPlan),
+    ) -> bool {
+        let mut map = self.shard(&key).lock().expect("plan-cache shard poisoned");
+        if let Some(cached) = map.get(&key) {
+            dest.clone_from(cached);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        sample(dest);
+        map.insert(key, dest.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Number of memoized plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan-cache shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` when no plan is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry whose epoch is older than `epoch`, returning how
+    /// many were evicted. Serving layers call this as the seed epoch
+    /// advances so the table stays bounded by the number of live
+    /// `(scheme, shape)` pairs instead of growing with training time.
+    pub fn evict_before(&self, epoch: u64) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("plan-cache shard poisoned");
+            let before = map.len();
+            map.retain(|key, _| key.epoch >= epoch);
+            evicted += before - map.len();
+        }
+        evicted
+    }
+
+    /// Removes every entry and resets nothing else (stats keep counting).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("plan-cache shard poisoned").clear();
+        }
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{self, DropoutScheme};
+    use crate::DropoutRate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_with(scheme: &mut dyn DropoutScheme, key: PlanKey, dest: &mut DropoutPlan) {
+        let mut rng = StdRng::seed_from_u64(key.seed());
+        scheme.plan_into(&mut rng, key.shape, dest);
+    }
+
+    #[test]
+    fn fetch_memoizes_and_counts() {
+        let cache = PlanCache::new(4);
+        let mut scheme = scheme::bernoulli(DropoutRate::new(0.5).unwrap());
+        let key = PlanKey::new(7, LayerShape::new(16, 64), 0);
+        let mut a = DropoutPlan::default();
+        let mut b = DropoutPlan::default();
+        assert!(!cache.fetch(key, &mut a, |d| sample_with(&mut *scheme, key, d)));
+        assert!(cache.fetch(key, &mut b, |d| sample_with(&mut *scheme, key, d)));
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_plan_is_bitwise_equal_to_fresh_sample() {
+        // The determinism contract: a hit returns exactly what sampling
+        // fresh from the key's seed would have produced.
+        let cache = PlanCache::new(2);
+        let mut scheme = scheme::row(DropoutRate::new(0.5).unwrap(), 8).unwrap();
+        let key = PlanKey::new(3, LayerShape::new(32, 128), 5);
+        let mut warm = DropoutPlan::default();
+        cache.fetch(key, &mut warm, |d| sample_with(&mut *scheme, key, d));
+        let mut via_cache = DropoutPlan::default();
+        assert!(cache.fetch(key, &mut via_cache, |_| panic!("must hit")));
+        let mut fresh = DropoutPlan::default();
+        sample_with(&mut *scheme.clone(), key, &mut fresh);
+        assert_eq!(via_cache, fresh);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = PlanCache::new(1);
+        let shape = LayerShape::new(8, 32);
+        let mut scheme = scheme::bernoulli(DropoutRate::new(0.5).unwrap());
+        let k0 = PlanKey::new(1, shape, 0);
+        let k1 = PlanKey::new(1, shape, 1);
+        let k2 = PlanKey::new(2, shape, 0);
+        let mut dest = DropoutPlan::default();
+        for key in [k0, k1, k2] {
+            cache.fetch(key, &mut dest, |d| sample_with(&mut *scheme, key, d));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+        assert_ne!(k0.seed(), k1.seed());
+        assert_ne!(k0.seed(), k2.seed());
+    }
+
+    #[test]
+    fn evict_before_drops_only_old_epochs() {
+        let cache = PlanCache::new(3);
+        let shape = LayerShape::new(4, 16);
+        let mut scheme = scheme::bernoulli(DropoutRate::new(0.3).unwrap());
+        let mut dest = DropoutPlan::default();
+        for epoch in 0..6 {
+            let key = PlanKey::new(0, shape, epoch);
+            cache.fetch(key, &mut dest, |d| sample_with(&mut *scheme, key, d));
+        }
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.evict_before(4), 4);
+        assert_eq!(cache.len(), 2);
+        // Epochs 4 and 5 still hit.
+        let key = PlanKey::new(0, shape, 4);
+        assert!(cache.fetch(key, &mut dest, |_| panic!("must hit")));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn hit_path_recycles_the_destination_buffers() {
+        // The zero-allocation claim: once the destination slot has held a
+        // plan of the same family, a hit must reuse its vectors in place.
+        let cache = PlanCache::new(2);
+        let mut scheme = scheme::row(DropoutRate::new(0.5).unwrap(), 8).unwrap();
+        let key = PlanKey::new(9, LayerShape::new(16, 96), 2);
+        let mut dest = DropoutPlan::default();
+        cache.fetch(key, &mut dest, |d| sample_with(&mut *scheme, key, d));
+        let ptr = dest.compact_rows().unwrap().as_ptr();
+        for _ in 0..8 {
+            assert!(cache.fetch(key, &mut dest, |_| panic!("must hit")));
+            assert_eq!(
+                dest.compact_rows().unwrap().as_ptr(),
+                ptr,
+                "hit must reuse the kept-index buffer, not reallocate"
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@
 use crate::layers::Linear;
 use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_into, CrossEntropyScratch};
 use crate::metrics::perplexity_from_nll;
+use crate::mlp::PlanSource;
 use crate::optimizer::Sgd;
 use approx_dropout::{Activation, DropoutPlan, DropoutScheme, LayerShape};
 use rand::Rng;
@@ -533,13 +534,60 @@ impl LstmLm {
     /// Panics if the batch is empty, sequences have fewer than two tokens or
     /// unequal lengths, or a token id is out of range.
     pub fn train_batch<R: Rng>(&mut self, tokens: &[Vec<usize>], rng: &mut R) -> LmBatchStats {
+        self.train_batch_inner(tokens, PlanSource::Sample(rng))
+    }
+
+    /// Like [`LstmLm::train_batch`] but with caller-resolved plans (one per
+    /// LSTM layer) instead of sampling from the per-layer schemes — the
+    /// entry point a serving layer uses after resolving plans through a
+    /// memoized `PlanCache`. `clone_from` recycles the per-layer plan
+    /// buffers, so injection allocates nothing once the slots are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans.len()` differs from [`LstmLm::layers`], plus
+    /// everything [`LstmLm::train_batch`] panics on.
+    pub fn train_batch_with_plans(
+        &mut self,
+        tokens: &[Vec<usize>],
+        plans: &[DropoutPlan],
+    ) -> LmBatchStats {
+        assert_eq!(
+            plans.len(),
+            self.cells.len(),
+            "one dropout plan per LSTM layer is required"
+        );
+        self.train_batch_inner(tokens, PlanSource::Inject(plans))
+    }
+
+    /// The [`LayerShape`] each LSTM layer presents to its dropout scheme —
+    /// the hidden-state vector, matching what [`LstmLm::train_batch`] plans
+    /// against.
+    pub fn layer_shapes(&self) -> Vec<LayerShape> {
+        vec![LayerShape::vector(self.cells[0].hidden()); self.cells.len()]
+    }
+
+    fn train_batch_inner(
+        &mut self,
+        tokens: &[Vec<usize>],
+        mut source: PlanSource<'_>,
+    ) -> LmBatchStats {
         let (seq_len, batch) = self.validate_batch(tokens);
         let hidden = self.cells[0].hidden();
 
         // Plan one dropout decision per layer for the whole iteration,
         // re-resolving the per-layer plan and multiplier buffers in place.
         for l in 0..self.dropout.len() {
-            self.dropout[l].plan_into(rng, LayerShape::vector(hidden), &mut self.plan_ws[l]);
+            match &mut source {
+                PlanSource::Sample(rng) => {
+                    self.dropout[l].plan_into(
+                        &mut **rng,
+                        LayerShape::vector(hidden),
+                        &mut self.plan_ws[l],
+                    );
+                }
+                PlanSource::Inject(plans) => self.plan_ws[l].clone_from(&plans[l]),
+            }
             self.plan_ws[l].column_multiplier_into(hidden, &mut self.mult_ws[l]);
         }
 

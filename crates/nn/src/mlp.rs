@@ -15,7 +15,7 @@ use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_into, CrossEntrop
 use crate::metrics::accuracy;
 use crate::optimizer::Sgd;
 use approx_dropout::{Activation, DropoutPlan, DropoutScheme, LayerShape};
-use rand::Rng;
+use rand::{Rng, RngCore};
 use tensor::{ops, Matrix};
 
 /// Configuration of an MLP.
@@ -49,6 +49,20 @@ impl MlpConfig {
             momentum: 0.9,
         }
     }
+}
+
+/// Where a training forward pass gets each hidden layer's [`DropoutPlan`]:
+/// sampled from the layer's own scheme (the stand-alone training loop) or
+/// injected by the caller (a serving layer resolving plans through a
+/// memoized `PlanCache`). Shared with [`crate::lstm`], whose training step
+/// offers the same two entry points.
+pub(crate) enum PlanSource<'a> {
+    /// Sample a fresh plan per layer from its scheme.
+    Sample(&'a mut dyn RngCore),
+    /// Copy the caller's pre-resolved plans (one per hidden layer) into the
+    /// per-layer plan slots; `clone_from` recycles the slot buffers, so
+    /// injection allocates nothing once the slots are warm.
+    Inject(&'a [DropoutPlan]),
 }
 
 /// Statistics of one training batch.
@@ -200,7 +214,36 @@ impl Mlp {
         labels: &[usize],
         rng: &mut R,
     ) -> TrainBatchStats {
-        let logits = self.forward_train(inputs, rng);
+        self.train_batch_inner(inputs, labels, PlanSource::Sample(rng))
+    }
+
+    /// One training step executing caller-provided dropout plans (one per
+    /// hidden layer) instead of sampling from the per-layer schemes — the
+    /// hook a serving layer uses to train replicas with plans resolved
+    /// through a memoized plan cache. Numerically identical to
+    /// [`Mlp::train_batch`] whenever `plans` holds the plans the schemes
+    /// would have sampled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans.len()` differs from the number of hidden layers or
+    /// the batch shape does not match the network input.
+    pub fn train_batch_with_plans(
+        &mut self,
+        inputs: &Matrix,
+        labels: &[usize],
+        plans: &[DropoutPlan],
+    ) -> TrainBatchStats {
+        self.train_batch_inner(inputs, labels, PlanSource::Inject(plans))
+    }
+
+    fn train_batch_inner(
+        &mut self,
+        inputs: &Matrix,
+        labels: &[usize],
+        source: PlanSource<'_>,
+    ) -> TrainBatchStats {
+        let logits = self.forward_train_inner(inputs, source);
         let mut xent = std::mem::take(&mut self.xent);
         let loss = softmax_cross_entropy_into(&logits, labels, &mut xent);
         let acc = accuracy(&logits, labels);
@@ -222,6 +265,36 @@ impl Mlp {
     /// default fused mode each hidden layer is exactly one
     /// GEMM+bias+ReLU kernel call.
     pub fn forward_train<R: Rng>(&mut self, inputs: &Matrix, rng: &mut R) -> Matrix {
+        self.forward_train_inner(inputs, PlanSource::Sample(rng))
+    }
+
+    /// Training forward pass executing caller-provided plans (one per
+    /// hidden layer); see [`Mlp::train_batch_with_plans`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans.len()` differs from the number of hidden layers.
+    pub fn forward_train_with_plans(&mut self, inputs: &Matrix, plans: &[DropoutPlan]) -> Matrix {
+        self.forward_train_inner(inputs, PlanSource::Inject(plans))
+    }
+
+    /// The [`LayerShape`] of every hidden (dropout-carrying) layer, in
+    /// order — the shapes a serving layer keys its plan cache by.
+    pub fn layer_shapes(&self) -> Vec<LayerShape> {
+        self.hidden
+            .iter()
+            .map(|b| LayerShape::new(b.linear.in_features(), b.linear.out_features()))
+            .collect()
+    }
+
+    fn forward_train_inner(&mut self, inputs: &Matrix, mut source: PlanSource<'_>) -> Matrix {
+        if let PlanSource::Inject(plans) = &source {
+            assert_eq!(
+                plans.len(),
+                self.hidden.len(),
+                "one injected plan per hidden layer is required"
+            );
+        }
         for l in 0..self.hidden.len() {
             let (prev, rest) = self.hidden.split_at_mut(l);
             let block = &mut rest[0];
@@ -230,8 +303,14 @@ impl Mlp {
             } else {
                 &prev[l - 1].activation
             };
-            let shape = LayerShape::new(block.linear.in_features(), block.linear.out_features());
-            block.dropout.plan_into(rng, shape, &mut block.plan);
+            match &mut source {
+                PlanSource::Sample(rng) => {
+                    let shape =
+                        LayerShape::new(block.linear.in_features(), block.linear.out_features());
+                    block.dropout.plan_into(&mut **rng, shape, &mut block.plan);
+                }
+                PlanSource::Inject(plans) => block.plan.clone_from(&plans[l]),
+            }
             if self.fused {
                 // One fused whole-layer kernel, written straight into the
                 // recycled activation buffer.

@@ -1,0 +1,151 @@
+//! Batching policy and the dynamic coalescing rule.
+//!
+//! The dispatch decision the paper's economics hinge on, transplanted to a
+//! serving front end: a GEMM over `B·r` coalesced rows costs far less than
+//! `B` GEMMs over `r` rows each, because per-launch overhead (kernel launch
+//! on the device model, operand packing on the CPU implementation) is paid
+//! once instead of `B` times. The dynamic batcher therefore holds a dispatch
+//! open for up to a deadline, merging queued jobs that share a
+//! [`JobSpec::batch_key`] — same model, same kind, hence the same
+//! `LayerShape`s and the same resolved plans — until the batch is full.
+//!
+//! [`coalesce`] is the *pure* form of that rule over an already-drained job
+//! trace (no clock, no queue): the deterministic engine tests and the
+//! simulated pricing path use it so batch composition is reproducible
+//! bit-for-bit; the threaded server applies the same rule online against
+//! its shard of the request queue.
+
+use crate::job::JobSpec;
+use std::time::Duration;
+
+/// When a worker dispatches the jobs it has drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Dispatch every job alone — the baseline the dynamic policy must
+    /// beat.
+    PerRequest,
+    /// Coalesce jobs sharing a batch key until the batch reaches
+    /// `max_batch_rows` or `deadline` has elapsed since the first job was
+    /// drained, whichever comes first.
+    Dynamic {
+        /// Upper bound on coalesced rows per dispatch.
+        max_batch_rows: usize,
+        /// How long a partially filled batch may wait for more jobs.
+        deadline: Duration,
+    },
+}
+
+impl BatchPolicy {
+    /// A dynamic policy with defaults sized for the bench workloads:
+    /// 256-row batches, half-millisecond deadline.
+    pub fn dynamic_default() -> Self {
+        BatchPolicy::Dynamic {
+            max_batch_rows: 256,
+            deadline: Duration::from_micros(500),
+        }
+    }
+
+    /// Stable label for bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchPolicy::PerRequest => "per_request",
+            BatchPolicy::Dynamic { .. } => "dynamic",
+        }
+    }
+}
+
+/// Groups a job trace into dispatches under `policy`, preserving
+/// submission order within every batch key.
+///
+/// Jobs with different keys interleave freely; a batch is cut when adding
+/// the next same-key job would exceed the policy's row bound. Batches are
+/// emitted in the order they were *opened*, which makes the grouping a pure
+/// function of the trace — the property the cache-on/cache-off bitwise
+/// tests and the simulated pricing rely on.
+pub fn coalesce(jobs: &[JobSpec], policy: &BatchPolicy) -> Vec<Vec<JobSpec>> {
+    let max_rows = match policy {
+        BatchPolicy::PerRequest => return jobs.iter().map(|&job| vec![job]).collect(),
+        BatchPolicy::Dynamic { max_batch_rows, .. } => (*max_batch_rows).max(1),
+    };
+    let mut out: Vec<Vec<JobSpec>> = Vec::new();
+    // Open batch per key: (key, index into `out`, rows so far).
+    let mut open: Vec<((usize, crate::job::JobKind), usize, usize)> = Vec::new();
+    for &job in jobs {
+        let key = job.batch_key();
+        match open.iter_mut().find(|(k, _, _)| *k == key) {
+            Some((_, slot, rows)) if *rows + job.rows <= max_rows => {
+                out[*slot].push(job);
+                *rows += job.rows;
+            }
+            Some((_, slot, rows)) => {
+                // Full: cut the batch and open a fresh one for this key.
+                out.push(vec![job]);
+                *slot = out.len() - 1;
+                *rows = job.rows;
+            }
+            None => {
+                out.push(vec![job]);
+                open.push((key, out.len() - 1, job.rows));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobKind, JobSpec};
+
+    fn job(model: usize, rows: usize, kind: JobKind) -> JobSpec {
+        JobSpec {
+            tenant: 0,
+            model,
+            rows,
+            seed: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn per_request_never_merges() {
+        let jobs = vec![job(0, 4, JobKind::Train); 3];
+        let batches = coalesce(&jobs, &BatchPolicy::PerRequest);
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn dynamic_merges_same_key_up_to_the_row_bound() {
+        let jobs = vec![job(0, 4, JobKind::Train); 5];
+        let policy = BatchPolicy::Dynamic {
+            max_batch_rows: 8,
+            deadline: Duration::ZERO,
+        };
+        let batches = coalesce(&jobs, &policy);
+        // 5 × 4 rows under an 8-row cap → 2 + 2 + 1 jobs.
+        assert_eq!(
+            batches.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+    }
+
+    #[test]
+    fn different_models_and_kinds_never_share_a_batch() {
+        let jobs = vec![
+            job(0, 2, JobKind::Train),
+            job(1, 2, JobKind::Train),
+            job(0, 2, JobKind::Infer),
+            job(0, 2, JobKind::Train),
+        ];
+        let policy = BatchPolicy::dynamic_default();
+        let batches = coalesce(&jobs, &policy);
+        assert_eq!(batches.len(), 3);
+        for batch in &batches {
+            let key = batch[0].batch_key();
+            assert!(batch.iter().all(|j| j.batch_key() == key));
+        }
+        // The two same-key train jobs merged despite the interleaving.
+        assert_eq!(batches[0].len(), 2);
+    }
+}

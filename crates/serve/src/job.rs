@@ -1,0 +1,49 @@
+//! Job descriptions tenants submit to the serving layer.
+
+/// What a job asks of its model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// One SGD step on the job's request rows (with dropout active).
+    Train,
+    /// A dense forward pass over the job's request rows (dropout off).
+    Infer,
+}
+
+impl JobKind {
+    /// Stable lowercase label (bench output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Train => "train",
+            JobKind::Infer => "infer",
+        }
+    }
+}
+
+/// One tenant request: `rows` samples for `model`, generated
+/// deterministically from `seed` by the worker that executes the job.
+///
+/// Jobs carry a seed instead of payload bytes so a load generator can
+/// replay the exact same workload against different batching policies and
+/// compare like with like — the serving analogue of the repo's
+/// planned-seed benchmarking discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// Submitting tenant (fairness lane in the request queue).
+    pub tenant: u64,
+    /// Catalog index of the target model.
+    pub model: usize,
+    /// Request rows: input samples for an MLP, token sequences for an LSTM.
+    pub rows: usize,
+    /// Seed the worker expands into the job's actual inputs.
+    pub seed: u64,
+    /// Train or infer.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// The coalescing key: jobs may share a dispatch only when they target
+    /// the same model with the same kind (same layer shapes, same pass).
+    pub fn batch_key(&self) -> (usize, JobKind) {
+        (self.model, self.kind)
+    }
+}

@@ -1,0 +1,55 @@
+//! Training-as-a-service front end for the Approximate Random Dropout
+//! reproduction.
+//!
+//! The paper amortizes dropout overhead so training runs at hardware
+//! speed; this crate is the subsystem that turns the repo's
+//! plan–execute–price pipeline into a multi-tenant service under heavy
+//! traffic. The request path is
+//!
+//! ```text
+//!  tenants ──▶ ShardedQueue ──▶ dynamic batcher ──▶ PlanCache ──▶ worker shards
+//!             (per-tenant       (coalesce same-     (memoized      (Mlp / LstmLm
+//!              fairness)         shape jobs up       DropoutPlans)  replicas on the
+//!                                to a deadline)                     tensor pool)
+//! ```
+//!
+//! * [`ShardedQueue`] — one mutex shard per worker, per-tenant lanes popped
+//!   round-robin so no tenant's backlog starves another.
+//! * [`BatchPolicy`] / [`coalesce`] — per-request dispatch (the baseline)
+//!   or dynamic batching: jobs sharing a [`JobSpec::batch_key`] (same
+//!   model, same kind, hence the same `LayerShape`s) merge until a row
+//!   bound or deadline.
+//! * [`PlanCache`] (from `approx_dropout`) — dropout plans are pure
+//!   functions of `(scheme, LayerShape, seed epoch)`, so one worker's
+//!   sample is every other dispatch's allocation-free `clone_from`. The
+//!   cache can be switched off without changing a single bit of any result
+//!   — see the determinism contract in [`engine`].
+//! * [`ShardEngine`] / [`Server`] — single-threaded execution cores, one
+//!   per worker thread, running [`nn::Mlp`] / [`nn::lstm::LstmLm`] replicas
+//!   whose GEMMs ride the shared `tensor::pool`.
+//! * [`simulated_policy_speedup`] — prices a batching decision on the
+//!   `gpu-sim` device model (`price_fc_schedule` under the hood), so
+//!   policy is tunable against simulated device time as well as measured
+//!   CPU wall clock.
+//!
+//! The `bench_serve` binary in `crates/bench` drives this crate with a
+//! closed-loop multi-tenant load generator and gates dynamic batching's
+//! throughput win over per-request dispatch in CI.
+
+pub mod batcher;
+pub mod engine;
+pub mod job;
+pub mod model;
+pub mod queue;
+pub mod server;
+
+pub use approx_dropout::{PlanCache, PlanCacheStats, PlanKey};
+pub use batcher::{coalesce, BatchPolicy};
+pub use engine::{
+    materialize, resolve_spec_plans, scheme_id, simulated_iteration_us, simulated_policy_speedup,
+    BatchInputs, BatchOutcome, Replica, ShardEngine,
+};
+pub use job::{JobKind, JobSpec};
+pub use model::{ModelSpec, NetworkKind, SchemeKind};
+pub use queue::ShardedQueue;
+pub use server::{Client, JobResult, ServeConfig, ServeReport, Server};

@@ -1,0 +1,348 @@
+//! Model catalog: what each served model looks like and how to build it.
+//!
+//! A [`ModelSpec`] is everything a worker shard needs to instantiate a
+//! replica — the network family and dimensions ([`NetworkKind`]) plus the
+//! dropout scheme every droppable layer runs ([`SchemeKind`]) — and
+//! everything the pricing path needs to build the matching
+//! [`gpu_sim::NetworkTimingModel`]. Specs are plain data (no boxed trait
+//! objects) so a catalog can be cloned into every worker thread and
+//! compared in tests.
+
+use approx_dropout::{scheme, DropoutRate, DropoutScheme, LayerShape};
+use gpu_sim::{GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel};
+use nn::lstm::LstmLmConfig;
+use nn::MlpConfig;
+
+/// Dropout scheme configuration of a served model, as plain data.
+///
+/// `build` materializes the boxed [`DropoutScheme`]; the variants mirror
+/// the constructors of [`approx_dropout::scheme`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeKind {
+    /// No dropout (dense execution).
+    None,
+    /// Conventional per-unit Bernoulli dropout (the paper's baseline).
+    Bernoulli {
+        /// Dropout rate in `(0, 1)`.
+        rate: f64,
+    },
+    /// Row-based Dropout Pattern via Algorithm 1.
+    Row {
+        /// Target global dropout rate.
+        rate: f64,
+        /// Maximum pattern period explored by the search.
+        max_dp: usize,
+    },
+    /// Tile-based Dropout Pattern via Algorithm 1.
+    Tile {
+        /// Target global dropout rate.
+        rate: f64,
+        /// Maximum pattern period explored by the search.
+        max_dp: usize,
+        /// Tile edge length (32 in the paper).
+        tile: usize,
+    },
+    /// N:M structured sparsity (keep `n` of every `m` output lanes).
+    Nm {
+        /// Kept lanes per group.
+        n: usize,
+        /// Group width.
+        m: usize,
+    },
+    /// Block-structured unit dropout.
+    BlockUnit {
+        /// Per-block drop probability.
+        rate: f64,
+        /// Contiguous block width.
+        block: usize,
+    },
+}
+
+impl SchemeKind {
+    /// Materializes the boxed scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (rate outside `(0, 1)`,
+    /// degenerate `n:m`, …) — catalog entries are static configuration, so
+    /// an invalid one is a programming error, not a runtime condition.
+    pub fn build(&self) -> Box<dyn DropoutScheme> {
+        let rate = |r: f64| DropoutRate::new(r).expect("catalog dropout rate must be in (0, 1)");
+        match *self {
+            SchemeKind::None => scheme::none(),
+            SchemeKind::Bernoulli { rate: r } => scheme::bernoulli(rate(r)),
+            SchemeKind::Row { rate: r, max_dp } => {
+                scheme::row(rate(r), max_dp).expect("row scheme configuration must be valid")
+            }
+            SchemeKind::Tile {
+                rate: r,
+                max_dp,
+                tile,
+            } => scheme::tile(rate(r), max_dp, tile)
+                .expect("tile scheme configuration must be valid"),
+            SchemeKind::Nm { n, m } => {
+                scheme::nm(n, m).expect("n:m scheme configuration must be valid")
+            }
+            SchemeKind::BlockUnit { rate: r, block } => scheme::block_unit(rate(r), block)
+                .expect("block scheme configuration must be valid"),
+        }
+    }
+}
+
+/// Network family and dimensions of a served model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Fully connected classifier ([`nn::Mlp`]); a request row is one
+    /// input sample.
+    Mlp {
+        /// Input dimensionality.
+        input_dim: usize,
+        /// Hidden-layer widths.
+        hidden: Vec<usize>,
+        /// Output classes.
+        classes: usize,
+    },
+    /// LSTM language model ([`nn::lstm::LstmLm`]); a request row is one
+    /// token sequence of `seq_len + 1` ids.
+    Lstm {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Hidden width of every layer (also the embedding width).
+        hidden: usize,
+        /// Stacked LSTM layers.
+        layers: usize,
+        /// Unrolled sequence length (inputs; targets shift by one).
+        seq_len: usize,
+    },
+}
+
+/// One entry of the serving catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Human-readable name (appears in bench output).
+    pub name: String,
+    /// Network family and dimensions.
+    pub network: NetworkKind,
+    /// Dropout scheme applied to every droppable layer.
+    pub scheme: SchemeKind,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+}
+
+impl ModelSpec {
+    /// An MLP entry with the paper's SGD hyper-parameters.
+    pub fn mlp(
+        name: impl Into<String>,
+        input_dim: usize,
+        hidden: Vec<usize>,
+        classes: usize,
+        scheme: SchemeKind,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            network: NetworkKind::Mlp {
+                input_dim,
+                hidden,
+                classes,
+            },
+            scheme,
+            learning_rate: 0.01,
+            momentum: 0.9,
+        }
+    }
+
+    /// An LSTM language-model entry with the paper's SGD hyper-parameters.
+    pub fn lstm(
+        name: impl Into<String>,
+        vocab: usize,
+        hidden: usize,
+        layers: usize,
+        seq_len: usize,
+        scheme: SchemeKind,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            network: NetworkKind::Lstm {
+                vocab,
+                hidden,
+                layers,
+                seq_len,
+            },
+            scheme,
+            learning_rate: 0.01,
+            momentum: 0.9,
+        }
+    }
+
+    /// Number of droppable layers (one plan per such layer).
+    pub fn dropout_layers(&self) -> usize {
+        match &self.network {
+            NetworkKind::Mlp { hidden, .. } => hidden.len(),
+            NetworkKind::Lstm { layers, .. } => *layers,
+        }
+    }
+
+    /// The [`LayerShape`] each droppable layer plans against — identical to
+    /// what the instantiated replica reports, so plan keys built from the
+    /// spec resolve the exact plans the replica executes.
+    pub fn layer_shapes(&self) -> Vec<LayerShape> {
+        match &self.network {
+            NetworkKind::Mlp {
+                input_dim, hidden, ..
+            } => {
+                let mut shapes = Vec::with_capacity(hidden.len());
+                let mut in_dim = *input_dim;
+                for &width in hidden {
+                    shapes.push(LayerShape::new(in_dim, width));
+                    in_dim = width;
+                }
+                shapes
+            }
+            NetworkKind::Lstm { hidden, layers, .. } => {
+                vec![LayerShape::vector(*hidden); *layers]
+            }
+        }
+    }
+
+    /// The [`nn::MlpConfig`] this spec instantiates (MLP entries only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an LSTM spec.
+    pub fn mlp_config(&self) -> MlpConfig {
+        match &self.network {
+            NetworkKind::Mlp {
+                input_dim,
+                hidden,
+                classes,
+            } => MlpConfig {
+                input_dim: *input_dim,
+                hidden: hidden.clone(),
+                output_dim: *classes,
+                dropout: self.scheme.build(),
+                learning_rate: self.learning_rate,
+                momentum: self.momentum,
+            },
+            NetworkKind::Lstm { .. } => panic!("{}: not an MLP spec", self.name),
+        }
+    }
+
+    /// The [`nn::lstm::LstmLmConfig`] this spec instantiates (LSTM entries
+    /// only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an MLP spec.
+    pub fn lstm_config(&self) -> LstmLmConfig {
+        match &self.network {
+            NetworkKind::Lstm {
+                vocab,
+                hidden,
+                layers,
+                ..
+            } => LstmLmConfig {
+                vocab: *vocab,
+                embed_dim: *hidden,
+                hidden: *hidden,
+                layers: *layers,
+                dropout: self.scheme.build(),
+                learning_rate: self.learning_rate,
+                momentum: self.momentum,
+                grad_clip: 5.0,
+            },
+            NetworkKind::Mlp { .. } => panic!("{}: not an LSTM spec", self.name),
+        }
+    }
+
+    /// The [`NetworkTimingModel`] that prices one training iteration of
+    /// this model at `batch_rows` coalesced request rows on `gpu` — the
+    /// bridge between a batching decision and simulated device time.
+    pub fn timing_model(&self, gpu: GpuConfig, batch_rows: usize) -> NetworkTimingModel {
+        match &self.network {
+            NetworkKind::Mlp {
+                input_dim,
+                hidden,
+                classes,
+            } => NetworkTimingModel::mlp(
+                gpu,
+                MlpSpec {
+                    batch: batch_rows,
+                    input_dim: *input_dim,
+                    hidden: hidden.clone(),
+                    output_dim: *classes,
+                },
+            ),
+            NetworkKind::Lstm {
+                vocab,
+                hidden,
+                layers,
+                seq_len,
+            } => NetworkTimingModel::lstm(
+                gpu,
+                LstmSpec {
+                    batch: batch_rows,
+                    input_dim: *hidden,
+                    hidden: *hidden,
+                    layers: *layers,
+                    seq_len: *seq_len,
+                    vocab: *vocab,
+                },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_layer_shapes_chain_dimensions() {
+        let spec = ModelSpec::mlp("m", 64, vec![128, 96], 10, SchemeKind::None);
+        assert_eq!(
+            spec.layer_shapes(),
+            vec![LayerShape::new(64, 128), LayerShape::new(128, 96)]
+        );
+        assert_eq!(spec.dropout_layers(), 2);
+    }
+
+    #[test]
+    fn lstm_layer_shapes_are_hidden_vectors() {
+        let spec = ModelSpec::lstm("l", 200, 48, 2, 6, SchemeKind::Bernoulli { rate: 0.25 });
+        assert_eq!(spec.layer_shapes(), vec![LayerShape::vector(48); 2]);
+    }
+
+    #[test]
+    fn every_scheme_kind_builds() {
+        for kind in [
+            SchemeKind::None,
+            SchemeKind::Bernoulli { rate: 0.5 },
+            SchemeKind::Row {
+                rate: 0.5,
+                max_dp: 8,
+            },
+            SchemeKind::Tile {
+                rate: 0.5,
+                max_dp: 8,
+                tile: 32,
+            },
+            SchemeKind::Nm { n: 2, m: 4 },
+            SchemeKind::BlockUnit {
+                rate: 0.5,
+                block: 16,
+            },
+        ] {
+            let _ = kind.build();
+        }
+    }
+
+    #[test]
+    fn timing_model_matches_dropout_layers() {
+        let spec = ModelSpec::mlp("m", 64, vec![128, 96], 10, SchemeKind::None);
+        let model = spec.timing_model(GpuConfig::gtx_1080ti(), 32);
+        assert_eq!(model.dropout_layers(), spec.dropout_layers());
+        assert_eq!(model.layer_shapes(), spec.layer_shapes());
+    }
+}

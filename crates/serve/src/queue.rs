@@ -1,0 +1,167 @@
+//! Sharded request queue with per-tenant fairness.
+//!
+//! The front door of the serving layer: producers (tenant clients) push
+//! into a shard chosen by the *model* a job targets, so each worker shard
+//! drains a disjoint slice of the traffic and never contends with the
+//! others for a lock. Within one shard, jobs are kept in per-tenant
+//! **lanes** and popped round-robin across lanes — a tenant that floods the
+//! queue with thousands of requests cannot starve a tenant that submits
+//! one, which is the fairness property a multi-tenant front end owes its
+//! small customers.
+//!
+//! The queue is deliberately simple: one mutex per shard, `VecDeque` lanes,
+//! and an atomic length for cheap emptiness checks. Under the serving
+//! layer's shard-per-worker discipline a lock is only ever contended
+//! between the producers targeting that shard and its single consumer.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One tenant's FIFO lane within a shard.
+#[derive(Debug)]
+struct Lane<T> {
+    tenant: u64,
+    items: VecDeque<T>,
+}
+
+/// One independently locked shard: per-tenant lanes plus the round-robin
+/// cursor [`ShardedQueue::pop_fair`] resumes from.
+#[derive(Debug)]
+struct Shard<T> {
+    lanes: Vec<Lane<T>>,
+    cursor: usize,
+}
+
+impl<T> Shard<T> {
+    fn new() -> Self {
+        Self {
+            lanes: Vec::new(),
+            cursor: 0,
+        }
+    }
+}
+
+/// A sharded multi-producer queue whose pops rotate fairly across tenants.
+#[derive(Debug)]
+pub struct ShardedQueue<T> {
+    shards: Box<[Mutex<Shard<T>>]>,
+    len: AtomicUsize,
+}
+
+impl<T> ShardedQueue<T> {
+    /// Creates a queue with `shards` independently locked shards (clamped
+    /// to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pushes `item` onto `tenant`'s lane of `shard` (modulo the shard
+    /// count, so callers can pass a raw model id).
+    pub fn push(&self, shard: usize, tenant: u64, item: T) {
+        let mut guard = self.shards[shard % self.shards.len()]
+            .lock()
+            .expect("queue shard poisoned");
+        match guard.lanes.iter_mut().find(|lane| lane.tenant == tenant) {
+            Some(lane) => lane.items.push_back(item),
+            None => guard.lanes.push(Lane {
+                tenant,
+                items: VecDeque::from([item]),
+            }),
+        }
+        self.len.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Pops the next item of `shard`, rotating round-robin across tenant
+    /// lanes so no tenant's backlog can starve another's. Returns `None`
+    /// when the shard is empty.
+    pub fn pop_fair(&self, shard: usize) -> Option<T> {
+        let mut guard = self.shards[shard % self.shards.len()]
+            .lock()
+            .expect("queue shard poisoned");
+        let lanes = guard.lanes.len();
+        for step in 0..lanes {
+            let idx = (guard.cursor + step) % lanes;
+            if let Some(item) = guard.lanes[idx].items.pop_front() {
+                // Resume *after* the lane we just served.
+                guard.cursor = (idx + 1) % lanes;
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Total queued items across all shards (approximate under concurrency,
+    /// exact once producers have stopped).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    /// `true` when no item is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_round_trips_per_shard() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(2);
+        q.push(0, 1, 10);
+        q.push(1, 1, 20);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_fair(0), Some(10));
+        assert_eq!(q.pop_fair(0), None);
+        assert_eq!(q.pop_fair(1), Some(20));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_fair_round_robins_across_tenants() {
+        // Tenant 1 floods the shard; tenant 2 submits three jobs. Fair
+        // popping must interleave them, so tenant 2 finishes within the
+        // first six pops instead of waiting behind the flood.
+        let q: ShardedQueue<(u64, u32)> = ShardedQueue::new(1);
+        for i in 0..100 {
+            q.push(0, 1, (1, i));
+        }
+        for i in 0..3 {
+            q.push(0, 2, (2, i));
+        }
+        let order: Vec<u64> = (0..6).map(|_| q.pop_fair(0).unwrap().0).collect();
+        assert_eq!(order, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn fifo_within_one_tenant() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(1);
+        for i in 0..5 {
+            q.push(0, 7, i);
+        }
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop_fair(0)).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shard_index_wraps() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(3);
+        q.push(5, 0, 42); // 5 % 3 == 2
+        assert_eq!(q.pop_fair(2), Some(42));
+    }
+}

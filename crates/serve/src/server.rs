@@ -1,0 +1,430 @@
+//! The threaded serving front end: queue → batcher → plan cache → workers.
+//!
+//! [`Server::start`] spawns one OS thread per **worker shard**. Each worker
+//! owns the replicas of the catalog models assigned to it (`model %
+//! workers`), drains its shard of the [`ShardedQueue`] with per-tenant
+//! fairness, coalesces jobs under the configured [`BatchPolicy`], and
+//! executes them through its [`ShardEngine`] — resolving dropout plans
+//! through the shared [`PlanCache`] when caching is enabled. The GEMMs
+//! inside every dispatch are executed by the shared `tensor::pool` worker
+//! threads, so the serving layer's parallelism rides on the same pool the
+//! rest of the reproduction uses (and the default worker-shard count
+//! follows the pool width).
+//!
+//! Tenants interact through [`Client`]: `submit` enqueues a [`JobSpec`]
+//! and returns a receiver that yields the [`JobResult`] when the dispatch
+//! completes — measured end to end, so reported latency includes queueing,
+//! any dynamic-batching deadline wait, and compute.
+
+use crate::batcher::BatchPolicy;
+use crate::engine::ShardEngine;
+use crate::job::JobSpec;
+use crate::model::ModelSpec;
+use crate::queue::ShardedQueue;
+use approx_dropout::{PlanCache, PlanCacheStats};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long an idle worker sleeps between queue polls.
+const IDLE_POLL: Duration = Duration::from_micros(50);
+
+/// How long a worker holding a partially filled dynamic batch sleeps
+/// between queue polls while its deadline runs.
+const DEADLINE_POLL: Duration = Duration::from_micros(20);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards (threads). `0` means "follow the tensor pool width".
+    pub workers: usize,
+    /// Batching policy every worker applies.
+    pub policy: BatchPolicy,
+    /// Resolve dropout plans through a shared memoized [`PlanCache`].
+    pub plan_cache: bool,
+    /// Lock shards of the plan cache.
+    pub plan_cache_shards: usize,
+    /// Train dispatches of one model that share a seed epoch.
+    pub epoch_rounds: u64,
+    /// Seed replica weight initialization derives from.
+    pub init_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            policy: BatchPolicy::dynamic_default(),
+            plan_cache: true,
+            plan_cache_shards: 16,
+            epoch_rounds: 8,
+            init_seed: 42,
+        }
+    }
+}
+
+/// What a tenant gets back for one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobResult {
+    /// Batch loss of the dispatch the job rode in.
+    pub value: f32,
+    /// Total rows of that dispatch (1 job's rows under per-request
+    /// dispatch, more under dynamic batching).
+    pub batch_rows: usize,
+    /// Seed epoch the dispatch resolved plans for.
+    pub epoch: u64,
+    /// Submit-to-completion latency (queueing + batching wait + compute).
+    pub latency: Duration,
+}
+
+/// A queued job: the spec plus everything needed to answer it.
+#[derive(Debug)]
+struct Job {
+    spec: JobSpec,
+    enqueued: Instant,
+    reply: Sender<JobResult>,
+}
+
+/// Per-worker execution counters, aggregated into the [`ServeReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WorkerStats {
+    batches: u64,
+    jobs: u64,
+    rows: u64,
+}
+
+/// What a drained [`Server`] reports after shutdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeReport {
+    /// Dispatches executed across all workers.
+    pub batches: u64,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Request rows processed.
+    pub rows: u64,
+    /// Plan-cache counters (`None` when caching was disabled).
+    pub plan_cache: Option<PlanCacheStats>,
+}
+
+impl ServeReport {
+    /// Mean coalesced rows per dispatch — 1-job batches under per-request
+    /// dispatch push this toward the mean request size, dynamic batching
+    /// pushes it up.
+    pub fn mean_batch_rows(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Handle tenants submit through (cheaply cloneable).
+#[derive(Debug, Clone)]
+pub struct Client {
+    queue: Arc<ShardedQueue<Job>>,
+}
+
+impl Client {
+    /// Enqueues `spec` on its model's worker shard and returns the receiver
+    /// the [`JobResult`] arrives on.
+    pub fn submit(&self, spec: JobSpec) -> Receiver<JobResult> {
+        let (reply, result) = channel();
+        self.queue.push(
+            spec.model,
+            spec.tenant,
+            Job {
+                spec,
+                enqueued: Instant::now(),
+                reply,
+            },
+        );
+        result
+    }
+}
+
+/// The running serving layer.
+#[derive(Debug)]
+pub struct Server {
+    queue: Arc<ShardedQueue<Job>>,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    cache: Option<Arc<PlanCache>>,
+}
+
+impl Server {
+    /// Spawns the worker shards for `catalog` and returns the running
+    /// server. Model `m` is owned by worker `m % workers`; each worker
+    /// builds its replicas inside its own thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catalog` is empty.
+    pub fn start(config: ServeConfig, catalog: Vec<ModelSpec>) -> Self {
+        assert!(!catalog.is_empty(), "a server needs at least one model");
+        let workers = if config.workers == 0 {
+            tensor::pool::threads().max(1)
+        } else {
+            config.workers
+        };
+        let queue = Arc::new(ShardedQueue::new(workers));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let cache = config
+            .plan_cache
+            .then(|| Arc::new(PlanCache::new(config.plan_cache_shards)));
+        let handles = (0..workers)
+            .map(|shard| {
+                let queue = Arc::clone(&queue);
+                let shutdown = Arc::clone(&shutdown);
+                let cache = cache.clone();
+                let catalog = catalog.clone();
+                let config = config.clone();
+                thread::Builder::new()
+                    .name(format!("serve-worker-{shard}"))
+                    .spawn(move || {
+                        let engine = ShardEngine::new(
+                            &catalog,
+                            |model| model % workers == shard,
+                            cache,
+                            config.epoch_rounds,
+                            config.init_seed,
+                        );
+                        Worker {
+                            shard,
+                            queue,
+                            shutdown,
+                            policy: config.policy,
+                            engine,
+                            pending: VecDeque::new(),
+                            stats: WorkerStats::default(),
+                        }
+                        .run()
+                    })
+                    .expect("spawning a serve worker thread failed")
+            })
+            .collect();
+        Self {
+            queue,
+            shutdown,
+            workers: handles,
+            cache,
+        }
+    }
+
+    /// A submission handle.
+    pub fn client(&self) -> Client {
+        Client {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Jobs currently queued (approximate while producers are active).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Signals shutdown, drains the queue, joins every worker and returns
+    /// the aggregate report.
+    pub fn shutdown(self) -> ServeReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut report = ServeReport {
+            batches: 0,
+            jobs: 0,
+            rows: 0,
+            plan_cache: self.cache.as_ref().map(|c| c.stats()),
+        };
+        for handle in self.workers {
+            let stats = handle.join().expect("a serve worker panicked");
+            report.batches += stats.batches;
+            report.jobs += stats.jobs;
+            report.rows += stats.rows;
+        }
+        // Counters may have advanced while workers drained; re-read.
+        report.plan_cache = self.cache.as_ref().map(|c| c.stats());
+        report
+    }
+}
+
+/// One worker shard's thread state.
+struct Worker {
+    shard: usize,
+    queue: Arc<ShardedQueue<Job>>,
+    shutdown: Arc<AtomicBool>,
+    policy: BatchPolicy,
+    engine: ShardEngine,
+    /// Jobs drained while filling a batch they did not match; served with
+    /// priority by the next dispatch so draining never reorders a tenant's
+    /// lane unboundedly.
+    pending: VecDeque<Job>,
+    stats: WorkerStats,
+}
+
+impl Worker {
+    fn run(mut self) -> WorkerStats {
+        loop {
+            match self.next_batch() {
+                Some(batch) => self.dispatch(batch),
+                None => {
+                    if self.shutdown.load(Ordering::SeqCst)
+                        && self.pending.is_empty()
+                        && self.queue.is_empty()
+                    {
+                        return self.stats;
+                    }
+                    thread::sleep(IDLE_POLL);
+                }
+            }
+        }
+    }
+
+    /// Drains the next dispatch under the batching policy: the stash first,
+    /// then the shard queue, holding a dynamic batch open until it is full
+    /// or the deadline has elapsed.
+    fn next_batch(&mut self) -> Option<Vec<Job>> {
+        let first = self
+            .pending
+            .pop_front()
+            .or_else(|| self.queue.pop_fair(self.shard))?;
+        let (max_rows, deadline) = match self.policy {
+            BatchPolicy::PerRequest => return Some(vec![first]),
+            BatchPolicy::Dynamic {
+                max_batch_rows,
+                deadline,
+            } => (max_batch_rows.max(1), deadline),
+        };
+        let key = first.spec.batch_key();
+        let mut rows = first.spec.rows;
+        let mut batch = vec![first];
+        // Matching jobs stashed by earlier fills join immediately.
+        let mut i = 0;
+        while i < self.pending.len() && rows < max_rows {
+            if self.pending[i].spec.batch_key() == key
+                && rows + self.pending[i].spec.rows <= max_rows
+            {
+                let job = self.pending.remove(i).expect("index checked above");
+                rows += job.spec.rows;
+                batch.push(job);
+            } else {
+                i += 1;
+            }
+        }
+        let cutoff = Instant::now() + deadline;
+        while rows < max_rows && Instant::now() < cutoff {
+            match self.queue.pop_fair(self.shard) {
+                Some(job) if job.spec.batch_key() == key && rows + job.spec.rows <= max_rows => {
+                    rows += job.spec.rows;
+                    batch.push(job);
+                }
+                Some(job) => self.pending.push_back(job),
+                None => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break; // No more traffic is coming; dispatch now.
+                    }
+                    thread::sleep(DEADLINE_POLL);
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    fn dispatch(&mut self, batch: Vec<Job>) {
+        let specs: Vec<JobSpec> = batch.iter().map(|job| job.spec).collect();
+        let outcome = self.engine.execute(&specs);
+        let completed = Instant::now();
+        self.stats.batches += 1;
+        self.stats.jobs += batch.len() as u64;
+        self.stats.rows += outcome.rows as u64;
+        for job in batch {
+            // A tenant that dropped its receiver just stops listening; the
+            // dispatch already happened, so ignore the send error.
+            let _ = job.reply.send(JobResult {
+                value: outcome.value,
+                batch_rows: outcome.rows,
+                epoch: outcome.epoch,
+                latency: completed.duration_since(job.enqueued),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+    use crate::model::SchemeKind;
+
+    fn tiny_catalog() -> Vec<ModelSpec> {
+        vec![ModelSpec::mlp(
+            "tiny",
+            8,
+            vec![16],
+            4,
+            SchemeKind::Row {
+                rate: 0.5,
+                max_dp: 4,
+            },
+        )]
+    }
+
+    #[test]
+    fn jobs_round_trip_through_the_server() {
+        let config = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, tiny_catalog());
+        let client = server.client();
+        let receivers: Vec<_> = (0..6)
+            .map(|i| {
+                client.submit(JobSpec {
+                    tenant: i % 2,
+                    model: 0,
+                    rows: 2,
+                    seed: i,
+                    kind: JobKind::Train,
+                })
+            })
+            .collect();
+        for rx in receivers {
+            let result = rx.recv().expect("job must complete");
+            assert!(result.value.is_finite());
+            assert!(result.batch_rows >= 2);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.jobs, 6);
+        assert_eq!(report.rows, 12);
+        let cache = report.plan_cache.expect("cache enabled by default");
+        assert!(cache.hits + cache.misses > 0);
+    }
+
+    #[test]
+    fn per_request_policy_never_coalesces() {
+        let config = ServeConfig {
+            workers: 1,
+            policy: BatchPolicy::PerRequest,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, tiny_catalog());
+        let client = server.client();
+        let receivers: Vec<_> = (0..4)
+            .map(|i| {
+                client.submit(JobSpec {
+                    tenant: 0,
+                    model: 0,
+                    rows: 3,
+                    seed: i,
+                    kind: JobKind::Train,
+                })
+            })
+            .collect();
+        for rx in receivers {
+            assert_eq!(rx.recv().expect("job must complete").batch_rows, 3);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.batches, 4);
+        assert!((report.mean_batch_rows() - 3.0).abs() < 1e-9);
+    }
+}

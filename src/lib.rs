@@ -10,9 +10,12 @@
 //! * [`nn`] — MLP/LSTM training substrate (the stand-in for Caffe).
 //! * [`gpu_sim`] — SIMT GPU timing model (the stand-in for the GTX 1080Ti).
 //! * [`data`] — synthetic MNIST-like and PTB-like datasets.
+//! * [`serve`] — training-as-a-service front end: sharded fair queue,
+//!   dynamic batching, memoized `DropoutPlan` cache, worker shards.
 
 pub use approx_dropout;
 pub use data;
 pub use gpu_sim;
 pub use nn;
+pub use serve;
 pub use tensor;

@@ -4,7 +4,8 @@
 //! workspaces are numerically inert.
 
 use approx_dropout::{
-    scheme, DropoutPlan, DropoutRate, DropoutScheme, LayerShape, RowPattern, TilePattern,
+    scheme, DropoutPlan, DropoutRate, DropoutScheme, LayerShape, PlanCache, PlanKey, RowPattern,
+    TilePattern,
 };
 use nn::{Linear, Mlp, MlpConfig};
 use rand::rngs::StdRng;
@@ -193,6 +194,57 @@ fn plan_into_recycles_kept_index_and_mask_buffers() {
     dst.clone_from(&src);
     assert_eq!(ptr, dst.as_slice().as_ptr());
     assert_eq!(dst, src);
+}
+
+/// The serving-layer plan cache rides the same recycling contract: once a
+/// destination buffer is warmed to a key's plan family, repeated cache
+/// hits `clone_from` into it without moving the allocation. This is the
+/// "cache hits allocate nothing" half of the serve acceptance criteria;
+/// bitwise fidelity is covered in `tests/serve_plan_cache.rs`.
+#[test]
+fn plan_cache_hits_recycle_destination_buffers() {
+    let cache = PlanCache::new(2);
+    let shape = LayerShape::vector(120);
+
+    // Fixed-dp row plan: the kept count is constant, so the kept-index
+    // pointer must be stable from the first hit on.
+    let mut row = RowPattern::new(3, 0).unwrap();
+    let key = PlanKey::new(1, shape, 0);
+    let mut dest = DropoutPlan::default();
+    let sample = |scheme: &mut dyn DropoutScheme, key: PlanKey, out: &mut DropoutPlan| {
+        let mut rng = StdRng::seed_from_u64(key.seed());
+        scheme.plan_into(&mut rng, key.shape, out);
+    };
+    assert!(!cache.fetch(key, &mut dest, |out| sample(&mut row, key, out)));
+    assert!(cache.fetch(key, &mut dest, |out| sample(&mut row, key, out)));
+    let kept_ptr = dest.compact_rows().unwrap().as_ptr();
+    for _ in 0..5 {
+        assert!(cache.fetch(key, &mut dest, |out| sample(&mut row, key, out)));
+        assert_eq!(
+            kept_ptr,
+            dest.compact_rows().unwrap().as_ptr(),
+            "cache hit must reuse the kept-index buffer, not reallocate"
+        );
+    }
+
+    // Bernoulli mask: length equals out_features for every epoch of the
+    // same shape, so hits across epochs keep the mask allocation too.
+    let mut bern = scheme::bernoulli(DropoutRate::new(0.4).unwrap());
+    let mut dest = DropoutPlan::default();
+    for epoch in 0..4 {
+        let key = PlanKey::new(2, shape, epoch);
+        assert!(!cache.fetch(key, &mut dest, |out| sample(bern.as_mut(), key, out)));
+    }
+    let mask_ptr = dest.bernoulli_mask().unwrap().as_ptr();
+    for epoch in 0..4 {
+        let key = PlanKey::new(2, shape, epoch);
+        assert!(cache.fetch(key, &mut dest, |out| sample(bern.as_mut(), key, out)));
+        assert_eq!(
+            mask_ptr,
+            dest.bernoulli_mask().unwrap().as_ptr(),
+            "cross-epoch cache hits must reuse the mask buffer"
+        );
+    }
 }
 
 /// The scratch-workspace refactor must be numerically inert: a layer whose
