@@ -238,6 +238,9 @@ pub struct BaselineReport {
     pub checked: usize,
     /// Human-readable regression descriptions (empty ⇒ the gate passes).
     pub failures: Vec<String>,
+    /// Ratio leaves deliberately not compared, with the reason (currently
+    /// only `simd.*` ratios across an ISA change).
+    pub skipped: Vec<String>,
 }
 
 impl BaselineReport {
@@ -285,8 +288,25 @@ pub fn compare_ratios(
             new.strings.get("mode")
         ));
     }
+    // SIMD-vs-scalar ratios only transfer between machines with the same
+    // detected ISA: a baseline recorded on an AVX-512 box against a fresh
+    // run on an AVX2 (or NEON) runner would gate apples against oranges, so
+    // those leaves are skipped — with a note, never silently — when the
+    // recorded `simd.isa` strings differ. Every other ratio still gates.
+    let isa_skip = match (base.strings.get("simd.isa"), new.strings.get("simd.isa")) {
+        (Some(b), Some(f)) if b != f => Some((b.clone(), f.clone())),
+        _ => None,
+    };
     let mut report = BaselineReport::default();
     for (path, &b) in base.numbers.iter().filter(|(p, _)| is_ratio_key(p)) {
+        if let Some((base_isa, fresh_isa)) = &isa_skip {
+            if path.starts_with("simd.") {
+                report.skipped.push(format!(
+                    "{path}: skipped (baseline ISA {base_isa:?} vs fresh run {fresh_isa:?})"
+                ));
+                continue;
+            }
+        }
         report.checked += 1;
         let tol = key_tolerance(path, tolerance);
         match new.numbers.get(path) {
@@ -337,6 +357,9 @@ pub fn enforce_baseline(baseline: &str, baseline_path: &str, fresh_json: &str, l
     let tolerance = tolerance_from_env();
     match compare_ratios(baseline, fresh_json, tolerance) {
         Ok(report) if report.passed() => {
+            for note in &report.skipped {
+                eprintln!("{label}: note: {note}");
+            }
             eprintln!(
                 "{label}: baseline check passed ({} ratios within tolerance of {baseline_path}; \
                  base {:.0}%, measured CPU ratios {:.0}%)",
@@ -346,6 +369,9 @@ pub fn enforce_baseline(baseline: &str, baseline_path: &str, fresh_json: &str, l
             );
         }
         Ok(report) => {
+            for note in &report.skipped {
+                eprintln!("{label}: note: {note}");
+            }
             eprintln!(
                 "{label}: baseline check FAILED ({}/{} ratios regressed beyond tolerance):",
                 report.failures.len(),
@@ -465,6 +491,34 @@ mod tests {
         let report = compare_ratios(BASELINE, &pruned, 0.15).unwrap();
         assert!(!report.passed());
         assert!(report.failures[0].contains("missing"));
+    }
+
+    #[test]
+    fn simd_ratios_skip_across_an_isa_change_but_still_gate_same_isa() {
+        let with_simd = |isa: &str, speedup: f64| {
+            BASELINE.replace(
+                "\"mode\": \"full\",",
+                &format!(
+                    "\"mode\": \"full\",\n  \"simd\": {{ \"isa\": \"{isa}\", \
+                     \"dense_speedup\": {speedup:.3} }},"
+                ),
+            )
+        };
+        // Same ISA: the simd ratio gates like any other measured ratio
+        // (8.0 -> 2.0 is far past the doubled tolerance).
+        let report =
+            compare_ratios(&with_simd("avx2", 8.0), &with_simd("avx2", 2.0), 0.15).unwrap();
+        assert!(!report.passed());
+        assert!(report.skipped.is_empty());
+        // Different ISA: the simd ratio is skipped with a note — the two
+        // vectorisation wins are not comparable — while every other ratio
+        // still gates.
+        let report =
+            compare_ratios(&with_simd("avx2", 8.0), &with_simd("neon", 2.0), 0.15).unwrap();
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].contains("simd.dense_speedup"));
+        assert_eq!(report.checked, 2);
     }
 
     #[test]

@@ -15,11 +15,22 @@
 //!    versus the separate GEMM → bias → ReLU chain, on the CPU *and* in the
 //!    GPU timing model on both device presets.
 //!
+//! plus the `simd` section: the packed dense / `A·Bᵀ` / fused-ReLU kernels
+//! with the runtime dispatch forced to the scalar fallback versus the active
+//! vector level (AVX2 / AVX-512 / NEON), single-threaded.
+//!
 //! Run `cargo run --release -p bench --bin bench_hotpath` for the full
 //! shapes, or pass `--smoke` (CI) for tiny shapes that finish in seconds.
-//! Pass `--check-baseline` to additionally compare every speedup/scaling
-//! ratio of this run against the committed `BENCH_HOTPATH.json` and fail on
-//! a regression beyond the tolerance (`BENCH_TOLERANCE`, default 15%).
+//! `--threads N` sets the pool width (`TENSOR_THREADS` is the fallback; a
+//! conflicting flag + env pair is a hard error), `--no-simd` forces the
+//! scalar kernel path, and `--tune` reruns the blocking autotuner and
+//! persists the winners to `TUNE_GEMM.json` (`TENSOR_TUNE_FILE` overrides
+//! the path), which is otherwise loaded at startup when it matches this
+//! machine. Pass `--check-baseline` to additionally compare every
+//! speedup/scaling ratio of this run against the committed
+//! `BENCH_HOTPATH.json` and fail on a regression beyond the tolerance
+//! (`BENCH_TOLERANCE`, default 15%); `simd.*` ratios are skipped when the
+//! baseline was recorded on a different ISA.
 
 use approx_dropout::{scheme, DropoutRate};
 use gpu_sim::{GpuConfig, MlpSpec, NetworkTimingModel};
@@ -27,7 +38,10 @@ use nn::{Mlp, MlpConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use tensor::{blocked_gemm, init, pool, row_compact_gemm, tile_compact_gemm, Matrix};
+use tensor::{
+    blocked_gemm, gemm_a_bt, gemm_bias_act, init, pool, row_compact_gemm, simd, tile_compact_gemm,
+    Activation, Matrix, SimdLevel,
+};
 
 /// The seed repository's cache-blocked GEMM, kept verbatim as the baseline
 /// the kernel rewrite is measured against: per-element `Index` ops (bounds
@@ -125,9 +139,11 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
     let cfg = if smoke { SMOKE } else { FULL };
-    // Sections 2–3 sweep explicit pool widths regardless; `--threads` (or
-    // the TENSOR_THREADS fallback) picks the width for the fused section.
-    let cli_threads = bench::threads_from_args();
+    // Shared startup: resolve `--threads`/`TENSOR_THREADS` (loudly on a
+    // conflict), apply `--no-simd`, run `--tune` or load the persisted
+    // blocking config. Sections 2–4 sweep explicit pool widths regardless;
+    // the resolved width drives the fused section and any `--tune` search.
+    let setup = bench::init_bench("bench_hotpath");
     let thread_counts = [1usize, 2, 4];
 
     let mut rng = StdRng::seed_from_u64(0xB0A7);
@@ -139,6 +155,49 @@ fn main() {
         std::hint::black_box(seed_blocked_gemm(&a, &b));
     });
     eprintln!("seed blocked gemm      {:>10.3} ms", seed_secs * 1e3);
+
+    // 1b. SIMD micro-kernel effect, single-threaded: the same packed
+    //     kernels with the runtime dispatch forced to the scalar fallback
+    //     versus the active level — the pure vectorisation win, no pool.
+    //     Under `--no-simd` / `TENSOR_SIMD=0` both sides run the scalar
+    //     path and the ratios sit at ~1.0; the BENCH_ASSERT gate only arms
+    //     when a vector level is active.
+    pool::set_threads(1);
+    let bias = init::uniform(&mut rng, 1, cfg.n, -0.5, 0.5);
+    let bt = b.transpose();
+    let simd_pair = |f: &mut dyn FnMut()| {
+        simd::set_level(SimdLevel::Scalar);
+        let scalar = bench(cfg.reps, &mut *f);
+        simd::set_level(setup.simd_level);
+        let vector = bench(cfg.reps, &mut *f);
+        (scalar, vector)
+    };
+    let (dense_scalar, dense_simd) = simd_pair(&mut || {
+        std::hint::black_box(blocked_gemm(&a, &b).unwrap());
+    });
+    let (abt_scalar, abt_simd) = simd_pair(&mut || {
+        std::hint::black_box(gemm_a_bt(&a, &bt).unwrap());
+    });
+    let (fused_relu_scalar, fused_relu_simd) = simd_pair(&mut || {
+        std::hint::black_box(gemm_bias_act(&a, &b, &bias, Activation::Relu).unwrap());
+    });
+    let simd_speedups = [
+        ("dense", dense_scalar / dense_simd),
+        ("a_bt", abt_scalar / abt_simd),
+        ("fused_relu", fused_relu_scalar / fused_relu_simd),
+    ];
+    for ((key, speedup), (scalar, vector)) in simd_speedups.iter().zip([
+        (dense_scalar, dense_simd),
+        (abt_scalar, abt_simd),
+        (fused_relu_scalar, fused_relu_simd),
+    ]) {
+        eprintln!(
+            "simd {key:<11} 1t     {:>10.3} ms scalar vs {:.3} ms {} ({speedup:.2}x)",
+            scalar * 1e3,
+            vector * 1e3,
+            setup.simd_level.name()
+        );
+    }
 
     // 2. Packed kernel at 1/2/4 threads.
     let mut dense_by_threads = Vec::new();
@@ -228,7 +287,7 @@ fn main() {
     //    The two sides are timed interleaved (best-of per side) so machine
     //    drift cancels; their outputs are bitwise equal (covered by
     //    tests/fused_kernels.rs) — this measures time only.
-    let default_threads = cli_threads.unwrap_or_else(pool::env_default_threads);
+    let default_threads = setup.threads;
     pool::set_threads(default_threads);
     const FUSED_DP: usize = 8;
     let fused_config = MlpConfig {
@@ -287,8 +346,18 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"dense_gemm\": {{\n    \"shape\": [{m}, {k}, {n}],\n    \"seed_blocked_secs\": {seed:.6},\n    \"packed_secs_by_threads\": {dense_map},\n    \"single_thread_speedup_vs_seed\": {speedup:.3},\n    \"scaling_2_threads\": {s2:.3},\n    \"scaling_4_threads\": {s4:.3}\n  }},\n  \"row_compact\": {{\n    \"dp\": 2,\n    \"secs\": {row:.6},\n    \"speedup_vs_dense_1t\": {row_speedup:.3}\n  }},\n  \"tile_compact\": {{\n    \"dp\": 2,\n    \"tile\": {tile},\n    \"secs\": {tile_secs:.6},\n    \"speedup_vs_dense_1t\": {tile_speedup:.3}\n  }},\n  \"mlp_epoch\": {{\n    \"batch\": {mlp_batch},\n    \"batches\": {mlp_batches},\n    \"hidden\": [{hid}, {hid}],\n    \"secs_by_threads\": {mlp_map},\n    \"scaling_2_threads\": {mlp_s2:.3}\n  }},\n  \"fused_forward\": {{\n    \"threads\": {fused_threads},\n    \"row_pattern_dp\": {fused_dp},\n    \"unfused_secs\": {unfused_secs:.6},\n    \"fused_secs\": {fused_secs:.6},\n    \"speedup\": {fused_speedup:.3},\n    \"sim_iteration_speedup_{sim0_key}\": {sim0:.3},\n    \"sim_iteration_speedup_{sim1_key}\": {sim1:.3}\n  }}\n}}\n",
+        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"simd\": {{\n    \"isa\": \"{simd_isa}\",\n    \"dense_scalar_secs\": {dense_scalar:.6},\n    \"dense_simd_secs\": {dense_simd:.6},\n    \"dense_speedup\": {simd_dense_speedup:.3},\n    \"a_bt_scalar_secs\": {abt_scalar:.6},\n    \"a_bt_simd_secs\": {abt_simd:.6},\n    \"a_bt_speedup\": {simd_abt_speedup:.3},\n    \"fused_relu_scalar_secs\": {fused_relu_scalar:.6},\n    \"fused_relu_simd_secs\": {fused_relu_simd:.6},\n    \"fused_relu_speedup\": {simd_fused_speedup:.3}\n  }},\n  \"dense_gemm\": {{\n    \"shape\": [{m}, {k}, {n}],\n    \"seed_blocked_secs\": {seed:.6},\n    \"packed_secs_by_threads\": {dense_map},\n    \"single_thread_speedup_vs_seed\": {speedup:.3},\n    \"scaling_2_threads\": {s2:.3},\n    \"scaling_4_threads\": {s4:.3}\n  }},\n  \"row_compact\": {{\n    \"dp\": 2,\n    \"secs\": {row:.6},\n    \"speedup_vs_dense_1t\": {row_speedup:.3}\n  }},\n  \"tile_compact\": {{\n    \"dp\": 2,\n    \"tile\": {tile},\n    \"secs\": {tile_secs:.6},\n    \"speedup_vs_dense_1t\": {tile_speedup:.3}\n  }},\n  \"mlp_epoch\": {{\n    \"batch\": {mlp_batch},\n    \"batches\": {mlp_batches},\n    \"hidden\": [{hid}, {hid}],\n    \"secs_by_threads\": {mlp_map},\n    \"scaling_2_threads\": {mlp_s2:.3}\n  }},\n  \"fused_forward\": {{\n    \"threads\": {fused_threads},\n    \"row_pattern_dp\": {fused_dp},\n    \"unfused_secs\": {unfused_secs:.6},\n    \"fused_secs\": {fused_secs:.6},\n    \"speedup\": {fused_speedup:.3},\n    \"sim_iteration_speedup_{sim0_key}\": {sim0:.3},\n    \"sim_iteration_speedup_{sim1_key}\": {sim1:.3}\n  }}\n}}\n",
         mode = cfg.mode,
+        simd_isa = setup.simd_level.name(),
+        dense_scalar = dense_scalar,
+        dense_simd = dense_simd,
+        simd_dense_speedup = simd_speedups[0].1,
+        abt_scalar = abt_scalar,
+        abt_simd = abt_simd,
+        simd_abt_speedup = simd_speedups[1].1,
+        fused_relu_scalar = fused_relu_scalar,
+        fused_relu_simd = fused_relu_simd,
+        simd_fused_speedup = simd_speedups[2].1,
         m = cfg.m,
         k = cfg.k,
         n = cfg.n,
@@ -341,6 +410,21 @@ fn main() {
     // while a change that serializes the pool fails fast on CI runners.
     if std::env::var("BENCH_ASSERT").is_ok_and(|v| v != "0") {
         let mut failures = Vec::new();
+        // The vector kernels must beat the forced-scalar path whenever a
+        // vector level is actually active; under `--no-simd` /
+        // `TENSOR_SIMD=0` both sides run the same code and the gate stands
+        // down rather than comparing noise against noise.
+        if setup.simd_level != SimdLevel::Scalar {
+            for (key, speedup) in &simd_speedups {
+                if *speedup <= 1.0 {
+                    failures.push(format!(
+                        "simd {key} kernel speedup {speedup:.3}x <= 1.0x over forced-scalar \
+                         at 1 thread ({})",
+                        setup.simd_level.name()
+                    ));
+                }
+            }
+        }
         if !smoke && single_thread_speedup < 3.0 {
             failures.push(format!(
                 "single-thread kernel speedup {single_thread_speedup:.2}x < 3.0x vs seed kernel"

@@ -19,7 +19,9 @@
 //!
 //! Writes `BENCH_SERVE.json` at the repository root. Flags: `--smoke`
 //! (tiny CI shapes), `--threads N` (tensor-pool width; `TENSOR_THREADS`
-//! stays the fallback), `--tenants N`, `--requests N` (per tenant),
+//! stays the fallback, a conflicting pair is a hard error), `--no-simd`
+//! (scalar kernels), `--tune` (rerun the blocking autotuner),
+//! `--tenants N`, `--requests N` (per tenant),
 //! `--window N` (outstanding requests per tenant), `--check-baseline`
 //! (regression gate against the committed JSON). `BENCH_ASSERT=1` enforces
 //! the win conditions: dynamic batching must beat per-request dispatch on
@@ -269,7 +271,7 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
     let mut cfg = if smoke { SMOKE } else { FULL };
-    let explicit_threads = bench::apply_threads_flag();
+    bench::init_bench("bench_serve");
     cfg.tenants = usize_flag("--tenants", cfg.tenants as usize) as u64;
     cfg.requests_per_tenant = usize_flag("--requests", cfg.requests_per_tenant);
     cfg.window = usize_flag("--window", cfg.window);
@@ -410,5 +412,4 @@ fn main() {
         }
         eprintln!("BENCH_ASSERT passed");
     }
-    let _ = explicit_threads;
 }

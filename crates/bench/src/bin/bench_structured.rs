@@ -161,9 +161,12 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0");
     let cfg = if smoke { SMOKE } else { FULL };
-    // `--threads N` overrides the pool width (TENSOR_THREADS is the
-    // fallback); the chosen width lands in the JSON as "tensor_threads".
-    bench::apply_threads_flag();
+    // Shared startup: `--threads N` overrides the pool width
+    // (TENSOR_THREADS is the fallback, a conflicting pair is a hard
+    // error), `--no-simd` forces the scalar kernels, `--tune` reruns the
+    // blocking autotuner; the chosen width lands in the JSON as
+    // "tensor_threads".
+    bench::init_bench("bench_structured");
 
     let devices: Vec<(&str, GpuConfig)> = vec![
         ("gtx_1080ti", GpuConfig::gtx_1080ti()),

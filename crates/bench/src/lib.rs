@@ -69,6 +69,169 @@ pub fn apply_threads_flag() -> Option<usize> {
     Some(threads)
 }
 
+/// `TENSOR_THREADS` parsed exactly as the pool parses it (clamped to
+/// [`tensor::pool::MAX_THREADS`]; unparsable values mean 1, the documented
+/// slow-and-correct misconfiguration behaviour). `None` when unset.
+fn env_threads_override() -> Option<usize> {
+    let value = std::env::var("TENSOR_THREADS").ok()?;
+    Some(match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => n.min(tensor::pool::MAX_THREADS),
+        _ => 1,
+    })
+}
+
+/// Resolves the pool width the bench runs (and any `--tune` search) at:
+/// `--threads` wins, `TENSOR_THREADS` is the fallback, the machine width is
+/// the default. When the flag **and** the environment variable are both set
+/// and disagree, the process exits loudly instead of letting one silently
+/// shadow the other — a bench (or autotune) at the wrong width is worse
+/// than no bench. The winner is applied to the global pool and returned.
+pub fn resolve_threads() -> usize {
+    let flag = threads_from_args();
+    let env = env_threads_override();
+    if let (Some(f), Some(e)) = (flag, env) {
+        if f != e {
+            eprintln!(
+                "--threads {f} conflicts with TENSOR_THREADS={e}: one would silently shadow \
+                 the other; drop one or make them agree"
+            );
+            std::process::exit(2);
+        }
+    }
+    let threads = flag
+        .or(env)
+        .unwrap_or_else(tensor::pool::env_default_threads);
+    tensor::pool::set_threads(threads);
+    threads
+}
+
+/// `true` when `--no-simd` was passed: the bench forces the scalar kernel
+/// path regardless of what the CPU supports (equivalent to
+/// `TENSOR_SIMD=0`, but scoped to the invocation).
+pub fn no_simd_flag() -> bool {
+    std::env::args().any(|a| a == "--no-simd")
+}
+
+/// `true` when `--tune` was passed: rerun the blocking autotuner and
+/// persist the result instead of loading a committed config.
+fn tune_flag() -> bool {
+    std::env::args().any(|a| a == "--tune")
+}
+
+/// The tune-file path the bench binaries use and whether it was named
+/// explicitly: `TENSOR_TUNE_FILE` when set (explicit — mismatches are hard
+/// errors), else the committed `TUNE_GEMM.json` at the workspace root
+/// (lenient — a config tuned on other hardware is skipped with a warning).
+pub fn tune_file_path() -> (std::path::PathBuf, bool) {
+    match std::env::var(tensor::tune::TUNE_FILE_ENV) {
+        Ok(p) if !p.trim().is_empty() => (std::path::PathBuf::from(p), true),
+        _ => {
+            let default = format!(
+                "{}/../../{}",
+                env!("CARGO_MANIFEST_DIR"),
+                tensor::tune::TUNE_FILE_NAME
+            );
+            (std::path::PathBuf::from(default), false)
+        }
+    }
+}
+
+/// What [`init_bench`] resolved for this invocation.
+#[derive(Debug, Clone)]
+pub struct BenchSetup {
+    /// Global pool width after `--threads` / `TENSOR_THREADS` resolution.
+    pub threads: usize,
+    /// Active SIMD dispatch level after `--no-simd` / `TENSOR_SIMD`.
+    pub simd_level: tensor::SimdLevel,
+    /// Tune file whose blockings are active (`None`: built-in defaults).
+    pub tuned_from: Option<std::path::PathBuf>,
+}
+
+/// Shared startup for the bench binaries: resolves the pool width (loudly,
+/// see [`resolve_threads`]), applies `--no-simd`, then either reruns the
+/// blocking autotuner (`--tune`, persisting to the tune file) or loads the
+/// persisted config. A loaded config only applies when its recorded thread
+/// count and ISA match this invocation: a mismatch is a hard error for an
+/// explicit `TENSOR_TUNE_FILE` and a warning (config skipped) for the
+/// committed default, which legitimately travels between machines.
+pub fn init_bench(label: &str) -> BenchSetup {
+    let threads = resolve_threads();
+    if no_simd_flag() {
+        tensor::simd::set_level(tensor::SimdLevel::Scalar);
+    }
+    let simd_level = tensor::simd::level();
+    let (path, explicit) = tune_file_path();
+    let tuned_from = if tune_flag() {
+        eprintln!(
+            "{label}: autotuning GEMM blockings ({threads} thread(s), {})...",
+            simd_level.name()
+        );
+        let config = tensor::tune::autotune();
+        if let Err(err) = config.save(&path) {
+            eprintln!("{label}: cannot write tune file {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        config.apply().expect("freshly searched config is valid");
+        eprintln!("{label}: wrote tuned config to {}", path.display());
+        Some(path)
+    } else {
+        match tensor::tune::TuneConfig::load(&path) {
+            Ok(config) => {
+                let mismatch = if config.threads != threads {
+                    Some(format!(
+                        "tuned at {} thread(s), running at {threads}",
+                        config.threads
+                    ))
+                } else if config.isa != simd_level.name() {
+                    Some(format!(
+                        "tuned for isa {:?}, running with {:?}",
+                        config.isa,
+                        simd_level.name()
+                    ))
+                } else {
+                    None
+                };
+                match mismatch {
+                    None => {
+                        config.apply().expect("config validated on load");
+                        eprintln!("{label}: applied tuned config {}", path.display());
+                        Some(path)
+                    }
+                    Some(why) if explicit => {
+                        eprintln!(
+                            "{label}: refusing tune file {} ({why}); regenerate with --tune",
+                            path.display()
+                        );
+                        std::process::exit(2);
+                    }
+                    Some(why) => {
+                        eprintln!(
+                            "{label}: skipping tune file {} ({why}); using default blockings",
+                            path.display()
+                        );
+                        None
+                    }
+                }
+            }
+            Err(err) if explicit => {
+                eprintln!("{label}: cannot load tune file: {err}");
+                std::process::exit(2);
+            }
+            Err(err) => {
+                if path.exists() {
+                    eprintln!("{label}: skipping unreadable tune file: {err}");
+                }
+                None
+            }
+        }
+    };
+    BenchSetup {
+        threads,
+        simd_level,
+        tuned_from,
+    }
+}
+
 /// Number of training iterations the scaled accuracy runs use by default.
 /// Set the `ARD_FAST=1` environment variable to cut this down for smoke runs.
 pub fn default_train_iterations() -> usize {

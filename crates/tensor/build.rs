@@ -1,0 +1,30 @@
+//! Probes the active `rustc` version so the AVX-512 kernels can be gated at
+//! compile time: the `std::arch` AVX-512 intrinsics stabilised in Rust 1.89,
+//! while this workspace's MSRV is 1.74. On toolchains older than 1.89 the
+//! `tensor_avx512` cfg is simply absent and runtime dispatch tops out at
+//! AVX2 (the scalar fallback is always compiled).
+
+use std::process::Command;
+
+fn rustc_minor_version() -> Option<u32> {
+    let rustc = std::env::var_os("RUSTC")?;
+    let output = Command::new(rustc).arg("--version").output().ok()?;
+    let version = String::from_utf8(output.stdout).ok()?;
+    // "rustc 1.95.0 (hash date)" or "rustc 1.97.0-nightly (...)".
+    let semver = version.split_whitespace().nth(1)?;
+    semver.split(['.', '-']).nth(1)?.parse().ok()
+}
+
+fn main() {
+    println!("cargo:rerun-if-changed=build.rs");
+    let minor = rustc_minor_version().unwrap_or(0);
+    // `--check-cfg` metadata only exists from 1.80 (as does the
+    // `unexpected_cfgs` lint it silences); older cargos would warn on the
+    // unknown directive.
+    if minor >= 80 {
+        println!("cargo:rustc-check-cfg=cfg(tensor_avx512)");
+    }
+    if minor >= 89 {
+        println!("cargo:rustc-cfg=tensor_avx512");
+    }
+}

@@ -11,12 +11,16 @@
 //! # Kernel architecture
 //!
 //! Every production kernel is built from slice-based packed micro-kernels
-//! ([`axpy`], [`axpy4`], [`dot`]) that the compiler auto-vectorises: the
+//! ([`axpy`], [`axpy4`], [`dot`]) that dispatch through [`crate::simd`] to
+//! runtime-detected vector kernels (AVX2/AVX-512/NEON, scalar fallback —
+//! bitwise identical at every level, see the `simd` module docs): the
 //! inner loops never touch the bounds-checked `(i, j)` `Index` operator and
 //! the dense path carries no per-element `aip == 0.0` branch (skipping zeros
 //! is the compacted kernels' job — a data-dependent branch in the dense loop
 //! defeats SIMD exactly like warp divergence defeats the GPU kernel in the
-//! paper's Fig. 1(b)). Each kernel has
+//! paper's Fig. 1(b)). Cache-blocking parameters come from [`crate::tune`]
+//! (autotuned per shape class; `KC = 128` remains the default). Each kernel
+//! has
 //!
 //! * an allocating entry point (`blocked_gemm`, `gemm_at_b`, …) and a
 //!   `*_into` variant that writes into a caller-owned output buffer so the
@@ -31,6 +35,8 @@
 
 use crate::matrix::Matrix;
 use crate::pool;
+use crate::simd;
+use crate::tune::{self, Blocking};
 use std::fmt;
 use std::ops::Range;
 
@@ -71,52 +77,31 @@ fn check_inner(a: &Matrix, b: &Matrix) -> Result<(), GemmError> {
 // Micro-kernels
 // ---------------------------------------------------------------------------
 
-/// `c += alpha * b`, elementwise over equal-length slices.
+/// `c += alpha * b`, elementwise over equal-length slices. Dispatches to the
+/// active [`crate::simd`] kernel (bitwise identical at every level).
 #[inline]
 fn axpy(c: &mut [f32], alpha: f32, b: &[f32]) {
-    for (cj, &bj) in c.iter_mut().zip(b) {
-        *cj += alpha * bj;
-    }
+    simd::axpy(c, alpha, b);
 }
 
 /// `c += a0*b0 + a1*b1 + a2*b2 + a3*b3`: a four-row panel update, the unit of
-/// work the dense kernels are unrolled around (enough independent FMA chains
-/// to keep the SIMD units busy without spilling accumulators).
+/// work the dense kernels are unrolled around (enough independent chains to
+/// keep the SIMD units busy without spilling accumulators). Dispatches to the
+/// active [`crate::simd`] kernel.
 #[inline]
 fn axpy4(c: &mut [f32], alpha: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
-    for ((((cj, &x0), &x1), &x2), &x3) in c.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-        *cj += alpha[0] * x0 + alpha[1] * x1 + alpha[2] * x2 + alpha[3] * x3;
-    }
+    simd::axpy4(c, alpha, b0, b1, b2, b3);
 }
 
 /// Dot product with eight independent accumulator lanes so the reduction
 /// vectorises; the building block of [`gemm_a_bt`], public because the
 /// tile-compacted backward pass accumulates per-tile slices with it.
+/// Dispatches to the active [`crate::simd`] kernel, which preserves the
+/// 8-lane accumulation order bitwise.
 #[inline]
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
-    const LANES: usize = 8;
-    let mut acc = [0.0f32; LANES];
-    let mut xs = x.chunks_exact(LANES);
-    let mut ys = y.chunks_exact(LANES);
-    for (xc, yc) in (&mut xs).zip(&mut ys) {
-        for l in 0..LANES {
-            acc[l] += xc[l] * yc[l];
-        }
-    }
-    let mut sum = 0.0;
-    for &lane in &acc {
-        sum += lane;
-    }
-    for (a, b) in xs.remainder().iter().zip(ys.remainder()) {
-        sum += a * b;
-    }
-    sum
+    simd::dot(x, y)
 }
-
-/// Inner-dimension block: a `KC × n` panel of `B` is reused across every row
-/// of the chunk before the kernel moves to the next panel, keeping the panel
-/// resident in L2 (the CPU analogue of staging a tile in shared memory).
-const KC: usize = 128;
 
 // ---------------------------------------------------------------------------
 // Dense kernels
@@ -156,33 +141,69 @@ pub fn naive_gemm(a: &Matrix, b: &Matrix) -> Result<Matrix, GemmError> {
 /// Per-row-chunk dense kernel: accumulates `chunk += A[rows] * B` with the
 /// panel-blocked, 4-way-unrolled micro-kernel. `chunk` must be zeroed by the
 /// caller and hold exactly `rows.len() * b.cols()` values.
-fn dense_rows_kernel(a: &Matrix, b: &Matrix, rows: Range<usize>, chunk: &mut [f32]) {
+///
+/// Blocking (`bl`) comes from [`tune::blocking`]: a `kc × nc` panel of `B`
+/// is reused across an `mc`-row block of the chunk before the kernel moves
+/// on, keeping the panel resident in L2 (the CPU analogue of staging a tile
+/// in shared memory). `bl.kc` is a multiple of 4, so the quad grouping
+/// boundaries sit at the same absolute `k` positions for every config and
+/// results are bitwise blocking-invariant (checked by a `tune` test).
+fn dense_rows_kernel(a: &Matrix, b: &Matrix, rows: Range<usize>, chunk: &mut [f32], bl: Blocking) {
     let k = a.cols();
     let n = b.cols();
-    for pp in (0..k).step_by(KC) {
-        let p_end = (pp + KC).min(k);
-        for (local, i) in rows.clone().enumerate() {
-            let apanel = &a.row(i)[pp..p_end];
-            let crow = &mut chunk[local * n..(local + 1) * n];
-            let mut quads = apanel.chunks_exact(4);
-            let mut p = pp;
-            for quad in &mut quads {
-                axpy4(
-                    crow,
-                    [quad[0], quad[1], quad[2], quad[3]],
-                    b.row(p),
-                    b.row(p + 1),
-                    b.row(p + 2),
-                    b.row(p + 3),
-                );
-                p += 4;
-            }
-            for &alpha in quads.remainder() {
-                axpy(crow, alpha, b.row(p));
-                p += 1;
+    let kc = if bl.kc == 0 { k } else { bl.kc }.max(1);
+    let nc = if bl.nc == 0 { n } else { bl.nc }.max(1);
+    let mc = if bl.mc == 0 { rows.len() } else { bl.mc }.max(1);
+    for ii in (rows.start..rows.end).step_by(mc) {
+        let i_end = (ii + mc).min(rows.end);
+        for pp in (0..k).step_by(kc) {
+            let p_end = (pp + kc).min(k);
+            for jj in (0..n).step_by(nc) {
+                let j_end = (jj + nc).min(n);
+                for i in ii..i_end {
+                    let local = i - rows.start;
+                    let apanel = &a.row(i)[pp..p_end];
+                    let crow = &mut chunk[local * n + jj..local * n + j_end];
+                    let mut quads = apanel.chunks_exact(4);
+                    let mut p = pp;
+                    for quad in &mut quads {
+                        axpy4(
+                            crow,
+                            [quad[0], quad[1], quad[2], quad[3]],
+                            &b.row(p)[jj..j_end],
+                            &b.row(p + 1)[jj..j_end],
+                            &b.row(p + 2)[jj..j_end],
+                            &b.row(p + 3)[jj..j_end],
+                        );
+                        p += 4;
+                    }
+                    for &alpha in quads.remainder() {
+                        axpy(crow, alpha, &b.row(p)[jj..j_end]);
+                        p += 1;
+                    }
+                }
             }
         }
     }
+}
+
+/// [`blocked_gemm_into`] with an explicit [`Blocking`] instead of the
+/// globally active one — the timing probe of [`tune`]'s search, which must
+/// evaluate candidates without mutating process state.
+pub(crate) fn blocked_gemm_tuned_into(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    bl: Blocking,
+) -> Result<(), GemmError> {
+    check_inner(a, b)?;
+    let m = a.rows();
+    let n = b.cols();
+    out.resize(m, n);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        dense_rows_kernel(a, b, rows, chunk, bl);
+    });
+    Ok(())
 }
 
 /// Packed, batch-parallel GEMM, `C = A * B`, writing into `out`.
@@ -197,8 +218,9 @@ pub fn blocked_gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<(),
     let m = a.rows();
     let n = b.cols();
     out.resize(m, n);
+    let bl = tune::blocking(m, a.cols(), n);
     pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
-        dense_rows_kernel(a, b, rows, chunk);
+        dense_rows_kernel(a, b, rows, chunk, bl);
     });
     Ok(())
 }
@@ -1094,14 +1116,20 @@ pub fn block_compact_gemm_a_bt_into(
 
 /// Activation function fused into a kernel's write-back epilogue.
 ///
-/// The scalar formulas match the stand-alone maps in [`crate::ops`] exactly,
-/// so a fused kernel is bitwise identical to the unfused
-/// GEMM → bias → activation chain it replaces.
+/// The formulas match the stand-alone maps in [`crate::ops`] exactly, so a
+/// fused kernel is bitwise identical to the unfused
+/// GEMM → bias → activation chain it replaces. Both route through
+/// [`crate::simd`]: under an active vector level the transcendentals use
+/// the polynomial kernels (elementwise-deterministic, a few ULP from
+/// `libm`; see the `simd` module docs), and with `TENSOR_SIMD=0` the
+/// precise `libm` formulas — [`Activation::apply`] on one scalar always
+/// agrees bitwise with [`Activation::apply_slice`] on a row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activation {
     /// Pass-through (`f(v) = v`): bias add only.
     Identity,
-    /// Rectified linear unit, `max(0, v)`.
+    /// Rectified linear unit, `max(0, v)` — scalar-exact at every SIMD
+    /// level.
     Relu,
     /// Logistic sigmoid, `1 / (1 + e^{-v})`.
     Sigmoid,
@@ -1110,14 +1138,28 @@ pub enum Activation {
 }
 
 impl Activation {
-    /// Applies the activation to one scalar.
+    /// Applies the activation to one scalar (under the active SIMD level,
+    /// see the type docs).
     #[inline]
     pub fn apply(self, v: f32) -> f32 {
         match self {
             Activation::Identity => v,
             Activation::Relu => v.max(0.0),
-            Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
-            Activation::Tanh => v.tanh(),
+            Activation::Sigmoid => simd::sigmoid_scalar(v),
+            Activation::Tanh => simd::tanh_scalar(v),
+        }
+    }
+
+    /// Applies the activation elementwise to a row, vectorised when a SIMD
+    /// level is active; bitwise identical to mapping [`Activation::apply`]
+    /// over the row.
+    #[inline]
+    pub fn apply_slice(self, row: &mut [f32]) {
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => simd::relu_slice(row),
+            Activation::Sigmoid => simd::sigmoid_slice(row),
+            Activation::Tanh => simd::tanh_slice(row),
         }
     }
 }
@@ -1146,17 +1188,10 @@ fn bias_act_epilogue(
 ) {
     for row in chunk.chunks_exact_mut(n) {
         match mask_scale {
-            Some((mask, scale)) => {
-                for ((v, &b), &m) in row.iter_mut().zip(bias).zip(mask) {
-                    *v = act.apply((*v + b) * (m * scale));
-                }
-            }
-            None => {
-                for (v, &b) in row.iter_mut().zip(bias) {
-                    *v = act.apply(*v + b);
-                }
-            }
+            Some((mask, scale)) => simd::add_bias_mask_scale(row, bias, mask, scale),
+            None => simd::add_bias(row, bias),
         }
+        act.apply_slice(row);
     }
 }
 
@@ -1184,8 +1219,9 @@ pub fn gemm_bias_act_into(
     check_bias(bias, n)?;
     let m = a.rows();
     out.resize(m, n);
+    let bl = tune::blocking(m, a.cols(), n);
     pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
-        dense_rows_kernel(a, w, rows, chunk);
+        dense_rows_kernel(a, w, rows, chunk, bl);
         bias_act_epilogue(chunk, n, bias.row(0), None, act);
     });
     Ok(())
@@ -1237,8 +1273,9 @@ pub fn gemm_bias_act_masked_into(
     }
     let m = a.rows();
     out.resize(m, n);
+    let bl = tune::blocking(m, a.cols(), n);
     pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
-        dense_rows_kernel(a, w, rows, chunk);
+        dense_rows_kernel(a, w, rows, chunk, bl);
         bias_act_epilogue(chunk, n, bias.row(0), Some((mask, scale)), act);
     });
     Ok(())
@@ -1284,18 +1321,22 @@ pub fn gather_cols_gemm_bias_act_into(
         }
     }
     blocked_gemm_into(a, &scratch.pack, &mut scratch.product)?;
-    // … then scatter with the whole epilogue fused into the write-back.
+    // … then scatter with the whole epilogue fused into the write-back: the
+    // scaled-bias pre-activations land in the kept columns of a zeroed row
+    // (dropped pre-activations are exactly zero) and the activation runs
+    // vectorised over the full row — `act(0)` in the dropped columns, same
+    // as the unfused chain.
     let m = a.rows();
-    let fill = act.apply(0.0);
     let brow = bias.row(0);
     out.resize_for_overwrite(m, n);
     for i in 0..m {
         let src = scratch.product.row(i);
         let dst = out.row_mut(i);
-        dst.fill(fill);
+        dst.fill(0.0);
         for (c, &j) in kept_cols.iter().enumerate() {
-            dst[j] = act.apply((src[c] + brow[j]) * scale);
+            dst[j] = (src[c] + brow[j]) * scale;
         }
+        act.apply_slice(dst);
     }
     Ok(())
 }
@@ -1357,23 +1398,24 @@ pub fn block_compact_gemm_bias_act_into(
     }
     let ranges = block_col_ranges(n, kept_blocks, block)?;
     let m = a.rows();
-    let fill = act.apply(0.0);
     out.resize(m, n);
     pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
         block_rows_kernel(a, w, &ranges, rows, chunk);
         let brow = bias.row(0);
         for row in chunk.chunks_exact_mut(n) {
-            // Epilogue over the kept strips, act(0) over the complement —
-            // the ranges are ascending so one forward walk covers both.
+            // Scaled-bias pre-activations over the kept strips, exact zero
+            // over the complement (the ranges are ascending so one forward
+            // walk covers both), then one vectorised activation pass over
+            // the whole row — `act(0)` in dropped strips, same as the
+            // unfused chain.
             let mut cursor = 0;
             for jr in &ranges {
-                row[cursor..jr.start].fill(fill);
-                for (v, &b) in row[jr.clone()].iter_mut().zip(&brow[jr.clone()]) {
-                    *v = act.apply((*v + b) * scale);
-                }
+                row[cursor..jr.start].fill(0.0);
+                simd::add_bias_scale(&mut row[jr.clone()], &brow[jr.clone()], scale);
                 cursor = jr.end;
             }
-            row[cursor..].fill(fill);
+            row[cursor..].fill(0.0);
+            act.apply_slice(row);
         }
     });
     Ok(())
@@ -1410,9 +1452,8 @@ pub fn tile_compact_gemm_bias_act_into(
         tile_rows_kernel(a, w, &bounds, rows, chunk);
         let brow = bias.row(0);
         for row in chunk.chunks_exact_mut(n) {
-            for (v, &b) in row.iter_mut().zip(brow) {
-                *v = act.apply(*v * scale + b);
-            }
+            simd::scale_add_bias(row, scale, brow);
+            act.apply_slice(row);
         }
     });
     Ok(())

@@ -15,6 +15,12 @@
 //!   dimension of every GEMM entry point across workers; `TENSOR_THREADS=1`
 //!   pins execution fully serial, and results are bitwise identical for any
 //!   thread count.
+//! * [`simd`] — runtime-dispatched vector micro-kernels (AVX2 / AVX-512 /
+//!   NEON with a mandatory scalar fallback) every GEMM inner loop and fused
+//!   epilogue routes through; `TENSOR_SIMD=0` forces the scalar path.
+//! * [`tune`] — a blocking autotuner that searches MC/KC/NC block sizes per
+//!   shape class and persists winners to `TUNE_GEMM.json`
+//!   (`TENSOR_TUNE_FILE` points loads elsewhere).
 //!
 //! # Example
 //!
@@ -32,6 +38,8 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod pool;
+pub mod simd;
+pub mod tune;
 
 pub use gemm::{
     block_compact_gemm, block_compact_gemm_a_bt_into, block_compact_gemm_at_b_into,
@@ -45,6 +53,8 @@ pub use gemm::{
 };
 pub use init::{gaussian, uniform, xavier_uniform};
 pub use matrix::{Matrix, ShapeError};
+pub use simd::SimdLevel;
+pub use tune::{Blocking, ShapeClass, TuneConfig};
 
 /// Absolute tolerance used by the crate's approximate float comparisons.
 pub const DEFAULT_TOLERANCE: f32 = 1e-4;

@@ -3,19 +3,28 @@
 //! These are the activation functions the MLP and LSTM substrates need. Each
 //! forward function has a matching derivative helper expressed in terms of
 //! the forward output, which is how the backward passes use them.
+//!
+//! [`relu`], [`sigmoid`] and [`tanh`] route through the same
+//! [`crate::simd`] primitives as the fused GEMM epilogues, so fused and
+//! unfused layer paths stay bitwise identical at every SIMD level (ReLU is
+//! scalar-exact everywhere; the transcendentals switch to the documented
+//! polynomial forms when a vector level is active).
 
 use crate::matrix::Matrix;
+use crate::simd;
 
 /// Rectified linear unit, `max(0, x)`, applied elementwise.
 pub fn relu(x: &Matrix) -> Matrix {
-    x.map(|v| v.max(0.0))
+    let mut out = x.clone();
+    simd::relu_slice(out.as_mut_slice());
+    out
 }
 
 /// Like [`relu`] but writing into a caller-owned matrix (resized in place),
 /// so per-iteration activations can recycle their buffers.
 pub fn relu_into(x: &Matrix, out: &mut Matrix) {
     out.clone_from(x);
-    out.map_inplace(|v| v.max(0.0));
+    simd::relu_slice(out.as_mut_slice());
 }
 
 /// Derivative of ReLU expressed in terms of the pre-activation input.
@@ -45,7 +54,9 @@ pub fn relu_grad_mask_inplace(grad: &mut Matrix, pre: &Matrix) {
 
 /// Logistic sigmoid applied elementwise.
 pub fn sigmoid(x: &Matrix) -> Matrix {
-    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    let mut out = x.clone();
+    simd::sigmoid_slice(out.as_mut_slice());
+    out
 }
 
 /// Derivative of the sigmoid expressed in terms of the sigmoid *output* `y`:
@@ -56,7 +67,9 @@ pub fn sigmoid_grad_from_output(y: &Matrix) -> Matrix {
 
 /// Hyperbolic tangent applied elementwise.
 pub fn tanh(x: &Matrix) -> Matrix {
-    x.map(|v| v.tanh())
+    let mut out = x.clone();
+    simd::tanh_slice(out.as_mut_slice());
+    out
 }
 
 /// Derivative of tanh expressed in terms of the tanh *output* `y`: `1 - y^2`.

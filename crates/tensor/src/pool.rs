@@ -27,9 +27,29 @@ use std::thread;
 /// values and machines reporting very wide parallelism.
 pub const MAX_THREADS: usize = 64;
 
-/// Row count below which the GEMM entry points stay serial: splitting a tiny
-/// batch across threads costs more in latch traffic than the kernel saves.
+/// Default row count below which the GEMM entry points stay serial:
+/// splitting a tiny batch across threads costs more in latch traffic than
+/// the kernel saves. The *active* threshold is [`par_min_rows`], which the
+/// [`crate::tune`] autotuner can replace.
 pub const PAR_MIN_ROWS: usize = 32;
+
+/// Active serial-fallback threshold (see [`PAR_MIN_ROWS`] for the default).
+static PAR_MIN_ROWS_ACTIVE: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(PAR_MIN_ROWS);
+
+/// The row count below which [`run_row_chunks`] stays serial.
+#[inline]
+pub fn par_min_rows() -> usize {
+    PAR_MIN_ROWS_ACTIVE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Overrides the serial-fallback threshold (clamped to at least 1; the
+/// threshold only affects scheduling, never results — row chunking is
+/// bitwise thread-invariant). Used by [`crate::tune`] when applying a
+/// persisted config.
+pub fn set_par_min_rows(threshold: usize) {
+    PAR_MIN_ROWS_ACTIVE.store(threshold.max(1), std::sync::atomic::Ordering::Relaxed);
+}
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -318,7 +338,7 @@ pub fn threads() -> usize {
 /// Splits the `rows`-row output (row-major, `cols` columns) into one
 /// contiguous row chunk per worker and runs `kernel` on each chunk in
 /// parallel; falls back to a single serial call when the batch is shorter
-/// than [`PAR_MIN_ROWS`] or the pool is serial.
+/// than the active [`par_min_rows`] threshold or the pool is serial.
 ///
 /// The kernel receives the global row range and the mutable slice holding
 /// exactly those rows, so writes are disjoint by construction and the result
@@ -337,7 +357,7 @@ pub fn run_row_chunks(
     assert_eq!(data.len(), rows * cols, "row-chunk buffer length mismatch");
     let pool = global();
     let workers = pool.workers();
-    if workers <= 1 || rows < PAR_MIN_ROWS {
+    if workers <= 1 || rows < par_min_rows() {
         kernel(0..rows, data);
         return;
     }

@@ -1,0 +1,252 @@
+//! SIMD-vs-scalar parity for the runtime-dispatched vector micro-kernels.
+//!
+//! The `tensor::simd` contract is that switching the dispatch level never
+//! changes ReLU/Identity results by a single bit: every vector kernel
+//! replicates the scalar accumulation order exactly (mul-then-add, no FMA,
+//! the 8-lane `dot` reduction preserved). These tests pin that contract
+//! through the public API — raw micro-kernels, the dense/transposed GEMMs
+//! and every compacted kernel family via `Linear::forward_act_into`, at
+//! serial and parallel pool widths — and bound the documented polynomial
+//! tolerance of the sigmoid/tanh epilogues against libm. A dispatch test
+//! asserts the detected ISA is actually what gets selected.
+//!
+//! The SIMD level is process-global state, so every test here serialises
+//! on one mutex and restores the entry level before returning.
+
+use approx_dropout::{scheme, Activation, DropoutRate};
+use nn::{DropoutPlan, LayerShape, Linear};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use tensor::{blocked_gemm, gemm_a_bt, gemm_at_b, init, pool, simd, Matrix, SimdLevel};
+
+/// Serialises tests that rebind the process-global SIMD level.
+fn level_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One plan per schedule family (dense, bernoulli-masked, gather, row,
+/// tile, N:M, block), resolved against a `(in, out)` layer. Odd widths
+/// exercise the ragged vector tails of every kernel.
+fn family_plans(in_features: usize, out_features: usize) -> Vec<(&'static str, DropoutPlan)> {
+    let shape = LayerShape::new(in_features, out_features);
+    let mut plans = Vec::new();
+    plans.push(("none", DropoutPlan::none(shape)));
+    let mut bernoulli = scheme::bernoulli(DropoutRate::new(0.5).unwrap());
+    plans.push((
+        "bernoulli",
+        bernoulli.plan(&mut StdRng::seed_from_u64(5), shape),
+    ));
+    let mut divergent = scheme::divergent_bernoulli(DropoutRate::new(0.5).unwrap());
+    plans.push((
+        "divergent",
+        divergent.plan(&mut StdRng::seed_from_u64(6), shape),
+    ));
+    let mut row = scheme::row(DropoutRate::new(0.5).unwrap(), 8).unwrap();
+    plans.push(("row", row.plan(&mut StdRng::seed_from_u64(7), shape)));
+    let mut tile = scheme::tile(DropoutRate::new(0.5).unwrap(), 8, 16).unwrap();
+    plans.push(("tile", tile.plan(&mut StdRng::seed_from_u64(8), shape)));
+    let mut nm = scheme::nm(2, 4).unwrap();
+    plans.push(("nm", nm.plan(&mut StdRng::seed_from_u64(9), shape)));
+    let mut block = scheme::block_unit(DropoutRate::new(0.5).unwrap(), 16).unwrap();
+    plans.push(("block", block.plan(&mut StdRng::seed_from_u64(10), shape)));
+    plans
+}
+
+fn workload(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    init::uniform(rng, rows, cols, -1.0, 1.0)
+}
+
+#[test]
+fn runtime_dispatch_selects_the_detected_isa() {
+    let _g = level_guard();
+    let entry = simd::level();
+    let detected = simd::detected_level();
+    // On x86-64 the detector must report what the CPU actually has; a CPU
+    // with AVX2 silently landing on the scalar path would be the exact
+    // regression this test exists to catch.
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        assert_ne!(
+            detected,
+            SimdLevel::Scalar,
+            "AVX2 is available but detection chose the scalar path"
+        );
+    }
+    #[cfg(target_arch = "aarch64")]
+    assert_eq!(detected, SimdLevel::Neon, "NEON is baseline on aarch64");
+    // Selecting the detected level is honoured verbatim…
+    assert_eq!(simd::set_level(detected), detected);
+    assert_eq!(simd::level(), detected);
+    // …and the mandatory scalar fallback is always selectable.
+    assert_eq!(simd::set_level(SimdLevel::Scalar), SimdLevel::Scalar);
+    assert_eq!(simd::level(), SimdLevel::Scalar);
+    simd::set_level(entry);
+}
+
+#[test]
+fn micro_kernels_match_scalar_bitwise_at_ragged_lengths() {
+    let _g = level_guard();
+    let entry = simd::level();
+    let mut rng = StdRng::seed_from_u64(0x51D0);
+    // 31 floats: three 8-lane blocks (one 16-lane + rags on AVX-512) plus
+    // a 7-element scalar tail.
+    let x: Vec<f32> = workload(&mut rng, 1, 31).as_slice().to_vec();
+    let y: Vec<f32> = workload(&mut rng, 1, 31).as_slice().to_vec();
+    let quads: Vec<Vec<f32>> = (0..4)
+        .map(|_| workload(&mut rng, 1, 31).as_slice().to_vec())
+        .collect();
+
+    simd::set_level(SimdLevel::Scalar);
+    let mut axpy_scalar = x.clone();
+    simd::axpy(&mut axpy_scalar, 0.37, &y);
+    let mut axpy4_scalar = x.clone();
+    simd::axpy4(
+        &mut axpy4_scalar,
+        [0.1, -0.2, 0.3, -0.4],
+        &quads[0],
+        &quads[1],
+        &quads[2],
+        &quads[3],
+    );
+    let dot_scalar = simd::dot(&x, &y);
+
+    simd::set_level(simd::detected_level());
+    let mut axpy_vec = x.clone();
+    simd::axpy(&mut axpy_vec, 0.37, &y);
+    let mut axpy4_vec = x.clone();
+    simd::axpy4(
+        &mut axpy4_vec,
+        [0.1, -0.2, 0.3, -0.4],
+        &quads[0],
+        &quads[1],
+        &quads[2],
+        &quads[3],
+    );
+    let dot_vec = simd::dot(&x, &y);
+    simd::set_level(entry);
+
+    assert_eq!(
+        axpy_scalar, axpy_vec,
+        "axpy must be bitwise level-invariant"
+    );
+    assert_eq!(
+        axpy4_scalar, axpy4_vec,
+        "axpy4 must be bitwise level-invariant"
+    );
+    assert_eq!(
+        dot_scalar.to_bits(),
+        dot_vec.to_bits(),
+        "dot must reproduce the 8-lane reduction order bitwise"
+    );
+}
+
+#[test]
+fn dense_and_transposed_gemms_match_scalar_bitwise() {
+    let _g = level_guard();
+    let entry = simd::level();
+    pool::set_threads(1);
+    let mut rng = StdRng::seed_from_u64(0x51D1);
+    // Odd shapes: ragged in every vector width.
+    let a = workload(&mut rng, 13, 37);
+    let b = workload(&mut rng, 37, 29);
+    let a_t = a.transpose();
+    let b_t = b.transpose();
+
+    simd::set_level(SimdLevel::Scalar);
+    let dense_scalar = blocked_gemm(&a, &b).unwrap();
+    let at_b_scalar = gemm_at_b(&a_t, &b).unwrap();
+    let a_bt_scalar = gemm_a_bt(&a, &b_t).unwrap();
+
+    simd::set_level(simd::detected_level());
+    let dense_vec = blocked_gemm(&a, &b).unwrap();
+    let at_b_vec = gemm_at_b(&a_t, &b).unwrap();
+    let a_bt_vec = gemm_a_bt(&a, &b_t).unwrap();
+    simd::set_level(entry);
+
+    assert_eq!(dense_scalar, dense_vec, "dense GEMM (axpy4/axpy path)");
+    assert_eq!(at_b_scalar, at_b_vec, "AᵀB GEMM");
+    assert_eq!(a_bt_scalar, a_bt_vec, "ABᵀ GEMM (dot path)");
+}
+
+#[test]
+fn all_kernel_families_match_scalar_bitwise_at_one_and_four_threads() {
+    let _g = level_guard();
+    let entry = simd::level();
+    let mut rng = StdRng::seed_from_u64(0x51D2);
+    // Batch above the pool's serial-fallback threshold so the 4-thread
+    // pass really runs parallel.
+    let x = workload(&mut rng, 40, 29);
+    let mut layer = Linear::new(&mut rng, 29, 48);
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+        for (label, plan) in family_plans(29, 48) {
+            // Identity and ReLU epilogues are scalar-exact at every level;
+            // the transcendental epilogues are covered by the ULP test.
+            for act in [Activation::Identity, Activation::Relu] {
+                simd::set_level(SimdLevel::Scalar);
+                let mut scalar = Matrix::default();
+                layer.forward_act_into(&x, &plan, act, &mut scalar);
+                simd::set_level(simd::detected_level());
+                let mut vector = Matrix::default();
+                layer.forward_act_into(&x, &plan, act, &mut vector);
+                assert_eq!(
+                    scalar,
+                    vector,
+                    "{label}/{act:?} at {threads} thread(s) must be bitwise \
+                     identical between scalar and {:?}",
+                    simd::detected_level()
+                );
+            }
+        }
+    }
+    pool::set_threads(1);
+    simd::set_level(entry);
+}
+
+/// ULP distance between two finite floats (sign-aware, 0 for ±0.0 pairs).
+fn ulp_distance(a: f32, b: f32) -> u64 {
+    fn ordered(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        let mapped = if bits < 0 { i32::MIN - bits } else { bits };
+        i64::from(mapped)
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+#[test]
+fn sigmoid_and_tanh_epilogues_stay_within_documented_ulp_of_libm() {
+    let _g = level_guard();
+    let entry = simd::level();
+    pool::set_threads(1);
+    let mut rng = StdRng::seed_from_u64(0x51D3);
+    let x = workload(&mut rng, 24, 33);
+    let mut layer = Linear::new(&mut rng, 33, 47);
+    let plan = DropoutPlan::none(LayerShape::new(33, 47));
+    // Evaluate at the *detected* level: the polynomial forms are what the
+    // vector epilogues run. (At scalar the std formulas are used and the
+    // distance is identically zero.)
+    simd::set_level(simd::detected_level());
+    let mut pre = Matrix::default();
+    layer.forward_act_into(&x, &plan, Activation::Identity, &mut pre);
+    for (act, bound) in [(Activation::Sigmoid, 16u64), (Activation::Tanh, 32u64)] {
+        let mut out = Matrix::default();
+        layer.forward_act_into(&x, &plan, act, &mut out);
+        for (&p, &o) in pre.as_slice().iter().zip(out.as_slice()) {
+            let reference = match act {
+                Activation::Sigmoid => 1.0 / (1.0 + (-p).exp()),
+                Activation::Tanh => p.tanh(),
+                _ => unreachable!(),
+            };
+            let ulp = ulp_distance(o, reference);
+            assert!(
+                ulp <= bound || (o - reference).abs() <= 1e-6,
+                "{act:?}({p}) = {o} is {ulp} ULP from libm's {reference} (bound {bound})"
+            );
+        }
+    }
+    simd::set_level(entry);
+}
