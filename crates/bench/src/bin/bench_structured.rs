@@ -14,7 +14,13 @@
 //! 3. the `tensor_core_2_4` section: the hardware-2:4 win on the
 //!    sparse-tensor-core preset — the same 2:4 plans priced through the
 //!    tensor-core roofline vs their SIMT-gather pricing on identical
-//!    silicon (tensor cores stripped), and vs the Bernoulli baseline.
+//!    silicon (tensor cores stripped), and vs the Bernoulli baseline, and
+//! 4. the `crs` section: the sampled-GEMM (CRS) approximation axis at
+//!    `k/K ∈ {1/4, 1/2, 3/4}` plus the composed row-dropout × CRS scheme.
+//!    CRS approximates the *dense* GEMM rather than emulating dropout, so
+//!    this section's baseline is the no-dropout epoch/iteration — and the
+//!    composed row must beat both of its axes alone against that common
+//!    baseline.
 //!
 //! Results land in `BENCH_STRUCTURED.json` at the repository root,
 //! extending the perf trajectory started by `BENCH_HOTPATH.json`. Run
@@ -240,6 +246,80 @@ fn main() {
         sparse.name, tc_vs_gather, tc_vs_bernoulli
     );
 
+    // The CRS (sampled-GEMM) section. CRS approximates the dense GEMM, so
+    // its baseline — on the CPU and in the simulator — is the no-dropout
+    // run, not the Bernoulli one. The row-only entry prices the row scheme
+    // against the same dense baseline so the composed row×CRS entry can be
+    // compared against either axis alone on equal footing.
+    let dense_secs = cpu_epoch_secs(&cfg, scheme::none());
+    eprintln!(
+        "dense (no dropout) epoch {:>9.3} ms (crs baseline)",
+        dense_secs * 1e3
+    );
+    let rate = |p: f64| DropoutRate::new(p).unwrap();
+    let crs_variants: Vec<Variant> = vec![
+        Variant {
+            key: "crs_0_25",
+            params: "keep 0.25".into(),
+            rate: 0.0,
+            full: scheme::crs(0.25).unwrap(),
+            scaled: scheme::crs(0.25).unwrap(),
+        },
+        Variant {
+            key: "crs_0_50",
+            params: "keep 0.5".into(),
+            rate: 0.0,
+            full: scheme::crs(0.5).unwrap(),
+            scaled: scheme::crs(0.5).unwrap(),
+        },
+        Variant {
+            key: "crs_0_75",
+            params: "keep 0.75".into(),
+            rate: 0.0,
+            full: scheme::crs(0.75).unwrap(),
+            scaled: scheme::crs(0.75).unwrap(),
+        },
+        Variant {
+            key: "row_only",
+            params: "rate 0.5, max_dp 16".into(),
+            rate: 0.5,
+            full: scheme::row(rate(0.5), 16).unwrap(),
+            scaled: scheme::row(rate(0.5), 8).unwrap(),
+        },
+        Variant {
+            key: "row_crs",
+            params: "rate 0.5, max_dp 16, keep 0.5".into(),
+            rate: 0.5,
+            full: scheme::row_crs(rate(0.5), 16, 0.5).unwrap(),
+            scaled: scheme::row_crs(rate(0.5), 8, 0.5).unwrap(),
+        },
+    ];
+    let mut crs_rows = Vec::new();
+    for variant in crs_variants {
+        let cpu_secs = cpu_epoch_secs(&cfg, variant.scaled.clone());
+        let cpu_speedup = dense_secs / cpu_secs;
+        let baseline = scheme::none();
+        let sims: Vec<(&str, f64)> = models
+            .iter()
+            .map(|(device_key, model)| {
+                (
+                    *device_key,
+                    model.speedup(&*baseline, &*variant.full, cfg.samples, 0x5EED),
+                )
+            })
+            .collect();
+        eprintln!(
+            "{:<10} epoch {:>10.3} ms ({:.2}x cpu vs dense; sim {:.2}x / {:.2}x / {:.2}x)",
+            variant.key,
+            cpu_secs * 1e3,
+            cpu_speedup,
+            sims[0].1,
+            sims[1].1,
+            sims[2].1
+        );
+        crs_rows.push((variant, cpu_secs, cpu_speedup, sims));
+    }
+
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let variant_json: Vec<String> = rows
         .iter()
@@ -258,15 +338,33 @@ fn main() {
         })
         .collect();
 
+    let crs_json: Vec<String> = crs_rows
+        .iter()
+        .map(|(variant, cpu_secs, cpu_speedup, sims)| {
+            let sim_fields: Vec<String> = sims
+                .iter()
+                .map(|(device, speedup)| format!("\"sim_speedup_{device}\": {speedup:.3}"))
+                .collect();
+            format!(
+                "    \"{key}\": {{\n      \"params\": \"{params}\",\n      \"cpu_secs\": {cpu_secs:.6},\n      \"cpu_speedup_vs_dense\": {cpu_speedup:.3},\n      {sim}\n    }}",
+                key = variant.key,
+                params = variant.params,
+                sim = sim_fields.join(",\n      "),
+            )
+        })
+        .collect();
+
     let json = format!(
-        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"tensor_threads\": {threads},\n  \"cpu_epoch\": {{\n    \"batch\": {batch},\n    \"batches\": {batches},\n    \"hidden\": [{hid}, {hid}],\n    \"bernoulli_secs\": {bern:.6}\n  }},\n  \"simulated_network\": \"paper MLP 784x2048x2048x10, batch 128\",\n  \"tensor_core_2_4\": {{\n    \"device\": \"sparse_tensor_core\",\n    \"sim_speedup_vs_gather_pricing\": {tc_vs_gather:.3},\n    \"sim_speedup_vs_bernoulli\": {tc_vs_bernoulli:.3}\n  }},\n  \"variants\": {{\n{variants}\n  }}\n}}\n",
+        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"tensor_threads\": {threads},\n  \"cpu_epoch\": {{\n    \"batch\": {batch},\n    \"batches\": {batches},\n    \"hidden\": [{hid}, {hid}],\n    \"bernoulli_secs\": {bern:.6},\n    \"dense_secs\": {dense:.6}\n  }},\n  \"simulated_network\": \"paper MLP 784x2048x2048x10, batch 128\",\n  \"tensor_core_2_4\": {{\n    \"device\": \"sparse_tensor_core\",\n    \"sim_speedup_vs_gather_pricing\": {tc_vs_gather:.3},\n    \"sim_speedup_vs_bernoulli\": {tc_vs_bernoulli:.3}\n  }},\n  \"variants\": {{\n{variants}\n  }},\n  \"crs\": {{\n{crs}\n  }}\n}}\n",
         mode = cfg.mode,
         threads = pool::threads(),
         batch = cfg.batch,
         batches = cfg.batches,
         hid = cfg.hidden,
         bern = bernoulli_secs,
+        dense = dense_secs,
         variants = variant_json.join(",\n"),
+        crs = crs_json.join(",\n"),
     );
 
     let out_path = std::env::var("BENCH_STRUCTURED_OUT")
@@ -314,6 +412,46 @@ fn main() {
             failures.push(format!(
                 "tensor-core 2:4 pricing {tc_vs_gather:.3}x <= 1.0x vs its own gather pricing"
             ));
+        }
+        // CRS gates: every sampled-GEMM row must keep a simulated win over
+        // the dense baseline on every device, the k/K = 1/2 row must show a
+        // *measured* CPU win over the dense epoch, and the composed row×CRS
+        // entry must beat both of its axes alone on every device.
+        for (variant, _, cpu_speedup, sims) in &crs_rows {
+            if !variant.key.starts_with("crs_") && variant.key != "row_crs" {
+                continue;
+            }
+            for (device, speedup) in sims {
+                if *speedup <= 1.0 {
+                    failures.push(format!(
+                        "{} simulated speedup {speedup:.2}x <= 1.0x vs dense on {device}",
+                        variant.key
+                    ));
+                }
+            }
+            if variant.key == "crs_0_50" && *cpu_speedup <= 1.0 {
+                failures.push(format!(
+                    "crs_0_50 measured CPU speedup {cpu_speedup:.2}x <= 1.0x vs the dense epoch"
+                ));
+            }
+        }
+        let crs_sims = |key: &str| -> &[(&str, f64)] {
+            crs_rows
+                .iter()
+                .find(|(variant, ..)| variant.key == key)
+                .map(|(_, _, _, sims)| sims.as_slice())
+                .expect("crs section rows are always benchmarked")
+        };
+        for ((d_composed, s_composed), ((_, s_crs), (_, s_row))) in crs_sims("row_crs")
+            .iter()
+            .zip(crs_sims("crs_0_50").iter().zip(crs_sims("row_only")))
+        {
+            if s_composed <= s_crs || s_composed <= s_row {
+                failures.push(format!(
+                    "composed row_crs {s_composed:.2}x must exceed both axes alone \
+                     (crs {s_crs:.2}x, row {s_row:.2}x) on {d_composed}"
+                ));
+            }
         }
         if !failures.is_empty() {
             eprintln!("BENCH_ASSERT failures:");

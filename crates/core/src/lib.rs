@@ -49,6 +49,7 @@
 //! ```
 
 pub mod bernoulli;
+pub mod crs;
 pub mod equivalence;
 pub mod error;
 pub mod pattern;
@@ -61,9 +62,10 @@ pub mod search;
 pub mod structured;
 
 pub use bernoulli::BernoulliDropout;
+pub use crs::CrsSampling;
 pub use error::DropoutError;
 pub use pattern::{DropoutPattern, PatternKind, RowPattern, SampledPattern, TileGrid, TilePattern};
-pub use plan::{DropoutPlan, FusedBody, KernelSchedule, LayerShape};
+pub use plan::{CrsSelection, DropoutPlan, FusedBody, KernelSchedule, LayerShape};
 pub use plan_cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use rate::DropoutRate;
 pub use sampler::{ApproxDropoutBuilder, ApproxDropoutLayer, PatternSampler};

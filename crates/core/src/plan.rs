@@ -104,6 +104,30 @@ pub enum KernelSchedule {
         /// Block width in neurons.
         block: usize,
     },
+    /// Sampled GEMM under column-row sampling (CRS, arXiv:1805.08079): only
+    /// `kept_k` of the `total_k` inner products are computed, the product is
+    /// scaled by `K/k` for unbiasedness, and the output stays full-width
+    /// dense — the compaction is on the *inner* dimension, orthogonal to
+    /// every output-neuron dropout family above.
+    CrsCompact {
+        /// Inner-dimension indices actually multiplied.
+        kept_k: usize,
+        /// Inner dimension of the full GEMM.
+        total_k: usize,
+    },
+    /// Composed row-dropout × CRS launch: the N dimension is compacted by a
+    /// row dropout plan while the K dimension is sampled by CRS in the same
+    /// kernel call, so the executed fraction is the *product* of both axes.
+    RowCrsCompact {
+        /// Output neurons actually computed.
+        kept_n: usize,
+        /// Output neurons of the full layer.
+        total_n: usize,
+        /// Inner-dimension indices actually multiplied.
+        kept_k: usize,
+        /// Inner dimension of the full GEMM.
+        total_k: usize,
+    },
     /// Fused whole-layer launch: the GEMM runs `body`'s compaction and the
     /// bias add + activation execute in the kernel's write-back loop — one
     /// launch per layer instead of the GEMM → bias/activation elementwise
@@ -162,6 +186,24 @@ pub enum FusedBody {
         /// Block width in neurons.
         block: usize,
     },
+    /// CRS-sampled body over `kept_k` of `total_k` inner products.
+    CrsCompact {
+        /// Inner-dimension indices actually multiplied.
+        kept_k: usize,
+        /// Inner dimension of the full GEMM.
+        total_k: usize,
+    },
+    /// Composed row-dropout × CRS body.
+    RowCrsCompact {
+        /// Output neurons actually computed.
+        kept_n: usize,
+        /// Output neurons of the full layer.
+        total_n: usize,
+        /// Inner-dimension indices actually multiplied.
+        kept_k: usize,
+        /// Inner dimension of the full GEMM.
+        total_k: usize,
+    },
 }
 
 impl FusedBody {
@@ -177,6 +219,20 @@ impl FusedBody {
             FusedBody::BlockCompact { kept, total, block } => {
                 KernelSchedule::BlockCompact { kept, total, block }
             }
+            FusedBody::CrsCompact { kept_k, total_k } => {
+                KernelSchedule::CrsCompact { kept_k, total_k }
+            }
+            FusedBody::RowCrsCompact {
+                kept_n,
+                total_n,
+                kept_k,
+                total_k,
+            } => KernelSchedule::RowCrsCompact {
+                kept_n,
+                total_n,
+                kept_k,
+                total_k,
+            },
         }
     }
 }
@@ -196,6 +252,28 @@ impl KernelSchedule {
                 }
             }
             KernelSchedule::NmCompact { n, m } => n as f64 / m as f64,
+            KernelSchedule::CrsCompact { kept_k, total_k } => {
+                if total_k == 0 {
+                    1.0
+                } else {
+                    kept_k as f64 / total_k as f64
+                }
+            }
+            KernelSchedule::RowCrsCompact {
+                kept_n,
+                total_n,
+                kept_k,
+                total_k,
+            } => {
+                // Both axes compact independently, so the executed fraction
+                // of the dense GEMM is the product of the two ratios.
+                KernelSchedule::RowCompact {
+                    kept: kept_n,
+                    total: total_n,
+                }
+                .kept_fraction()
+                    * KernelSchedule::CrsCompact { kept_k, total_k }.kept_fraction()
+            }
             KernelSchedule::Fused { body, .. } => body.schedule().kept_fraction(),
             _ => 1.0,
         }
@@ -221,7 +299,9 @@ impl KernelSchedule {
             KernelSchedule::RowCompact { .. }
             | KernelSchedule::TileCompact { .. }
             | KernelSchedule::NmCompact { .. }
-            | KernelSchedule::BlockCompact { .. } => true,
+            | KernelSchedule::BlockCompact { .. }
+            | KernelSchedule::CrsCompact { .. }
+            | KernelSchedule::RowCrsCompact { .. } => true,
             KernelSchedule::Fused { body, .. } => body.schedule().is_compacted(),
             _ => false,
         }
@@ -242,6 +322,20 @@ impl KernelSchedule {
             KernelSchedule::BlockCompact { kept, total, block } => {
                 FusedBody::BlockCompact { kept, total, block }
             }
+            KernelSchedule::CrsCompact { kept_k, total_k } => {
+                FusedBody::CrsCompact { kept_k, total_k }
+            }
+            KernelSchedule::RowCrsCompact {
+                kept_n,
+                total_n,
+                kept_k,
+                total_k,
+            } => FusedBody::RowCrsCompact {
+                kept_n,
+                total_n,
+                kept_k,
+                total_k,
+            },
             KernelSchedule::Fused { body, .. } => body,
         };
         KernelSchedule::Fused { body, activation }
@@ -252,6 +346,88 @@ impl KernelSchedule {
         match self {
             KernelSchedule::Fused { body, .. } => body.schedule(),
             other => other,
+        }
+    }
+}
+
+/// The sampled column-row selection (CRS, arXiv:1805.08079) a plan carries
+/// when its GEMM is K-dimension sampled: the kept inner indices in ascending
+/// order, the full inner width, and the `K/k` unbiasedness scale.
+///
+/// The CRS scale is deliberately *not* folded into [`DropoutPlan::scale`]:
+/// the dropout scale multiplies post-bias activations while the CRS scale
+/// corrects the raw GEMM product *before* the bias is added, so the two live
+/// on different sides of the epilogue.
+#[derive(Debug, PartialEq)]
+pub struct CrsSelection {
+    /// Kept inner-dimension indices, strictly ascending.
+    kept: Vec<usize>,
+    /// Inner dimension of the full GEMM.
+    total: usize,
+}
+
+impl Clone for CrsSelection {
+    fn clone(&self) -> Self {
+        Self {
+            kept: self.kept.clone(),
+            total: self.total,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.kept.clone_from(&source.kept);
+        self.total = source.total;
+    }
+}
+
+impl CrsSelection {
+    /// An empty selection — the natural initial state of a recycled buffer.
+    pub fn empty() -> Self {
+        Self {
+            kept: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Re-resolves the selection in place, recycling the kept-index vector:
+    /// `fill` receives the cleared vector and must push kept inner indices
+    /// in strictly ascending order, at least one unless `total` is zero.
+    fn resolve(&mut self, total: usize, fill: impl FnOnce(&mut Vec<usize>)) {
+        self.total = total;
+        self.kept.clear();
+        fill(&mut self.kept);
+        assert!(
+            !self.kept.is_empty() || total == 0,
+            "CRS must keep at least one inner index"
+        );
+        debug_assert!(
+            self.kept.windows(2).all(|w| w[0] < w[1]),
+            "kept inner indices must be strictly ascending"
+        );
+        debug_assert!(
+            self.kept.iter().all(|&i| i < total),
+            "kept inner index out of bounds"
+        );
+    }
+
+    /// Kept inner-dimension indices in ascending order.
+    pub fn kept_indices(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// Inner dimension of the full GEMM.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The `K/k` unbiasedness multiplier for the sampled product — exactly
+    /// 1.0 in the `k == K` degeneracy so the dense path is reproduced
+    /// bitwise.
+    pub fn scale(&self) -> f32 {
+        if self.kept.is_empty() || self.kept.len() == self.total {
+            1.0
+        } else {
+            self.total as f32 / self.kept.len() as f32
         }
     }
 }
@@ -280,6 +456,10 @@ pub struct DropoutPlan {
     /// Sampled structured-sparsity decision (N:M lanes or unit blocks), if
     /// this is a structured plan.
     structured: Option<StructuredUnits>,
+    /// Sampled inner-dimension (CRS) selection, if this plan's GEMM is
+    /// K-sampled. Orthogonal to the output-neuron families above and may
+    /// coexist with `rows` (the composed row × CRS launch).
+    crs: Option<CrsSelection>,
     schedule: KernelSchedule,
     nominal_rate: f64,
 }
@@ -293,6 +473,7 @@ impl Clone for DropoutPlan {
             tiles: self.tiles.clone(),
             mask: self.mask.clone(),
             structured: self.structured.clone(),
+            crs: self.crs.clone(),
             schedule: self.schedule,
             nominal_rate: self.nominal_rate,
         }
@@ -325,6 +506,10 @@ impl Clone for DropoutPlan {
             (Some(dst), Some(src)) => dst.clone_from(src),
             (dst, src) => *dst = src.clone(),
         }
+        match (&mut self.crs, &source.crs) {
+            (Some(dst), Some(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
     }
 }
 
@@ -346,6 +531,7 @@ impl DropoutPlan {
             tiles: None,
             mask: None,
             structured: None,
+            crs: None,
             schedule: KernelSchedule::Dense,
             nominal_rate: 0.0,
         }
@@ -370,6 +556,7 @@ impl DropoutPlan {
             tiles: None,
             mask: Some(mask),
             structured: None,
+            crs: None,
             schedule: KernelSchedule::DenseWithMask,
             nominal_rate,
         }
@@ -403,6 +590,7 @@ impl DropoutPlan {
             tiles: None,
             mask: None,
             structured: None,
+            crs: None,
             schedule,
         }
     }
@@ -422,6 +610,7 @@ impl DropoutPlan {
             tiles: Some((pattern, grid)),
             mask: None,
             structured: None,
+            crs: None,
             schedule,
         }
     }
@@ -471,6 +660,12 @@ impl DropoutPlan {
             .unwrap_or_else(StructuredUnits::empty)
     }
 
+    /// Extracts the CRS-selection buffer (if any) so a `reset_crs_with` /
+    /// `attach_crs_with` call can recycle its kept-index vector.
+    fn take_crs_buffer(&mut self) -> CrsSelection {
+        self.crs.take().unwrap_or_else(CrsSelection::empty)
+    }
+
     /// Re-resolves this plan in place as the identity (dense GEMM, nothing
     /// dropped).
     pub fn reset_none(&mut self, shape: LayerShape) {
@@ -480,6 +675,7 @@ impl DropoutPlan {
         self.tiles = None;
         self.mask = None;
         self.structured = None;
+        self.crs = None;
         self.schedule = KernelSchedule::Dense;
         self.nominal_rate = 0.0;
     }
@@ -512,6 +708,7 @@ impl DropoutPlan {
         self.tiles = None;
         self.mask = Some(mask);
         self.structured = None;
+        self.crs = None;
         self.schedule = KernelSchedule::DenseWithMask;
         self.nominal_rate = nominal_rate;
     }
@@ -550,6 +747,7 @@ impl DropoutPlan {
         self.tiles = None;
         self.mask = None;
         self.structured = None;
+        self.crs = None;
     }
 
     /// Re-resolves this plan in place as a tile plan for `pattern` on `grid`,
@@ -574,6 +772,7 @@ impl DropoutPlan {
         self.tiles = Some((sampled, grid));
         self.mask = None;
         self.structured = None;
+        self.crs = None;
     }
 
     /// Re-resolves this plan in place as an N:M plan, recycling the
@@ -598,6 +797,7 @@ impl DropoutPlan {
         self.tiles = None;
         self.mask = None;
         self.structured = Some(units);
+        self.crs = None;
     }
 
     /// Re-resolves this plan in place as a block-unit plan, recycling the
@@ -627,6 +827,71 @@ impl DropoutPlan {
         self.tiles = None;
         self.mask = None;
         self.structured = Some(units);
+        self.crs = None;
+    }
+
+    /// Re-resolves this plan in place as a pure CRS-sampling plan: dense
+    /// output (nothing dropped), `kept_k` of `total_k` inner products
+    /// executed, recycling the kept-index buffer. `fill` receives the
+    /// cleared vector and must push kept inner indices in strictly
+    /// ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` keeps nothing while `total_k > 0`.
+    pub fn reset_crs_with(
+        &mut self,
+        shape: LayerShape,
+        total_k: usize,
+        fill: impl FnOnce(&mut Vec<usize>),
+    ) {
+        let mut selection = self.take_crs_buffer();
+        selection.resolve(total_k, fill);
+        let kept_k = selection.kept_indices().len();
+        self.shape = shape;
+        self.scale = 1.0;
+        // CRS drops no neurons; the nominal rate records the fraction of
+        // inner products skipped, which is what the pricing model needs.
+        self.nominal_rate = if total_k == 0 {
+            0.0
+        } else {
+            1.0 - kept_k as f64 / total_k as f64
+        };
+        self.rows = None;
+        self.tiles = None;
+        self.mask = None;
+        self.structured = None;
+        self.crs = Some(selection);
+        self.schedule = KernelSchedule::CrsCompact { kept_k, total_k };
+    }
+
+    /// Attaches a CRS inner-dimension selection to an already-resolved plan,
+    /// composing the two approximation axes: a dense plan upgrades to
+    /// [`KernelSchedule::CrsCompact`], a row-compacted plan to the composed
+    /// [`KernelSchedule::RowCrsCompact`] launch. The dropout fields (rows,
+    /// scale, nominal rate) are left untouched — CRS is a GEMM
+    /// approximation, not extra dropout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` keeps nothing while `total_k > 0`, or if the plan's
+    /// schedule is neither dense nor row-compacted (CRS does not compose
+    /// with the mask, tile, N:M or block families).
+    pub fn attach_crs_with(&mut self, total_k: usize, fill: impl FnOnce(&mut Vec<usize>)) {
+        let mut selection = self.take_crs_buffer();
+        selection.resolve(total_k, fill);
+        let kept_k = selection.kept_indices().len();
+        self.schedule = match self.schedule {
+            KernelSchedule::Dense => KernelSchedule::CrsCompact { kept_k, total_k },
+            KernelSchedule::RowCompact { kept, total } => KernelSchedule::RowCrsCompact {
+                kept_n: kept,
+                total_n: total,
+                kept_k,
+                total_k,
+            },
+            other => panic!("CRS composes with dense or row-compacted plans, not {other:?}"),
+        };
+        self.crs = Some(selection);
     }
 
     /// The layer shape this plan was resolved against.
@@ -695,12 +960,26 @@ impl DropoutPlan {
         }
     }
 
-    /// `true` when the plan performs no dropout at all.
+    /// The sampled inner-dimension (CRS) selection, if this plan's GEMM is
+    /// K-sampled.
+    pub fn crs_selection(&self) -> Option<&CrsSelection> {
+        self.crs.as_ref()
+    }
+
+    /// The `K/k` unbiasedness multiplier the kernel applies to the sampled
+    /// GEMM product before the bias (1.0 when the plan is not CRS-sampled
+    /// or keeps every inner index).
+    pub fn crs_scale(&self) -> f32 {
+        self.crs.as_ref().map_or(1.0, CrsSelection::scale)
+    }
+
+    /// `true` when the plan performs no approximation at all.
     pub fn is_identity(&self) -> bool {
         self.rows.is_none()
             && self.tiles.is_none()
             && self.mask.is_none()
             && self.structured.is_none()
+            && self.crs.is_none()
     }
 
     /// Per-output-column multiplier implementing this plan on an activation
@@ -984,6 +1263,16 @@ mod tests {
                 total: 2,
                 block: 16,
             },
+            KernelSchedule::CrsCompact {
+                kept_k: 4,
+                total_k: 16,
+            },
+            KernelSchedule::RowCrsCompact {
+                kept_n: 3,
+                total_n: 8,
+                kept_k: 4,
+                total_k: 16,
+            },
         ];
         for schedule in schedules {
             let fused = schedule.fused(Activation::Relu);
@@ -1007,5 +1296,98 @@ mod tests {
     #[should_panic(expected = "mask length must match")]
     fn bernoulli_plan_rejects_wrong_mask_length() {
         let _ = DropoutPlan::bernoulli(LayerShape::vector(4), vec![1.0], 2.0, 0.5);
+    }
+
+    #[test]
+    fn crs_plan_samples_the_inner_dimension_only() {
+        let mut plan = DropoutPlan::none(LayerShape::new(8, 6));
+        plan.reset_crs_with(LayerShape::new(8, 6), 8, |kept| kept.extend([0, 2, 5, 7]));
+        assert!(!plan.is_identity());
+        // Output-side views are untouched: no neuron is dropped.
+        assert_eq!(plan.scale(), 1.0);
+        assert_eq!(plan.active_output_fraction(), 1.0);
+        assert_eq!(plan.column_multiplier(6), vec![1.0; 6]);
+        assert!(plan.compact_rows().is_none());
+        // Inner-side views carry the selection and the K/k scale.
+        let selection = plan.crs_selection().unwrap();
+        assert_eq!(selection.kept_indices(), &[0, 2, 5, 7]);
+        assert_eq!(selection.total(), 8);
+        assert_eq!(plan.crs_scale(), 2.0);
+        assert!((plan.nominal_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            *plan.kernel_schedule(),
+            KernelSchedule::CrsCompact {
+                kept_k: 4,
+                total_k: 8
+            }
+        );
+        assert!((plan.kernel_schedule().kept_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crs_keeping_every_index_has_unit_scale() {
+        let mut plan = DropoutPlan::default();
+        plan.reset_crs_with(LayerShape::new(4, 3), 4, |kept| kept.extend(0..4));
+        assert_eq!(plan.crs_scale(), 1.0);
+        assert_eq!(plan.nominal_rate(), 0.0);
+    }
+
+    #[test]
+    fn attach_crs_composes_with_a_row_plan() {
+        let mut plan = row_plan(2, 0, 10);
+        plan.attach_crs_with(6, |kept| kept.extend([1, 4, 5]));
+        // The row decision is untouched…
+        assert_eq!(plan.compact_rows().unwrap(), &[0, 2, 4, 6, 8]);
+        assert_eq!(plan.scale(), 2.0);
+        // …and the schedule is the composed launch whose executed fraction
+        // is the product of both axes.
+        assert_eq!(
+            *plan.kernel_schedule(),
+            KernelSchedule::RowCrsCompact {
+                kept_n: 5,
+                total_n: 10,
+                kept_k: 3,
+                total_k: 6,
+            }
+        );
+        assert!((plan.kernel_schedule().kept_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(plan.crs_scale(), 2.0);
+    }
+
+    #[test]
+    fn crs_plan_buffers_are_recycled_through_clone_from_and_reset() {
+        let mut plan = DropoutPlan::default();
+        plan.reset_crs_with(LayerShape::new(8, 4), 8, |kept| kept.extend([0, 3, 6]));
+        let ptr = plan.crs_selection().unwrap().kept_indices().as_ptr();
+        plan.reset_crs_with(LayerShape::new(8, 4), 8, |kept| kept.extend([1, 2, 7]));
+        assert_eq!(
+            ptr,
+            plan.crs_selection().unwrap().kept_indices().as_ptr(),
+            "reset_crs_with must reuse the kept-index buffer"
+        );
+        let mut copy = plan.clone();
+        plan.reset_crs_with(LayerShape::new(8, 4), 8, |kept| kept.extend([4, 5]));
+        let copy_ptr = copy.crs_selection().unwrap().kept_indices().as_ptr();
+        copy.clone_from(&plan);
+        assert_eq!(
+            copy_ptr,
+            copy.crs_selection().unwrap().kept_indices().as_ptr(),
+            "clone_from must reuse the destination's kept-index buffer"
+        );
+        assert_eq!(copy, plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one inner index")]
+    fn crs_plan_rejects_an_empty_selection() {
+        let mut plan = DropoutPlan::default();
+        plan.reset_crs_with(LayerShape::new(4, 4), 4, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "CRS composes with dense or row-compacted")]
+    fn attach_crs_rejects_incompatible_families() {
+        let mut plan = DropoutPlan::bernoulli(LayerShape::vector(3), vec![1.0, 0.0, 1.0], 2.0, 0.5);
+        plan.attach_crs_with(4, |kept| kept.extend([0, 1]));
     }
 }

@@ -372,6 +372,37 @@ pub fn block_unit(rate: DropoutRate, block: usize) -> Result<Box<dyn DropoutSche
     Ok(Box::new(crate::structured::BlockUnit::new(rate, block)?))
 }
 
+/// Boxed pure CRS-sampling scheme: every iteration keeps `round(keep · K)`
+/// uniformly chosen inner-dimension indices of the layer's GEMM and the
+/// kernel scales the product by `K/k` for unbiasedness. No neuron is
+/// dropped — this approximates the GEMM itself.
+///
+/// # Errors
+///
+/// Propagates [`DropoutError`] from parameter validation.
+pub fn crs(keep: f64) -> Result<Box<dyn DropoutScheme>, DropoutError> {
+    Ok(Box::new(crate::crs::CrsSampling::new(keep)?))
+}
+
+/// Boxed composed row-dropout × CRS scheme: the row scheme (Algorithm 1 at
+/// `rate` with periods up to `max_dp`) compacts the output dimension while
+/// CRS samples `round(keep · K)` inner indices of the *same* kernel call, so
+/// the two speedups multiply.
+///
+/// # Errors
+///
+/// Propagates [`DropoutError`] from the search or parameter validation.
+pub fn row_crs(
+    rate: DropoutRate,
+    max_dp: usize,
+    keep: f64,
+) -> Result<Box<dyn DropoutScheme>, DropoutError> {
+    Ok(Box::new(crate::crs::CrsSampling::composed(
+        keep,
+        row(rate, max_dp)?,
+    )?))
+}
+
 /// Boxed pattern scheme of either family with the paper's defaults
 /// (`max_dp = 16`, 32×32 tiles).
 ///

@@ -63,6 +63,8 @@ pub enum KernelKind {
     NmCompactGemm,
     /// Block-compacted GEMM (structured unit dropout).
     BlockCompactGemm,
+    /// K-dimension sampled GEMM (column-row sampling, CRS).
+    CrsCompactGemm,
     /// Dense GEMM with naive per-thread branch skipping (divergent).
     DivergentGemm,
     /// Conventional dropout: mask generation + elementwise multiply.
@@ -79,6 +81,7 @@ impl fmt::Display for KernelKind {
             KernelKind::TileCompactGemm => "tile-compact-gemm",
             KernelKind::NmCompactGemm => "nm-compact-gemm",
             KernelKind::BlockCompactGemm => "block-compact-gemm",
+            KernelKind::CrsCompactGemm => "crs-compact-gemm",
             KernelKind::DivergentGemm => "divergent-gemm",
             KernelKind::DropoutMask => "dropout-mask",
             KernelKind::Elementwise => "elementwise",
@@ -496,6 +499,62 @@ pub fn block_compact_gemm(
     KernelStats::finalize(gpu, stats)
 }
 
+/// Relative memory inefficiency of gathering the scattered kept inner (K)
+/// indices of a CRS-sampled GEMM: the kept columns of `A` and rows of `W`
+/// sit at arbitrary offsets, so the operand feeds coalesce like the N:M
+/// within-group gather rather than a contiguous stream.
+pub const CRS_GATHER_INEFFICIENCY: f64 = 1.08;
+
+/// Cycles charged per warp-wide window of the K dimension for decoding the
+/// kept-index list (which inner products run) before the GEMM.
+pub const CRS_METADATA_CYCLES: f64 = 2.0;
+
+/// K-dimension sampled GEMM (column-row sampling, CRS — Adelman &
+/// Silberstein): only `kept_k` of the `k` inner products execute, so the
+/// compute phase scales with `k/K` while the output stays full-width dense —
+/// **no** zero-fill for the pure scheme, unlike the output-compacting
+/// families. `kept_n` prices the composed dropout×CRS call: when a dropout
+/// plan additionally compacts the output columns the GEMM runs at
+/// `M × kept_k × kept_n` and the dropped output lanes are zero-filled, so
+/// the two approximation axes multiply inside one launch.
+///
+/// Like [`nm_gather_gemm`], the scattered kept-index feeds live in the
+/// operand-fetch inner loop: the compute phase is pinned to the SIMT FMA
+/// lanes (a matrix engine needs dense contiguous tiles), the gather pays a
+/// modest read inefficiency ([`CRS_GATHER_INEFFICIENCY`]) and the kept-index
+/// metadata decode charges one pass over the warp-wide K windows.
+pub fn crs_compact_gemm(
+    gpu: &GpuConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    kept_k: usize,
+    kept_n: usize,
+) -> KernelStats {
+    // Same degenerate-shape guards as the N:M gather model: at least one
+    // inner product / output lane survives when the dimension has any.
+    let kept_k = kept_k.clamp(usize::from(k > 0), k.max(1));
+    let kept_n = kept_n.clamp(usize::from(n > 0), n.max(1));
+
+    let mut stats = gemm_core(gpu, KernelKind::CrsCompactGemm, m, kept_k, kept_n);
+    // The irregular K-gather feeds run on the SIMT lanes, not the tensor
+    // cores (identical on SIMT-only devices).
+    stats.compute_cycles = stats.flops / gpu.flops_per_cycle();
+    // Scattered kept-index gather: slightly less efficient operand fetches.
+    let extra_read = stats.global_read_bytes * (CRS_GATHER_INEFFICIENCY - 1.0);
+    stats.global_read_bytes += extra_read;
+    stats.memory_cycles += extra_read / gpu.bytes_per_cycle();
+    // Zero-fill of dropped output lanes — only the composed call has any;
+    // the pure CRS output is dense and this term is zero.
+    let dropped_bytes = m as f64 * n.saturating_sub(kept_n) as f64 * F32;
+    stats.global_write_bytes += dropped_bytes;
+    stats.memory_cycles += dropped_bytes / gpu.bytes_per_cycle();
+    // Kept-index metadata decode: one pass over the warp-wide K windows.
+    let groups = ceil_div(k.max(1), gpu.warp_size.max(1));
+    stats.overhead_cycles += groups as f64 * CRS_METADATA_CYCLES;
+    KernelStats::finalize(gpu, stats)
+}
+
 /// Relative memory inefficiency of the tile-compacted kernel: gathering
 /// scattered tiles coalesces slightly worse than streaming contiguous rows.
 pub const TILE_GATHER_INEFFICIENCY: f64 = 1.15;
@@ -719,6 +778,94 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn crs_compact_is_faster_than_dense_and_slower_than_ideal() {
+        let g = gpu();
+        let dense = dense_gemm(&g, 128, 2048, 2048);
+        let half = crs_compact_gemm(&g, 128, 2048, 2048, 1024, 2048);
+        let ideal = dense_gemm(&g, 128, 1024, 2048);
+        assert!(half.time_us() < dense.time_us());
+        assert!(half.time_us() >= ideal.time_us());
+    }
+
+    #[test]
+    fn crs_compact_prices_monotonically_in_kept_k() {
+        let g = gpu();
+        let series: Vec<f64> = [2048, 1536, 1024, 512, 256]
+            .iter()
+            .map(|&kk| crs_compact_gemm(&g, 128, 2048, 2048, kk, 2048).time_us())
+            .collect();
+        for w in series.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "sampling fewer inner products must not price slower: {series:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crs_with_all_inner_products_is_no_faster_than_dense() {
+        // Degenerate k == K still pays the gather inefficiency and the
+        // kept-index metadata decode, so it can never undercut dense.
+        for g in [
+            GpuConfig::gtx_1080ti(),
+            GpuConfig::server_hbm(),
+            GpuConfig::sparse_tensor_core(),
+        ] {
+            let dense = dense_gemm(&g, 64, 512, 512);
+            let all = crs_compact_gemm(&g, 64, 512, 512, 512, 512);
+            assert!(
+                all.time_us() >= dense.time_us() * 0.999,
+                "{}: crs all-kept {} vs dense {}",
+                g.name,
+                all.time_us(),
+                dense.time_us()
+            );
+        }
+    }
+
+    #[test]
+    fn composed_row_crs_is_faster_than_either_axis_alone() {
+        // The composed launch executes kk/K × kn/N of the dense work, so it
+        // must price below both the pure CRS call and the pure row-compact
+        // call at the same per-axis fractions.
+        let g = gpu();
+        let crs_only = crs_compact_gemm(&g, 128, 2048, 2048, 1024, 2048);
+        let row_only = row_compact_gemm(&g, 128, 2048, 2048, 1024);
+        let composed = crs_compact_gemm(&g, 128, 2048, 2048, 1024, 1024);
+        assert!(composed.time_us() < crs_only.time_us());
+        assert!(composed.time_us() < row_only.time_us());
+    }
+
+    #[test]
+    fn crs_zero_fills_dropped_output_lanes_only_when_composed() {
+        let g = gpu();
+        let pure = crs_compact_gemm(&g, 128, 2048, 2048, 1024, 2048);
+        let composed = crs_compact_gemm(&g, 128, 2048, 2048, 1024, 1024);
+        // Pure CRS writes the full dense output; the composed call writes the
+        // kept lanes plus a zero-fill of the dropped ones — in both cases the
+        // total write volume covers the full output matrix.
+        assert!((pure.global_write_bytes - 128.0 * 2048.0 * F32).abs() < 1.0);
+        assert!((composed.global_write_bytes - 128.0 * 2048.0 * F32).abs() < 1.0);
+    }
+
+    #[test]
+    fn crs_compute_is_simt_pinned() {
+        // On the tensor-core preset the scattered K-gather cannot feed the
+        // matrix engine: the compute phase prices at the SIMT FMA rate.
+        let sparse = GpuConfig::sparse_tensor_core();
+        let stats = crs_compact_gemm(&sparse, 128, 2048, 2048, 1024, 2048);
+        assert!((stats.compute_cycles - stats.flops / sparse.flops_per_cycle()).abs() < 1.0);
+    }
+
+    #[test]
+    fn crs_degenerate_shapes_keep_at_least_one_inner_product() {
+        let g = gpu();
+        let s = crs_compact_gemm(&g, 4, 8, 8, 0, 8);
+        assert!(s.flops > 0.0);
+        assert!(s.time_us() > 0.0);
     }
 
     #[test]

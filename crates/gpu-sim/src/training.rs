@@ -492,7 +492,24 @@ impl NetworkTimingModel {
         let k_eff = scaled_dim(in_dim, input_keep);
         let steps = spec.seq_len as f64;
 
-        let input_gemm = kernels::dense_gemm(gpu, spec.batch, k_eff, h4);
+        // A CRS schedule samples the inner products of the GEMM consuming
+        // this plan position: the layer's input GEMM gathers `kept_k/total_k`
+        // of its K dimension per timestep. The recurrent GEMM keeps full
+        // fidelity — sampling the state-to-state path every step would
+        // compound the approximation across the sequence. Plans resolved
+        // against the vector-shaped LSTM positions degenerate to
+        // `kept_k == total_k`; the executor falls back to the dense GEMM
+        // there, so the pricing must too.
+        let input_gemm = match *schedule {
+            KernelSchedule::CrsCompact { kept_k, total_k }
+            | KernelSchedule::RowCrsCompact {
+                kept_k, total_k, ..
+            } if total_k > 0 && kept_k < total_k => {
+                let kk = scaled_dim(k_eff, kept_k as f64 / total_k as f64);
+                kernels::crs_compact_gemm(gpu, spec.batch, k_eff, h4, kk, h4)
+            }
+            _ => kernels::dense_gemm(gpu, spec.batch, k_eff, h4),
+        };
         let recurrent_gemm = kernels::dense_gemm(gpu, spec.batch, spec.hidden, h4);
         let gates = kernels::elementwise(gpu, spec.batch, h4, 2, 1, 6.0);
         let forward_step = input_gemm.merged_with(&recurrent_gemm).merged_with(&gates);
@@ -651,6 +668,46 @@ pub fn price_fc_schedule(
             );
             (fwd, bwd, 0.0)
         }
+        KernelSchedule::CrsCompact { kept_k, total_k } => {
+            let kk = scaled_units(k_eff, kept_k, total_k);
+            // Forward: the GEMM executes `kk` of `k_eff` inner products and
+            // writes the full-width dense output; the epilogue applies the
+            // K/k unbiasedness scale with the bias over every column.
+            let fwd = kernels::crs_compact_gemm(gpu, batch, k_eff, out_features, kk, out_features)
+                .merged_with(&kernels::elementwise(gpu, batch, out_features, 1, 1, 2.0));
+            // Backward: dX scatters into the kept inner columns (the dropped
+            // inner gradients are zero-filled); dW computes only the kept
+            // rows from the gathered input panel.
+            let bwd = kernels::crs_compact_gemm(gpu, batch, out_features, k_eff, out_features, kk)
+                .merged_with(&kernels::crs_compact_gemm(
+                    gpu,
+                    kk,
+                    batch,
+                    out_features,
+                    batch,
+                    out_features,
+                ));
+            (fwd, bwd, 0.0)
+        }
+        KernelSchedule::RowCrsCompact {
+            kept_n,
+            total_n,
+            kept_k,
+            total_k,
+        } => {
+            // Composed launch: the dropout plan compacts the output (N)
+            // dimension while CRS samples the inner (K) dimension of the
+            // *same* kernel call, so the executed GEMM is `batch × kk × kn`
+            // and the savings of the two axes multiply.
+            let kn = scaled_units(out_features, kept_n, total_n);
+            let kk = scaled_units(k_eff, kept_k, total_k);
+            let fwd = kernels::crs_compact_gemm(gpu, batch, k_eff, out_features, kk, kn)
+                .merged_with(&kernels::elementwise(gpu, batch, kn, 1, 1, 2.0));
+            let bwd = kernels::crs_compact_gemm(gpu, batch, kn, k_eff, kn, kk).merged_with(
+                &kernels::crs_compact_gemm(gpu, kk, batch, out_features, batch, kn),
+            );
+            (fwd, bwd, 0.0)
+        }
         KernelSchedule::Fused { body, activation } => {
             // Fused whole-layer launch: the body's GEMM kernel with the
             // bias/activation epilogue folded into its write-back — launch
@@ -701,6 +758,38 @@ pub fn price_fc_schedule(
                     ),
                     scaled_units(out_features, kept, total),
                 ),
+                // The CRS epilogue (K/k scale + bias + activation) covers the
+                // full-width dense output.
+                FusedBody::CrsCompact { kept_k, total_k } => (
+                    kernels::crs_compact_gemm(
+                        gpu,
+                        batch,
+                        k_eff,
+                        out_features,
+                        scaled_units(k_eff, kept_k, total_k),
+                        out_features,
+                    ),
+                    out_features,
+                ),
+                FusedBody::RowCrsCompact {
+                    kept_n,
+                    total_n,
+                    kept_k,
+                    total_k,
+                } => {
+                    let kn = scaled_units(out_features, kept_n, total_n);
+                    (
+                        kernels::crs_compact_gemm(
+                            gpu,
+                            batch,
+                            k_eff,
+                            out_features,
+                            scaled_units(k_eff, kept_k, total_k),
+                            kn,
+                        ),
+                        kn,
+                    )
+                }
             };
             let flops_per_element =
                 1.0 + activation_flops(activation) + if masked { 1.0 } else { 0.0 };
@@ -1031,6 +1120,16 @@ mod tests {
                 total: 64,
                 block: 32,
             },
+            KernelSchedule::CrsCompact {
+                kept_k: 1024,
+                total_k: 2048,
+            },
+            KernelSchedule::RowCrsCompact {
+                kept_n: 1024,
+                total_n: 2048,
+                kept_k: 1024,
+                total_k: 2048,
+            },
         ];
         for gpu in [
             GpuConfig::gtx_1080ti(),
@@ -1088,7 +1187,19 @@ mod tests {
                 fwd.time_us() + bwd.time_us()
             })
             .collect();
-        for series in [row_series, nm_series] {
+        let crs_series: Vec<f64> = [2048usize, 1536, 1024, 512]
+            .iter()
+            .map(|&kept_k| {
+                let schedule = KernelSchedule::CrsCompact {
+                    kept_k,
+                    total_k: 2048,
+                }
+                .fused(Activation::Relu);
+                let (fwd, bwd, _) = price_fc_schedule(&g, &schedule, 128, 2048, 2048);
+                fwd.time_us() + bwd.time_us()
+            })
+            .collect();
+        for series in [row_series, nm_series, crs_series] {
             for w in series.windows(2) {
                 assert!(
                     w[1] <= w[0] + 1e-9,
@@ -1096,6 +1207,120 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn crs_schedule_prices_monotonically_in_kept_k() {
+        // Sampling fewer inner products never prices slower, through the
+        // full per-layer dispatch (forward + backward), on every preset.
+        for gpu in [
+            GpuConfig::gtx_1080ti(),
+            GpuConfig::server_hbm(),
+            GpuConfig::sparse_tensor_core(),
+        ] {
+            let series: Vec<f64> = [2048usize, 1536, 1024, 512, 256]
+                .iter()
+                .map(|&kept_k| {
+                    let schedule = KernelSchedule::CrsCompact {
+                        kept_k,
+                        total_k: 2048,
+                    };
+                    let (fwd, bwd, drop) = price_fc_schedule(&gpu, &schedule, 128, 2048, 2048);
+                    fwd.time_us() + bwd.time_us() + drop
+                })
+                .collect();
+            for w in series.windows(2) {
+                assert!(
+                    w[1] <= w[0] + 1e-9,
+                    "{}: sampling fewer inner products priced slower: {series:?}",
+                    gpu.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composed_row_crs_prices_below_either_axis_alone() {
+        // The composed launch executes (kn/N)·(kk/K) of the dense work, so a
+        // whole layer must price below both the pure CRS schedule and the
+        // pure row schedule at the same per-axis fractions.
+        let layer_time = |gpu: &GpuConfig, schedule: &KernelSchedule| {
+            let (fwd, bwd, drop) = price_fc_schedule(gpu, schedule, 128, 2048, 2048);
+            fwd.time_us() + bwd.time_us() + drop
+        };
+        for gpu in [
+            GpuConfig::gtx_1080ti(),
+            GpuConfig::server_hbm(),
+            GpuConfig::sparse_tensor_core(),
+        ] {
+            let crs_only = layer_time(
+                &gpu,
+                &KernelSchedule::CrsCompact {
+                    kept_k: 1024,
+                    total_k: 2048,
+                },
+            );
+            let row_only = layer_time(
+                &gpu,
+                &KernelSchedule::RowCompact {
+                    kept: 1024,
+                    total: 2048,
+                },
+            );
+            let composed = layer_time(
+                &gpu,
+                &KernelSchedule::RowCrsCompact {
+                    kept_n: 1024,
+                    total_n: 2048,
+                    kept_k: 1024,
+                    total_k: 2048,
+                },
+            );
+            assert!(
+                composed < crs_only,
+                "{}: composed {composed} vs crs {crs_only}",
+                gpu.name
+            );
+            assert!(
+                composed < row_only,
+                "{}: composed {composed} vs row {row_only}",
+                gpu.name
+            );
+        }
+    }
+
+    #[test]
+    fn crs_scheme_speeds_up_whole_network_pricing() {
+        // A CRS scheme planned by the network model prices a faster
+        // iteration than the dense no-dropout baseline, and keeping fewer
+        // inner products speeds it up further; the composed row×CRS scheme
+        // beats both of its axes alone.
+        let model = NetworkTimingModel::mlp(GpuConfig::gtx_1080ti(), MlpSpec::paper_mlp());
+        let t_dense = model
+            .expected_iteration_time(&*scheme::none(), SAMPLES, 30)
+            .total_us();
+        let t_crs_half = model
+            .expected_iteration_time(&*scheme::crs(0.5).unwrap(), SAMPLES, 30)
+            .total_us();
+        let t_crs_quarter = model
+            .expected_iteration_time(&*scheme::crs(0.25).unwrap(), SAMPLES, 30)
+            .total_us();
+        assert!(t_crs_half < t_dense, "crs {t_crs_half} vs dense {t_dense}");
+        assert!(
+            t_crs_quarter < t_crs_half,
+            "keeping fewer inner products must be faster: {t_crs_quarter} vs {t_crs_half}"
+        );
+
+        let t_row = model
+            .expected_iteration_time(&*row(0.5), SAMPLES, 30)
+            .total_us();
+        let t_composed = model
+            .expected_iteration_time(&*scheme::row_crs(rate(0.5), 16, 0.5).unwrap(), SAMPLES, 30)
+            .total_us();
+        assert!(
+            t_composed < t_crs_half && t_composed < t_row,
+            "composed {t_composed} must beat crs {t_crs_half} and row {t_row}"
+        );
     }
 
     #[test]
@@ -1170,6 +1395,51 @@ mod tests {
         let speedup = model.speedup(&*scheme::bernoulli(rate(0.7)), &*row(0.7), SAMPLES, 6);
         assert!(speedup > 1.0, "lstm speedup {speedup}");
         assert!(speedup < 2.0, "lstm speedup {speedup} should stay modest");
+    }
+
+    #[test]
+    fn lstm_crs_degenerates_at_vector_positions_but_prices_real_plans() {
+        // The LSTM's droppable positions are vector-shaped (they drop hidden
+        // units, exactly like the training side), so a CRS plan resolved
+        // there keeps its single inner product — the executor falls back to
+        // the dense GEMM and the pricing must agree bit-for-bit: no phantom
+        // gather penalty, no phantom speedup.
+        let model =
+            NetworkTimingModel::lstm(GpuConfig::gtx_1080ti(), LstmSpec::paper_dictionary_lstm());
+        let degenerate = model.speedup(&*scheme::none(), &*scheme::crs(0.5).unwrap(), SAMPLES, 6);
+        assert!(
+            (degenerate - 1.0).abs() < 1e-12,
+            "degenerate lstm crs plans must price exactly dense, got {degenerate}"
+        );
+        // A plan carrying the real inner width (resolved against the
+        // hidden-to-gates GEMM shape) prices the input GEMMs through the
+        // K-gather kernel and beats dense — while the dense recurrent path
+        // keeps the speedup modest.
+        let mut crs = scheme::crs(0.5).unwrap();
+        let plans: Vec<DropoutPlan> = (0..2)
+            .map(|i| {
+                crs.plan(
+                    &mut StdRng::seed_from_u64(40 + i),
+                    LayerShape::new(1500, 1500),
+                )
+            })
+            .collect();
+        let dense_plans: Vec<DropoutPlan> = model
+            .layer_shapes()
+            .into_iter()
+            .map(DropoutPlan::none)
+            .collect();
+        let t_crs = model.iteration_time_from_plans(&plans).total_us();
+        let t_dense = model.iteration_time_from_plans(&dense_plans).total_us();
+        assert!(
+            t_crs < t_dense,
+            "explicit crs plans {t_crs} must price below dense {t_dense}"
+        );
+        assert!(
+            t_crs > t_dense / 1.5,
+            "crs speedup {} should stay modest (recurrent path is dense)",
+            t_dense / t_crs
+        );
     }
 
     #[test]

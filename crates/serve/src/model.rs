@@ -56,6 +56,23 @@ pub enum SchemeKind {
         /// Contiguous block width.
         block: usize,
     },
+    /// Sampled GEMM under column-row sampling (CRS): keep a `keep` fraction
+    /// of the inner (K) dimension, scaled by `K/k` for unbiasedness.
+    Crs {
+        /// Kept fraction of the inner dimension, in `(0, 1]`.
+        keep: f64,
+    },
+    /// Composed row-dropout × CRS: row dropout compacts the output (N)
+    /// dimension while CRS samples the inner (K) dimension of the same
+    /// kernel call.
+    RowCrs {
+        /// Target global dropout rate of the row axis.
+        rate: f64,
+        /// Maximum pattern period explored by the row search.
+        max_dp: usize,
+        /// Kept fraction of the inner dimension, in `(0, 1]`.
+        keep: f64,
+    },
 }
 
 impl SchemeKind {
@@ -85,6 +102,15 @@ impl SchemeKind {
             }
             SchemeKind::BlockUnit { rate: r, block } => scheme::block_unit(rate(r), block)
                 .expect("block scheme configuration must be valid"),
+            SchemeKind::Crs { keep } => {
+                scheme::crs(keep).expect("crs scheme configuration must be valid")
+            }
+            SchemeKind::RowCrs {
+                rate: r,
+                max_dp,
+                keep,
+            } => scheme::row_crs(rate(r), max_dp, keep)
+                .expect("row-crs scheme configuration must be valid"),
         }
     }
 }
@@ -332,6 +358,12 @@ mod tests {
             SchemeKind::BlockUnit {
                 rate: 0.5,
                 block: 16,
+            },
+            SchemeKind::Crs { keep: 0.5 },
+            SchemeKind::RowCrs {
+                rate: 0.5,
+                max_dp: 8,
+                keep: 0.5,
             },
         ] {
             let _ = kind.build();

@@ -381,6 +381,56 @@ fn check_kept_cols(kept: &[usize], n: usize) -> Result<(), GemmError> {
     Ok(())
 }
 
+/// Validates that every kept inner-dimension (K) index of a sampled GEMM is
+/// in bounds.
+fn check_kept_k(kept_k: &[usize], k: usize) -> Result<(), GemmError> {
+    if let Some(&bad) = kept_k.iter().find(|&&p| p >= k) {
+        return Err(GemmError::new(format!(
+            "kept inner index {bad} out of bounds for inner dimension {k}"
+        )));
+    }
+    Ok(())
+}
+
+/// Packs the `kept` columns of `src` into the dense panel `dst`
+/// (`src.rows() × kept.len()`) — the shared scalar gather step of both
+/// compacted families (output-column gather and K-dimension gather alike).
+fn pack_cols(src: &Matrix, kept: &[usize], dst: &mut Matrix) {
+    let rows = src.rows();
+    dst.resize_for_overwrite(rows, kept.len());
+    for r in 0..rows {
+        let srow = src.row(r);
+        let drow = dst.row_mut(r);
+        for (c, &j) in kept.iter().enumerate() {
+            drow[c] = srow[j];
+        }
+    }
+}
+
+/// Packs the `kept` rows of `src` into the dense panel
+/// `dst` (`kept.len() × src.cols()`) — the K-dimension gather of the sampled
+/// weight operand, contiguous row copies with no strided access.
+fn pack_rows(src: &Matrix, kept: &[usize], dst: &mut Matrix) {
+    dst.resize_for_overwrite(kept.len(), src.cols());
+    for (r, &p) in kept.iter().enumerate() {
+        dst.row_mut(r).copy_from_slice(src.row(p));
+    }
+}
+
+/// Packs the `kept_k × kept_cols` sub-grid of `w` into a dense panel — the
+/// double-gathered weight operand of the composed gather-N × gather-K
+/// kernels.
+fn pack_rows_cols(w: &Matrix, kept_k: &[usize], kept_cols: &[usize], dst: &mut Matrix) {
+    dst.resize_for_overwrite(kept_k.len(), kept_cols.len());
+    for (r, &p) in kept_k.iter().enumerate() {
+        let srow = w.row(p);
+        let drow = dst.row_mut(r);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            drow[c] = srow[j];
+        }
+    }
+}
+
 /// Column-gather compacted GEMM: the shared execution core of every scheme
 /// that drops whole output neurons at scattered positions (the Row-based
 /// Dropout Pattern and N:M structured sparsity).
@@ -407,16 +457,7 @@ pub fn gather_cols_gemm_into(
     check_kept_cols(kept_cols, n)?;
     // Pack only the kept columns of W into a dense panel (step 1: fetch
     // only surviving synapses), …
-    let k = w.rows();
-    let nk = kept_cols.len();
-    scratch.pack.resize_for_overwrite(k, nk);
-    for p in 0..k {
-        let wrow = w.row(p);
-        let dst = scratch.pack.row_mut(p);
-        for (c, &j) in kept_cols.iter().enumerate() {
-            dst[c] = wrow[j];
-        }
-    }
+    pack_cols(w, kept_cols, &mut scratch.pack);
     // … run the small GEMM (step 2), …
     blocked_gemm_into(a, &scratch.pack, &mut scratch.product)?;
     // … and scatter back into the full-size zero output (step 3).
@@ -630,15 +671,7 @@ fn a_bt_from_gathered(
     out: &mut Matrix,
 ) -> Result<(), GemmError> {
     let GatherColsScratch { g_kept, w_kept, .. } = scratch;
-    let k = w.rows();
-    w_kept.resize_for_overwrite(k, kept_cols.len());
-    for r in 0..k {
-        let src = w.row(r);
-        let dst = w_kept.row_mut(r);
-        for (c, &j) in kept_cols.iter().enumerate() {
-            dst[c] = src[j];
-        }
-    }
+    pack_cols(w, kept_cols, w_kept);
     gemm_a_bt_into(g_kept, w_kept, out)
 }
 
@@ -713,6 +746,281 @@ pub fn gather_cols_backward_into(
     gather_scaled_cols(g, kept_cols, scale, &mut scratch.g_kept);
     at_b_from_gathered(x, g.cols(), kept_cols, scratch, dw_out)?;
     a_bt_from_gathered(w, kept_cols, scratch, dx_out)
+}
+
+// ---------------------------------------------------------------------------
+// K-dimension gather (sampled-GEMM / CRS) kernels
+// ---------------------------------------------------------------------------
+
+/// Reusable gather buffers for the K-dimension sampled (CRS) kernels: the
+/// gathered activation-column panel, the gathered weight-row panel, the
+/// gathered (and gradient-scaled) output-gradient panel of the composed
+/// backward, and the compact product — recycled across iterations so the hot
+/// path performs no per-call allocations once warmed up.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GatherKScratch {
+    a_kept: Matrix,
+    w_kept: Matrix,
+    g_kept: Matrix,
+    compact: Matrix,
+}
+
+/// K-dimension sampled GEMM (column-row sampling, CRS): computes the **raw**
+/// sampled product `C = A[:, kept_k] · W[kept_k, :]` — only the inner
+/// products listed in `kept_k` participate. The kept columns of `A` and rows
+/// of `W` are packed into dense panels that route through the same blocked
+/// SIMD core as the dense kernel, so `kept_k == 0..K` (in order) is bitwise
+/// identical to [`blocked_gemm_into`].
+///
+/// The `K/k` unbiasedness scale is **not** applied here: the output is the
+/// raw sampled product and callers fold the scale into their epilogue (see
+/// [`gather_k_gemm_bias_act_into`]), which keeps the degeneracy bitwise and
+/// the scale placement identical between fused and unfused paths.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree or any kept
+/// inner index is out of bounds.
+pub fn gather_k_gemm_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_k: &[usize],
+    scratch: &mut GatherKScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    check_kept_k(kept_k, a.cols())?;
+    pack_cols(a, kept_k, &mut scratch.a_kept);
+    pack_rows(w, kept_k, &mut scratch.w_kept);
+    blocked_gemm_into(&scratch.a_kept, &scratch.w_kept, out)
+}
+
+/// Allocating variant of [`gather_k_gemm_into`].
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] under the same conditions.
+pub fn gather_k_gemm(a: &Matrix, w: &Matrix, kept_k: &[usize]) -> Result<Matrix, GemmError> {
+    let mut scratch = GatherKScratch::default();
+    let mut out = Matrix::zeros(0, 0);
+    gather_k_gemm_into(a, w, kept_k, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Composed gather-N × gather-K GEMM: the raw sampled product restricted to
+/// the kept output columns,
+/// `C[:, kept_cols] = A[:, kept_k] · W[kept_k, kept_cols]`, with dropped
+/// output columns exactly zero. One kernel call compacts **both** GEMM
+/// dimensions — the dropout pattern shrinks N while CRS shrinks K, so the
+/// two speedups multiply.
+///
+/// Like [`gather_k_gemm_into`] the output is unscaled; the composed epilogue
+/// applies both the `K/k` estimator scale and the inverted-dropout scale.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree or any kept
+/// index (inner or output) is out of bounds.
+pub fn gather_nk_gemm_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_k: &[usize],
+    kept_cols: &[usize],
+    scratch: &mut GatherKScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    check_kept_k(kept_k, a.cols())?;
+    check_kept_cols(kept_cols, n)?;
+    pack_cols(a, kept_k, &mut scratch.a_kept);
+    pack_rows_cols(w, kept_k, kept_cols, &mut scratch.w_kept);
+    blocked_gemm_into(&scratch.a_kept, &scratch.w_kept, &mut scratch.compact)?;
+    let m = a.rows();
+    out.resize(m, n);
+    for i in 0..m {
+        let src = scratch.compact.row(i);
+        let dst = out.row_mut(i);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            dst[j] = src[c];
+        }
+    }
+    Ok(())
+}
+
+/// Weight-gradient form of the K-sampled backward pass:
+/// `dW[kept_k, :] = scale · X[:, kept_k]ᵀ · G`, scattered into the kept rows
+/// of `out` (shape `x.cols() × g.cols()`); dropped weight rows stay exactly
+/// zero — the synapses whose inner products were skipped receive no update,
+/// and `scale` carries the `K/k` estimator correction.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the batch dimensions disagree or any kept
+/// inner index is out of bounds.
+pub fn gather_k_gemm_at_b_into(
+    x: &Matrix,
+    g: &Matrix,
+    kept_k: &[usize],
+    scale: f32,
+    scratch: &mut GatherKScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    if x.rows() != g.rows() {
+        return Err(GemmError::new(format!(
+            "batch dimensions disagree: {:?}ᵀ * {:?}",
+            x.shape(),
+            g.shape()
+        )));
+    }
+    check_kept_k(kept_k, x.cols())?;
+    pack_cols(x, kept_k, &mut scratch.a_kept);
+    gemm_at_b_into(&scratch.a_kept, g, &mut scratch.compact)?;
+    let (k, n) = (x.cols(), g.cols());
+    out.resize(k, n);
+    for (r, &p) in kept_k.iter().enumerate() {
+        let src = scratch.compact.row(r);
+        let dst = out.row_mut(p);
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = s * scale;
+        }
+    }
+    Ok(())
+}
+
+/// Input-gradient form of the K-sampled backward pass:
+/// `dX[:, kept_k] = scale · G · W[kept_k, :]ᵀ`, scattered into the kept
+/// columns of `out` (shape `g.rows() × w.rows()`); dropped input features
+/// receive exactly zero gradient.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if `g.cols() != w.cols()` or any kept inner index
+/// is out of bounds.
+pub fn gather_k_gemm_a_bt_into(
+    g: &Matrix,
+    w: &Matrix,
+    kept_k: &[usize],
+    scale: f32,
+    scratch: &mut GatherKScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    if g.cols() != w.cols() {
+        return Err(GemmError::new(format!(
+            "output widths disagree: {:?} * {:?}ᵀ",
+            g.shape(),
+            w.shape()
+        )));
+    }
+    check_kept_k(kept_k, w.rows())?;
+    pack_rows(w, kept_k, &mut scratch.w_kept);
+    gemm_a_bt_into(g, &scratch.w_kept, &mut scratch.compact)?;
+    let (m, k) = (g.rows(), w.rows());
+    out.resize(m, k);
+    for i in 0..m {
+        let src = scratch.compact.row(i);
+        let dst = out.row_mut(i);
+        for (c, &p) in kept_k.iter().enumerate() {
+            dst[p] = src[c] * scale;
+        }
+    }
+    Ok(())
+}
+
+/// Backward pair of the K-sampled scheme: both transposed-operand products
+/// through one scratch —
+/// `dW[kept_k, :] = scale·X[:, kept_k]ᵀ·G` and
+/// `dX[:, kept_k] = scale·G·W[kept_k, :]ᵀ`. This is the entry point the
+/// training hot path uses.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] under the conditions of
+/// [`gather_k_gemm_at_b_into`] and [`gather_k_gemm_a_bt_into`].
+#[allow(clippy::too_many_arguments)] // a GEMM pair: 4 operands, 1 scale, scratch, 2 outputs
+pub fn gather_k_backward_into(
+    x: &Matrix,
+    g: &Matrix,
+    w: &Matrix,
+    kept_k: &[usize],
+    scale: f32,
+    scratch: &mut GatherKScratch,
+    dw_out: &mut Matrix,
+    dx_out: &mut Matrix,
+) -> Result<(), GemmError> {
+    gather_k_gemm_at_b_into(x, g, kept_k, scale, scratch, dw_out)?;
+    gather_k_gemm_a_bt_into(g, w, kept_k, scale, scratch, dx_out)
+}
+
+/// Backward pair of the composed gather-N × gather-K scheme: gathers the
+/// scaled kept gradient columns **once** and reuses the panel for both
+/// double-compacted products —
+/// `dW[kept_k, kept_cols] = X[:, kept_k]ᵀ · (scale·G[:, kept_cols])`
+/// (all other entries of `dw_out` exactly zero) and
+/// `dX[:, kept_k] = (scale·G[:, kept_cols]) · W[kept_k, kept_cols]ᵀ`.
+/// `scale` carries the product of the `K/k` estimator scale and the
+/// inverted-dropout scale.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the batch dimensions of `x` and `g` disagree,
+/// `g.cols() != w.cols()`, or any kept index is out of bounds.
+#[allow(clippy::too_many_arguments)] // a GEMM pair: 4 operands, 2 kept sets, 1 scale, scratch, 2 outputs
+pub fn gather_nk_backward_into(
+    x: &Matrix,
+    g: &Matrix,
+    w: &Matrix,
+    kept_k: &[usize],
+    kept_cols: &[usize],
+    scale: f32,
+    scratch: &mut GatherKScratch,
+    dw_out: &mut Matrix,
+    dx_out: &mut Matrix,
+) -> Result<(), GemmError> {
+    if x.rows() != g.rows() {
+        return Err(GemmError::new(format!(
+            "batch dimensions disagree: {:?}ᵀ * {:?}",
+            x.shape(),
+            g.shape()
+        )));
+    }
+    if g.cols() != w.cols() {
+        return Err(GemmError::new(format!(
+            "output widths disagree: {:?} * {:?}ᵀ",
+            g.shape(),
+            w.shape()
+        )));
+    }
+    check_kept_k(kept_k, x.cols())?;
+    check_kept_cols(kept_cols, g.cols())?;
+    gather_scaled_cols(g, kept_cols, scale, &mut scratch.g_kept);
+    // dW: compact product over both kept sets, scattered into the kept
+    // (row, column) grid of the full-size zero weight gradient.
+    pack_cols(x, kept_k, &mut scratch.a_kept);
+    gemm_at_b_into(&scratch.a_kept, &scratch.g_kept, &mut scratch.compact)?;
+    let (k, n) = (x.cols(), g.cols());
+    dw_out.resize(k, n);
+    for (r, &p) in kept_k.iter().enumerate() {
+        let src = scratch.compact.row(r);
+        let dst = dw_out.row_mut(p);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            dst[j] = src[c];
+        }
+    }
+    // dX: the same gathered gradient panel against the double-gathered
+    // weight panel, scattered into the kept inner columns.
+    pack_rows_cols(w, kept_k, kept_cols, &mut scratch.w_kept);
+    gemm_a_bt_into(&scratch.g_kept, &scratch.w_kept, &mut scratch.compact)?;
+    let m = g.rows();
+    dx_out.resize(m, k);
+    for i in 0..m {
+        let src = scratch.compact.row(i);
+        let dst = dx_out.row_mut(i);
+        for (c, &p) in kept_k.iter().enumerate() {
+            dst[p] = src[c];
+        }
+    }
+    Ok(())
 }
 
 /// Row-compacted GEMM used by the Row-based Dropout Pattern.
@@ -1310,16 +1618,7 @@ pub fn gather_cols_gemm_bias_act_into(
     check_kept_cols(kept_cols, n)?;
     // Pack the kept columns and run the small GEMM exactly like the unfused
     // kernel …
-    let k = w.rows();
-    let nk = kept_cols.len();
-    scratch.pack.resize_for_overwrite(k, nk);
-    for p in 0..k {
-        let wrow = w.row(p);
-        let dst = scratch.pack.row_mut(p);
-        for (c, &j) in kept_cols.iter().enumerate() {
-            dst[c] = wrow[j];
-        }
-    }
+    pack_cols(w, kept_cols, &mut scratch.pack);
     blocked_gemm_into(a, &scratch.pack, &mut scratch.product)?;
     // … then scatter with the whole epilogue fused into the write-back: the
     // scaled-bias pre-activations land in the kept columns of a zeroed row
@@ -1363,6 +1662,98 @@ pub fn nm_compact_gemm_bias_act_into(
 ) -> Result<(), GemmError> {
     check_nm_structure(kept_cols, n, m, w.cols())?;
     gather_cols_gemm_bias_act_into(a, w, kept_cols, bias, scale, act, scratch, out)
+}
+
+/// Fused K-sampled whole-layer kernel: the sampled GEMM of
+/// [`gather_k_gemm_into`] with the `K/k` estimator scale, bias add and
+/// activation folded into the write-back —
+/// `C = act(crs_scale · A[:, kept_k]·W[kept_k, :] + bias)`. The scale
+/// corrects the **raw product before the bias**, so the bias itself is never
+/// inflated by the estimator; `kept_k == 0..K` with `crs_scale == 1` is
+/// bitwise identical to [`gemm_bias_act_into`].
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `bias` is not a
+/// `1 × w.cols()` row vector, or any kept inner index is out of bounds.
+#[allow(clippy::too_many_arguments)] // a whole layer: 3 operands + plan params + scratch + out
+pub fn gather_k_gemm_bias_act_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_k: &[usize],
+    bias: &Matrix,
+    crs_scale: f32,
+    act: Activation,
+    scratch: &mut GatherKScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    check_bias(bias, n)?;
+    check_kept_k(kept_k, a.cols())?;
+    pack_cols(a, kept_k, &mut scratch.a_kept);
+    pack_rows(w, kept_k, &mut scratch.w_kept);
+    let m = a.rows();
+    out.resize(m, n);
+    let bl = tune::blocking(m, kept_k.len(), n);
+    let (a_kept, w_kept) = (&scratch.a_kept, &scratch.w_kept);
+    pool::run_row_chunks(m, n, out.as_mut_slice(), |rows, chunk| {
+        dense_rows_kernel(a_kept, w_kept, rows, chunk, bl);
+        let brow = bias.row(0);
+        for row in chunk.chunks_exact_mut(n) {
+            simd::scale_add_bias(row, crs_scale, brow);
+            act.apply_slice(row);
+        }
+    });
+    Ok(())
+}
+
+/// Fused composed gather-N × gather-K whole-layer kernel: the
+/// double-compacted GEMM of [`gather_nk_gemm_into`] with both scales, the
+/// bias add and the activation fused into the scatter —
+/// `C[:, j] = act((crs_scale · p + bias[j]) · row_scale)` for kept output
+/// columns `j` (with `p` the compact sampled product) and `act(0)` for
+/// dropped columns, exactly what the unfused compact → epilogue chain
+/// produces.
+///
+/// # Errors
+///
+/// Returns a [`GemmError`] if the inner dimensions disagree, `bias` is
+/// malformed, or any kept index (inner or output) is out of bounds.
+#[allow(clippy::too_many_arguments)] // a whole layer: 3 operands + plan params + scratch + out
+pub fn gather_nk_gemm_bias_act_into(
+    a: &Matrix,
+    w: &Matrix,
+    kept_k: &[usize],
+    kept_cols: &[usize],
+    bias: &Matrix,
+    crs_scale: f32,
+    row_scale: f32,
+    act: Activation,
+    scratch: &mut GatherKScratch,
+    out: &mut Matrix,
+) -> Result<(), GemmError> {
+    check_inner(a, w)?;
+    let n = w.cols();
+    check_bias(bias, n)?;
+    check_kept_k(kept_k, a.cols())?;
+    check_kept_cols(kept_cols, n)?;
+    pack_cols(a, kept_k, &mut scratch.a_kept);
+    pack_rows_cols(w, kept_k, kept_cols, &mut scratch.w_kept);
+    blocked_gemm_into(&scratch.a_kept, &scratch.w_kept, &mut scratch.compact)?;
+    let m = a.rows();
+    let brow = bias.row(0);
+    out.resize_for_overwrite(m, n);
+    for i in 0..m {
+        let src = scratch.compact.row(i);
+        let dst = out.row_mut(i);
+        dst.fill(0.0);
+        for (c, &j) in kept_cols.iter().enumerate() {
+            dst[j] = (src[c] * crs_scale + brow[j]) * row_scale;
+        }
+        act.apply_slice(dst);
+    }
+    Ok(())
 }
 
 /// Fused block-compacted whole-layer kernel: the contiguous column strips of
@@ -2299,5 +2690,320 @@ mod tests {
         let c = blocked_gemm(&a, &b).unwrap();
         let reference = naive_gemm(&a, &b).unwrap();
         assert_eq!(c, reference);
+    }
+
+    /// Dense reference of the K-sampled product: zero the dropped columns of
+    /// `A` (equivalently the dropped rows of `W`) and multiply densely.
+    fn k_masked_reference(a: &Matrix, w: &Matrix, kept_k: &[usize]) -> Matrix {
+        let mut masked = a.clone();
+        for i in 0..a.rows() {
+            for (p, v) in masked.row_mut(i).iter_mut().enumerate() {
+                if !kept_k.contains(&p) {
+                    *v = 0.0;
+                }
+            }
+        }
+        naive_gemm(&masked, w).unwrap()
+    }
+
+    #[test]
+    fn gather_k_matches_masked_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let a = random_matrix(&mut rng, 9, 14);
+        let w = random_matrix(&mut rng, 14, 11);
+        let kept_k = vec![0, 2, 3, 7, 8, 12, 13];
+        let sampled = gather_k_gemm(&a, &w, &kept_k).unwrap();
+        let reference = k_masked_reference(&a, &w, &kept_k);
+        assert_eq!(sampled.shape(), (9, 11));
+        assert!(crate::approx_eq_slice(
+            sampled.as_slice(),
+            reference.as_slice(),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn gather_k_with_all_indices_is_bitwise_dense() {
+        // The k == K degeneracy: packing every inner index in order feeds the
+        // blocked core bitwise-identical operands, so the sampled product must
+        // equal the dense kernel exactly, not approximately.
+        let mut rng = StdRng::seed_from_u64(93);
+        let a = random_matrix(&mut rng, 13, 22);
+        let w = random_matrix(&mut rng, 22, 17);
+        let all: Vec<usize> = (0..22).collect();
+        let sampled = gather_k_gemm(&a, &w, &all).unwrap();
+        let dense = blocked_gemm(&a, &w).unwrap();
+        assert_eq!(sampled, dense);
+    }
+
+    #[test]
+    fn gather_k_fused_with_all_indices_matches_dense_fused_bitwise() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let a = random_matrix(&mut rng, 8, 18);
+        let w = random_matrix(&mut rng, 18, 12);
+        let bias = random_matrix(&mut rng, 1, 12);
+        let all: Vec<usize> = (0..18).collect();
+        let mut scratch = GatherKScratch::default();
+        for act in ACTIVATIONS {
+            let mut sampled = Matrix::zeros(0, 0);
+            gather_k_gemm_bias_act_into(&a, &w, &all, &bias, 1.0, act, &mut scratch, &mut sampled)
+                .unwrap();
+            let dense = gemm_bias_act(&a, &w, &bias, act).unwrap();
+            assert_eq!(sampled, dense, "{act:?}");
+        }
+    }
+
+    #[test]
+    fn gather_k_fused_matches_unfused_chain_bitwise_for_all_activations() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let a = random_matrix(&mut rng, 7, 15);
+        let w = random_matrix(&mut rng, 15, 10);
+        let bias = random_matrix(&mut rng, 1, 10);
+        let kept_k = vec![1, 2, 5, 6, 9, 11, 14];
+        let crs_scale = 15.0f32 / 7.0;
+        let mut scratch = GatherKScratch::default();
+        for act in ACTIVATIONS {
+            let mut reference = Matrix::zeros(0, 0);
+            gather_k_gemm_into(&a, &w, &kept_k, &mut scratch, &mut reference).unwrap();
+            for i in 0..reference.rows() {
+                let row = reference.row_mut(i);
+                crate::simd::scale_add_bias(row, crs_scale, bias.row(0));
+                act.apply_slice(row);
+            }
+            let mut fused = Matrix::zeros(0, 0);
+            gather_k_gemm_bias_act_into(
+                &a,
+                &w,
+                &kept_k,
+                &bias,
+                crs_scale,
+                act,
+                &mut scratch,
+                &mut fused,
+            )
+            .unwrap();
+            assert_eq!(fused, reference, "{act:?}");
+        }
+    }
+
+    #[test]
+    fn gather_nk_fused_matches_unfused_chain_bitwise_for_all_activations() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let a = random_matrix(&mut rng, 6, 12);
+        let w = random_matrix(&mut rng, 12, 9);
+        let bias = random_matrix(&mut rng, 1, 9);
+        let kept_k = vec![0, 3, 4, 7, 10, 11];
+        let kept_cols = vec![1, 2, 5, 8];
+        let crs_scale = 2.0f32;
+        let row_scale = 1.8f32;
+        let mut scratch = GatherKScratch::default();
+        for act in ACTIVATIONS {
+            let mut reference = Matrix::zeros(0, 0);
+            gather_nk_gemm_into(&a, &w, &kept_k, &kept_cols, &mut scratch, &mut reference).unwrap();
+            let brow = bias.row(0);
+            for i in 0..reference.rows() {
+                let row = reference.row_mut(i);
+                for &j in &kept_cols {
+                    row[j] = (row[j] * crs_scale + brow[j]) * row_scale;
+                }
+                act.apply_slice(row);
+            }
+            let mut fused = Matrix::zeros(0, 0);
+            gather_nk_gemm_bias_act_into(
+                &a,
+                &w,
+                &kept_k,
+                &kept_cols,
+                &bias,
+                crs_scale,
+                row_scale,
+                act,
+                &mut scratch,
+                &mut fused,
+            )
+            .unwrap();
+            assert_eq!(fused, reference, "{act:?}");
+        }
+    }
+
+    #[test]
+    fn gather_nk_dropped_columns_carry_the_activation_of_zero() {
+        let a = Matrix::ones(2, 4);
+        let w = Matrix::ones(4, 3);
+        let bias = Matrix::zeros(1, 3);
+        let mut scratch = GatherKScratch::default();
+        let mut out = Matrix::zeros(0, 0);
+        gather_nk_gemm_bias_act_into(
+            &a,
+            &w,
+            &[0, 2],
+            &[1],
+            &bias,
+            2.0,
+            1.0,
+            Activation::Sigmoid,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out[(0, 0)], 0.5);
+        assert!((out[(0, 1)] - Activation::Sigmoid.apply(4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_k_backward_matches_masked_dense_references() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let x = random_matrix(&mut rng, 8, 13); // (batch, in)
+        let g = random_matrix(&mut rng, 8, 10); // (batch, out)
+        let w = random_matrix(&mut rng, 13, 10); // (in, out)
+        let kept_k = vec![0, 1, 4, 6, 9, 12];
+        let scale = 13.0f32 / 6.0;
+        let mut x_masked = x.clone();
+        for i in 0..x.rows() {
+            for (p, v) in x_masked.row_mut(i).iter_mut().enumerate() {
+                if !kept_k.contains(&p) {
+                    *v = 0.0;
+                }
+            }
+        }
+        let mut w_masked = w.clone();
+        for p in 0..w.rows() {
+            if !kept_k.contains(&p) {
+                w_masked.row_mut(p).fill(0.0);
+            }
+        }
+        let mut dw_ref = naive_gemm(&x_masked.transpose(), &g).unwrap();
+        dw_ref.map_inplace(|v| v * scale);
+        let mut dx_ref = naive_gemm(&g, &w_masked.transpose()).unwrap();
+        dx_ref.map_inplace(|v| v * scale);
+
+        let mut scratch = GatherKScratch::default();
+        let (mut dw, mut dx) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        gather_k_backward_into(&x, &g, &w, &kept_k, scale, &mut scratch, &mut dw, &mut dx).unwrap();
+        assert_eq!(dw.shape(), (13, 10));
+        assert_eq!(dx.shape(), (8, 13));
+        assert!(crate::approx_eq_slice(
+            dw.as_slice(),
+            dw_ref.as_slice(),
+            1e-3
+        ));
+        assert!(crate::approx_eq_slice(
+            dx.as_slice(),
+            dx_ref.as_slice(),
+            1e-3
+        ));
+        // Dropped weight rows and input-gradient columns are exactly zero.
+        assert_eq!(dw.row(2).iter().map(|v| v.abs()).sum::<f32>(), 0.0);
+        assert_eq!((0..8).map(|i| dx[(i, 2)].abs()).sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    fn gather_nk_backward_matches_masked_dense_references() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let x = random_matrix(&mut rng, 7, 12); // (batch, in)
+        let g = random_matrix(&mut rng, 7, 9); // (batch, out)
+        let w = random_matrix(&mut rng, 12, 9); // (in, out)
+        let kept_k = vec![1, 3, 6, 8, 11];
+        let kept_cols = vec![0, 2, 5, 7];
+        let scale = 2.4f32;
+        // Reference: zero dropped inner columns of X, dropped output columns
+        // of G and both dropped grids of W, then run the dense backward.
+        let mut x_masked = x.clone();
+        for i in 0..x.rows() {
+            for (p, v) in x_masked.row_mut(i).iter_mut().enumerate() {
+                if !kept_k.contains(&p) {
+                    *v = 0.0;
+                }
+            }
+        }
+        let mut g_masked = g.clone();
+        for i in 0..g.rows() {
+            for (j, v) in g_masked.row_mut(i).iter_mut().enumerate() {
+                if !kept_cols.contains(&j) {
+                    *v = 0.0;
+                }
+            }
+        }
+        let mut w_masked = w.clone();
+        for p in 0..w.rows() {
+            for (j, v) in w_masked.row_mut(p).iter_mut().enumerate() {
+                if !kept_k.contains(&p) || !kept_cols.contains(&j) {
+                    *v = 0.0;
+                }
+            }
+        }
+        let mut dw_ref = naive_gemm(&x_masked.transpose(), &g_masked).unwrap();
+        dw_ref.map_inplace(|v| v * scale);
+        let mut dx_ref = naive_gemm(&g_masked, &w_masked.transpose()).unwrap();
+        dx_ref.map_inplace(|v| v * scale);
+
+        let mut scratch = GatherKScratch::default();
+        let (mut dw, mut dx) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        gather_nk_backward_into(
+            &x,
+            &g,
+            &w,
+            &kept_k,
+            &kept_cols,
+            scale,
+            &mut scratch,
+            &mut dw,
+            &mut dx,
+        )
+        .unwrap();
+        assert!(crate::approx_eq_slice(
+            dw.as_slice(),
+            dw_ref.as_slice(),
+            1e-3
+        ));
+        assert!(crate::approx_eq_slice(
+            dx.as_slice(),
+            dx_ref.as_slice(),
+            1e-3
+        ));
+        // A dropped (row, col) grid entry of dW stays exactly zero.
+        assert_eq!(dw[(0, 0)], 0.0); // row 0 not kept
+        assert_eq!(dw[(1, 1)], 0.0); // col 1 not kept
+    }
+
+    #[test]
+    fn gather_k_scratch_is_recycled() {
+        let mut rng = StdRng::seed_from_u64(105);
+        let a = random_matrix(&mut rng, 6, 16);
+        let w = random_matrix(&mut rng, 16, 8);
+        let mut scratch = GatherKScratch::default();
+        let mut out = Matrix::zeros(0, 0);
+        gather_k_gemm_into(&a, &w, &[0, 2, 4, 6, 8, 10], &mut scratch, &mut out).unwrap();
+        let a_ptr = scratch.a_kept.as_slice().as_ptr();
+        let w_ptr = scratch.w_kept.as_slice().as_ptr();
+        let out_ptr = out.as_slice().as_ptr();
+        // Second call with the same kept-count: every buffer is reused.
+        gather_k_gemm_into(&a, &w, &[1, 3, 5, 7, 9, 11], &mut scratch, &mut out).unwrap();
+        assert_eq!(a_ptr, scratch.a_kept.as_slice().as_ptr());
+        assert_eq!(w_ptr, scratch.w_kept.as_slice().as_ptr());
+        assert_eq!(out_ptr, out.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn gather_k_with_no_indices_is_zero() {
+        let a = Matrix::ones(3, 5);
+        let w = Matrix::ones(5, 4);
+        let c = gather_k_gemm(&a, &w, &[]).unwrap();
+        assert_eq!(c.shape(), (3, 4));
+        assert_eq!(c.sum(), 0.0);
+    }
+
+    #[test]
+    fn gather_k_rejects_out_of_bounds_inner_index() {
+        let a = Matrix::zeros(2, 3);
+        let w = Matrix::zeros(3, 4);
+        let g = Matrix::zeros(2, 4);
+        let mut scratch = GatherKScratch::default();
+        let mut out = Matrix::zeros(0, 0);
+        assert!(gather_k_gemm(&a, &w, &[3]).is_err());
+        assert!(gather_k_gemm_at_b_into(&a, &g, &[3], 1.0, &mut scratch, &mut out).is_err());
+        assert!(gather_k_gemm_a_bt_into(&g, &w, &[3], 1.0, &mut scratch, &mut out).is_err());
+        assert!(gather_nk_gemm_into(&a, &w, &[3], &[0], &mut scratch, &mut out).is_err());
+        assert!(gather_nk_gemm_into(&a, &w, &[0], &[4], &mut scratch, &mut out).is_err());
     }
 }

@@ -45,11 +45,14 @@ pub use gemm::{
     block_compact_gemm, block_compact_gemm_a_bt_into, block_compact_gemm_at_b_into,
     block_compact_gemm_bias_act_into, block_compact_gemm_into, blocked_gemm, blocked_gemm_into,
     gather_cols_backward_into, gather_cols_gemm_a_bt_into, gather_cols_gemm_at_b_into,
-    gather_cols_gemm_bias_act_into, gather_cols_gemm_into, gemm_a_bt, gemm_a_bt_into, gemm_at_b,
-    gemm_at_b_into, gemm_bias_act, gemm_bias_act_into, gemm_bias_act_masked_into, naive_gemm,
-    nm_compact_gemm, nm_compact_gemm_bias_act_into, nm_compact_gemm_into, row_compact_gemm,
-    row_compact_gemm_into, tile_compact_gemm, tile_compact_gemm_bias_act_into,
-    tile_compact_gemm_into, Activation, GatherColsScratch, GemmError, RowCompactScratch,
+    gather_cols_gemm_bias_act_into, gather_cols_gemm_into, gather_k_backward_into, gather_k_gemm,
+    gather_k_gemm_a_bt_into, gather_k_gemm_at_b_into, gather_k_gemm_bias_act_into,
+    gather_k_gemm_into, gather_nk_backward_into, gather_nk_gemm_bias_act_into, gather_nk_gemm_into,
+    gemm_a_bt, gemm_a_bt_into, gemm_at_b, gemm_at_b_into, gemm_bias_act, gemm_bias_act_into,
+    gemm_bias_act_masked_into, naive_gemm, nm_compact_gemm, nm_compact_gemm_bias_act_into,
+    nm_compact_gemm_into, row_compact_gemm, row_compact_gemm_into, tile_compact_gemm,
+    tile_compact_gemm_bias_act_into, tile_compact_gemm_into, Activation, GatherColsScratch,
+    GatherKScratch, GemmError, RowCompactScratch,
 };
 pub use init::{gaussian, uniform, xavier_uniform};
 pub use matrix::{Matrix, ShapeError};

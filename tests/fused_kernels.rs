@@ -44,6 +44,13 @@ fn family_plans(in_features: usize, out_features: usize) -> Vec<(&'static str, D
     plans.push(("nm", nm.plan(&mut StdRng::seed_from_u64(9), shape)));
     let mut block = scheme::block_unit(DropoutRate::new(0.5).unwrap(), 16).unwrap();
     plans.push(("block", block.plan(&mut StdRng::seed_from_u64(10), shape)));
+    let mut crs = scheme::crs(0.5).unwrap();
+    plans.push(("crs", crs.plan(&mut StdRng::seed_from_u64(11), shape)));
+    let mut row_crs = scheme::row_crs(DropoutRate::new(0.5).unwrap(), 8, 0.5).unwrap();
+    plans.push((
+        "row_crs",
+        row_crs.plan(&mut StdRng::seed_from_u64(12), shape),
+    ));
     plans
 }
 
@@ -196,6 +203,8 @@ fn fused_model_prices_at_or_below_the_unfused_chain_on_both_presets() {
             scheme::tile(DropoutRate::new(0.5).unwrap(), 16, 32).unwrap(),
             scheme::nm(2, 4).unwrap(),
             scheme::block_unit(DropoutRate::new(0.5).unwrap(), 32).unwrap(),
+            scheme::crs(0.5).unwrap(),
+            scheme::row_crs(DropoutRate::new(0.5).unwrap(), 16, 0.5).unwrap(),
         ] {
             let t_unfused = unfused.expected_iteration_time(&*s, 32, 77).total_us();
             let t_fused = fused.expected_iteration_time(&*s, 32, 77).total_us();

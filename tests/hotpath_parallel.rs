@@ -12,7 +12,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensor::{
     block_compact_gemm, block_compact_gemm_a_bt_into, block_compact_gemm_at_b_into, blocked_gemm,
-    gemm_a_bt, gemm_at_b, init, pool, row_compact_gemm, tile_compact_gemm, Matrix,
+    gather_k_backward_into, gather_k_gemm_bias_act_into, gather_k_gemm_into, gemm_a_bt, gemm_at_b,
+    init, pool, row_compact_gemm, tile_compact_gemm, GatherKScratch, Matrix,
 };
 
 /// All global-pool mutation lives in this single test: the pool is
@@ -31,11 +32,39 @@ fn parallel_execution_is_bitwise_identical_to_serial() {
     let kept_tiles = vec![0, 2, 5, 7, 11]; // 12-tile grid for 41x53 @ tile 16
 
     let kept_blocks = vec![0, 2, 3]; // 4-block grid for 53 cols @ block 16
+    let kept_k: Vec<usize> = (0..53).step_by(2).collect(); // K-gather over a·b's inner dim
+    let bias = init::uniform(&mut rng, 1, 41, -0.5, 0.5);
     let run_kernels = || {
         let mut block_dw = Matrix::zeros(0, 0);
         block_compact_gemm_at_b_into(&b, &g2, &kept_blocks, 16, 2.0, &mut block_dw).unwrap();
         let mut block_dx = Matrix::zeros(0, 0);
         block_compact_gemm_a_bt_into(&g2, &w2, &kept_blocks, 16, 2.0, &mut block_dx).unwrap();
+        let mut crs_scratch = GatherKScratch::default();
+        let mut crs_fwd = Matrix::zeros(0, 0);
+        gather_k_gemm_bias_act_into(
+            &a,
+            &b,
+            &kept_k,
+            &bias,
+            53.0 / kept_k.len() as f32,
+            tensor::Activation::Relu,
+            &mut crs_scratch,
+            &mut crs_fwd,
+        )
+        .unwrap();
+        let mut crs_dw = Matrix::zeros(0, 0);
+        let mut crs_dx = Matrix::zeros(0, 0);
+        gather_k_backward_into(
+            &a,
+            &g,
+            &b,
+            &kept_k,
+            53.0 / kept_k.len() as f32,
+            &mut crs_scratch,
+            &mut crs_dw,
+            &mut crs_dx,
+        )
+        .unwrap();
         (
             blocked_gemm(&a, &b).unwrap(),
             gemm_at_b(&a, &g).unwrap(),
@@ -45,6 +74,9 @@ fn parallel_execution_is_bitwise_identical_to_serial() {
             block_compact_gemm(&b, &w2, &kept_blocks, 16).unwrap(),
             block_dw,
             block_dx,
+            crs_fwd,
+            crs_dw,
+            crs_dx,
         )
     };
     pool::set_threads(1);
@@ -72,6 +104,15 @@ fn parallel_execution_is_bitwise_identical_to_serial() {
     assert_eq!(
         serial.7, parallel.7,
         "block-compact ABᵀ must be thread-invariant"
+    );
+    assert_eq!(
+        serial.8, parallel.8,
+        "fused K-gather GEMM must be thread-invariant"
+    );
+    assert_eq!(serial.9, parallel.9, "K-gather dW must be thread-invariant");
+    assert_eq!(
+        serial.10, parallel.10,
+        "K-gather dX must be thread-invariant"
     );
 
     // Whole-model check: a same-seed training trajectory (batch wide enough
@@ -120,6 +161,8 @@ fn all_schemes() -> Vec<Box<dyn DropoutScheme>> {
         scheme::tile(DropoutRate::new(0.5).unwrap(), 8, 16).unwrap(),
         scheme::nm(2, 4).unwrap(),
         scheme::block_unit(DropoutRate::new(0.5).unwrap(), 8).unwrap(),
+        scheme::crs(0.5).unwrap(),
+        scheme::row_crs(DropoutRate::new(0.5).unwrap(), 8, 0.5).unwrap(),
     ]
 }
 
@@ -261,7 +304,7 @@ fn linear_workspace_reuse_is_numerically_inert() {
     let mut plan_rng = StdRng::seed_from_u64(3);
     let mut data_rng = StdRng::seed_from_u64(4);
     // Vary the batch size too: workspace buffers must resize correctly.
-    let batches = [8usize, 3, 16, 8, 33, 5, 8, 12, 6];
+    let batches = [8usize, 3, 16, 8, 33, 5, 8, 12, 6, 9, 14];
     let scheme_count = schemes.len();
     for (iteration, &batch) in batches.iter().enumerate() {
         let scheme = &mut schemes[iteration % scheme_count];
@@ -333,6 +376,41 @@ fn backward_into_matches_backward_and_recycles_dx_buffer() {
             ),
         }
     }
+}
+
+/// The K-gather scratch type rides the same recycling contract as the other
+/// workspaces: once warmed for a shape, repeated calls with a *different*
+/// kept set of the same size move no output allocation.
+#[test]
+fn gather_k_output_buffers_are_recycled_across_kept_sets() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let a = init::uniform(&mut rng, 9, 24, -1.0, 1.0);
+    let w = init::uniform(&mut rng, 24, 13, -1.0, 1.0);
+    let g = init::uniform(&mut rng, 9, 13, -1.0, 1.0);
+    let kept_a: Vec<usize> = (0..24).step_by(2).collect();
+    let kept_b: Vec<usize> = (1..24).step_by(2).collect();
+
+    let mut scratch = GatherKScratch::default();
+    let mut out = Matrix::default();
+    gather_k_gemm_into(&a, &w, &kept_a, &mut scratch, &mut out).unwrap();
+    let mut dw = Matrix::default();
+    let mut dx = Matrix::default();
+    gather_k_backward_into(&a, &g, &w, &kept_a, 2.0, &mut scratch, &mut dw, &mut dx).unwrap();
+    let (out_ptr, dw_ptr, dx_ptr) = (
+        out.as_slice().as_ptr(),
+        dw.as_slice().as_ptr(),
+        dx.as_slice().as_ptr(),
+    );
+
+    gather_k_gemm_into(&a, &w, &kept_b, &mut scratch, &mut out).unwrap();
+    gather_k_backward_into(&a, &g, &w, &kept_b, 2.0, &mut scratch, &mut dw, &mut dx).unwrap();
+    assert_eq!(
+        out_ptr,
+        out.as_slice().as_ptr(),
+        "forward out must be reused"
+    );
+    assert_eq!(dw_ptr, dw.as_slice().as_ptr(), "dW buffer must be reused");
+    assert_eq!(dx_ptr, dx.as_slice().as_ptr(), "dX buffer must be reused");
 }
 
 /// Same-seed loss trajectories are exactly reproducible through the

@@ -29,8 +29,8 @@ fn level_guard() -> MutexGuard<'static, ()> {
 }
 
 /// One plan per schedule family (dense, bernoulli-masked, gather, row,
-/// tile, N:M, block), resolved against a `(in, out)` layer. Odd widths
-/// exercise the ragged vector tails of every kernel.
+/// tile, N:M, block, CRS, row×CRS), resolved against a `(in, out)` layer.
+/// Odd widths exercise the ragged vector tails of every kernel.
 fn family_plans(in_features: usize, out_features: usize) -> Vec<(&'static str, DropoutPlan)> {
     let shape = LayerShape::new(in_features, out_features);
     let mut plans = Vec::new();
@@ -53,6 +53,13 @@ fn family_plans(in_features: usize, out_features: usize) -> Vec<(&'static str, D
     plans.push(("nm", nm.plan(&mut StdRng::seed_from_u64(9), shape)));
     let mut block = scheme::block_unit(DropoutRate::new(0.5).unwrap(), 16).unwrap();
     plans.push(("block", block.plan(&mut StdRng::seed_from_u64(10), shape)));
+    let mut crs = scheme::crs(0.5).unwrap();
+    plans.push(("crs", crs.plan(&mut StdRng::seed_from_u64(11), shape)));
+    let mut row_crs = scheme::row_crs(DropoutRate::new(0.5).unwrap(), 8, 0.5).unwrap();
+    plans.push((
+        "row_crs",
+        row_crs.plan(&mut StdRng::seed_from_u64(12), shape),
+    ));
     plans
 }
 
