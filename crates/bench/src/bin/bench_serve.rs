@@ -1,41 +1,50 @@
-//! Serving benchmark: multi-tenant closed-loop load against the `serve`
-//! crate, per-request dispatch versus dynamic batching.
+//! Serving benchmark: closed-loop policy comparison plus an open-loop
+//! overload scenario against the `serve` crate.
 //!
-//! Simulates heavy traffic from many tenants: each tenant thread replays a
-//! deterministic trace of train/infer jobs over a mixed catalog (two MLPs
-//! and an LSTM language model, so dispatches span several `LayerShape`
-//! mixes) with a bounded window of outstanding requests — a closed loop,
-//! so offered load adapts to service rate instead of overrunning it. The
-//! **identical** trace is replayed against both batching policies; the
-//! difference between the runs is purely the dispatch decision.
-//!
-//! Reported per policy: throughput (jobs/s) and p50/p99/p999 latency, mean
-//! coalesced rows per dispatch, and the plan-cache hit rate. On top of the
+//! **Closed loop** — each tenant thread replays a deterministic trace of
+//! train/infer jobs over a mixed catalog (two MLPs and an LSTM language
+//! model, so dispatches span several `LayerShape` mixes) with a bounded
+//! window of outstanding requests, so offered load adapts to service rate.
+//! The **identical** trace runs against per-request dispatch, fixed-deadline
+//! dynamic batching and adaptive (marginal-rule) batching; the differences
+//! between the runs are purely the dispatch decision. On top of the
 //! measured CPU numbers, the same batching decision is priced on the
-//! `gpu-sim` device model ([`serve::simulated_policy_speedup`], which runs
-//! on `price_fc_schedule`): coalescing `B` requests into one dispatch pays
-//! per-kernel launch overhead once instead of `B` times, a deterministic
-//! ratio the baseline gate holds at the tight `sim_*` tolerance.
+//! `gpu-sim` device model ([`serve::simulated_policy_speedup`]).
+//!
+//! **Open-loop overload** — two Background tenants flood far more work
+//! than one worker can serve while an Interactive tenant submits paced
+//! jobs, with *no* feedback from service rate to offered load. The
+//! scenario runs three ways: *protected* (QoS weights + bounded queue with
+//! price-based shedding), *unprotected* (flat weights, unbounded queue —
+//! the pre-admission behavior), and *autoscaled* (protected plus a
+//! supervisor growing the fleet from queue depth). Admission control must
+//! keep Interactive p99 within a small multiple of the execution p99 while
+//! the unprotected run's overall p99 grows with the backlog — the
+//! [`gpu_sim::md1_wait_us`] estimate printed alongside shows why: above
+//! capacity (ρ ≥ 1) the queueing delay diverges, so the only bounded
+//! answer is to shed.
 //!
 //! Writes `BENCH_SERVE.json` at the repository root. Flags: `--smoke`
 //! (tiny CI shapes), `--threads N` (tensor-pool width; `TENSOR_THREADS`
-//! stays the fallback, a conflicting pair is a hard error), `--no-simd`
-//! (scalar kernels), `--tune` (rerun the blocking autotuner),
-//! `--tenants N`, `--requests N` (per tenant),
-//! `--window N` (outstanding requests per tenant), `--check-baseline`
-//! (regression gate against the committed JSON). `BENCH_ASSERT=1` enforces
-//! the win conditions: dynamic batching must beat per-request dispatch on
-//! throughput (full runs; smoke shapes are too small to time reliably) and
-//! the simulated ratios must exceed 1 everywhere.
+//! stays the fallback), `--no-simd`, `--tune`, `--tenants N`,
+//! `--requests N`, `--window N`, `--check-baseline` (regression gate
+//! against the committed JSON). `BENCH_ASSERT=1` enforces the win
+//! conditions: dynamic must beat per-request and adaptive must beat
+//! fixed-deadline dynamic on throughput (full runs), the simulated ratios
+//! must exceed 1 everywhere, and the overload scenario must shed
+//! Background (never Interactive) work while keeping the protected
+//! Interactive p99 within a gated bound of execution time.
 
 use gpu_sim::GpuConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serve::{
-    simulated_policy_speedup, BatchPolicy, JobKind, JobSpec, ModelSpec, SchemeKind, ServeConfig,
-    ServeReport, Server,
+    simulated_policy_speedup, AdmissionError, AutoscaleConfig, BatchPolicy, JobKind, JobReply,
+    JobSpec, ModelSpec, QosClass, QosWeights, SchemeSpec, ServeConfig, ServeReport, Server,
 };
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Receiver;
 use std::time::{Duration, Instant};
 use tensor::pool;
 
@@ -52,6 +61,12 @@ struct Config {
     /// many rows each, dispatched one by one versus as one batch.
     sim_requests: usize,
     sim_rows_per_request: usize,
+    /// Open-loop overload scenario: Background flood jobs per flood tenant
+    /// (2 tenants), paced Interactive jobs, queue bound (jobs/shard).
+    flood_per_tenant: usize,
+    interactive_jobs: usize,
+    interactive_gap_us: u64,
+    queue_bound: usize,
 }
 
 const FULL: Config = Config {
@@ -65,6 +80,10 @@ const FULL: Config = Config {
     epoch_rounds: 8,
     sim_requests: 16,
     sim_rows_per_request: 8,
+    flood_per_tenant: 300,
+    interactive_jobs: 60,
+    interactive_gap_us: 500,
+    queue_bound: 64,
 };
 
 const SMOKE: Config = Config {
@@ -78,6 +97,10 @@ const SMOKE: Config = Config {
     epoch_rounds: 4,
     sim_requests: 16,
     sim_rows_per_request: 8,
+    flood_per_tenant: 80,
+    interactive_jobs: 20,
+    interactive_gap_us: 300,
+    queue_bound: 32,
 };
 
 /// The served catalog: a row-pattern MLP, an N:M structured MLP and a
@@ -91,7 +114,7 @@ fn catalog(smoke: bool) -> Vec<ModelSpec> {
             64,
             vec![256 / scale, 256 / scale],
             10,
-            SchemeKind::Row {
+            SchemeSpec::Row {
                 rate: 0.5,
                 max_dp: 8,
             },
@@ -101,7 +124,7 @@ fn catalog(smoke: bool) -> Vec<ModelSpec> {
             48,
             vec![128 / scale, 128 / scale],
             10,
-            SchemeKind::Nm { n: 2, m: 4 },
+            SchemeSpec::Nm { n: 2, m: 4 },
         ),
         ModelSpec::lstm(
             "lstm-row",
@@ -109,7 +132,7 @@ fn catalog(smoke: bool) -> Vec<ModelSpec> {
             32 / scale,
             2,
             if smoke { 4 } else { 8 },
-            SchemeKind::Row {
+            SchemeSpec::Row {
                 rate: 0.5,
                 max_dp: 4,
             },
@@ -142,6 +165,7 @@ fn tenant_trace(cfg: &Config, models: usize, tenant: u64) -> Vec<JobSpec> {
                 rows,
                 seed: (tenant << 32) | i as u64,
                 kind,
+                qos: QosClass::Batch,
             }
         })
         .collect()
@@ -152,6 +176,8 @@ struct PolicyStats {
     p50_us: f64,
     p99_us: f64,
     p999_us: f64,
+    queue_wait_p99_us: f64,
+    exec_p99_us: f64,
     mean_batch_rows: f64,
     jobs: u64,
     batches: u64,
@@ -168,20 +194,53 @@ fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
     sorted[idx].as_secs_f64() * 1e6
 }
 
-/// Replays every tenant trace against a fresh server under `policy` and
-/// collects end-to-end latencies plus the server's own report.
+fn recv_result(rx: Receiver<JobReply>) -> serve::JobResult {
+    rx.recv()
+        .expect("job must complete")
+        .expect("closed-loop runs have no admission control")
+}
+
+/// Latency cost for the throughput-oriented adaptive run: a worker spends
+/// up to 1 device-µs of hold time per 200 job-µs of queueing it inflicts,
+/// so hot keys batch aggressively (the closed-loop trace measures
+/// throughput; the overload scenario uses the latency-leaning default).
+const THROUGHPUT_LATENCY_COST: f64 = 0.005;
+
+/// Replays every tenant trace against fresh servers under `policy`,
+/// best-of-N on throughput (full runs last ~100 ms each, so scheduler
+/// noise between two runs of the *same* policy easily reaches ±15%;
+/// best-of compares the policies' ceilings instead of their draws).
 fn run_policy(cfg: &Config, policy: BatchPolicy, traces: &[Vec<JobSpec>]) -> PolicyStats {
-    let server = Server::start(
-        ServeConfig {
-            workers: cfg.workers,
-            policy,
-            plan_cache: true,
-            plan_cache_shards: 16,
-            epoch_rounds: cfg.epoch_rounds,
-            init_seed: 42,
-        },
-        catalog(cfg.mode == "smoke"),
-    );
+    run_policy_with(cfg, policy, traces, 0.05)
+}
+
+fn run_policy_with(
+    cfg: &Config,
+    policy: BatchPolicy,
+    traces: &[Vec<JobSpec>],
+    latency_cost: f64,
+) -> PolicyStats {
+    let repeats = if cfg.mode == "smoke" { 1 } else { 3 };
+    (0..repeats)
+        .map(|_| run_policy_once(cfg, policy, traces, latency_cost))
+        .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+        .expect("at least one repeat")
+}
+
+fn run_policy_once(
+    cfg: &Config,
+    policy: BatchPolicy,
+    traces: &[Vec<JobSpec>],
+    latency_cost: f64,
+) -> PolicyStats {
+    let config = ServeConfig::builder()
+        .workers(cfg.workers)
+        .policy(policy)
+        .epoch_rounds(cfg.epoch_rounds)
+        .latency_cost(latency_cost)
+        .build()
+        .expect("bench serve configuration is valid");
+    let server = Server::start(config, catalog(cfg.mode == "smoke"));
     let start = Instant::now();
     let latencies: Vec<Duration> = std::thread::scope(|scope| {
         let handles: Vec<_> = traces
@@ -189,18 +248,17 @@ fn run_policy(cfg: &Config, policy: BatchPolicy, traces: &[Vec<JobSpec>]) -> Pol
             .map(|trace| {
                 let client = server.client();
                 scope.spawn(move || {
-                    let mut outstanding: VecDeque<std::sync::mpsc::Receiver<serve::JobResult>> =
-                        VecDeque::new();
+                    let mut outstanding: VecDeque<Receiver<JobReply>> = VecDeque::new();
                     let mut latencies = Vec::with_capacity(trace.len());
                     for &spec in trace {
                         if outstanding.len() >= cfg.window {
                             let rx = outstanding.pop_front().expect("window is non-empty");
-                            latencies.push(rx.recv().expect("job must complete").latency);
+                            latencies.push(recv_result(rx).latency);
                         }
-                        outstanding.push_back(client.submit(spec));
+                        outstanding.push_back(client.submit(spec).expect("unbounded queue admits"));
                     }
                     for rx in outstanding {
-                        latencies.push(rx.recv().expect("job must complete").latency);
+                        latencies.push(recv_result(rx).latency);
                     }
                     latencies
                 })
@@ -221,11 +279,155 @@ fn run_policy(cfg: &Config, policy: BatchPolicy, traces: &[Vec<JobSpec>]) -> Pol
         p50_us: percentile_us(&sorted, 0.50),
         p99_us: percentile_us(&sorted, 0.99),
         p999_us: percentile_us(&sorted, 0.999),
+        queue_wait_p99_us: report.queue_wait.p99_us,
+        exec_p99_us: report.exec.p99_us,
         mean_batch_rows: report.mean_batch_rows(),
         jobs: report.jobs,
         batches: report.batches,
         plan_cache_hit_rate: cache.hit_rate(),
     }
+}
+
+/// Outcome of one open-loop overload run.
+struct OverloadStats {
+    /// p99 over every job that completed (any class).
+    overall_p99_us: f64,
+    /// p99 over completed Interactive jobs.
+    interactive_p99_us: f64,
+    /// Execution-time p99 from the server report (the scale Interactive
+    /// latency is judged against).
+    exec_p99_us: f64,
+    completed: u64,
+    interactive_shed: u64,
+    interactive_rejected: u64,
+    background_shed: u64,
+    background_rejected: u64,
+    elapsed: Duration,
+    report: ServeReport,
+}
+
+/// Drives the open-loop overload trace against `config`: two Background
+/// tenants dump `flood_per_tenant` train jobs each as fast as they can
+/// while one Interactive tenant submits paced infer jobs (starting once
+/// half the flood is in, so pacing always overlaps the backlog). No
+/// closed-loop window anywhere — offered load does not adapt.
+fn run_overload(cfg: &Config, config: ServeConfig, models: Vec<ModelSpec>) -> OverloadStats {
+    let server = Server::start(config, models);
+    let flood_submitted = AtomicUsize::new(0);
+    let start = Instant::now();
+    type Outcomes = Vec<(QosClass, Result<Receiver<JobReply>, AdmissionError>)>;
+    let outcomes: Outcomes = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for tenant in 0..2u64 {
+            let client = server.client();
+            let flood_submitted = &flood_submitted;
+            handles.push(scope.spawn(move || {
+                let mut out: Outcomes = Vec::with_capacity(cfg.flood_per_tenant);
+                for i in 0..cfg.flood_per_tenant {
+                    let spec = JobSpec {
+                        tenant,
+                        model: 0,
+                        rows: 4,
+                        seed: (tenant << 32) | i as u64,
+                        kind: JobKind::Train,
+                        qos: QosClass::Background,
+                    };
+                    out.push((spec.qos, client.submit(spec)));
+                    flood_submitted.fetch_add(1, Ordering::SeqCst);
+                }
+                out
+            }));
+        }
+        {
+            let client = server.client();
+            let flood_submitted = &flood_submitted;
+            handles.push(scope.spawn(move || {
+                // Start paced submission once the flood is half in, so the
+                // Interactive jobs always contend with a real backlog.
+                while flood_submitted.load(Ordering::SeqCst) < cfg.flood_per_tenant {
+                    std::hint::spin_loop();
+                }
+                let mut out: Outcomes = Vec::with_capacity(cfg.interactive_jobs);
+                for i in 0..cfg.interactive_jobs {
+                    let spec = JobSpec {
+                        tenant: 9,
+                        model: 0,
+                        rows: 2,
+                        seed: 0xFACE_0000 | i as u64,
+                        kind: JobKind::Infer,
+                        qos: QosClass::Interactive,
+                    };
+                    out.push((spec.qos, client.submit(spec)));
+                    std::thread::sleep(Duration::from_micros(cfg.interactive_gap_us));
+                }
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("overload tenant thread panicked"))
+            .collect()
+    });
+    // Every submission is in; wait for each admitted job's reply.
+    let mut all = Vec::new();
+    let mut interactive = Vec::new();
+    let mut stats = OverloadStats {
+        overall_p99_us: 0.0,
+        interactive_p99_us: 0.0,
+        exec_p99_us: 0.0,
+        completed: 0,
+        interactive_shed: 0,
+        interactive_rejected: 0,
+        background_shed: 0,
+        background_rejected: 0,
+        elapsed: Duration::ZERO,
+        report: ServeReport {
+            batches: 0,
+            jobs: 0,
+            rows: 0,
+            shed: 0,
+            rejected: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            peak_workers: 0,
+            queue_wait: serve::LatencySummary::from_us(Vec::new()),
+            exec: serve::LatencySummary::from_us(Vec::new()),
+            plan_cache: None,
+        },
+    };
+    for (qos, outcome) in outcomes {
+        match outcome {
+            Err(AdmissionError::Rejected { .. }) => match qos {
+                QosClass::Interactive => stats.interactive_rejected += 1,
+                _ => stats.background_rejected += 1,
+            },
+            Err(AdmissionError::Shed { .. }) => unreachable!("submit never returns Shed"),
+            Ok(rx) => match rx.recv().expect("admitted job must be answered") {
+                Ok(result) => {
+                    stats.completed += 1;
+                    all.push(result.latency);
+                    if qos == QosClass::Interactive {
+                        interactive.push(result.latency);
+                    }
+                }
+                Err(AdmissionError::Shed { .. }) => match qos {
+                    QosClass::Interactive => stats.interactive_shed += 1,
+                    _ => stats.background_shed += 1,
+                },
+                Err(AdmissionError::Rejected { .. }) => {
+                    unreachable!("reply channels never carry Rejected")
+                }
+            },
+        }
+    }
+    stats.elapsed = start.elapsed();
+    stats.report = server.shutdown();
+    all.sort();
+    interactive.sort();
+    stats.overall_p99_us = percentile_us(&all, 0.99);
+    stats.interactive_p99_us = percentile_us(&interactive, 0.99);
+    stats.exec_p99_us = stats.report.exec.p99_us;
+    stats
 }
 
 fn usize_flag(name: &str, default: usize) -> usize {
@@ -255,11 +457,13 @@ fn usize_flag(name: &str, default: usize) -> usize {
 
 fn policy_json(label: &str, stats: &PolicyStats) -> String {
     format!(
-        "  \"{label}\": {{\n    \"throughput_rps\": {:.3},\n    \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    \"p999_us\": {:.1},\n    \"mean_batch_rows\": {:.3},\n    \"jobs\": {},\n    \"batches\": {},\n    \"plan_cache_hit_rate\": {:.4}\n  }}",
+        "  \"{label}\": {{\n    \"throughput_rps\": {:.3},\n    \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    \"p999_us\": {:.1},\n    \"queue_wait_p99_us\": {:.1},\n    \"exec_p99_us\": {:.1},\n    \"mean_batch_rows\": {:.3},\n    \"jobs\": {},\n    \"batches\": {},\n    \"plan_cache_hit_rate\": {:.4}\n  }}",
         stats.throughput_rps,
         stats.p50_us,
         stats.p99_us,
         stats.p999_us,
+        stats.queue_wait_p99_us,
+        stats.exec_p99_us,
         stats.mean_batch_rows,
         stats.jobs,
         stats.batches,
@@ -313,8 +517,29 @@ fn main() {
         dynamic.mean_batch_rows,
         dynamic.plan_cache_hit_rate * 100.0
     );
+    // Same worst-case hold as the fixed-deadline run: the adaptive win is
+    // cutting *early* when the flow dries up, not holding longer.
+    let adaptive = run_policy_with(
+        &cfg,
+        BatchPolicy::Adaptive {
+            max_batch_rows: cfg.max_batch_rows,
+            max_deadline: Duration::from_micros(cfg.deadline_us),
+        },
+        &traces,
+        THROUGHPUT_LATENCY_COST,
+    );
+    eprintln!(
+        "adaptive      {:>8.1} jobs/s  p50 {:>8.0} us  p99 {:>8.0} us  ({} batches, {:.1} rows/batch)",
+        adaptive.throughput_rps,
+        adaptive.p50_us,
+        adaptive.p99_us,
+        adaptive.batches,
+        adaptive.mean_batch_rows,
+    );
     let speedup = dynamic.throughput_rps / per_request.throughput_rps;
+    let adaptive_speedup = adaptive.throughput_rps / dynamic.throughput_rps;
     eprintln!("dynamic batching throughput speedup: {speedup:.2}x");
+    eprintln!("adaptive over fixed-deadline dynamic: {adaptive_speedup:.2}x");
 
     // Price the same dispatch decision on the device model: deterministic,
     // so the baseline gate holds these at the tight sim_* tolerance.
@@ -341,11 +566,124 @@ fn main() {
         })
         .collect();
 
+    // ---- Open-loop overload: admission control versus unbounded queueing.
+    let overload_catalog = vec![models[0].clone()];
+    let flood_total = 2 * cfg.flood_per_tenant;
+    eprintln!(
+        "overload: {} background jobs flood 1 worker while {} interactive jobs arrive every {} us",
+        flood_total, cfg.interactive_jobs, cfg.interactive_gap_us
+    );
+    let protected_config = || {
+        ServeConfig::builder()
+            .workers(1)
+            .policy(BatchPolicy::Adaptive {
+                max_batch_rows: 256,
+                max_deadline: Duration::from_millis(2),
+            })
+            .epoch_rounds(cfg.epoch_rounds)
+            .queue_bound(cfg.queue_bound)
+            .build()
+            .expect("protected overload configuration is valid")
+    };
+    let protected = run_overload(&cfg, protected_config(), overload_catalog.clone());
+    eprintln!(
+        "  protected    interactive p99 {:>8.0} us  exec p99 {:>6.0} us  shed {} bg / {} int  rejected {} bg / {} int",
+        protected.interactive_p99_us,
+        protected.exec_p99_us,
+        protected.background_shed,
+        protected.interactive_shed,
+        protected.background_rejected,
+        protected.interactive_rejected,
+    );
+    let unprotected_config = ServeConfig::builder()
+        .workers(1)
+        .policy(BatchPolicy::Adaptive {
+            max_batch_rows: 256,
+            max_deadline: Duration::from_millis(2),
+        })
+        .epoch_rounds(cfg.epoch_rounds)
+        .qos_weights(QosWeights {
+            interactive: 1,
+            batch: 1,
+            background: 1,
+        })
+        .build()
+        .expect("unprotected overload configuration is valid");
+    let unprotected = run_overload(&cfg, unprotected_config, overload_catalog.clone());
+    eprintln!(
+        "  unprotected  overall p99 {:>10.0} us  interactive p99 {:>8.0} us  (everything queued)",
+        unprotected.overall_p99_us, unprotected.interactive_p99_us,
+    );
+    let autoscaled_config = ServeConfig::builder()
+        .workers(1)
+        .policy(BatchPolicy::Adaptive {
+            max_batch_rows: 256,
+            max_deadline: Duration::from_millis(2),
+        })
+        .epoch_rounds(cfg.epoch_rounds)
+        .queue_bound(cfg.queue_bound)
+        .autoscale(AutoscaleConfig {
+            min_workers: 1,
+            max_workers: 4,
+            ..AutoscaleConfig::default()
+        })
+        .build()
+        .expect("autoscaled overload configuration is valid");
+    let autoscaled = run_overload(&cfg, autoscaled_config, overload_catalog);
+    eprintln!(
+        "  autoscaled   interactive p99 {:>8.0} us  scale ups {}  downs {}  peak workers {}",
+        autoscaled.interactive_p99_us,
+        autoscaled.report.scale_ups,
+        autoscaled.report.scale_downs,
+        autoscaled.report.peak_workers,
+    );
+    // Why shedding is the only bounded answer: the M/D/1 estimate at the
+    // offered flood rate diverges once utilization crosses 1.
+    let service_us = protected.report.exec.mean_us
+        / (protected.report.jobs as f64 / protected.report.batches.max(1) as f64).max(1.0);
+    let arrival_per_us = flood_total as f64 / protected.elapsed.as_secs_f64().max(1e-9) / 1e6;
+    let md1 = gpu_sim::md1_wait_us(arrival_per_us, service_us);
+    eprintln!(
+        "  M/D/1 estimate at the offered rate: {} (arrival {:.4}/us, service {:.0} us)",
+        if md1.is_finite() {
+            format!("{md1:.0} us wait")
+        } else {
+            "divergent (rho >= 1) — shedding required".to_string()
+        },
+        arrival_per_us,
+        service_us,
+    );
+    let p99_bound_ratio = if protected.interactive_p99_us > 0.0 {
+        unprotected.overall_p99_us / protected.interactive_p99_us
+    } else {
+        f64::INFINITY
+    };
+    eprintln!("  unprotected overall p99 / protected interactive p99: {p99_bound_ratio:.1}x");
+
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let model_names: Vec<String> = models.iter().map(|m| format!("\"{}\"", m.name)).collect();
+    let scheme_specs: Vec<String> = models.iter().map(|m| format!("\"{}\"", m.scheme)).collect();
+    let overload_json = format!(
+        "  \"overload\": {{\n    \"flood_jobs\": {flood},\n    \"interactive_jobs\": {int_jobs},\n    \"queue_bound\": {bound},\n    \"protected_interactive_p99_us\": {pi:.1},\n    \"protected_exec_p99_us\": {pe:.1},\n    \"protected_background_shed\": {pbs},\n    \"protected_background_rejected\": {pbr},\n    \"protected_interactive_shed\": {pis},\n    \"protected_interactive_rejected\": {pir},\n    \"unprotected_overall_p99_us\": {uo:.1},\n    \"unprotected_interactive_p99_us\": {ui:.1},\n    \"p99_bound_ratio_unprotected_over_protected\": {ratio:.3},\n    \"autoscale_ups\": {ups},\n    \"autoscale_downs\": {downs},\n    \"autoscale_peak_workers\": {peak}\n  }}",
+        flood = flood_total,
+        int_jobs = cfg.interactive_jobs,
+        bound = cfg.queue_bound,
+        pi = protected.interactive_p99_us,
+        pe = protected.exec_p99_us,
+        pbs = protected.background_shed,
+        pbr = protected.background_rejected,
+        pis = protected.interactive_shed,
+        pir = protected.interactive_rejected,
+        uo = unprotected.overall_p99_us,
+        ui = unprotected.interactive_p99_us,
+        ratio = p99_bound_ratio,
+        ups = autoscaled.report.scale_ups,
+        downs = autoscaled.report.scale_downs,
+        peak = autoscaled.report.peak_workers,
+    );
     let json = format!
         (
-        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"tensor_threads\": {threads},\n  \"workers\": {workers},\n  \"tenants\": {tenants},\n  \"requests_per_tenant\": {requests},\n  \"window\": {window},\n  \"max_batch_rows\": {max_rows},\n  \"deadline_us\": {deadline},\n  \"epoch_rounds\": {epoch_rounds},\n  \"models\": [{names}],\n{per_request},\n{dynamic},\n  \"speedup_dynamic_vs_per_request\": {speedup:.3},\n  \"sim_speedup_dynamic_vs_per_request_{sim0_key}\": {sim0:.3},\n  \"sim_speedup_dynamic_vs_per_request_{sim1_key}\": {sim1:.3}\n}}\n",
+        "{{\n  \"mode\": \"{mode}\",\n  \"available_parallelism\": {cores},\n  \"tensor_threads\": {threads},\n  \"workers\": {workers},\n  \"tenants\": {tenants},\n  \"requests_per_tenant\": {requests},\n  \"window\": {window},\n  \"max_batch_rows\": {max_rows},\n  \"deadline_us\": {deadline},\n  \"epoch_rounds\": {epoch_rounds},\n  \"models\": [{names}],\n  \"scheme_specs\": [{specs}],\n{per_request},\n{dynamic},\n{adaptive},\n{overload},\n  \"speedup_dynamic_vs_per_request\": {speedup:.3},\n  \"speedup_adaptive_vs_dynamic\": {adaptive_speedup:.3},\n  \"sim_speedup_dynamic_vs_per_request_{sim0_key}\": {sim0:.3},\n  \"sim_speedup_dynamic_vs_per_request_{sim1_key}\": {sim1:.3}\n}}\n",
         mode = cfg.mode,
         threads = pool::threads(),
         workers = cfg.workers,
@@ -356,9 +694,13 @@ fn main() {
         deadline = cfg.deadline_us,
         epoch_rounds = cfg.epoch_rounds,
         names = model_names.join(", "),
+        specs = scheme_specs.join(", "),
         per_request = policy_json("per_request", &per_request),
         dynamic = policy_json("dynamic", &dynamic),
+        adaptive = policy_json("adaptive", &adaptive),
+        overload = overload_json,
         speedup = speedup,
+        adaptive_speedup = adaptive_speedup,
         sim0_key = sim_speedups[0].0,
         sim0 = sim_speedups[0].1,
         sim1_key = sim_speedups[1].0,
@@ -382,15 +724,20 @@ fn main() {
         bench::baseline::enforce_baseline(&baseline, &baseline_path, &json, "bench_serve");
     }
 
-    // Win conditions, opt-in via BENCH_ASSERT=1 (CI). The measured
-    // throughput gate arms on full runs only — smoke traffic is far too
-    // small for stable wall-clock ratios — while the simulated ratios are
-    // deterministic and gate everywhere.
+    // Win conditions, opt-in via BENCH_ASSERT=1 (CI). Measured wall-clock
+    // ratio gates arm on full runs only — smoke traffic is far too small
+    // for stable timing — while the simulated ratios and the structural
+    // overload properties (what was shed, and whom) gate everywhere.
     if std::env::var("BENCH_ASSERT").is_ok_and(|v| v != "0") {
         let mut failures = Vec::new();
         if !smoke && speedup <= 1.0 {
             failures.push(format!(
                 "dynamic batching throughput speedup {speedup:.3}x <= 1.0x over per-request dispatch"
+            ));
+        }
+        if !smoke && adaptive_speedup < 1.0 {
+            failures.push(format!(
+                "adaptive batching throughput {adaptive_speedup:.3}x < 1.0x of fixed-deadline dynamic"
             ));
         }
         if dynamic.plan_cache_hit_rate <= 0.0 {
@@ -401,6 +748,47 @@ fn main() {
                 failures.push(format!(
                     "simulated coalescing speedup {s:.3}x <= 1.0x on {device}"
                 ));
+            }
+        }
+        // Overload structure: overload must shed/reject Background work…
+        if protected.background_shed + protected.background_rejected == 0 {
+            failures.push(
+                "admission control shed no background work under an open-loop flood".to_string(),
+            );
+        }
+        // …and never Interactive work (the flood is always cheaper).
+        if protected.interactive_shed + protected.interactive_rejected > 0 {
+            failures.push(format!(
+                "admission control dropped {} interactive jobs (shed {}, rejected {})",
+                protected.interactive_shed + protected.interactive_rejected,
+                protected.interactive_shed,
+                protected.interactive_rejected,
+            ));
+        }
+        if protected.completed == 0 || protected.interactive_p99_us <= 0.0 {
+            failures.push("protected overload run completed no interactive jobs".to_string());
+        }
+        if !smoke {
+            // The tail-latency contract: with admission control the
+            // Interactive p99 stays within a small multiple of execution
+            // time, while the unbounded baseline's p99 carries the whole
+            // backlog.
+            let bound = 25.0 * protected.exec_p99_us.max(1.0);
+            if protected.interactive_p99_us > bound {
+                failures.push(format!(
+                    "protected interactive p99 {:.0} us exceeds {bound:.0} us (25x exec p99)",
+                    protected.interactive_p99_us
+                ));
+            }
+            if p99_bound_ratio < 2.0 {
+                failures.push(format!(
+                    "unprotected overall p99 only {p99_bound_ratio:.2}x the protected interactive p99 (want > 2x)"
+                ));
+            }
+            if autoscaled.report.scale_ups == 0 {
+                failures.push(
+                    "autoscaler never scaled up under a sustained open-loop flood".to_string(),
+                );
             }
         }
         if !failures.is_empty() {

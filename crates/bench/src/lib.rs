@@ -19,7 +19,7 @@
 
 pub mod baseline;
 
-use approx_dropout::{scheme, DropoutRate, DropoutScheme};
+use approx_dropout::{DropoutScheme, SchemeSpec};
 use data::{CorpusConfig, MnistConfig, SyntheticCorpus, SyntheticMnist};
 use gpu_sim::{GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel, DEFAULT_TIMING_SAMPLES};
 use nn::builder::{LstmBuilder, NetworkBuilder};
@@ -263,35 +263,58 @@ impl Method {
         }
     }
 
+    /// The plain-data [`SchemeSpec`] of this method at the paper's full
+    /// network scale (`max_dp = 16`, 32×32 tiles) — printable and
+    /// parseable through the spec text grammar.
+    pub fn spec(&self, rate: f64) -> SchemeSpec {
+        match self {
+            Method::Baseline => SchemeSpec::Bernoulli { rate },
+            Method::Row => SchemeSpec::Row { rate, max_dp: 16 },
+            Method::Tile => SchemeSpec::Tile {
+                rate,
+                max_dp: 16,
+                tile: 32,
+            },
+        }
+    }
+
+    /// The [`SchemeSpec`] for the down-scaled CPU training runs: same
+    /// families, smaller period cap and tile so the narrow layers still see
+    /// several tiles per grid.
+    pub fn scaled_spec(&self, rate: f64) -> SchemeSpec {
+        match self {
+            Method::Baseline => SchemeSpec::Bernoulli { rate },
+            Method::Row => SchemeSpec::Row { rate, max_dp: 8 },
+            Method::Tile => SchemeSpec::Tile {
+                rate,
+                max_dp: 8,
+                tile: 16,
+            },
+        }
+    }
+
     /// The dropout scheme for this method at the paper's full network scale
-    /// (`max_dp = 16`, 32×32 tiles). Drives the GPU timing model.
+    /// ([`Method::spec`] materialized). Drives the GPU timing model.
     ///
     /// # Panics
     ///
     /// Panics only if the statically chosen rate is invalid.
     pub fn scheme(&self, rate: f64) -> Box<dyn DropoutScheme> {
-        let rate = DropoutRate::new(rate).expect("experiment dropout rates are valid");
-        match self {
-            Method::Baseline => scheme::bernoulli(rate),
-            Method::Row => scheme::row(rate, 16).expect("row scheme configuration is valid"),
-            Method::Tile => scheme::tile(rate, 16, 32).expect("tile scheme configuration is valid"),
-        }
+        self.spec(rate)
+            .build()
+            .expect("experiment scheme configurations are valid")
     }
 
-    /// The dropout scheme for the down-scaled CPU training runs: same
-    /// families, smaller period cap and tile so the narrow layers still see
-    /// several tiles per grid.
+    /// The dropout scheme for the down-scaled CPU training runs
+    /// ([`Method::scaled_spec`] materialized).
     ///
     /// # Panics
     ///
     /// Panics only if the statically chosen rate is invalid.
     pub fn scaled_scheme(&self, rate: f64) -> Box<dyn DropoutScheme> {
-        let rate = DropoutRate::new(rate).expect("experiment dropout rates are valid");
-        match self {
-            Method::Baseline => scheme::bernoulli(rate),
-            Method::Row => scheme::row(rate, 8).expect("row scheme configuration is valid"),
-            Method::Tile => scheme::tile(rate, 8, 16).expect("tile scheme configuration is valid"),
-        }
+        self.scaled_spec(rate)
+            .build()
+            .expect("experiment scheme configurations are valid")
     }
 }
 

@@ -59,6 +59,7 @@ pub mod rate;
 pub mod sampler;
 pub mod scheme;
 pub mod search;
+pub mod spec;
 pub mod structured;
 
 pub use bernoulli::BernoulliDropout;
@@ -71,6 +72,7 @@ pub use rate::DropoutRate;
 pub use sampler::{ApproxDropoutBuilder, ApproxDropoutLayer, PatternSampler};
 pub use scheme::{Bernoulli, DivergentBernoulli, DropoutScheme, NoDropout};
 pub use search::{PatternDistribution, SearchConfig, SearchOutcome};
+pub use spec::{SchemeSpec, SchemeSpecError};
 pub use structured::{BlockUnit, NmSparsity, StructuredKind, StructuredUnits};
 pub use tensor::Activation;
 

@@ -91,12 +91,26 @@ pub struct PlanCacheStats {
 impl PlanCacheStats {
     /// Fraction of fetches answered from the cache (0 when never fetched).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.fetches();
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Total fetches observed (hits + misses).
+    pub fn fetches(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Whether the cache is *warm*: enough traffic has been observed and
+    /// most of it hit. A warm cache means a freshly spawned replica resolves
+    /// its plans from memoized entries instead of re-running pattern
+    /// sampling, which is what makes scaling *up* cheap — the serve-layer
+    /// autoscaler consults this before lowering its scale-up threshold.
+    pub fn is_warm(&self) -> bool {
+        self.fetches() >= 16 && self.hit_rate() >= 0.5
     }
 }
 

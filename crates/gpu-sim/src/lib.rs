@@ -49,10 +49,12 @@
 
 pub mod config;
 pub mod kernels;
+pub mod queueing;
 pub mod training;
 
 pub use config::{DeviceCapabilities, GpuConfig};
 pub use kernels::{KernelKind, KernelStats};
+pub use queueing::{hold_batch, md1_wait_us, merge_win_us};
 pub use training::{
     price_fc_schedule, LayerTiming, LstmSpec, MlpSpec, NetworkTimingModel, TrainingTimeBreakdown,
     DEFAULT_TIMING_SAMPLES,

@@ -1,0 +1,127 @@
+//! Queueing-cost helpers for the serving layer's batching decisions.
+//!
+//! Dynamic batching trades *latency* (jobs wait while a batch fills) for
+//! *throughput* (per-launch overhead is amortized across the batch). The
+//! timing model already prices the throughput side — the merge win of
+//! coalescing two dispatches into one is just a difference of simulated
+//! iteration times. This module supplies the latency side as first-order
+//! queueing theory, so the serve crate's adaptive batcher can compare both
+//! in the same simulated-microsecond currency:
+//!
+//! * [`md1_wait_us`] — expected queueing delay of an M/D/1 station
+//!   (Poisson arrivals, deterministic service), the textbook model of a
+//!   worker draining fixed-size dispatches.
+//! * [`merge_win_us`] — device time saved by merging an arriving dispatch
+//!   into one already open, from three priced iteration times.
+//! * [`hold_batch`] — the marginal decision rule itself: keep the batch
+//!   open only while the expected merge win of the *next* arrival exceeds
+//!   the latency cost imposed on the jobs already waiting.
+
+/// Expected wait in an M/D/1 queue (Poisson arrivals at `arrival_per_us`
+/// jobs/µs, fixed service time `service_us`): `ρ·s / (2·(1 − ρ))` with
+/// `ρ = λ·s`.
+///
+/// Saturated or degenerate stations (`ρ ≥ 1`, non-positive inputs) return
+/// `f64::INFINITY` — an overloaded station's queue grows without bound, and
+/// callers treat "infinite wait" as "shed or scale, don't batch harder".
+pub fn md1_wait_us(arrival_per_us: f64, service_us: f64) -> f64 {
+    // PartialOrd::gt rather than `>` so NaN inputs fall into the guard.
+    if !arrival_per_us.gt(&0.0) || !service_us.gt(&0.0) {
+        return 0.0;
+    }
+    let rho = arrival_per_us * service_us;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho * service_us / (2.0 * (1.0 - rho))
+}
+
+/// Device time saved by merging a dispatch of `a` rows into an open
+/// dispatch of `r` rows, from the three priced iteration times: serving
+/// them separately costs `open_us + solo_us`, merged costs `merged_us`.
+/// Clamped at zero — a merge never *helps* by a negative amount.
+pub fn merge_win_us(open_us: f64, solo_us: f64, merged_us: f64) -> f64 {
+    (open_us + solo_us - merged_us).max(0.0)
+}
+
+/// The adaptive batcher's marginal rule: hold an open batch for the next
+/// arrival only while the *expected* merge win outweighs the latency cost
+/// of waiting.
+///
+/// `arrival_per_us · merge_win_us` is the expected device-µs saved per µs
+/// of holding (arrivals per µs times the win each merge is worth);
+/// `latency_cost · jobs_waiting` is the cost per µs of holding — every
+/// queued job pays one µs of extra latency, weighted by `latency_cost`
+/// (device-µs a caller is willing to spend to save one job-µs of latency).
+/// Returns `false` for empty batches, zero rates, or infinite costs, so a
+/// quiet queue always dispatches immediately.
+pub fn hold_batch(
+    arrival_per_us: f64,
+    merge_win_us: f64,
+    jobs_waiting: usize,
+    latency_cost: f64,
+) -> bool {
+    if jobs_waiting == 0 {
+        return false;
+    }
+    // PartialOrd::gt rather than `>` so NaN inputs fall into the guard.
+    if !arrival_per_us.gt(&0.0) || !merge_win_us.gt(&0.0) {
+        return false;
+    }
+    let win_rate = arrival_per_us * merge_win_us;
+    let cost_rate = latency_cost.max(0.0) * jobs_waiting as f64;
+    win_rate.is_finite() && win_rate > cost_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md1_wait_grows_with_utilization_and_saturates() {
+        let light = md1_wait_us(0.001, 100.0); // ρ = 0.1
+        let heavy = md1_wait_us(0.009, 100.0); // ρ = 0.9
+        assert!(light > 0.0);
+        assert!(heavy > light * 10.0, "{heavy} vs {light}");
+        assert!(md1_wait_us(0.02, 100.0).is_infinite(), "ρ ≥ 1 saturates");
+        assert_eq!(md1_wait_us(0.0, 100.0), 0.0);
+        assert_eq!(md1_wait_us(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn md1_matches_closed_form() {
+        // ρ = 0.5, s = 10 → wait = 0.5·10 / (2·0.5) = 5.
+        let w = md1_wait_us(0.05, 10.0);
+        assert!((w - 5.0).abs() < 1e-12, "{w}");
+    }
+
+    #[test]
+    fn merge_win_is_overhead_saved_and_never_negative() {
+        // Separately 30 + 30, merged 40 → the merge saves 20.
+        assert!((merge_win_us(30.0, 30.0, 40.0) - 20.0).abs() < 1e-12);
+        // A merge that would cost more than separate dispatch clamps to 0.
+        assert_eq!(merge_win_us(30.0, 30.0, 80.0), 0.0);
+    }
+
+    #[test]
+    fn hold_batch_weighs_win_rate_against_latency_cost() {
+        // Fast arrivals, big win, cheap latency → hold.
+        assert!(hold_batch(0.01, 50.0, 2, 0.05));
+        // Same arrivals but many waiters paying the delay → dispatch.
+        assert!(!hold_batch(0.01, 50.0, 64, 0.05));
+        // No arrivals expected → never hold.
+        assert!(!hold_batch(0.0, 50.0, 2, 0.05));
+        // Nothing waiting → nothing to hold.
+        assert!(!hold_batch(0.01, 50.0, 0, 0.05));
+        // Zero win → dispatch immediately.
+        assert!(!hold_batch(0.01, 0.0, 2, 0.05));
+    }
+
+    #[test]
+    fn higher_latency_cost_dispatches_sooner() {
+        let rate = 0.002;
+        let win = 40.0;
+        assert!(hold_batch(rate, win, 1, 0.01));
+        assert!(!hold_batch(rate, win, 1, 1.0));
+    }
+}

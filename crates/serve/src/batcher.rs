@@ -33,6 +33,20 @@ pub enum BatchPolicy {
         /// How long a partially filled batch may wait for more jobs.
         deadline: Duration,
     },
+    /// Marginal-value batching: hold a partially filled batch open only
+    /// while the expected merge win of the next arrival — the key's
+    /// observed arrival rate times the launch-overhead saving priced on
+    /// the gpu-sim timing model — exceeds the latency cost imposed on the
+    /// jobs already waiting ([`gpu_sim::hold_batch`]). A quiet queue
+    /// dispatches immediately instead of burning a fixed deadline;
+    /// `max_deadline` only backstops the decision rule.
+    Adaptive {
+        /// Upper bound on coalesced rows per dispatch.
+        max_batch_rows: usize,
+        /// Hard cap on how long a batch may be held regardless of the
+        /// marginal rule.
+        max_deadline: Duration,
+    },
 }
 
 impl BatchPolicy {
@@ -45,11 +59,31 @@ impl BatchPolicy {
         }
     }
 
+    /// The adaptive policy with defaults sized for the bench workloads:
+    /// 256-row batches, 2 ms backstop deadline (the marginal rule usually
+    /// dispatches far earlier).
+    pub fn adaptive_default() -> Self {
+        BatchPolicy::Adaptive {
+            max_batch_rows: 256,
+            max_deadline: Duration::from_millis(2),
+        }
+    }
+
     /// Stable label for bench output.
     pub fn label(&self) -> &'static str {
         match self {
             BatchPolicy::PerRequest => "per_request",
             BatchPolicy::Dynamic { .. } => "dynamic",
+            BatchPolicy::Adaptive { .. } => "adaptive",
+        }
+    }
+
+    /// The row bound of a coalescing policy (`None` for per-request).
+    pub fn max_batch_rows(&self) -> Option<usize> {
+        match *self {
+            BatchPolicy::PerRequest => None,
+            BatchPolicy::Dynamic { max_batch_rows, .. }
+            | BatchPolicy::Adaptive { max_batch_rows, .. } => Some(max_batch_rows),
         }
     }
 }
@@ -63,9 +97,11 @@ impl BatchPolicy {
 /// function of the trace — the property the cache-on/cache-off bitwise
 /// tests and the simulated pricing rely on.
 pub fn coalesce(jobs: &[JobSpec], policy: &BatchPolicy) -> Vec<Vec<JobSpec>> {
-    let max_rows = match policy {
-        BatchPolicy::PerRequest => return jobs.iter().map(|&job| vec![job]).collect(),
-        BatchPolicy::Dynamic { max_batch_rows, .. } => (*max_batch_rows).max(1),
+    let max_rows = match policy.max_batch_rows() {
+        None => return jobs.iter().map(|&job| vec![job]).collect(),
+        // Offline there is no clock, so Dynamic and Adaptive coalesce
+        // identically: group by key up to the row bound.
+        Some(max_batch_rows) => max_batch_rows.max(1),
     };
     let mut out: Vec<Vec<JobSpec>> = Vec::new();
     // Open batch per key: (key, index into `out`, rows so far).
@@ -104,7 +140,22 @@ mod tests {
             rows,
             seed: 0,
             kind,
+            qos: crate::qos::QosClass::Batch,
         }
+    }
+
+    #[test]
+    fn adaptive_coalesces_like_dynamic_offline() {
+        let jobs = vec![job(0, 4, JobKind::Train); 5];
+        let adaptive = BatchPolicy::Adaptive {
+            max_batch_rows: 8,
+            max_deadline: Duration::ZERO,
+        };
+        let dynamic = BatchPolicy::Dynamic {
+            max_batch_rows: 8,
+            deadline: Duration::ZERO,
+        };
+        assert_eq!(coalesce(&jobs, &adaptive), coalesce(&jobs, &dynamic));
     }
 
     #[test]

@@ -114,7 +114,10 @@ pub fn resolve_spec_plans(spec: &ModelSpec, model: usize, epoch: u64) -> Vec<Dro
         .enumerate()
         .map(|(layer, shape)| {
             let key = PlanKey::new(scheme_id(model, layer), shape, epoch);
-            let mut scheme = spec.scheme.build();
+            let mut scheme = spec
+                .scheme
+                .build()
+                .expect("catalog scheme configuration must be valid");
             let mut rng = StdRng::seed_from_u64(key.seed());
             scheme.plan(&mut rng, shape)
         })
@@ -168,7 +171,13 @@ impl Replica {
             model,
             spec: spec.clone(),
             net,
-            schemes: (0..shapes.len()).map(|_| spec.scheme.build()).collect(),
+            schemes: (0..shapes.len())
+                .map(|_| {
+                    spec.scheme
+                        .build()
+                        .expect("catalog scheme configuration must be valid")
+                })
+                .collect(),
             plans: vec![DropoutPlan::default(); shapes.len()],
             shapes,
             dispatches: 0,
@@ -410,7 +419,7 @@ pub fn simulated_policy_speedup(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::SchemeKind;
+    use approx_dropout::SchemeSpec;
 
     fn mlp_spec() -> ModelSpec {
         ModelSpec::mlp(
@@ -418,7 +427,7 @@ mod tests {
             16,
             vec![32, 24],
             4,
-            SchemeKind::Row {
+            SchemeSpec::Row {
                 rate: 0.5,
                 max_dp: 4,
             },
@@ -432,6 +441,7 @@ mod tests {
             rows,
             seed,
             kind: JobKind::Train,
+            qos: crate::qos::QosClass::Batch,
         }
     }
 
@@ -493,7 +503,7 @@ mod tests {
 
     #[test]
     fn lstm_replicas_train_and_infer() {
-        let spec = ModelSpec::lstm("l", 40, 16, 2, 4, SchemeKind::Bernoulli { rate: 0.25 });
+        let spec = ModelSpec::lstm("l", 40, 16, 2, 4, SchemeSpec::Bernoulli { rate: 0.25 });
         let mut engine = ShardEngine::new(&[spec], |_| true, None, 4, 1);
         let job = JobSpec {
             tenant: 1,
@@ -501,6 +511,7 @@ mod tests {
             rows: 2,
             seed: 5,
             kind: JobKind::Train,
+            qos: crate::qos::QosClass::Batch,
         };
         let outcome = engine.execute(&[job]);
         assert!(outcome.value.is_finite());

@@ -1,5 +1,7 @@
 //! Job descriptions tenants submit to the serving layer.
 
+use crate::qos::QosClass;
+
 /// What a job asks of its model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobKind {
@@ -15,6 +17,16 @@ impl JobKind {
         match self {
             JobKind::Train => "train",
             JobKind::Infer => "infer",
+        }
+    }
+
+    /// Shedding rank of the kind alone: an inference is a stateless read
+    /// and therefore cheaper to retry than a training step, so it sheds
+    /// first (Infer 0, Train 1).
+    pub fn rank(&self) -> u8 {
+        match self {
+            JobKind::Infer => 0,
+            JobKind::Train => 1,
         }
     }
 }
@@ -38,12 +50,54 @@ pub struct JobSpec {
     pub seed: u64,
     /// Train or infer.
     pub kind: JobKind,
+    /// Latency sensitivity: scheduling weight and shedding priority.
+    pub qos: QosClass,
 }
 
 impl JobSpec {
     /// The coalescing key: jobs may share a dispatch only when they target
     /// the same model with the same kind (same layer shapes, same pass).
+    /// QoS deliberately does not split batches — a background job may ride
+    /// in an interactive job's dispatch for free.
     pub fn batch_key(&self) -> (usize, JobKind) {
         (self.model, self.kind)
+    }
+
+    /// Price-based shedding rank: under overload the admission controller
+    /// evicts the job with the **lowest** rank first. QoS class dominates,
+    /// job kind breaks ties — so the order from first-shed to last-shed is
+    /// Background/Infer, Background/Train, Batch/Infer, Batch/Train,
+    /// Interactive/Infer, Interactive/Train.
+    pub fn shed_rank(&self) -> u8 {
+        self.qos.rank() * 2 + self.kind.rank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_rank_orders_class_before_kind() {
+        let job = |qos, kind| JobSpec {
+            tenant: 0,
+            model: 0,
+            rows: 1,
+            seed: 0,
+            kind,
+            qos,
+        };
+        let ranks: Vec<u8> = [
+            job(QosClass::Background, JobKind::Infer),
+            job(QosClass::Background, JobKind::Train),
+            job(QosClass::Batch, JobKind::Infer),
+            job(QosClass::Batch, JobKind::Train),
+            job(QosClass::Interactive, JobKind::Infer),
+            job(QosClass::Interactive, JobKind::Train),
+        ]
+        .iter()
+        .map(JobSpec::shed_rank)
+        .collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);
     }
 }

@@ -3,53 +3,78 @@
 //!
 //! The paper amortizes dropout overhead so training runs at hardware
 //! speed; this crate is the subsystem that turns the repo's
-//! plan–execute–price pipeline into a multi-tenant service under heavy
-//! traffic. The request path is
+//! plan–execute–price pipeline into a multi-tenant service that stays
+//! predictable under heavy traffic. The request path is
 //!
 //! ```text
-//!  tenants ──▶ ShardedQueue ──▶ dynamic batcher ──▶ PlanCache ──▶ worker shards
-//!             (per-tenant       (coalesce same-     (memoized      (Mlp / LstmLm
-//!              fairness)         shape jobs up       DropoutPlans)  replicas on the
-//!                                to a deadline)                     tensor pool)
+//!  tenants ──▶ admission ──▶ ShardedQueue ──▶ adaptive batcher ──▶ workers
+//!             (bounded,      (QoS-weighted    (hold only while     (replicas on
+//!              shed-or-       fair queueing    the merge win        the tensor
+//!              reject by      per tenant ×     beats the queueing   pool; fleet
+//!              shed rank)     class lane)      cost)                autoscaled)
 //! ```
 //!
-//! * [`ShardedQueue`] — one mutex shard per worker, per-tenant lanes popped
-//!   round-robin so no tenant's backlog starves another.
-//! * [`BatchPolicy`] / [`coalesce`] — per-request dispatch (the baseline)
-//!   or dynamic batching: jobs sharing a [`JobSpec::batch_key`] (same
-//!   model, same kind, hence the same `LayerShape`s) merge until a row
-//!   bound or deadline.
+//! * [`ServeConfig`] — builder-validated configuration: every field is
+//!   private, construction goes through [`ServeConfig::builder`], and an
+//!   invalid deployment fails with a typed [`ServeConfigError`].
+//! * [`QosClass`] / [`QosWeights`] — every [`JobSpec`] carries a QoS
+//!   class; [`ShardedQueue::pop_fair`] serves `(tenant, class)` lanes by
+//!   virtual-time weighted fair queueing, so a flooding Background tenant
+//!   cannot starve Interactive traffic.
+//! * Admission control — with a bounded queue, overload shreds by price:
+//!   the cheapest queued work ([`JobSpec::shed_rank`]: Background before
+//!   Interactive, Infer before Train) is displaced first, and a job that
+//!   is itself the cheapest in sight bounces as
+//!   [`AdmissionError::Rejected`] instead of growing the backlog.
+//! * [`BatchPolicy::Adaptive`] — workers hold a partially filled batch
+//!   only while `arrival_rate × merge_win > latency_cost × jobs_waiting`
+//!   ([`gpu_sim::hold_batch`]); the arrival rate is a per-batch-key EWMA
+//!   ([`ArrivalTracker`]) and the merge win is priced once per model on
+//!   the gpu-sim timing model ([`AdaptiveController`]).
+//! * [`Autoscaler`] — the worker fleet follows smoothed queue depth with
+//!   hysteresis and cooldown, capped by `tensor::pool::MAX_THREADS`; a
+//!   warm [`PlanCache`] (plans resolve as hits, so replicas spawn cheap)
+//!   lowers the scale-up threshold.
 //! * [`PlanCache`] (from `approx_dropout`) — dropout plans are pure
 //!   functions of `(scheme, LayerShape, seed epoch)`, so one worker's
-//!   sample is every other dispatch's allocation-free `clone_from`. The
-//!   cache can be switched off without changing a single bit of any result
-//!   — see the determinism contract in [`engine`].
-//! * [`ShardEngine`] / [`Server`] — single-threaded execution cores, one
-//!   per worker thread, running [`nn::Mlp`] / [`nn::lstm::LstmLm`] replicas
-//!   whose GEMMs ride the shared `tensor::pool`.
-//! * [`simulated_policy_speedup`] — prices a batching decision on the
-//!   `gpu-sim` device model (`price_fc_schedule` under the hood), so
-//!   policy is tunable against simulated device time as well as measured
-//!   CPU wall clock.
+//!   sample is every other dispatch's allocation-free `clone_from`; see
+//!   the determinism contract in [`engine`].
+//! * [`SchemeSpec`] (re-exported from `approx_dropout`) — catalog entries
+//!   configure dropout as plain data round-trippable through the text
+//!   grammar (`"row:0.5:8"`, `"nm:2:4"`, `"crs:0.5"`).
 //!
-//! The `bench_serve` binary in `crates/bench` drives this crate with a
-//! closed-loop multi-tenant load generator and gates dynamic batching's
-//! throughput win over per-request dispatch in CI.
+//! Completed jobs report latency split into queue wait and execution
+//! ([`JobResult`]); the post-shutdown [`ServeReport`] summarizes both as
+//! percentile [`LatencySummary`]s. The `bench_serve` binary in
+//! `crates/bench` drives this crate with closed-loop policy comparisons
+//! and an open-loop overload scenario, and gates both the adaptive
+//! batcher's throughput and the admission controller's tail-latency
+//! protection in CI.
 
+pub mod adaptive;
+pub mod admission;
+pub mod autoscale;
 pub mod batcher;
+pub mod config;
 pub mod engine;
 pub mod job;
 pub mod model;
+pub mod qos;
 pub mod queue;
 pub mod server;
 
-pub use approx_dropout::{PlanCache, PlanCacheStats, PlanKey};
+pub use adaptive::{AdaptiveController, ArrivalTracker};
+pub use admission::{AdmissionError, JobReply};
+pub use approx_dropout::{PlanCache, PlanCacheStats, PlanKey, SchemeSpec, SchemeSpecError};
+pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleDecision};
 pub use batcher::{coalesce, BatchPolicy};
+pub use config::{ServeConfig, ServeConfigBuilder, ServeConfigError};
 pub use engine::{
     materialize, resolve_spec_plans, scheme_id, simulated_iteration_us, simulated_policy_speedup,
     BatchInputs, BatchOutcome, Replica, ShardEngine,
 };
 pub use job::{JobKind, JobSpec};
-pub use model::{ModelSpec, NetworkKind, SchemeKind};
-pub use queue::ShardedQueue;
-pub use server::{Client, JobResult, ServeConfig, ServeReport, Server};
+pub use model::{ModelSpec, NetworkKind};
+pub use qos::{QosClass, QosWeights};
+pub use queue::{Push, ShardedQueue};
+pub use server::{Client, JobResult, LatencySummary, ServeReport, Server};

@@ -2,118 +2,18 @@
 //!
 //! A [`ModelSpec`] is everything a worker shard needs to instantiate a
 //! replica — the network family and dimensions ([`NetworkKind`]) plus the
-//! dropout scheme every droppable layer runs ([`SchemeKind`]) — and
-//! everything the pricing path needs to build the matching
+//! dropout scheme every droppable layer runs, as a plain-data
+//! [`SchemeSpec`] shared with the rest of the workspace — and everything
+//! the pricing path needs to build the matching
 //! [`gpu_sim::NetworkTimingModel`]. Specs are plain data (no boxed trait
-//! objects) so a catalog can be cloned into every worker thread and
-//! compared in tests.
+//! objects) so a catalog can be cloned into every worker thread, compared
+//! in tests, and round-tripped through the `SchemeSpec` text grammar
+//! (`"row:0.5:8"`, `"nm:2:4"`, …).
 
-use approx_dropout::{scheme, DropoutRate, DropoutScheme, LayerShape};
+use approx_dropout::{LayerShape, SchemeSpec};
 use gpu_sim::{GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel};
 use nn::lstm::LstmLmConfig;
 use nn::MlpConfig;
-
-/// Dropout scheme configuration of a served model, as plain data.
-///
-/// `build` materializes the boxed [`DropoutScheme`]; the variants mirror
-/// the constructors of [`approx_dropout::scheme`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum SchemeKind {
-    /// No dropout (dense execution).
-    None,
-    /// Conventional per-unit Bernoulli dropout (the paper's baseline).
-    Bernoulli {
-        /// Dropout rate in `(0, 1)`.
-        rate: f64,
-    },
-    /// Row-based Dropout Pattern via Algorithm 1.
-    Row {
-        /// Target global dropout rate.
-        rate: f64,
-        /// Maximum pattern period explored by the search.
-        max_dp: usize,
-    },
-    /// Tile-based Dropout Pattern via Algorithm 1.
-    Tile {
-        /// Target global dropout rate.
-        rate: f64,
-        /// Maximum pattern period explored by the search.
-        max_dp: usize,
-        /// Tile edge length (32 in the paper).
-        tile: usize,
-    },
-    /// N:M structured sparsity (keep `n` of every `m` output lanes).
-    Nm {
-        /// Kept lanes per group.
-        n: usize,
-        /// Group width.
-        m: usize,
-    },
-    /// Block-structured unit dropout.
-    BlockUnit {
-        /// Per-block drop probability.
-        rate: f64,
-        /// Contiguous block width.
-        block: usize,
-    },
-    /// Sampled GEMM under column-row sampling (CRS): keep a `keep` fraction
-    /// of the inner (K) dimension, scaled by `K/k` for unbiasedness.
-    Crs {
-        /// Kept fraction of the inner dimension, in `(0, 1]`.
-        keep: f64,
-    },
-    /// Composed row-dropout × CRS: row dropout compacts the output (N)
-    /// dimension while CRS samples the inner (K) dimension of the same
-    /// kernel call.
-    RowCrs {
-        /// Target global dropout rate of the row axis.
-        rate: f64,
-        /// Maximum pattern period explored by the row search.
-        max_dp: usize,
-        /// Kept fraction of the inner dimension, in `(0, 1]`.
-        keep: f64,
-    },
-}
-
-impl SchemeKind {
-    /// Materializes the boxed scheme.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the configuration is invalid (rate outside `(0, 1)`,
-    /// degenerate `n:m`, …) — catalog entries are static configuration, so
-    /// an invalid one is a programming error, not a runtime condition.
-    pub fn build(&self) -> Box<dyn DropoutScheme> {
-        let rate = |r: f64| DropoutRate::new(r).expect("catalog dropout rate must be in (0, 1)");
-        match *self {
-            SchemeKind::None => scheme::none(),
-            SchemeKind::Bernoulli { rate: r } => scheme::bernoulli(rate(r)),
-            SchemeKind::Row { rate: r, max_dp } => {
-                scheme::row(rate(r), max_dp).expect("row scheme configuration must be valid")
-            }
-            SchemeKind::Tile {
-                rate: r,
-                max_dp,
-                tile,
-            } => scheme::tile(rate(r), max_dp, tile)
-                .expect("tile scheme configuration must be valid"),
-            SchemeKind::Nm { n, m } => {
-                scheme::nm(n, m).expect("n:m scheme configuration must be valid")
-            }
-            SchemeKind::BlockUnit { rate: r, block } => scheme::block_unit(rate(r), block)
-                .expect("block scheme configuration must be valid"),
-            SchemeKind::Crs { keep } => {
-                scheme::crs(keep).expect("crs scheme configuration must be valid")
-            }
-            SchemeKind::RowCrs {
-                rate: r,
-                max_dp,
-                keep,
-            } => scheme::row_crs(rate(r), max_dp, keep)
-                .expect("row-crs scheme configuration must be valid"),
-        }
-    }
-}
 
 /// Network family and dimensions of a served model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,7 +50,7 @@ pub struct ModelSpec {
     /// Network family and dimensions.
     pub network: NetworkKind,
     /// Dropout scheme applied to every droppable layer.
-    pub scheme: SchemeKind,
+    pub scheme: SchemeSpec,
     /// SGD learning rate.
     pub learning_rate: f32,
     /// SGD momentum.
@@ -164,7 +64,7 @@ impl ModelSpec {
         input_dim: usize,
         hidden: Vec<usize>,
         classes: usize,
-        scheme: SchemeKind,
+        scheme: SchemeSpec,
     ) -> Self {
         Self {
             name: name.into(),
@@ -186,7 +86,7 @@ impl ModelSpec {
         hidden: usize,
         layers: usize,
         seq_len: usize,
-        scheme: SchemeKind,
+        scheme: SchemeSpec,
     ) -> Self {
         Self {
             name: name.into(),
@@ -247,7 +147,10 @@ impl ModelSpec {
                 input_dim: *input_dim,
                 hidden: hidden.clone(),
                 output_dim: *classes,
-                dropout: self.scheme.build(),
+                dropout: self
+                    .scheme
+                    .build()
+                    .expect("catalog scheme configuration must be valid"),
                 learning_rate: self.learning_rate,
                 momentum: self.momentum,
             },
@@ -273,7 +176,10 @@ impl ModelSpec {
                 embed_dim: *hidden,
                 hidden: *hidden,
                 layers: *layers,
-                dropout: self.scheme.build(),
+                dropout: self
+                    .scheme
+                    .build()
+                    .expect("catalog scheme configuration must be valid"),
                 learning_rate: self.learning_rate,
                 momentum: self.momentum,
                 grad_clip: 5.0,
@@ -326,7 +232,7 @@ mod tests {
 
     #[test]
     fn mlp_layer_shapes_chain_dimensions() {
-        let spec = ModelSpec::mlp("m", 64, vec![128, 96], 10, SchemeKind::None);
+        let spec = ModelSpec::mlp("m", 64, vec![128, 96], 10, SchemeSpec::None);
         assert_eq!(
             spec.layer_shapes(),
             vec![LayerShape::new(64, 128), LayerShape::new(128, 96)]
@@ -336,43 +242,30 @@ mod tests {
 
     #[test]
     fn lstm_layer_shapes_are_hidden_vectors() {
-        let spec = ModelSpec::lstm("l", 200, 48, 2, 6, SchemeKind::Bernoulli { rate: 0.25 });
+        let spec = ModelSpec::lstm("l", 200, 48, 2, 6, SchemeSpec::Bernoulli { rate: 0.25 });
         assert_eq!(spec.layer_shapes(), vec![LayerShape::vector(48); 2]);
     }
 
     #[test]
-    fn every_scheme_kind_builds() {
-        for kind in [
-            SchemeKind::None,
-            SchemeKind::Bernoulli { rate: 0.5 },
-            SchemeKind::Row {
+    fn specs_round_trip_through_the_text_grammar() {
+        let spec = ModelSpec::mlp(
+            "m",
+            64,
+            vec![128],
+            10,
+            SchemeSpec::Row {
                 rate: 0.5,
                 max_dp: 8,
             },
-            SchemeKind::Tile {
-                rate: 0.5,
-                max_dp: 8,
-                tile: 32,
-            },
-            SchemeKind::Nm { n: 2, m: 4 },
-            SchemeKind::BlockUnit {
-                rate: 0.5,
-                block: 16,
-            },
-            SchemeKind::Crs { keep: 0.5 },
-            SchemeKind::RowCrs {
-                rate: 0.5,
-                max_dp: 8,
-                keep: 0.5,
-            },
-        ] {
-            let _ = kind.build();
-        }
+        );
+        let text = spec.scheme.to_string();
+        assert_eq!(text, "row:0.5:8");
+        assert_eq!(text.parse::<SchemeSpec>().unwrap(), spec.scheme);
     }
 
     #[test]
     fn timing_model_matches_dropout_layers() {
-        let spec = ModelSpec::mlp("m", 64, vec![128, 96], 10, SchemeKind::None);
+        let spec = ModelSpec::mlp("m", 64, vec![128, 96], 10, SchemeSpec::None);
         let model = spec.timing_model(GpuConfig::gtx_1080ti(), 32);
         assert_eq!(model.dropout_layers(), spec.dropout_layers());
         assert_eq!(model.layer_shapes(), spec.layer_shapes());

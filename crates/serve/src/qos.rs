@@ -1,0 +1,124 @@
+//! Quality-of-service classes and their scheduling weights.
+//!
+//! Every [`crate::JobSpec`] carries a [`QosClass`]; the request queue
+//! schedules across `(tenant, class)` lanes with weighted fairness
+//! ([`crate::ShardedQueue::pop_fair`]) and the admission controller sheds
+//! the cheapest-to-retry class first when the queue is bounded. The three
+//! classes cover the serving taxonomy the ROADMAP's north star names:
+//! latency-sensitive interactive traffic, ordinary batch work, and
+//! best-effort background jobs that soak up spare capacity.
+
+use std::fmt;
+
+/// How latency-sensitive a job is — its scheduling weight and shedding
+/// priority, not its semantics (any [`crate::JobKind`] can run under any
+/// class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QosClass {
+    /// Latency-sensitive traffic: heaviest scheduling weight, shed last.
+    Interactive,
+    /// Ordinary work — the default.
+    #[default]
+    Batch,
+    /// Best-effort traffic: lightest weight, shed first under overload.
+    Background,
+}
+
+impl QosClass {
+    /// All classes, heaviest first.
+    pub const ALL: [QosClass; 3] = [QosClass::Interactive, QosClass::Batch, QosClass::Background];
+
+    /// Stable lowercase label (bench output, error messages).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Batch => "batch",
+            QosClass::Background => "background",
+        }
+    }
+
+    /// Shedding rank of the class alone: higher survives longer under
+    /// overload (Background 0, Batch 1, Interactive 2). Combined with the
+    /// job kind in [`crate::JobSpec::shed_rank`].
+    pub fn rank(&self) -> u8 {
+        match self {
+            QosClass::Background => 0,
+            QosClass::Batch => 1,
+            QosClass::Interactive => 2,
+        }
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Scheduling weights of the three classes, as served-row shares: under
+/// contention a class receives service proportional to its weight.
+///
+/// Weights are validated by [`crate::ServeConfig::builder`] (every weight
+/// nonzero); the default 8 / 2 / 1 split keeps Interactive latency flat
+/// while a Background flood still makes progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosWeights {
+    /// Weight of [`QosClass::Interactive`].
+    pub interactive: u32,
+    /// Weight of [`QosClass::Batch`].
+    pub batch: u32,
+    /// Weight of [`QosClass::Background`].
+    pub background: u32,
+}
+
+impl Default for QosWeights {
+    fn default() -> Self {
+        Self {
+            interactive: 8,
+            batch: 2,
+            background: 1,
+        }
+    }
+}
+
+impl QosWeights {
+    /// The weight of `class`.
+    pub fn weight(&self, class: QosClass) -> u32 {
+        match class {
+            QosClass::Interactive => self.interactive,
+            QosClass::Batch => self.batch,
+            QosClass::Background => self.background,
+        }
+    }
+
+    /// `true` when every class has a nonzero weight (a zero weight would
+    /// starve the class outright instead of de-prioritizing it).
+    pub fn all_nonzero(&self) -> bool {
+        self.interactive > 0 && self.batch > 0 && self.background > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_order_shedding_priority() {
+        assert!(QosClass::Background.rank() < QosClass::Batch.rank());
+        assert!(QosClass::Batch.rank() < QosClass::Interactive.rank());
+    }
+
+    #[test]
+    fn default_weights_are_nonzero_and_ordered() {
+        let w = QosWeights::default();
+        assert!(w.all_nonzero());
+        assert!(w.weight(QosClass::Interactive) > w.weight(QosClass::Batch));
+        assert!(w.weight(QosClass::Batch) > w.weight(QosClass::Background));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(QosClass::Interactive.to_string(), "interactive");
+        assert_eq!(QosClass::default(), QosClass::Batch);
+    }
+}

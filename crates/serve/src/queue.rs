@@ -1,65 +1,122 @@
-//! Sharded request queue with per-tenant fairness.
+//! Sharded request queue: QoS-weighted fairness and bounded admission.
 //!
 //! The front door of the serving layer: producers (tenant clients) push
 //! into a shard chosen by the *model* a job targets, so each worker shard
 //! drains a disjoint slice of the traffic and never contends with the
-//! others for a lock. Within one shard, jobs are kept in per-tenant
-//! **lanes** and popped round-robin across lanes — a tenant that floods the
-//! queue with thousands of requests cannot starve a tenant that submits
-//! one, which is the fairness property a multi-tenant front end owes its
-//! small customers.
+//! others for a lock. Within one shard, jobs are kept in per-`(tenant,
+//! QosClass)` **lanes** and popped with **weighted fair queueing**: each
+//! lane carries a virtual-finish clock that advances by `cost / weight`
+//! per served item, and [`ShardedQueue::pop_fair`] always serves the lane
+//! with the smallest clock. Under contention a class therefore receives
+//! row-cost service proportional to its [`QosWeights`] weight — a tenant
+//! flooding the Background class cannot starve Interactive traffic, and
+//! within one class the old per-tenant round-robin fairness falls out as
+//! the equal-weight special case.
 //!
-//! The queue is deliberately simple: one mutex per shard, `VecDeque` lanes,
-//! and an atomic length for cheap emptiness checks. Under the serving
-//! layer's shard-per-worker discipline a lock is only ever contended
-//! between the producers targeting that shard and its single consumer.
+//! The queue can also be **bounded** (jobs per shard). A push over the
+//! bound triggers price-based shedding: the queued job with the lowest
+//! [`shed rank`](crate::JobSpec::shed_rank) *strictly below* the incoming
+//! job's rank is evicted (newest first, so the victim has sunk the least
+//! waiting) and handed back as [`Push::Displaced`]; when the incoming job
+//! is itself the cheapest work in sight it is refused outright as
+//! [`Push::Rejected`]. Either way the caller gets the victim back and can
+//! answer it with a typed [`crate::AdmissionError`] — overload produces
+//! *answers*, never an unbounded backlog.
 
+use crate::qos::{QosClass, QosWeights};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// One tenant's FIFO lane within a shard.
+/// One queued item plus the metadata fairness and shedding need.
+#[derive(Debug)]
+struct Item<T> {
+    cost: usize,
+    shed_rank: u8,
+    value: T,
+}
+
+/// One `(tenant, class)` FIFO lane within a shard.
 #[derive(Debug)]
 struct Lane<T> {
     tenant: u64,
-    items: VecDeque<T>,
+    qos: QosClass,
+    /// Virtual finish time of the lane's last served item; the lane with
+    /// the smallest clock is served next.
+    vtime: f64,
+    items: VecDeque<Item<T>>,
 }
 
-/// One independently locked shard: per-tenant lanes plus the round-robin
-/// cursor [`ShardedQueue::pop_fair`] resumes from.
+/// One independently locked shard: fairness lanes plus the shard-wide
+/// virtual clock newly active lanes catch up to.
 #[derive(Debug)]
 struct Shard<T> {
     lanes: Vec<Lane<T>>,
-    cursor: usize,
+    vclock: f64,
+    jobs: usize,
 }
 
 impl<T> Shard<T> {
     fn new() -> Self {
         Self {
             lanes: Vec::new(),
-            cursor: 0,
+            vclock: 0.0,
+            jobs: 0,
         }
     }
 }
 
-/// A sharded multi-producer queue whose pops rotate fairly across tenants.
+/// What happened to a pushed item; see [`ShardedQueue::push`].
+#[derive(Debug)]
+pub enum Push<T> {
+    /// The item was enqueued (the unbounded / under-bound path).
+    Enqueued,
+    /// The item was enqueued by evicting a cheaper queued item, returned
+    /// here so the caller can answer it as shed.
+    Displaced(T),
+    /// The shard is full and the item is itself the cheapest work in
+    /// sight; it was not enqueued and is returned to the caller.
+    Rejected(T),
+}
+
+/// A sharded multi-producer queue with QoS-weighted fair pops and an
+/// optional per-shard admission bound.
 #[derive(Debug)]
 pub struct ShardedQueue<T> {
     shards: Box<[Mutex<Shard<T>>]>,
+    weights: QosWeights,
+    bound: Option<usize>,
     len: AtomicUsize,
+    shed: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl<T> ShardedQueue<T> {
-    /// Creates a queue with `shards` independently locked shards (clamped
-    /// to at least 1).
-    pub fn new(shards: usize) -> Self {
+    /// Creates an unbounded queue with `shards` independently locked shards
+    /// (clamped to at least 1) scheduling under `weights`.
+    pub fn new(shards: usize, weights: QosWeights) -> Self {
+        Self::build(shards, weights, None)
+    }
+
+    /// Creates a bounded queue: each shard admits at most `bound` queued
+    /// jobs (clamped to at least 1); pushes beyond that shed or reject by
+    /// [`crate::JobSpec::shed_rank`].
+    pub fn with_bound(shards: usize, weights: QosWeights, bound: usize) -> Self {
+        Self::build(shards, weights, Some(bound.max(1)))
+    }
+
+    fn build(shards: usize, weights: QosWeights, bound: Option<usize>) -> Self {
         let shards = shards.max(1);
         Self {
             shards: (0..shards)
                 .map(|_| Mutex::new(Shard::new()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
+            weights,
+            bound,
             len: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -68,40 +125,139 @@ impl<T> ShardedQueue<T> {
         self.shards.len()
     }
 
-    /// Pushes `item` onto `tenant`'s lane of `shard` (modulo the shard
-    /// count, so callers can pass a raw model id).
-    pub fn push(&self, shard: usize, tenant: u64, item: T) {
+    /// The per-shard job bound, when the queue is bounded.
+    pub fn bound(&self) -> Option<usize> {
+        self.bound
+    }
+
+    /// Pushes `item` onto the `(tenant, qos)` lane of `shard` (modulo the
+    /// shard count, so callers can pass a raw model id). `cost` is the
+    /// item's fair-share weight — request rows for jobs — and `shed_rank`
+    /// its eviction priority under overload (lower sheds first).
+    ///
+    /// On a bounded queue a push over the bound evicts the newest queued
+    /// item whose rank is strictly below `shed_rank` and returns it as
+    /// [`Push::Displaced`]; if no queued item is cheaper, the incoming item
+    /// bounces back as [`Push::Rejected`].
+    pub fn push(
+        &self,
+        shard: usize,
+        tenant: u64,
+        qos: QosClass,
+        shed_rank: u8,
+        cost: usize,
+        item: T,
+    ) -> Push<T> {
         let mut guard = self.shards[shard % self.shards.len()]
             .lock()
             .expect("queue shard poisoned");
-        match guard.lanes.iter_mut().find(|lane| lane.tenant == tenant) {
-            Some(lane) => lane.items.push_back(item),
+        let mut displaced = None;
+        if let Some(bound) = self.bound {
+            if guard.jobs >= bound {
+                match Self::evict_cheapest_below(&mut guard, shed_rank) {
+                    Some(victim) => {
+                        self.len.fetch_sub(1, Ordering::SeqCst);
+                        self.shed.fetch_add(1, Ordering::Relaxed);
+                        displaced = Some(victim);
+                    }
+                    None => {
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Push::Rejected(item);
+                    }
+                }
+            }
+        }
+        let vclock = guard.vclock;
+        let item = Item {
+            cost: cost.max(1),
+            shed_rank,
+            value: item,
+        };
+        match guard
+            .lanes
+            .iter_mut()
+            .find(|lane| lane.tenant == tenant && lane.qos == qos)
+        {
+            Some(lane) => {
+                if lane.items.is_empty() {
+                    // A lane going active again catches up to the shard
+                    // clock so idle time never accumulates as credit.
+                    lane.vtime = lane.vtime.max(vclock);
+                }
+                lane.items.push_back(item);
+            }
             None => guard.lanes.push(Lane {
                 tenant,
+                qos,
+                vtime: vclock,
                 items: VecDeque::from([item]),
             }),
         }
+        guard.jobs += 1;
         self.len.fetch_add(1, Ordering::SeqCst);
+        match displaced {
+            Some(victim) => Push::Displaced(victim),
+            None => Push::Enqueued,
+        }
     }
 
-    /// Pops the next item of `shard`, rotating round-robin across tenant
-    /// lanes so no tenant's backlog can starve another's. Returns `None`
-    /// when the shard is empty.
+    /// Removes and returns the queued item with the lowest shed rank
+    /// strictly below `below`, preferring the newest such item (back of
+    /// its lane) so the victim has sunk the least waiting. `None` when
+    /// every queued item is at least as valuable as the incoming one.
+    fn evict_cheapest_below(shard: &mut Shard<T>, below: u8) -> Option<T> {
+        let mut best: Option<(u8, usize, usize)> = None;
+        for (lane_idx, lane) in shard.lanes.iter().enumerate() {
+            for (item_idx, item) in lane.items.iter().enumerate().rev() {
+                if item.shed_rank >= below {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((rank, _, _)) => item.shed_rank < rank,
+                };
+                if better {
+                    best = Some((item.shed_rank, lane_idx, item_idx));
+                }
+                // Items further forward in this lane are older; within one
+                // lane the back-most item of the minimal rank wins, and
+                // `rev()` reaches it first, so the rest of the lane can
+                // only improve via a strictly lower rank.
+            }
+        }
+        let (_, lane_idx, item_idx) = best?;
+        let victim = shard.lanes[lane_idx]
+            .items
+            .remove(item_idx)
+            .expect("victim index valid under the shard lock");
+        shard.jobs -= 1;
+        Some(victim.value)
+    }
+
+    /// Pops the next item of `shard` under weighted fair queueing: the
+    /// non-empty lane with the smallest virtual clock is served and its
+    /// clock advances by `cost / weight(class)`. Returns `None` when the
+    /// shard is empty.
     pub fn pop_fair(&self, shard: usize) -> Option<T> {
         let mut guard = self.shards[shard % self.shards.len()]
             .lock()
             .expect("queue shard poisoned");
-        let lanes = guard.lanes.len();
-        for step in 0..lanes {
-            let idx = (guard.cursor + step) % lanes;
-            if let Some(item) = guard.lanes[idx].items.pop_front() {
-                // Resume *after* the lane we just served.
-                guard.cursor = (idx + 1) % lanes;
-                self.len.fetch_sub(1, Ordering::SeqCst);
-                return Some(item);
-            }
-        }
-        None
+        let lane_idx = guard
+            .lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, lane)| !lane.items.is_empty())
+            .min_by(|(_, a), (_, b)| a.vtime.total_cmp(&b.vtime))
+            .map(|(idx, _)| idx)?;
+        let weight = f64::from(self.weights.weight(guard.lanes[lane_idx].qos).max(1));
+        let lane = &mut guard.lanes[lane_idx];
+        let item = lane.items.pop_front().expect("lane checked non-empty");
+        let start = lane.vtime;
+        lane.vtime += item.cost as f64 / weight;
+        guard.vclock = guard.vclock.max(start);
+        guard.jobs -= 1;
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        Some(item.value)
     }
 
     /// Total queued items across all shards (approximate under concurrency,
@@ -114,17 +270,38 @@ impl<T> ShardedQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Queued items evicted to admit more valuable work.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Pushes refused because the incoming item was the cheapest in sight.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn queue(shards: usize) -> ShardedQueue<u32> {
+        ShardedQueue::new(shards, QosWeights::default())
+    }
+
+    fn push_batch(q: &ShardedQueue<u32>, shard: usize, tenant: u64, item: u32) {
+        assert!(matches!(
+            q.push(shard, tenant, QosClass::Batch, 3, 1, item),
+            Push::Enqueued
+        ));
+    }
+
     #[test]
     fn push_pop_round_trips_per_shard() {
-        let q: ShardedQueue<u32> = ShardedQueue::new(2);
-        q.push(0, 1, 10);
-        q.push(1, 1, 20);
+        let q = queue(2);
+        push_batch(&q, 0, 1, 10);
+        push_batch(&q, 1, 1, 20);
         assert_eq!(q.len(), 2);
         assert_eq!(q.pop_fair(0), Some(10));
         assert_eq!(q.pop_fair(0), None);
@@ -133,26 +310,27 @@ mod tests {
     }
 
     #[test]
-    fn pop_fair_round_robins_across_tenants() {
-        // Tenant 1 floods the shard; tenant 2 submits three jobs. Fair
-        // popping must interleave them, so tenant 2 finishes within the
-        // first six pops instead of waiting behind the flood.
-        let q: ShardedQueue<(u64, u32)> = ShardedQueue::new(1);
+    fn pop_fair_round_robins_across_equal_weight_tenants() {
+        // Tenant 1 floods the shard; tenant 2 submits three jobs at the
+        // same class. Equal weights must interleave them, so tenant 2
+        // finishes within the first six pops instead of waiting behind the
+        // flood — the per-tenant fairness the pre-QoS queue guaranteed.
+        let q: ShardedQueue<(u64, u32)> = ShardedQueue::new(1, QosWeights::default());
         for i in 0..100 {
-            q.push(0, 1, (1, i));
+            q.push(0, 1, QosClass::Batch, 3, 1, (1, i));
         }
         for i in 0..3 {
-            q.push(0, 2, (2, i));
+            q.push(0, 2, QosClass::Batch, 3, 1, (2, i));
         }
         let order: Vec<u64> = (0..6).map(|_| q.pop_fair(0).unwrap().0).collect();
         assert_eq!(order, vec![1, 2, 1, 2, 1, 2]);
     }
 
     #[test]
-    fn fifo_within_one_tenant() {
-        let q: ShardedQueue<u32> = ShardedQueue::new(1);
+    fn fifo_within_one_lane() {
+        let q = queue(1);
         for i in 0..5 {
-            q.push(0, 7, i);
+            push_batch(&q, 0, 7, i);
         }
         let drained: Vec<u32> = std::iter::from_fn(|| q.pop_fair(0)).collect();
         assert_eq!(drained, vec![0, 1, 2, 3, 4]);
@@ -160,8 +338,102 @@ mod tests {
 
     #[test]
     fn shard_index_wraps() {
-        let q: ShardedQueue<u32> = ShardedQueue::new(3);
-        q.push(5, 0, 42); // 5 % 3 == 2
+        let q = queue(3);
+        push_batch(&q, 5, 0, 42); // 5 % 3 == 2
         assert_eq!(q.pop_fair(2), Some(42));
+    }
+
+    #[test]
+    fn weighted_pops_follow_the_class_weights() {
+        // One tenant floods Background while another floods Interactive;
+        // with the default 8:1 weights the first 18 pops must serve
+        // Interactive ~8x as often as Background.
+        let q: ShardedQueue<QosClass> = ShardedQueue::new(1, QosWeights::default());
+        for _ in 0..100 {
+            q.push(0, 1, QosClass::Background, 0, 1, QosClass::Background);
+            q.push(0, 2, QosClass::Interactive, 4, 1, QosClass::Interactive);
+        }
+        let served: Vec<QosClass> = (0..18).map(|_| q.pop_fair(0).unwrap()).collect();
+        let interactive = served
+            .iter()
+            .filter(|c| **c == QosClass::Interactive)
+            .count();
+        assert!(
+            (15..=17).contains(&interactive),
+            "interactive got {interactive}/18 pops, want ~16"
+        );
+        // Background still progresses — weighted fairness, not starvation.
+        assert!(served.contains(&QosClass::Background));
+    }
+
+    #[test]
+    fn fair_share_is_by_row_cost_not_job_count() {
+        // Same class, equal weights: tenant 1 submits 8-row jobs, tenant 2
+        // submits 1-row jobs. Row-cost fairness must serve tenant 2 about
+        // eight jobs per tenant-1 job, not alternate one for one.
+        let q: ShardedQueue<u64> = ShardedQueue::new(1, QosWeights::default());
+        for _ in 0..10 {
+            q.push(0, 1, QosClass::Batch, 3, 8, 1);
+        }
+        for _ in 0..40 {
+            q.push(0, 2, QosClass::Batch, 3, 1, 2);
+        }
+        let served: Vec<u64> = (0..27).map(|_| q.pop_fair(0).unwrap()).collect();
+        let small_jobs = served.iter().filter(|t| **t == 2).count();
+        assert!(
+            small_jobs >= 20,
+            "1-row tenant got {small_jobs}/27 pops, want ~24"
+        );
+    }
+
+    #[test]
+    fn bounded_push_sheds_the_cheapest_item_newest_first() {
+        let q: ShardedQueue<u32> = ShardedQueue::with_bound(1, QosWeights::default(), 3);
+        // Fill the shard with Background (rank 0) items.
+        for i in 0..3 {
+            assert!(matches!(
+                q.push(0, 1, QosClass::Background, 0, 1, i),
+                Push::Enqueued
+            ));
+        }
+        // An Interactive push displaces the *newest* Background item.
+        match q.push(0, 2, QosClass::Interactive, 4, 1, 100) {
+            Push::Displaced(victim) => assert_eq!(victim, 2),
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.shed_count(), 1);
+    }
+
+    #[test]
+    fn bounded_push_rejects_when_nothing_is_cheaper() {
+        let q: ShardedQueue<u32> = ShardedQueue::with_bound(1, QosWeights::default(), 2);
+        for i in 0..2 {
+            q.push(0, 1, QosClass::Interactive, 5, 1, i);
+        }
+        // A Background push cannot displace Interactive work.
+        match q.push(0, 2, QosClass::Background, 0, 1, 100) {
+            Push::Rejected(item) => assert_eq!(item, 100),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Equal rank also bounces: shedding needs a *strictly* cheaper
+        // victim, so two floods of the same class cannot churn each other.
+        match q.push(0, 2, QosClass::Interactive, 5, 1, 101) {
+            Push::Rejected(item) => assert_eq!(item, 101),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(q.rejected_count(), 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn displacement_prefers_the_lowest_rank_across_lanes() {
+        let q: ShardedQueue<u32> = ShardedQueue::with_bound(1, QosWeights::default(), 2);
+        q.push(0, 1, QosClass::Batch, 2, 1, 1); // batch infer, rank 2
+        q.push(0, 2, QosClass::Background, 1, 1, 2); // background train, rank 1
+        match q.push(0, 3, QosClass::Interactive, 4, 1, 3) {
+            Push::Displaced(victim) => assert_eq!(victim, 2, "lowest rank sheds first"),
+            other => panic!("expected displacement, got {other:?}"),
+        }
     }
 }

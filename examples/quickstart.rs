@@ -4,7 +4,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use approx_dropout::equivalence::measure_equivalence;
-use approx_dropout::{scheme, search, DropoutRate, PatternKind, PatternSampler, SearchConfig};
+use approx_dropout::{search, DropoutRate, PatternKind, PatternSampler, SchemeSpec, SearchConfig};
 use data::{MnistConfig, SyntheticMnist};
 use nn::builder::NetworkBuilder;
 use rand::rngs::StdRng;
@@ -29,10 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Train a small MLP on the synthetic MNIST task with row-pattern
     //    dropout and compare against its own no-dropout evaluation accuracy.
+    //    Schemes parse from the `family[:param...]` text grammar — the same
+    //    strings the serve catalog and bench binaries use.
+    let spec: SchemeSpec = "row:0.5:16".parse()?;
+    println!("training with scheme: {spec}");
     let data = SyntheticMnist::new(MnistConfig::small());
     let mut mlp = NetworkBuilder::new(data.dim(), data.classes())
         .hidden_layers(&[128, 128])
-        .dropout(scheme::row(rate, 16)?)
+        .dropout(spec.build()?)
         .learning_rate(0.05)
         .momentum(0.5)
         .build(&mut rng);

@@ -6,11 +6,11 @@
 
 use approx_dropout::{
     scheme, DropoutPlan, DropoutRate, DropoutScheme, LayerShape, PlanCache, PlanKey, RowPattern,
-    TilePattern,
+    SchemeSpec, TilePattern,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serve::{JobKind, JobSpec, ModelSpec, SchemeKind, ShardEngine};
+use serve::{JobKind, JobSpec, ModelSpec, QosClass, ShardEngine};
 use std::sync::Arc;
 
 fn all_schemes() -> Vec<Box<dyn DropoutScheme>> {
@@ -112,7 +112,7 @@ fn serve_results_bitwise_identical_with_and_without_cache() {
             12,
             vec![16, 16],
             4,
-            SchemeKind::Row {
+            SchemeSpec::Row {
                 rate: 0.5,
                 max_dp: 4,
             },
@@ -123,7 +123,7 @@ fn serve_results_bitwise_identical_with_and_without_cache() {
             16,
             2,
             6,
-            SchemeKind::Row {
+            SchemeSpec::Row {
                 rate: 0.5,
                 max_dp: 4,
             },
@@ -144,6 +144,7 @@ fn serve_results_bitwise_identical_with_and_without_cache() {
                     rows: 2 + (step + j) % 3,
                     seed: (step * 31 + j) as u64,
                     kind,
+                    qos: QosClass::Batch,
                 })
                 .collect()
         })
