@@ -541,6 +541,7 @@ mod tests {
             "../../BENCH_HOTPATH.json",
             "../../BENCH_STRUCTURED.json",
             "../../BENCH_SERVE.json",
+            "../../BENCH_TRANSFORMER.json",
         ] {
             let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
             let content = std::fs::read_to_string(&full).expect("committed bench JSON exists");

@@ -23,6 +23,7 @@
 //! | `block:0.5:16`        | block-structured unit dropout, 16-wide blocks |
 //! | `crs:0.5`             | sampled GEMM, keep half the inner dimension   |
 //! | `row_crs:0.5:8:0.5`   | composed row dropout × CRS sampling           |
+//! | `transformer:0.25:64` | whole-head attention dropout, 64-wide heads   |
 //!
 //! Parsing reports a typed [`SchemeSpecError`]; parameter *ranges* are not
 //! checked until [`SchemeSpec::validate`] / [`SchemeSpec::build`], so a
@@ -98,6 +99,17 @@ pub enum SchemeSpec {
         /// Kept fraction of the inner dimension, in `(0, 1]`.
         keep: f64,
     },
+    /// Whole-head attention dropout for the transformer family: each head
+    /// is one contiguous `head_dim`-wide unit block of the attention
+    /// output, dropped as a unit (SDropout on attention). Builds as
+    /// [`scheme::block_unit`] with `block = head_dim`, inheriting the
+    /// never-fully-dark guard — at least one head survives every plan.
+    Transformer {
+        /// Per-head drop probability in `[0, 1)`.
+        rate: f64,
+        /// Width of one attention head (the block unit).
+        head_dim: usize,
+    },
 }
 
 /// Why a scheme spec string failed to parse.
@@ -129,7 +141,7 @@ impl fmt::Display for SchemeSpecError {
             SchemeSpecError::UnknownFamily(name) => write!(
                 f,
                 "unknown scheme family {name:?} (expected one of: none, bernoulli, divergent, \
-                 row, tile, nm, block, crs, row_crs)"
+                 row, tile, nm, block, crs, row_crs, transformer)"
             ),
             SchemeSpecError::WrongArity {
                 family,
@@ -161,6 +173,7 @@ impl SchemeSpec {
             SchemeSpec::Block { .. } => "block",
             SchemeSpec::Crs { .. } => "crs",
             SchemeSpec::RowCrs { .. } => "row_crs",
+            SchemeSpec::Transformer { .. } => "transformer",
         }
     }
 
@@ -223,6 +236,15 @@ impl SchemeSpec {
                 SchemeSpec::Row { rate, max_dp }.validate()?;
                 SchemeSpec::Crs { keep }.validate()
             }
+            SchemeSpec::Transformer { rate, head_dim } => {
+                rate_ok(rate)?;
+                if head_dim == 0 {
+                    return Err(DropoutError::InvalidPattern(
+                        "transformer scheme needs a nonzero head_dim".into(),
+                    ));
+                }
+                Ok(())
+            }
         }
     }
 
@@ -248,6 +270,7 @@ impl SchemeSpec {
                 max_dp,
                 keep,
             } => scheme::row_crs(rate(r)?, max_dp, keep),
+            SchemeSpec::Transformer { rate: r, head_dim } => scheme::block_unit(rate(r)?, head_dim),
         }
     }
 }
@@ -265,6 +288,9 @@ impl fmt::Display for SchemeSpec {
             SchemeSpec::Crs { keep } => write!(f, "crs:{keep}"),
             SchemeSpec::RowCrs { rate, max_dp, keep } => {
                 write!(f, "row_crs:{rate}:{max_dp}:{keep}")
+            }
+            SchemeSpec::Transformer { rate, head_dim } => {
+                write!(f, "transformer:{rate}:{head_dim}")
             }
         }
     }
@@ -354,6 +380,13 @@ impl FromStr for SchemeSpec {
                     keep: num("row_crs", params[2])?,
                 })
             }
+            "transformer" => {
+                arity("transformer", 2)?;
+                Ok(SchemeSpec::Transformer {
+                    rate: num("transformer", params[0])?,
+                    head_dim: num("transformer", params[1])?,
+                })
+            }
             other => Err(SchemeSpecError::UnknownFamily(other.to_string())),
         }
     }
@@ -388,6 +421,10 @@ mod tests {
                 rate: 0.5,
                 max_dp: 8,
                 keep: 0.75,
+            },
+            SchemeSpec::Transformer {
+                rate: 0.25,
+                head_dim: 64,
             },
         ]
     }
@@ -424,6 +461,13 @@ mod tests {
             ),
             ("nm:2:4", SchemeSpec::Nm { n: 2, m: 4 }),
             ("crs:0.5", SchemeSpec::Crs { keep: 0.5 }),
+            (
+                "transformer:0.25:64",
+                SchemeSpec::Transformer {
+                    rate: 0.25,
+                    head_dim: 64,
+                },
+            ),
         ] {
             assert_eq!(text.parse::<SchemeSpec>().unwrap(), spec);
         }
@@ -471,6 +515,18 @@ mod tests {
         assert!(SchemeSpec::Block {
             rate: 0.5,
             block: 0
+        }
+        .validate()
+        .is_err());
+        assert!(SchemeSpec::Transformer {
+            rate: 0.25,
+            head_dim: 0
+        }
+        .validate()
+        .is_err());
+        assert!(SchemeSpec::Transformer {
+            rate: 1.5,
+            head_dim: 64
         }
         .validate()
         .is_err());

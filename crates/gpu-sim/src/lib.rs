@@ -57,7 +57,7 @@ pub use kernels::{KernelKind, KernelStats};
 pub use queueing::{hold_batch, md1_wait_us, merge_win_us};
 pub use training::{
     price_fc_schedule, LayerTiming, LstmSpec, MlpSpec, NetworkTimingModel, TrainingTimeBreakdown,
-    DEFAULT_TIMING_SAMPLES,
+    TransformerSpec, DEFAULT_TIMING_SAMPLES,
 };
 
 #[cfg(test)]

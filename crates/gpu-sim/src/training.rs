@@ -166,11 +166,60 @@ impl LstmSpec {
     }
 }
 
+/// Shape of the transformer encoder language model (the third model family,
+/// matching `nn::TransformerLm`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerSpec {
+    /// Mini-batch size (sequences per iteration).
+    pub batch: usize,
+    /// Model width (`d_model`).
+    pub model_dim: usize,
+    /// Attention heads per block; must divide `model_dim`.
+    pub heads: usize,
+    /// FFN expansion width (4·`d_model` in the classic encoder).
+    pub ff_dim: usize,
+    /// Number of stacked encoder blocks.
+    pub layers: usize,
+    /// Sequence length each iteration attends over.
+    pub seq_len: usize,
+    /// Vocabulary size of the output softmax.
+    pub vocab: usize,
+}
+
+impl TransformerSpec {
+    /// A PTB-scale encoder LM sized like the paper family's transformer
+    /// experiments: 512-wide, 8 heads, 4× FFN, 2 blocks, seq 35, 10k vocab.
+    pub fn paper_ptb_transformer() -> Self {
+        Self {
+            batch: 20,
+            model_dim: 512,
+            heads: 8,
+            ff_dim: 2048,
+            layers: 2,
+            seq_len: 35,
+            vocab: 10_000,
+        }
+    }
+
+    /// Per-head width.
+    pub fn head_dim(&self) -> usize {
+        self.model_dim / self.heads
+    }
+
+    /// Number of droppable plan positions: one attention plan and one FFN
+    /// plan per encoder block, in block order — exactly what
+    /// `nn::TransformerLm::train_batch_with_plans` consumes.
+    pub fn dropout_layers(&self) -> usize {
+        2 * self.layers
+    }
+}
+
 /// Which network architecture a [`NetworkTimingModel`] describes.
 #[derive(Debug, Clone, PartialEq)]
 enum NetworkKind {
     Mlp(MlpSpec),
     Lstm(LstmSpec),
+    Transformer(TransformerSpec),
 }
 
 /// Per-iteration training-time model for one network on one GPU.
@@ -205,6 +254,30 @@ impl NetworkTimingModel {
         Self {
             gpu,
             kind: NetworkKind::Lstm(spec),
+            fused: false,
+        }
+    }
+
+    /// Builds a timing model for a transformer encoder language model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `model_dim` or any dimension is
+    /// zero.
+    pub fn transformer(gpu: GpuConfig, spec: TransformerSpec) -> Self {
+        gpu.assert_valid();
+        assert!(
+            spec.heads > 0 && spec.model_dim > 0 && spec.ff_dim > 0 && spec.layers > 0,
+            "transformer dimensions must be positive"
+        );
+        assert_eq!(
+            spec.model_dim % spec.heads,
+            0,
+            "head count must divide model_dim"
+        );
+        Self {
+            gpu,
+            kind: NetworkKind::Transformer(spec),
             fused: false,
         }
     }
@@ -247,6 +320,7 @@ impl NetworkTimingModel {
         match &self.kind {
             NetworkKind::Mlp(spec) => spec.dropout_layers(),
             NetworkKind::Lstm(spec) => spec.dropout_layers(),
+            NetworkKind::Transformer(spec) => spec.dropout_layers(),
         }
     }
 
@@ -267,6 +341,19 @@ impl NetworkTimingModel {
             }
             NetworkKind::Lstm(spec) => {
                 vec![LayerShape::vector(spec.hidden); spec.layers]
+            }
+            NetworkKind::Transformer(spec) => {
+                // Per block: the attention plan resolves against the
+                // `(model_dim × model_dim)` projection shape (a `BlockUnit`
+                // scheme with `block == head_dim` then partitions the output
+                // into whole heads), the FFN plan against the expansion
+                // layer — identical to `nn::TransformerLm::layer_shapes`.
+                let mut shapes = Vec::with_capacity(spec.dropout_layers());
+                for _ in 0..spec.layers {
+                    shapes.push(LayerShape::new(spec.model_dim, spec.model_dim));
+                    shapes.push(LayerShape::new(spec.model_dim, spec.ff_dim));
+                }
+                shapes
             }
         }
     }
@@ -310,6 +397,7 @@ impl NetworkTimingModel {
         match &self.kind {
             NetworkKind::Mlp(spec) => self.mlp_iteration(spec, plans),
             NetworkKind::Lstm(spec) => self.lstm_iteration(spec, plans),
+            NetworkKind::Transformer(spec) => self.transformer_iteration(spec, plans),
         }
     }
 
@@ -567,6 +655,154 @@ impl NetworkTimingModel {
             &proj_schedule,
         );
         layers.push(proj);
+        summarize(layers)
+    }
+
+    /// Time of one multi-head self-attention layer for a full iteration.
+    ///
+    /// The attention plan prices exactly what the executor in
+    /// `nn::transformer` runs:
+    ///
+    /// * an `NmCompact` plan routes all four `(model_dim × model_dim)`
+    ///   projections (Q, K, V, O) through the compacted N:M kernel via
+    ///   [`price_fc_schedule`] — on a sparse-tensor-core device that is the
+    ///   hardware 2:4 roofline;
+    /// * a `BlockCompact` plan whose block is the head width drops whole
+    ///   heads: Q/K/V run the block-compacted kernel (dropped heads'
+    ///   projection columns are never computed), both batched attention
+    ///   GEMMs (QKᵀ and attn·V) and the softmax shrink to the kept heads,
+    ///   and O's input GEMM skips the dropped heads' zero columns;
+    /// * mask-family plans (conventional Bernoulli) leave everything dense
+    ///   and pay the per-iteration mask kernel on the context tensor.
+    fn attention_layer(
+        &self,
+        name: &str,
+        spec: &TransformerSpec,
+        plan: &DropoutPlan,
+    ) -> LayerTiming {
+        let gpu = &self.gpu;
+        let tokens = spec.batch * spec.seq_len;
+        let d = spec.model_dim;
+        let hd = spec.head_dim();
+        let schedule = plan.kernel_schedule();
+
+        // Whole-head drop: a block-unit plan whose block spans one head keeps
+        // `kept` of `heads` heads; the executor's per-head loop skips dropped
+        // heads outright. Every other plan family runs all heads.
+        let head_drop = matches!(
+            *schedule,
+            KernelSchedule::BlockCompact { block, total, .. }
+                if block == hd && total == spec.heads
+        );
+        let kept_heads = match *schedule {
+            KernelSchedule::BlockCompact { kept, .. } if head_drop => kept.max(1),
+            _ => spec.heads,
+        };
+
+        let qkv_schedule = match *schedule {
+            KernelSchedule::NmCompact { .. } => *schedule,
+            KernelSchedule::BlockCompact { .. } if head_drop => *schedule,
+            _ => KernelSchedule::Dense,
+        };
+        let qkv_schedule = self.layer_schedule(&qkv_schedule, Activation::Identity);
+        let o_schedule = match *schedule {
+            KernelSchedule::NmCompact { .. } => *schedule,
+            _ => KernelSchedule::Dense,
+        };
+        let o_schedule = self.layer_schedule(&o_schedule, Activation::Identity);
+        // O consumes the context whose dropped-head columns are exactly
+        // zero — its input GEMM gathers only the kept heads' columns, the
+        // same inter-layer saving the LSTM model charges after row dropout.
+        let o_input_keep = kept_heads as f64 / spec.heads as f64;
+
+        let mut forward_us = 0.0;
+        let mut backward_us = 0.0;
+        for _ in 0..3 {
+            let (f, b, _) = price_fc_schedule(gpu, &qkv_schedule, tokens, d, d);
+            forward_us += f.time_us();
+            backward_us += b.time_us();
+        }
+        let (f, b, _) = price_fc_schedule(gpu, &o_schedule, tokens, scaled_dim(d, o_input_keep), d);
+        forward_us += f.time_us();
+        backward_us += b.time_us();
+        // Batched per-head GEMMs priced as one tall GEMM over the
+        // `batch · kept_heads` head instances: QKᵀ is `(seq × hd) · (hd ×
+        // seq)` per head, attn·V is `(seq × seq) · (seq × hd)`, and the
+        // causal softmax reads and rewrites each score row.
+        let rows = spec.batch * kept_heads * spec.seq_len;
+        let qk = kernels::dense_gemm(gpu, rows, hd, spec.seq_len);
+        let softmax = kernels::elementwise(gpu, rows, spec.seq_len, 2, 1, 6.0);
+        let av = kernels::dense_gemm(gpu, rows, spec.seq_len, hd);
+        forward_us += qk.time_us() + softmax.time_us() + av.time_us();
+        // Backward re-runs the pair twice (dP = dCtx·Vᵀ and dV = Pᵀ·dCtx
+        // mirror attn·V; dQ = dS·K and dK = dSᵀ·Q mirror QKᵀ) plus the
+        // softmax Jacobian elementwise pass.
+        backward_us += 2.0 * (qk.time_us() + av.time_us()) + softmax.time_us();
+
+        let dropout_us = if schedule.needs_mask_kernel() {
+            kernels::conventional_dropout_layer(gpu, tokens, d)
+                .merged_with(&kernels::elementwise(gpu, tokens, d, 2, 1, 1.0))
+                .time_us()
+        } else {
+            0.0
+        };
+
+        LayerTiming {
+            name: name.to_string(),
+            forward_us,
+            backward_us,
+            dropout_us,
+        }
+    }
+
+    fn transformer_iteration(
+        &self,
+        spec: &TransformerSpec,
+        plans: &[DropoutPlan],
+    ) -> TrainingTimeBreakdown {
+        let tokens = spec.batch * spec.seq_len;
+        let mut layers = Vec::new();
+        for l in 0..spec.layers {
+            let attn_plan = &plans[2 * l];
+            let ffn_plan = &plans[2 * l + 1];
+            layers.push(self.attention_layer(
+                &format!("attn{} ({} heads x {})", l + 1, spec.heads, spec.head_dim()),
+                spec,
+                attn_plan,
+            ));
+            // FFN expansion carries the block's second dropout plan; the
+            // contraction back to model width is dense — the same
+            // once-per-layer charging convention as `mlp_iteration`.
+            let ffn_schedule = self.layer_schedule(ffn_plan.kernel_schedule(), Activation::Relu);
+            layers.push(self.fc_layer(
+                &format!("ffn{}_in ({}x{})", l + 1, spec.model_dim, spec.ff_dim),
+                tokens,
+                spec.model_dim,
+                spec.ff_dim,
+                1.0,
+                &ffn_schedule,
+            ));
+            let contract_schedule =
+                self.layer_schedule(&KernelSchedule::Dense, Activation::Identity);
+            layers.push(self.fc_layer(
+                &format!("ffn{}_out ({}x{})", l + 1, spec.ff_dim, spec.model_dim),
+                tokens,
+                spec.ff_dim,
+                spec.model_dim,
+                1.0,
+                &contract_schedule,
+            ));
+        }
+        // Vocabulary softmax over every position, dense and never dropped.
+        let proj_schedule = self.layer_schedule(&KernelSchedule::Dense, Activation::Identity);
+        layers.push(self.fc_layer(
+            &format!("softmax ({}x{})", spec.model_dim, spec.vocab),
+            tokens,
+            spec.model_dim,
+            spec.vocab,
+            1.0,
+            &proj_schedule,
+        ));
         summarize(layers)
     }
 }

@@ -244,6 +244,23 @@ impl Linear {
         self.weight.len() + self.bias.len()
     }
 
+    /// Maximum absolute value over the stored weight and bias gradients
+    /// (used for global gradient clipping, mirroring `LstmCell`).
+    pub fn grad_max_abs(&self) -> f32 {
+        self.weight_grad
+            .as_slice()
+            .iter()
+            .chain(self.bias_grad.as_slice())
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Scales the stored weight and bias gradients by `factor` (gradient
+    /// clipping).
+    pub fn scale_gradients(&mut self, factor: f32) {
+        self.weight_grad.map_inplace(|v| v * factor);
+        self.bias_grad.map_inplace(|v| v * factor);
+    }
+
     /// Forward pass executing the given dropout plan; caches what the
     /// backward pass needs.
     ///

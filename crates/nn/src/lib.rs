@@ -61,6 +61,7 @@ pub mod metrics;
 pub mod mlp;
 pub mod optimizer;
 pub mod trainer;
+pub mod transformer;
 
 /// Re-export of the dropout scheme constructors (`schemes::row(...)`, …) so
 /// network code can configure dropout without importing `approx_dropout`
@@ -76,3 +77,4 @@ pub use metrics::{accuracy, perplexity_from_nll};
 pub use mlp::{Mlp, MlpConfig, TrainBatchStats};
 pub use optimizer::Sgd;
 pub use trainer::{TrainRecord, Trainer, TrainerConfig};
+pub use transformer::{TransformerLm, TransformerLmConfig};

@@ -35,6 +35,7 @@ use approx_dropout::{DropoutPlan, DropoutScheme, LayerShape, PlanCache, PlanKey}
 use gpu_sim::GpuConfig;
 use nn::lstm::LstmLm;
 use nn::Mlp;
+use nn::TransformerLm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -92,7 +93,8 @@ pub fn materialize(spec: &ModelSpec, jobs: &[JobSpec]) -> BatchInputs {
             }
             BatchInputs::Dense { inputs, labels }
         }
-        NetworkKind::Lstm { vocab, seq_len, .. } => {
+        NetworkKind::Lstm { vocab, seq_len, .. }
+        | NetworkKind::TransformerLm { vocab, seq_len, .. } => {
             let mut sequences = Vec::with_capacity(jobs.iter().map(|j| j.rows).sum());
             for job in jobs {
                 let mut rng = StdRng::seed_from_u64(job.seed);
@@ -130,6 +132,7 @@ pub fn resolve_spec_plans(spec: &ModelSpec, model: usize, epoch: u64) -> Vec<Dro
 enum ReplicaNet {
     Mlp(Box<Mlp>),
     Lstm(Box<LstmLm>),
+    Transformer(Box<TransformerLm>),
 }
 
 /// One worker shard's instance of a catalog model.
@@ -165,6 +168,9 @@ impl Replica {
             NetworkKind::Lstm { .. } => {
                 ReplicaNet::Lstm(Box::new(LstmLm::new(&spec.lstm_config(), &mut rng)))
             }
+            NetworkKind::TransformerLm { .. } => ReplicaNet::Transformer(Box::new(
+                TransformerLm::new(&spec.transformer_config(), &mut rng),
+            )),
         };
         let shapes = spec.layer_shapes();
         Self {
@@ -246,6 +252,9 @@ impl Replica {
             (ReplicaNet::Lstm(lm), BatchInputs::Tokens(tokens)) => {
                 lm.train_batch_with_plans(tokens, &self.plans).loss
             }
+            (ReplicaNet::Transformer(lm), BatchInputs::Tokens(tokens)) => {
+                lm.train_batch_with_plans(tokens, &self.plans).loss
+            }
             _ => panic!("batch inputs do not match the replica's network family"),
         }
     }
@@ -261,6 +270,7 @@ impl Replica {
                 mlp.evaluate(inputs, labels).0
             }
             (ReplicaNet::Lstm(lm), BatchInputs::Tokens(tokens)) => lm.evaluate(tokens).loss,
+            (ReplicaNet::Transformer(lm), BatchInputs::Tokens(tokens)) => lm.evaluate(tokens).loss,
             _ => panic!("batch inputs do not match the replica's network family"),
         }
     }

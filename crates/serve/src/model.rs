@@ -11,8 +11,9 @@
 //! (`"row:0.5:8"`, `"nm:2:4"`, …).
 
 use approx_dropout::{LayerShape, SchemeSpec};
-use gpu_sim::{GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel};
+use gpu_sim::{GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel, TransformerSpec};
 use nn::lstm::LstmLmConfig;
+use nn::transformer::TransformerLmConfig;
 use nn::MlpConfig;
 
 /// Network family and dimensions of a served model.
@@ -38,6 +39,24 @@ pub enum NetworkKind {
         /// Stacked LSTM layers.
         layers: usize,
         /// Unrolled sequence length (inputs; targets shift by one).
+        seq_len: usize,
+    },
+    /// Transformer encoder language model ([`nn::TransformerLm`]); a
+    /// request row is one token sequence of `seq_len + 1` ids. Each encoder
+    /// block carries two droppable positions (attention, then FFN), so the
+    /// catalog scheme plans `2 · layers` positions per iteration.
+    TransformerLm {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Model width (`d_model`, also the embedding width).
+        model_dim: usize,
+        /// Attention heads per block; must divide `model_dim`.
+        heads: usize,
+        /// FFN expansion width.
+        ff_dim: usize,
+        /// Stacked encoder blocks.
+        layers: usize,
+        /// Sequence length (inputs; targets shift by one).
         seq_len: usize,
     },
 }
@@ -102,11 +121,42 @@ impl ModelSpec {
         }
     }
 
+    /// A transformer encoder language-model entry; `learning_rate` defaults
+    /// to the value the `nn` convergence tests pin (0.1, no momentum — the
+    /// un-normalised encoder stack relies on global gradient clipping).
+    #[allow(clippy::too_many_arguments)]
+    pub fn transformer_lm(
+        name: impl Into<String>,
+        vocab: usize,
+        model_dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        layers: usize,
+        seq_len: usize,
+        scheme: SchemeSpec,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            network: NetworkKind::TransformerLm {
+                vocab,
+                model_dim,
+                heads,
+                ff_dim,
+                layers,
+                seq_len,
+            },
+            scheme,
+            learning_rate: 0.1,
+            momentum: 0.0,
+        }
+    }
+
     /// Number of droppable layers (one plan per such layer).
     pub fn dropout_layers(&self) -> usize {
         match &self.network {
             NetworkKind::Mlp { hidden, .. } => hidden.len(),
             NetworkKind::Lstm { layers, .. } => *layers,
+            NetworkKind::TransformerLm { layers, .. } => 2 * layers,
         }
     }
 
@@ -128,6 +178,19 @@ impl ModelSpec {
             }
             NetworkKind::Lstm { hidden, layers, .. } => {
                 vec![LayerShape::vector(*hidden); *layers]
+            }
+            NetworkKind::TransformerLm {
+                model_dim,
+                ff_dim,
+                layers,
+                ..
+            } => {
+                let mut shapes = Vec::with_capacity(2 * layers);
+                for _ in 0..*layers {
+                    shapes.push(LayerShape::new(*model_dim, *model_dim));
+                    shapes.push(LayerShape::new(*model_dim, *ff_dim));
+                }
+                shapes
             }
         }
     }
@@ -154,7 +217,7 @@ impl ModelSpec {
                 learning_rate: self.learning_rate,
                 momentum: self.momentum,
             },
-            NetworkKind::Lstm { .. } => panic!("{}: not an MLP spec", self.name),
+            _ => panic!("{}: not an MLP spec", self.name),
         }
     }
 
@@ -184,7 +247,46 @@ impl ModelSpec {
                 momentum: self.momentum,
                 grad_clip: 5.0,
             },
-            NetworkKind::Mlp { .. } => panic!("{}: not an LSTM spec", self.name),
+            _ => panic!("{}: not an LSTM spec", self.name),
+        }
+    }
+
+    /// The [`nn::transformer::TransformerLmConfig`] this spec instantiates
+    /// (transformer entries only). The one catalog scheme drives both the
+    /// attention and FFN dropout positions, exactly as the replica plans
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-transformer spec.
+    pub fn transformer_config(&self) -> TransformerLmConfig {
+        match &self.network {
+            NetworkKind::TransformerLm {
+                vocab,
+                model_dim,
+                heads,
+                ff_dim,
+                layers,
+                ..
+            } => TransformerLmConfig {
+                vocab: *vocab,
+                model_dim: *model_dim,
+                heads: *heads,
+                ff_dim: *ff_dim,
+                layers: *layers,
+                attn_dropout: self
+                    .scheme
+                    .build()
+                    .expect("catalog scheme configuration must be valid"),
+                ffn_dropout: self
+                    .scheme
+                    .build()
+                    .expect("catalog scheme configuration must be valid"),
+                learning_rate: self.learning_rate,
+                momentum: self.momentum,
+                grad_clip: 5.0,
+            },
+            _ => panic!("{}: not a transformer spec", self.name),
         }
     }
 
@@ -222,6 +324,25 @@ impl ModelSpec {
                     vocab: *vocab,
                 },
             ),
+            NetworkKind::TransformerLm {
+                vocab,
+                model_dim,
+                heads,
+                ff_dim,
+                layers,
+                seq_len,
+            } => NetworkTimingModel::transformer(
+                gpu,
+                TransformerSpec {
+                    batch: batch_rows,
+                    model_dim: *model_dim,
+                    heads: *heads,
+                    ff_dim: *ff_dim,
+                    layers: *layers,
+                    seq_len: *seq_len,
+                    vocab: *vocab,
+                },
+            ),
         }
     }
 }
@@ -244,6 +365,36 @@ mod tests {
     fn lstm_layer_shapes_are_hidden_vectors() {
         let spec = ModelSpec::lstm("l", 200, 48, 2, 6, SchemeSpec::Bernoulli { rate: 0.25 });
         assert_eq!(spec.layer_shapes(), vec![LayerShape::vector(48); 2]);
+    }
+
+    #[test]
+    fn transformer_layer_shapes_alternate_attention_and_ffn() {
+        let spec = ModelSpec::transformer_lm(
+            "t",
+            40,
+            16,
+            4,
+            32,
+            2,
+            6,
+            SchemeSpec::Transformer {
+                rate: 0.25,
+                head_dim: 4,
+            },
+        );
+        assert_eq!(spec.dropout_layers(), 4);
+        assert_eq!(
+            spec.layer_shapes(),
+            vec![
+                LayerShape::new(16, 16),
+                LayerShape::new(16, 32),
+                LayerShape::new(16, 16),
+                LayerShape::new(16, 32),
+            ]
+        );
+        let model = spec.timing_model(GpuConfig::gtx_1080ti(), 8);
+        assert_eq!(model.dropout_layers(), spec.dropout_layers());
+        assert_eq!(model.layer_shapes(), spec.layer_shapes());
     }
 
     #[test]

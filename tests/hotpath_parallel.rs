@@ -7,7 +7,7 @@ use approx_dropout::{
     scheme, DropoutPlan, DropoutRate, DropoutScheme, LayerShape, PlanCache, PlanKey, RowPattern,
     TilePattern,
 };
-use nn::{Linear, Mlp, MlpConfig};
+use nn::{Linear, Mlp, MlpConfig, TransformerLm, TransformerLmConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensor::{
@@ -129,7 +129,68 @@ fn parallel_execution_is_bitwise_identical_to_serial() {
         losses_serial, losses_parallel,
         "training must be bitwise thread-invariant"
     );
+
+    // Transformer attention forward + backward: every structured-attention
+    // execution path (whole-head block drop, 2:4 projections, FFN row
+    // dropout) must produce bitwise-identical training trajectories and
+    // eval losses at 1 and 4 threads.
+    for (label, attn, ffn) in transformer_variants() {
+        pool::set_threads(1);
+        let serial = transformer_trajectory(&*attn, &*ffn);
+        pool::set_threads(4);
+        let parallel = transformer_trajectory(&*attn, &*ffn);
+        assert_eq!(
+            serial, parallel,
+            "transformer {label} training must be bitwise thread-invariant"
+        );
+    }
     pool::set_threads(1);
+}
+
+/// The structured-attention variants whose kernels the transformer
+/// thread-invariance matrix covers: whole-head drop, N:M projections, FFN
+/// row dropout.
+#[allow(clippy::type_complexity)]
+fn transformer_variants() -> Vec<(&'static str, Box<dyn DropoutScheme>, Box<dyn DropoutScheme>)> {
+    let rate = DropoutRate::new(0.5).unwrap();
+    vec![
+        (
+            "head_drop",
+            scheme::block_unit(rate, 4).unwrap(),
+            scheme::none(),
+        ),
+        ("nm_proj", scheme::nm(2, 4).unwrap(), scheme::none()),
+        ("ffn_row", scheme::none(), scheme::row(rate, 8).unwrap()),
+    ]
+}
+
+/// Same-seed training losses plus a deterministic eval loss — the bits the
+/// thread-invariance assertions compare.
+fn transformer_trajectory(attn: &dyn DropoutScheme, ffn: &dyn DropoutScheme) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(77);
+    let config = TransformerLmConfig {
+        vocab: 40,
+        model_dim: 16,
+        heads: 4,
+        ff_dim: 32,
+        layers: 2,
+        attn_dropout: attn.clone_box(),
+        ffn_dropout: ffn.clone_box(),
+        learning_rate: 0.05,
+        momentum: 0.0,
+        grad_clip: 5.0,
+    };
+    let mut lm = TransformerLm::new(&config, &mut rng);
+    // Batch of 8 sequences × 8 steps = 64 rows: wide enough to engage the
+    // pool on the attention and FFN GEMMs.
+    let batch: Vec<Vec<usize>> = (0..8)
+        .map(|s| (0..9).map(|t| (s * 3 + t * 7) % 40).collect())
+        .collect();
+    let mut bits: Vec<u32> = (0..6)
+        .map(|_| lm.train_batch(&batch, &mut rng).loss.to_bits())
+        .collect();
+    bits.push(lm.evaluate(&batch).loss.to_bits());
+    bits
 }
 
 fn train_losses() -> Vec<f32> {

@@ -22,7 +22,7 @@
 //! cost model.
 
 use approx_dropout::{scheme, DropoutRate, DropoutScheme};
-use gpu_sim::{GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel};
+use gpu_sim::{GpuConfig, LstmSpec, MlpSpec, NetworkTimingModel, TransformerSpec};
 
 /// Relative tolerance on each golden speedup. The model is deterministic
 /// (fixed seeds, f64 arithmetic), so this slack only absorbs innocuous
@@ -114,7 +114,73 @@ fn compute_speedups() -> Vec<(String, f64)> {
         "mlp.sparse_tensor_core.nm_2_4_tc_over_gather".to_string(),
         t_gather / t_tc,
     ));
+    // Transformer encoder curve points: structured attention dropout vs the
+    // rate-matched conventional baseline at the same scheme positions.
+    for (device_key, gpu) in devices() {
+        let spec = TransformerSpec::paper_ptb_transformer();
+        let model = NetworkTimingModel::transformer(gpu, spec.clone());
+        for (scheme_key, attn_base, ffn_base, attn, ffn) in transformer_schemes(&spec) {
+            let mut baseline = transformer_positions(&*attn_base, &*ffn_base, spec.layers);
+            let mut new = transformer_positions(&*attn, &*ffn, spec.layers);
+            let speedup = model.speedup_per_layer(&mut baseline, &mut new, SAMPLES, SEED);
+            rows.push((format!("transformer.{device_key}.{scheme_key}"), speedup));
+        }
+    }
     rows
+}
+
+/// The transformer variants of the curve: `(key, attn_baseline, ffn_baseline,
+/// attn_scheme, ffn_scheme)`. Baselines are rate-matched Bernoulli at the
+/// same positions, so each speedup isolates the structure, not the rate.
+#[allow(clippy::type_complexity)]
+fn transformer_schemes(
+    spec: &TransformerSpec,
+) -> Vec<(
+    &'static str,
+    Box<dyn DropoutScheme>,
+    Box<dyn DropoutScheme>,
+    Box<dyn DropoutScheme>,
+    Box<dyn DropoutScheme>,
+)> {
+    let hd = spec.head_dim();
+    vec![
+        (
+            "head_drop_0.5",
+            scheme::bernoulli(rate(0.5)),
+            scheme::none(),
+            scheme::block_unit(rate(0.5), hd).unwrap(),
+            scheme::none(),
+        ),
+        (
+            "nm_2_4_proj",
+            scheme::bernoulli(rate(0.5)),
+            scheme::none(),
+            scheme::nm(2, 4).unwrap(),
+            scheme::none(),
+        ),
+        (
+            "ffn_row_0.5",
+            scheme::none(),
+            scheme::bernoulli(rate(0.5)),
+            scheme::none(),
+            scheme::row(rate(0.5), 16).unwrap(),
+        ),
+    ]
+}
+
+/// Per-position scheme vector for the transformer timing model: one
+/// `(attention, ffn)` pair per encoder block.
+fn transformer_positions(
+    attn: &dyn DropoutScheme,
+    ffn: &dyn DropoutScheme,
+    layers: usize,
+) -> Vec<Box<dyn DropoutScheme>> {
+    let mut schemes = Vec::with_capacity(2 * layers);
+    for _ in 0..layers {
+        schemes.push(attn.clone_box());
+        schemes.push(ffn.clone_box());
+    }
+    schemes
 }
 
 /// Golden speedup table. Regenerate with the ignored `print_golden_table`
@@ -152,6 +218,15 @@ const GOLDEN: &[(&str, f64)] = &[
     ("lstm.sparse_tensor_core.nm_1_4", 1.4002),
     ("lstm.sparse_tensor_core.block_32_0.5", 1.2578),
     ("mlp.sparse_tensor_core.nm_2_4_tc_over_gather", 1.0451),
+    ("transformer.gtx_1080ti.head_drop_0.5", 1.1106),
+    ("transformer.gtx_1080ti.nm_2_4_proj", 1.0946),
+    ("transformer.gtx_1080ti.ffn_row_0.5", 1.1113),
+    ("transformer.server_hbm.head_drop_0.5", 1.1101),
+    ("transformer.server_hbm.nm_2_4_proj", 1.0941),
+    ("transformer.server_hbm.ffn_row_0.5", 1.1109),
+    ("transformer.sparse_tensor_core.head_drop_0.5", 1.1099),
+    ("transformer.sparse_tensor_core.nm_2_4_proj", 1.0994),
+    ("transformer.sparse_tensor_core.ffn_row_0.5", 1.1104),
 ];
 
 #[test]
@@ -257,4 +332,14 @@ fn speedup_orderings_hold_on_every_preset() {
         tc_over_gather > 1.0,
         "tensor-core 2:4 must beat its gather pricing: {tc_over_gather}"
     );
+    // Transformer encoder: every structured attention/FFN scheme beats the
+    // rate-matched conventional baseline on every preset — head drop shrinks
+    // the projections and both batched attention GEMMs, 2:4 compacts the
+    // projections, row dropout compacts the FFN.
+    for device in ["gtx_1080ti", "server_hbm", "sparse_tensor_core"] {
+        for scheme in ["head_drop_0.5", "nm_2_4_proj", "ffn_row_0.5"] {
+            let s = speedup_of(&rows, &format!("transformer.{device}.{scheme}"));
+            assert!(s > 1.0, "transformer.{device}.{scheme}: {s}");
+        }
+    }
 }

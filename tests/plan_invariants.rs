@@ -5,7 +5,8 @@
 //! masked-dense formulation the paper starts from.
 
 use approx_random_dropout::approx_dropout::{
-    scheme, DropoutPlan, DropoutRate, DropoutScheme, LayerShape, RowPattern, TilePattern,
+    scheme, DropoutPlan, DropoutRate, DropoutScheme, LayerShape, RowPattern, SchemeSpec,
+    TilePattern,
 };
 use approx_random_dropout::nn::Linear;
 use approx_random_dropout::tensor::{init, Matrix};
@@ -179,6 +180,48 @@ fn compacted_execution_matches_masked_dense_reference() {
                         reference[(i, j)]
                     );
                 }
+            }
+        }
+    }
+}
+
+/// The attention-head invariant behind the transformer family: a whole-head
+/// block-unit plan never drops every head, no matter how aggressive the
+/// rate or how small the head count — the `SchemeSpec::Transformer` arm and
+/// the raw `scheme::block_unit` constructor both inherit the guard, so the
+/// attention output is never all-zero and the inverted-dropout scale stays
+/// finite.
+#[test]
+fn whole_head_plans_never_drop_every_head() {
+    let rate = DropoutRate::new(0.9).unwrap();
+    for (heads, head_dim) in [(2usize, 4usize), (4, 8), (8, 64)] {
+        let model_dim = heads * head_dim;
+        let shape = LayerShape::new(model_dim, model_dim);
+        let mut from_scheme = scheme::block_unit(rate, head_dim).unwrap();
+        let mut from_spec = SchemeSpec::Transformer {
+            rate: 0.9,
+            head_dim,
+        }
+        .build()
+        .unwrap();
+        for s in [&mut from_scheme, &mut from_spec] {
+            let mut rng = StdRng::seed_from_u64(0xD00D);
+            for iteration in 0..2_000 {
+                let plan = s.plan(&mut rng, shape);
+                let (kept, block, total) = plan
+                    .kept_unit_blocks()
+                    .expect("whole-head plan must be a block-unit plan");
+                assert_eq!(block, head_dim);
+                assert_eq!(total, heads);
+                assert!(
+                    !kept.is_empty(),
+                    "{} dropped every one of {heads} heads at iteration {iteration}",
+                    s.label()
+                );
+                assert!(
+                    plan.scale().is_finite() && plan.scale() > 0.0,
+                    "scale must stay finite with at least one kept head"
+                );
             }
         }
     }

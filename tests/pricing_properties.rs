@@ -6,8 +6,8 @@
 //! baseline, and the fused-layer identity `fused ≤ sum(parts)` must hold on
 //! the new preset like on the old ones.
 
-use approx_dropout::{Activation, KernelSchedule};
-use gpu_sim::{price_fc_schedule, GpuConfig};
+use approx_dropout::{Activation, DropoutPlan, KernelSchedule, LayerShape};
+use gpu_sim::{price_fc_schedule, GpuConfig, NetworkTimingModel, TransformerSpec};
 
 /// Every stand-alone schedule arm, with parameters chosen so each one is a
 /// genuine instance of its family (kept fractions strictly inside (0, 1)).
@@ -182,6 +182,150 @@ fn fused_never_prices_above_sum_of_parts_on_the_sparse_preset() {
             );
             assert_eq!(f_fwd.launches, 1, "{schedule:?}");
             assert_eq!(u_fwd.launches, 2, "{schedule:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transformer encoder pricing properties
+// ---------------------------------------------------------------------------
+
+fn transformer_presets() -> Vec<GpuConfig> {
+    vec![
+        GpuConfig::gtx_1080ti(),
+        GpuConfig::server_hbm(),
+        GpuConfig::sparse_tensor_core(),
+    ]
+}
+
+/// Per-position plans for one transformer iteration: a whole-head-drop
+/// block-unit plan keeping `kept_heads` heads at every attention position,
+/// dense everywhere else. `kept_heads == heads` degenerates to all-dense.
+fn head_drop_plans(spec: &TransformerSpec, kept_heads: usize) -> Vec<DropoutPlan> {
+    let d = spec.model_dim;
+    let hd = spec.head_dim();
+    let attn_shape = LayerShape::new(d, d);
+    let ffn_shape = LayerShape::new(d, spec.ff_dim);
+    let mut plans = Vec::with_capacity(spec.dropout_layers());
+    for _ in 0..spec.layers {
+        if kept_heads == spec.heads {
+            plans.push(DropoutPlan::none(attn_shape));
+        } else {
+            let kept: Vec<usize> = (0..kept_heads).collect();
+            let scale = spec.heads as f32 / kept_heads as f32;
+            let rate = 1.0 - kept_heads as f64 / spec.heads as f64;
+            plans.push(DropoutPlan::block_unit(attn_shape, hd, kept, scale, rate));
+        }
+        plans.push(DropoutPlan::none(ffn_shape));
+    }
+    plans
+}
+
+fn transformer_iteration_us(gpu: &GpuConfig, spec: &TransformerSpec, kept_heads: usize) -> f64 {
+    let model = NetworkTimingModel::transformer(gpu.clone(), spec.clone());
+    model
+        .iteration_time_from_plans(&head_drop_plans(spec, kept_heads))
+        .total_us()
+}
+
+#[test]
+fn transformer_cost_is_monotonic_in_kept_heads() {
+    // Keeping one more head never prices cheaper: the three Q/K/V
+    // projections widen, both batched attention GEMMs and the softmax grow
+    // a head, and O's input gather widens. Strict at the dense end too —
+    // dropping any head must actually buy time on every preset.
+    let spec = TransformerSpec::paper_ptb_transformer();
+    for gpu in transformer_presets() {
+        let series: Vec<f64> = (1..=spec.heads)
+            .map(|kept| transformer_iteration_us(&gpu, &spec, kept))
+            .collect();
+        for w in series.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "{}: iteration time fell as kept heads grew: {series:?}",
+                gpu.name
+            );
+        }
+        let dense = *series.last().unwrap();
+        for (kept, &t) in series.iter().enumerate().take(spec.heads - 1) {
+            assert!(
+                t < dense,
+                "{}: head drop to {} kept heads must beat dense ({t} >= {dense})",
+                gpu.name,
+                kept + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn transformer_cost_is_monotonic_in_seq_len_and_batch() {
+    // Growing the sequence (quadratic in the attention GEMMs, linear in the
+    // token count) or the batch must never price cheaper, dense or with
+    // half the heads dropped.
+    let base = TransformerSpec::paper_ptb_transformer();
+    for gpu in transformer_presets() {
+        for kept in [base.heads / 2, base.heads] {
+            let seq_series: Vec<f64> = [16usize, 35, 70, 140]
+                .iter()
+                .map(|&seq_len| {
+                    let spec = TransformerSpec {
+                        seq_len,
+                        ..base.clone()
+                    };
+                    transformer_iteration_us(&gpu, &spec, kept)
+                })
+                .collect();
+            for w in seq_series.windows(2) {
+                assert!(
+                    w[1] > w[0],
+                    "{}: cost fell as seq_len grew (kept {kept}): {seq_series:?}",
+                    gpu.name
+                );
+            }
+            let batch_series: Vec<f64> = [5usize, 20, 80, 320]
+                .iter()
+                .map(|&batch| {
+                    let spec = TransformerSpec {
+                        batch,
+                        ..base.clone()
+                    };
+                    transformer_iteration_us(&gpu, &spec, kept)
+                })
+                .collect();
+            for w in batch_series.windows(2) {
+                assert!(
+                    w[1] > w[0],
+                    "{}: cost fell as batch grew (kept {kept}): {batch_series:?}",
+                    gpu.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn transformer_fused_never_prices_above_unfused() {
+    // The forward-epilogue fusion toggle can only save cost on the encoder,
+    // exactly as on the fc-only networks: the FFN's activation epilogue
+    // folds into its GEMM launch.
+    let spec = TransformerSpec::paper_ptb_transformer();
+    for gpu in transformer_presets() {
+        for kept in [1, spec.heads / 2, spec.heads] {
+            let plans = head_drop_plans(&spec, kept);
+            let unfused = NetworkTimingModel::transformer(gpu.clone(), spec.clone())
+                .with_fusion(false)
+                .iteration_time_from_plans(&plans)
+                .total_us();
+            let fused = NetworkTimingModel::transformer(gpu.clone(), spec.clone())
+                .with_fusion(true)
+                .iteration_time_from_plans(&plans)
+                .total_us();
+            assert!(
+                fused <= unfused,
+                "{}: fused {fused} > unfused {unfused} (kept {kept})",
+                gpu.name
+            );
         }
     }
 }

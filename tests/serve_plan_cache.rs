@@ -171,3 +171,68 @@ fn serve_results_bitwise_identical_with_and_without_cache() {
         "the trace must actually exercise the hit path (got {stats:?})"
     );
 }
+
+/// The transformer replica rides the same determinism contract: a trace of
+/// whole-head-drop train and infer dispatches against `TransformerLm`
+/// replicas produces bit-for-bit the same losses with the shared plan
+/// cache on and off.
+#[test]
+fn transformer_serve_results_bitwise_identical_with_and_without_cache() {
+    let catalog = vec![ModelSpec::transformer_lm(
+        "transformer",
+        40,
+        16,
+        4,
+        32,
+        2,
+        6,
+        SchemeSpec::Transformer {
+            rate: 0.5,
+            head_dim: 4,
+        },
+    )];
+    let trace: Vec<Vec<JobSpec>> = (0..18)
+        .map(|step| {
+            let kind = if step % 4 == 3 {
+                JobKind::Infer
+            } else {
+                JobKind::Train
+            };
+            (0..1 + step % 2)
+                .map(|j| JobSpec {
+                    tenant: j as u64,
+                    model: 0,
+                    rows: 2 + (step + j) % 3,
+                    seed: (step * 17 + j) as u64,
+                    kind,
+                    qos: QosClass::Batch,
+                })
+                .collect()
+        })
+        .collect();
+
+    let run = |cache: Option<Arc<PlanCache>>| -> Vec<u32> {
+        let mut engine = ShardEngine::new(&catalog, |_| true, cache, 2, 7);
+        trace
+            .iter()
+            .map(|batch| engine.execute(batch).value.to_bits())
+            .collect()
+    };
+
+    let cache = Arc::new(PlanCache::new(4));
+    let cached = run(Some(Arc::clone(&cache)));
+    let uncached = run(None);
+    assert_eq!(
+        cached, uncached,
+        "transformer losses must be bitwise identical with the plan cache on and off"
+    );
+    assert!(
+        cached.iter().all(|bits| f32::from_bits(*bits).is_finite()),
+        "every trace step must produce a finite loss"
+    );
+    let stats = cache.stats();
+    assert!(
+        stats.hits > 0,
+        "the transformer trace must exercise the hit path (got {stats:?})"
+    );
+}

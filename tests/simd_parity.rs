@@ -13,8 +13,8 @@
 //! The SIMD level is process-global state, so every test here serialises
 //! on one mutex and restores the entry level before returning.
 
-use approx_dropout::{scheme, Activation, DropoutRate};
-use nn::{DropoutPlan, LayerShape, Linear};
+use approx_dropout::{scheme, Activation, DropoutRate, DropoutScheme};
+use nn::{DropoutPlan, LayerShape, Linear, TransformerLm, TransformerLmConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
@@ -211,6 +211,69 @@ fn all_kernel_families_match_scalar_bitwise_at_one_and_four_threads() {
         }
     }
     pool::set_threads(1);
+    simd::set_level(entry);
+}
+
+/// Same-seed transformer training losses plus a deterministic eval loss,
+/// as bit patterns.
+fn transformer_trajectory(attn: &dyn DropoutScheme, ffn: &dyn DropoutScheme) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(0x51D5);
+    let config = TransformerLmConfig {
+        vocab: 40,
+        model_dim: 16,
+        heads: 4,
+        ff_dim: 32,
+        layers: 2,
+        attn_dropout: attn.clone_box(),
+        ffn_dropout: ffn.clone_box(),
+        learning_rate: 0.05,
+        momentum: 0.0,
+        grad_clip: 5.0,
+    };
+    let mut lm = TransformerLm::new(&config, &mut rng);
+    let batch: Vec<Vec<usize>> = (0..8)
+        .map(|s| (0..9).map(|t| (s * 5 + t * 11) % 40).collect())
+        .collect();
+    let mut bits: Vec<u32> = (0..5)
+        .map(|_| lm.train_batch(&batch, &mut rng).loss.to_bits())
+        .collect();
+    bits.push(lm.evaluate(&batch).loss.to_bits());
+    bits
+}
+
+#[test]
+fn transformer_attention_matches_scalar_bitwise_for_every_structured_path() {
+    // The attention forward/backward pipeline is built entirely from the
+    // level-invariant kernels (GEMMs, block-compacted GEMMs, gathers) plus
+    // scalar softmax/cross-entropy, so whole training trajectories — head
+    // drop, 2:4 projections, FFN row dropout — must not move by a bit when
+    // the dispatch level changes.
+    let _g = level_guard();
+    let entry = simd::level();
+    pool::set_threads(1);
+    let rate = DropoutRate::new(0.5).unwrap();
+    #[allow(clippy::type_complexity)]
+    let variants: Vec<(&str, Box<dyn DropoutScheme>, Box<dyn DropoutScheme>)> = vec![
+        (
+            "head_drop",
+            scheme::block_unit(rate, 4).unwrap(),
+            scheme::none(),
+        ),
+        ("nm_proj", scheme::nm(2, 4).unwrap(), scheme::none()),
+        ("ffn_row", scheme::none(), scheme::row(rate, 8).unwrap()),
+    ];
+    for (label, attn, ffn) in &variants {
+        simd::set_level(SimdLevel::Scalar);
+        let scalar = transformer_trajectory(&**attn, &**ffn);
+        simd::set_level(simd::detected_level());
+        let vector = transformer_trajectory(&**attn, &**ffn);
+        assert_eq!(
+            scalar,
+            vector,
+            "transformer {label} must be bitwise identical between scalar and {:?}",
+            simd::detected_level()
+        );
+    }
     simd::set_level(entry);
 }
 
